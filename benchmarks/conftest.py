@@ -1,0 +1,45 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper.  The dataset is
+the synthetic REDD substitute described in DESIGN.md: ten days of six houses
+at 60-second sampling (REDD itself is 1 Hz; the analytics aggregate to
+15-minute / 1-hour windows, so coarser raw sampling changes only absolute
+runtimes, not which method wins).
+
+Every benchmark appends its rendered result table to
+``benchmarks/results/<name>.txt`` so the numbers reported in EXPERIMENTS.md
+can be regenerated with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import generate_redd
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    """Ten days, six houses, 60-second sampling, with collection gaps."""
+    return generate_redd(days=10, sampling_interval=60.0, seed=42)
+
+
+@pytest.fixture(scope="session")
+def forecast_dataset_fixture():
+    """Nine gap-free days (the forecasting split needs 8 contiguous days)."""
+    return generate_redd(days=9, sampling_interval=60.0, seed=42, with_gaps=False)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered result table for EXPERIMENTS.md."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,35 @@
+"""Section 2.3 — compression ratio of the symbolic representation.
+
+Regenerates the paper's example (1 Hz doubles ≈ 680 kB/day vs 16 symbols at a
+15-minute aggregation = 384 bits, three orders of magnitude) and sweeps the
+alphabet-size × aggregation-window plane.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import compression_sweep, paper_example_report, render_table
+
+from .conftest import write_result
+
+
+def test_compression_paper_example(benchmark, results_dir):
+    report = benchmark.pedantic(paper_example_report, rounds=1, iterations=1)
+
+    assert report.raw_bits_per_day / 8 / 1024 > 600.0  # "around 680 kB per day"
+    assert report.symbolic_bits_per_day == 384.0        # "only 384 bit"
+    assert report.orders_of_magnitude >= 3.0            # "three orders of magnitude"
+
+    sweep = compression_sweep(
+        alphabet_sizes=(2, 4, 8, 16),
+        aggregation_seconds=(60.0, 900.0, 3600.0),
+        sampling_interval=1.0,
+    )
+    text = render_table(sweep.rows(), float_digits=1)
+    text += (
+        f"\n\npaper example (16 symbols @ 15 min vs 1 Hz doubles):"
+        f"\n  raw per day:      {report.raw_bits_per_day / 8 / 1024:.0f} kB"
+        f"\n  symbolic per day: {report.symbolic_bits_per_day:.0f} bits"
+        f"\n  ratio:            {report.ratio:.0f}x"
+        f"\n  with 30-day amortised lookup table: {report.ratio_with_table:.0f}x"
+    )
+    write_result(results_dir, "compression_ratio", text)

@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the encoder itself (not tied to a paper figure).
+
+These use pytest-benchmark's statistical timing (multiple rounds) because the
+operations are fast: they establish that symbolisation is cheap enough to run
+at the sensor (the premise of the whole paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import SAXEncoder
+from repro.core import LookupTable, OnlineEncoder, SymbolicEncoder, TimeSeries
+
+
+@pytest.fixture(scope="module")
+def one_day_series():
+    """One day of 1 Hz readings (86 400 samples), log-normal-ish."""
+    rng = np.random.default_rng(0)
+    values = rng.lognormal(mean=np.log(250.0), sigma=0.8, size=86_400)
+    return TimeSeries.regular(values, interval=1.0)
+
+
+def test_fit_median_table_on_two_days(benchmark, one_day_series):
+    values = np.concatenate([one_day_series.values, one_day_series.values])
+    result = benchmark(lambda: LookupTable.fit(values, 16, method="median"))
+    assert result.size == 16
+
+
+def test_encode_one_day_at_15min(benchmark, one_day_series):
+    encoder = SymbolicEncoder(alphabet_size=16, method="median",
+                              aggregation_seconds=900.0)
+    encoder.fit(one_day_series)
+    encoded = benchmark(lambda: encoder.encode(one_day_series))
+    assert len(encoded) == 96
+
+
+def test_encode_one_day_raw_rate(benchmark, one_day_series):
+    encoder = SymbolicEncoder(alphabet_size=16, method="median")
+    encoder.fit(one_day_series)
+    encoded = benchmark(lambda: encoder.encode(one_day_series))
+    assert len(encoded) == len(one_day_series)
+
+
+def test_decode_one_day(benchmark, one_day_series):
+    encoder = SymbolicEncoder(alphabet_size=16, method="median")
+    encoded = encoder.fit_encode(one_day_series)
+    decoded = benchmark(lambda: encoded.decode())
+    assert len(decoded) == len(one_day_series)
+
+
+def test_online_encoder_push_throughput(benchmark, one_day_series):
+    def run():
+        encoder = OnlineEncoder(alphabet_size=16, window_seconds=900.0,
+                                bootstrap_seconds=3600.0)
+        # Push a quarter of a day sample by sample (the sensor-side hot loop).
+        for timestamp, value in zip(one_day_series.timestamps[:21_600],
+                                    one_day_series.values[:21_600]):
+            encoder.push(float(timestamp), float(value))
+        return encoder
+
+    encoder = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert encoder.is_bootstrapped
+
+
+def test_sax_encode_one_day(benchmark, one_day_series):
+    encoder = SAXEncoder(alphabet_size=16, segments=96)
+    word = benchmark(lambda: encoder.transform(one_day_series))
+    assert len(word) == 96

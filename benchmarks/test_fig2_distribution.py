@@ -1,0 +1,39 @@
+"""Figure 2 — the power-level distribution is log-normal.
+
+Regenerates the histogram of raw readings (0–2400 W, 100 W bins) and checks
+the paper's observation that a log-normal model fits the readings better than
+a Gaussian one.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import power_distribution, render_table
+
+from .conftest import write_result
+
+
+def test_fig2_power_distribution(benchmark, bench_dataset, results_dir):
+    report = benchmark.pedantic(
+        power_distribution,
+        args=(bench_dataset,),
+        kwargs={"bin_width": 100.0, "max_power": 2400.0},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Shape checks mirroring the paper's Figure 2.
+    assert report.lognormal_fits_better, (
+        "the log-normal model must fit the readings better than a Gaussian"
+    )
+    counts = list(report.counts)
+    # Heavy-tailed: the bulk of readings sit in the low-power bins, with a
+    # long tail reaching the kW range.
+    assert counts.index(max(counts)) <= 5
+    assert sum(counts[10:]) > 0
+
+    text = render_table(report.rows(), float_digits=0)
+    text += (
+        f"\n\nlog-normal KS statistic: {report.lognormal_ks:.4f}"
+        f"\nnormal KS statistic:     {report.normal_ks:.4f}"
+    )
+    write_result(results_dir, "fig2_distribution", text)

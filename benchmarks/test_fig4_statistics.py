@@ -1,0 +1,35 @@
+"""Figure 4 — convergence of the accumulative statistics of house 1.
+
+Regenerates the accumulative mean / median / distinct-median over the first
+three days of house 1 and checks the paper's observation that the statistics
+"start to converge after day one" (i.e. well before the end of the two-day
+bootstrap window used everywhere else).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import render_table, statistics_convergence
+
+from .conftest import write_result
+
+
+def test_fig4_statistics_convergence(benchmark, bench_dataset, results_dir):
+    report = benchmark.pedantic(
+        statistics_convergence,
+        args=(bench_dataset,),
+        kwargs={"house_id": 1, "days": 3, "tolerance": 0.1},
+        rounds=1,
+        iterations=1,
+    )
+
+    # The paper's claim: statistics settle within the 3-day window, so a
+    # two-day bootstrap is enough to learn separators.
+    assert report.converges_within_days <= 3.0
+    assert all(value < float("inf") for value in report.convergence_seconds.values())
+
+    rows = report.rows()
+    text = render_table(rows, float_digits=1)
+    text += "\n\nconvergence time (hours):"
+    for name, seconds in report.convergence_seconds.items():
+        text += f"\n  {name}: {seconds / 3600.0:.1f}"
+    write_result(results_dir, "fig4_statistics", text)

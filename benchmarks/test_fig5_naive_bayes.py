@@ -1,0 +1,44 @@
+"""Figure 5 — Naive Bayes F-measure and processing time, symbolic vs raw.
+
+Runs the full paper grid (distinctmedian/median/uniform × {1 h, 15 m} ×
+{2, 4, 8, 16} symbols, plus the aggregated raw baselines) with per-house
+lookup tables under 10-fold cross-validation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentGrid, figure5_naive_bayes, render_table
+
+from .conftest import write_result
+
+
+def test_fig5_naive_bayes(benchmark, bench_dataset, results_dir):
+    report = benchmark.pedantic(
+        figure5_naive_bayes,
+        args=(bench_dataset,),
+        kwargs={"grid": ExperimentGrid.paper(), "n_folds": 10},
+        rounds=1,
+        iterations=1,
+    )
+
+    by_encoding = report.by_encoding()
+    assert set(by_encoding) == {"distinctmedian", "median", "uniform", "raw"}
+
+    # Shape check 1: symbolic classification is far above the 1/6 chance level.
+    best = report.best()
+    assert best.f_measure > 0.5
+
+    # Shape check 2: accuracy grows with the alphabet (coarsest vs finest,
+    # averaged over methods and aggregations).
+    symbolic = [r for r in report.results if r.config.encoding != "raw"]
+    small = [r.f_measure for r in symbolic if r.config.alphabet_size == 2]
+    large = [r.f_measure for r in symbolic if r.config.alphabet_size == 16]
+    assert sum(large) / len(large) >= sum(small) / len(small) - 0.02
+
+    # Shape check 3: the best symbolic configuration is competitive with
+    # (paper: better than) the raw Naive Bayes baseline.
+    raw_best = max(r.f_measure for r in by_encoding["raw"])
+    median_best = max(r.f_measure for r in by_encoding["median"])
+    assert median_best >= raw_best - 0.05
+
+    write_result(results_dir, "fig5_naive_bayes", render_table(report.rows()))

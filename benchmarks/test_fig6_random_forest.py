@@ -1,0 +1,45 @@
+"""Figure 6 — Random Forest F-measure and processing time, symbolic vs raw.
+
+Same grid as Figure 5 but with the Random Forest classifier, which is the
+strongest classifier on raw values in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentGrid, figure6_random_forest, render_table
+
+from .conftest import write_result
+
+
+def test_fig6_random_forest(benchmark, bench_dataset, results_dir):
+    report = benchmark.pedantic(
+        figure6_random_forest,
+        args=(bench_dataset,),
+        kwargs={"grid": ExperimentGrid.paper(), "n_folds": 10},
+        rounds=1,
+        iterations=1,
+    )
+
+    by_encoding = report.by_encoding()
+    assert set(by_encoding) == {"distinctmedian", "median", "uniform", "raw"}
+
+    # Random Forest is expected to be the strongest classifier on raw data
+    # (paper Section 3.1): its raw baseline must be clearly above chance.
+    raw_best = max(r.f_measure for r in by_encoding["raw"])
+    assert raw_best > 0.5
+
+    # Symbolic encodings remain well above chance with Random Forest too.
+    symbolic_best = max(
+        r.f_measure for r in report.results if r.config.encoding != "raw"
+    )
+    assert symbolic_best > 0.5
+
+    # Processing time: symbolic (nominal) data must not be slower than raw by
+    # a large factor (the paper observes raw is the slowest to process).
+    raw_time = max(r.processing_seconds for r in by_encoding["raw"])
+    symbolic_time = max(
+        r.processing_seconds for r in report.results if r.config.encoding != "raw"
+    )
+    assert symbolic_time < raw_time * 10.0
+
+    write_result(results_dir, "fig6_random_forest", render_table(report.rows()))

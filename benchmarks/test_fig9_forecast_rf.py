@@ -1,0 +1,36 @@
+"""Figure 9 — MAE of symbolic forecasting with Random Forest vs raw SVR.
+
+Identical protocol to Figure 8 with Random Forest as the symbolic
+classifier.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure9_random_forest, render_table
+
+from .conftest import write_result
+
+
+def test_fig9_symbolic_forecasting_random_forest(benchmark, forecast_dataset_fixture,
+                                                 results_dir):
+    report = benchmark.pedantic(
+        figure9_random_forest,
+        args=(forecast_dataset_fixture,),
+        kwargs={"house_ids": [1, 2, 3, 4, 6]},
+        rounds=1,
+        iterations=1,
+    )
+
+    houses = report.houses()
+    assert houses == [1, 2, 3, 4, 6]
+
+    for house_id in houses:
+        raw_mae = report.mae(house_id, "raw")
+        best_symbolic = min(
+            report.mae(house_id, method)
+            for method in ("distinctmedian", "median", "uniform")
+        )
+        # Comparable to the raw baseline for every house.
+        assert best_symbolic <= 3.0 * raw_mae
+
+    write_result(results_dir, "fig9_forecast_random_forest", render_table(report.rows()))

@@ -1,0 +1,49 @@
+"""Short-term residential load forecasting with symbols (Section 3.2).
+
+Run with ``python examples/load_forecasting.py``.
+
+For each house: one week of hourly history is used to train, the next day is
+forecast hour by hour.  Symbolic forecasters (median / distinctmedian /
+uniform, 16 symbols, 12 lag attributes, Naive Bayes) are compared against
+support-vector regression on the raw hourly values, exactly as in the paper's
+Figures 8 and 9.
+"""
+
+from __future__ import annotations
+
+from repro.analytics import forecast_dataset
+from repro.datasets import generate_redd
+from repro.experiments import render_table
+
+
+def main() -> None:
+    dataset = generate_redd(days=9, sampling_interval=60.0, seed=42, with_gaps=False)
+
+    for classifier in ("naive_bayes", "random_forest"):
+        print(f"=== next-day hourly forecast, symbolic classifier: {classifier} ===")
+        results = forecast_dataset(
+            dataset,
+            classifier=classifier,
+            methods=("raw", "distinctmedian", "median", "uniform"),
+            alphabet_size=16,
+            lags=12,
+            train_days=7,
+            test_days=1,
+            house_ids=[1, 2, 3, 4, 6],  # house 5 lacks data, as in the paper
+        )
+        rows = []
+        for house_id, by_method in sorted(results.items()):
+            row = {"house": f"house {house_id}"}
+            for method, forecast in by_method.items():
+                row[f"MAE {method} [W]"] = forecast.mae
+            best_symbolic = min(
+                forecast.mae for method, forecast in by_method.items() if method != "raw"
+            )
+            row["symbolic wins"] = "yes" if best_symbolic <= by_method["raw"].mae else "no"
+            rows.append(row)
+        print(render_table(rows, float_digits=1))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Why the paper does not z-normalise per house (Figure 3), vs SAX.
+
+Run with ``python examples/normalization_pitfall.py``.
+
+Figure 3 of the paper shows four consumers A–D: without normalisation A and B
+(the big consumers) resemble each other, but after per-house z-normalisation
+A collapses onto C and B onto D, so big and small consumers can no longer be
+told apart.  SAX normalises by design; the paper's lookup tables do not.
+This example builds the four consumers, encodes them with (a) SAX and (b) a
+shared median lookup table, and shows which pairs become indistinguishable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import SAXEncoder
+from repro.core import LookupTable
+
+
+def _consumer(base: float, peak: float, rng: np.random.Generator) -> np.ndarray:
+    """One day at hourly resolution: a flat base with an evening peak."""
+    values = np.full(24, base, dtype=float)
+    values[18:22] = peak
+    return values + rng.normal(0.0, base * 0.03, size=24)
+
+
+def _hamming(a, b) -> int:
+    return int(sum(1 for x, y in zip(a, b) if x != y))
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    consumers = {
+        "A (big, peaky)": _consumer(600.0, 2400.0, rng),
+        "B (big, flat)": _consumer(700.0, 900.0, rng),
+        "C (small, peaky)": _consumer(150.0, 600.0, rng),
+        "D (small, flat)": _consumer(175.0, 225.0, rng),
+    }
+
+    print("=== SAX (per-series z-normalisation, Gaussian breakpoints) ===")
+    sax = SAXEncoder(alphabet_size=4, segments=24, normalize=True)
+    sax_words = {name: sax.transform_values(v).letters for name, v in consumers.items()}
+    for name, word in sax_words.items():
+        print(f"  {name:18s} {word}")
+    print("  Hamming(A, C) =", _hamming(sax_words["A (big, peaky)"],
+                                         sax_words["C (small, peaky)"]),
+          " <- big and small consumer look identical")
+    print("  Hamming(A, B) =", _hamming(sax_words["A (big, peaky)"],
+                                         sax_words["B (big, flat)"]))
+
+    print("\n=== shared median lookup table (no normalisation, as in the paper) ===")
+    pooled = np.concatenate(list(consumers.values()))
+    table = LookupTable.fit(pooled, 4, method="median")
+    words = {
+        name: "".join(str(i) for i in table.indices_for_values(v))
+        for name, v in consumers.items()
+    }
+    for name, word in words.items():
+        print(f"  {name:18s} {word}")
+    print("  Hamming(A, C) =", _hamming(words["A (big, peaky)"],
+                                         words["C (small, peaky)"]),
+          " <- consumption level is preserved")
+    print("  Hamming(A, B) =", _hamming(words["A (big, peaky)"],
+                                         words["B (big, flat)"]))
+
+
+if __name__ == "__main__":
+    main()

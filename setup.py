@@ -1,0 +1,12 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``setup.cfg``.  A classic setup.py/setup.cfg
+layout (rather than PEP 517/pyproject packaging) is used so that
+``pip install -e .`` works on fully offline machines: the legacy editable
+install needs no build isolation and therefore no network access, which is
+the environment this reproduction targets.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro — reproduction of "Symbolic Representation of Smart Meter Data" (EDBT 2013).
+
+The package is organised as:
+
+``repro.core``
+    The paper's contribution: vertical/horizontal segmentation, lookup
+    tables, batch and online symbolic encoders, multi-resolution operations
+    and the compression model.
+
+``repro.baselines``
+    PAA, SAX and iSAX, the representations the paper positions itself against.
+
+``repro.datasets``
+    Synthetic substitutes for the REDD, Smart* and Irish CER datasets.
+
+``repro.ml``
+    From-scratch classifiers/regressors standing in for Weka (Naive Bayes,
+    decision tree, random forest, logistic regression, SVR) plus metrics and
+    cross-validation.
+
+``repro.analytics``
+    The paper's two applications: household classification (customer
+    segmentation) and symbolic load forecasting, plus privacy measures.
+
+``repro.experiments``
+    Reproduction harness for every table and figure of the evaluation.
+"""
+
+from . import analytics, baselines, core, datasets, experiments, ml
+from .core import (
+    BinaryAlphabet,
+    LookupTable,
+    OnlineEncoder,
+    Symbol,
+    SymbolicEncoder,
+    SymbolicSeries,
+    TimeSeries,
+)
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BinaryAlphabet",
+    "LookupTable",
+    "OnlineEncoder",
+    "ReproError",
+    "Symbol",
+    "SymbolicEncoder",
+    "SymbolicSeries",
+    "TimeSeries",
+    "__version__",
+    "analytics",
+    "baselines",
+    "core",
+    "datasets",
+    "experiments",
+    "ml",
+]

@@ -1,0 +1,57 @@
+"""Analytics applications built on the symbolic representation.
+
+* :mod:`repro.analytics.vectors` — day-vector construction (Section 3.1 setup).
+* :mod:`repro.analytics.classification` — household classification pipeline.
+* :mod:`repro.analytics.forecasting` — symbolic vs raw load forecasting.
+* :mod:`repro.analytics.privacy` — obfuscation and re-identification measures.
+* :mod:`repro.analytics.segmentation` — clustering households from symbols.
+"""
+
+from .classification import ClassificationResult, classifier_factory, classify_households
+from .forecasting import (
+    ForecastResult,
+    forecast_dataset,
+    forecast_house,
+    hourly_consumption,
+    raw_forecast,
+    symbolic_forecast,
+)
+from .privacy import (
+    ObfuscationReport,
+    bucket_sizes,
+    reidentification_risk,
+    value_obfuscation,
+)
+from .segmentation import (
+    KMeans,
+    SegmentationResult,
+    daily_profile_features,
+    segment_customers,
+    symbol_histogram_features,
+)
+from .vectors import DayVectorConfig, build_day_vectors, build_lookup_tables, day_slot_values
+
+__all__ = [
+    "ClassificationResult",
+    "DayVectorConfig",
+    "ForecastResult",
+    "KMeans",
+    "ObfuscationReport",
+    "SegmentationResult",
+    "bucket_sizes",
+    "build_day_vectors",
+    "build_lookup_tables",
+    "classifier_factory",
+    "classify_households",
+    "daily_profile_features",
+    "day_slot_values",
+    "forecast_dataset",
+    "forecast_house",
+    "hourly_consumption",
+    "raw_forecast",
+    "reidentification_risk",
+    "segment_customers",
+    "symbol_histogram_features",
+    "symbolic_forecast",
+    "value_obfuscation",
+]

@@ -1,0 +1,102 @@
+"""Household classification / customer segmentation pipeline (Section 3.1).
+
+Given a multi-house dataset, the pipeline builds day vectors (symbolic or
+raw), runs a chosen classifier under 10-fold cross-validation and reports the
+weighted F-measure plus processing time — exactly the quantities plotted in
+the paper's Figures 5–7 and tabulated in Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..datasets.base import MeterDataset
+from ..errors import ExperimentError
+from ..ml import CLASSIFIER_FACTORIES
+from ..ml.base import Classifier
+from ..ml.crossval import CrossValidationResult, cross_validate
+from ..ml.dataset import MLDataset
+from .vectors import DayVectorConfig, build_day_vectors
+
+__all__ = ["ClassificationResult", "classify_households", "classifier_factory"]
+
+
+@dataclass(frozen=True)
+class ClassificationResult:
+    """One cell of Table 1: a configuration, its F-measure and its timing."""
+
+    config: DayVectorConfig
+    classifier: str
+    f_measure: float
+    accuracy: float
+    processing_seconds: float
+    n_instances: int
+    n_folds: int
+
+    @property
+    def label(self) -> str:
+        """Readable row label, e.g. ``"median 1h 8s / naive_bayes"``."""
+        return f"{self.config.label()} / {self.classifier}"
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary (for result tables and CSV export)."""
+        return {
+            "encoding": self.config.encoding,
+            "global_table": self.config.global_table,
+            "aggregation_seconds": self.config.aggregation_seconds,
+            "alphabet_size": self.config.alphabet_size,
+            "classifier": self.classifier,
+            "f_measure": self.f_measure,
+            "accuracy": self.accuracy,
+            "processing_seconds": self.processing_seconds,
+            "n_instances": self.n_instances,
+        }
+
+
+def classifier_factory(name: str) -> Callable[[], Classifier]:
+    """Factory for one of the paper's classifiers by canonical name.
+
+    Accepted names: ``random_forest``, ``j48``, ``naive_bayes``, ``logistic``.
+    """
+    key = name.strip().lower()
+    try:
+        return CLASSIFIER_FACTORIES[key]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown classifier {name!r}; available: {sorted(CLASSIFIER_FACTORIES)}"
+        ) from None
+
+
+def classify_households(
+    dataset: MeterDataset,
+    config: DayVectorConfig,
+    classifier: str = "naive_bayes",
+    n_folds: int = 10,
+    seed: int = 0,
+    vectors: Optional[MLDataset] = None,
+) -> ClassificationResult:
+    """Run one classification experiment cell.
+
+    ``vectors`` can be passed to reuse pre-built day vectors (the experiment
+    grids build them once per configuration and evaluate several classifiers
+    on them, like the paper does).
+    """
+    table = vectors if vectors is not None else build_day_vectors(dataset, config)
+    folds = min(n_folds, len(table))
+    if folds < 2:
+        raise ExperimentError(
+            f"not enough day vectors ({len(table)}) for cross-validation"
+        )
+    result: CrossValidationResult = cross_validate(
+        classifier_factory(classifier), table, n_folds=folds, seed=seed
+    )
+    return ClassificationResult(
+        config=config,
+        classifier=classifier,
+        f_measure=result.f_measure,
+        accuracy=result.accuracy,
+        processing_seconds=result.total_seconds,
+        n_instances=len(table),
+        n_folds=result.n_folds,
+    )

@@ -1,0 +1,324 @@
+"""iSAX — indexable SAX (Shieh & Keogh, KDD 2008).
+
+iSAX represents each PAA frame as a *binary* SAX symbol whose cardinality
+(number of bits) can differ per frame, which is what makes the representation
+indexable: a coarse word covers many finer words, exactly like the paper's
+variable-length binary symbols.  This module implements:
+
+* :class:`ISAXWord` — per-frame ``(index, cardinality)`` pairs with promotion
+  and containment.
+* :class:`ISAXEncoder` — PAA + Gaussian-breakpoint quantisation at a given
+  base cardinality.
+* :func:`isax_mindist` — the lower-bounding distance between words of
+  possibly different cardinalities.
+* :class:`ISAXIndex` — a small iSAX tree index supporting insertion and
+  approximate nearest-neighbour search, enough to exercise the indexing
+  use-case the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import SegmentationError
+from ..core.alphabet import is_power_of_two
+from ..core.timeseries import TimeSeries
+from .paa import paa
+from .sax import gaussian_breakpoints, znormalize
+
+__all__ = ["ISAXSymbol", "ISAXWord", "ISAXEncoder", "isax_mindist", "ISAXIndex"]
+
+
+@dataclass(frozen=True)
+class ISAXSymbol:
+    """One frame's symbol: subrange ``index`` at ``cardinality`` levels."""
+
+    index: int
+    cardinality: int
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.cardinality) or self.cardinality < 2:
+            raise SegmentationError(
+                f"cardinality must be a power of two >= 2, got {self.cardinality}"
+            )
+        if not 0 <= self.index < self.cardinality:
+            raise SegmentationError(
+                f"index {self.index} out of range for cardinality {self.cardinality}"
+            )
+
+    @property
+    def bits(self) -> int:
+        """Number of bits of this symbol."""
+        return self.cardinality.bit_length() - 1
+
+    @property
+    def word(self) -> str:
+        """Binary string form (MSB first)."""
+        return format(self.index, f"0{self.bits}b")
+
+    def promote(self, cardinality: int) -> "ISAXSymbol":
+        """Express this symbol at a higher cardinality (low-edge refinement)."""
+        if cardinality < self.cardinality:
+            raise SegmentationError("promote() requires a larger cardinality")
+        shift = cardinality.bit_length() - self.cardinality.bit_length()
+        return ISAXSymbol(self.index << shift, cardinality)
+
+    def demote(self, cardinality: int) -> "ISAXSymbol":
+        """Express this symbol at a lower cardinality (truncate bits)."""
+        if cardinality > self.cardinality:
+            raise SegmentationError("demote() requires a smaller cardinality")
+        shift = self.cardinality.bit_length() - cardinality.bit_length()
+        return ISAXSymbol(self.index >> shift, cardinality)
+
+    def contains(self, other: "ISAXSymbol") -> bool:
+        """Whether this (coarser) symbol covers ``other``'s subrange."""
+        if other.cardinality < self.cardinality:
+            return False
+        return other.demote(self.cardinality).index == self.index
+
+
+@dataclass(frozen=True)
+class ISAXWord:
+    """A sequence of :class:`ISAXSymbol`, one per PAA frame."""
+
+    symbols: Tuple[ISAXSymbol, ...]
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    def __str__(self) -> str:
+        return " ".join(f"{s.word}({s.cardinality})" for s in self.symbols)
+
+    @property
+    def cardinalities(self) -> Tuple[int, ...]:
+        return tuple(s.cardinality for s in self.symbols)
+
+    def promote(self, cardinality: int) -> "ISAXWord":
+        """Promote every frame to ``cardinality``."""
+        return ISAXWord(tuple(s.promote(cardinality) for s in self.symbols))
+
+    def demote(self, cardinality: int) -> "ISAXWord":
+        """Demote every frame to ``cardinality``."""
+        return ISAXWord(tuple(s.demote(cardinality) for s in self.symbols))
+
+    def contains(self, other: "ISAXWord") -> bool:
+        """Whether this word's region covers ``other`` frame-by-frame."""
+        if len(self) != len(other):
+            return False
+        return all(a.contains(b) for a, b in zip(self.symbols, other.symbols))
+
+
+class ISAXEncoder:
+    """Encode series into iSAX words at a base cardinality.
+
+    Parameters
+    ----------
+    segments:
+        Number of PAA frames per word.
+    cardinality:
+        Base (maximum) cardinality of every frame; must be a power of two.
+    normalize:
+        Whether to z-normalise each series before encoding.
+    """
+
+    def __init__(
+        self, segments: int = 8, cardinality: int = 16, normalize: bool = True
+    ) -> None:
+        if segments < 1:
+            raise SegmentationError("segments must be >= 1")
+        if not is_power_of_two(cardinality) or cardinality < 2:
+            raise SegmentationError("cardinality must be a power of two >= 2")
+        self.segments = int(segments)
+        self.cardinality = int(cardinality)
+        self.normalize = bool(normalize)
+        self._breakpoints = np.asarray(gaussian_breakpoints(cardinality))
+
+    def transform_values(self, values: Union[Sequence[float], np.ndarray]) -> ISAXWord:
+        """Encode a plain array."""
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            raise SegmentationError("cannot iSAX-encode an empty series")
+        if self.normalize:
+            arr = znormalize(arr)
+        frames = paa(arr, self.segments)
+        indices = np.searchsorted(self._breakpoints, frames, side="left")
+        return ISAXWord(
+            tuple(ISAXSymbol(int(i), self.cardinality) for i in indices)
+        )
+
+    def transform(self, series: TimeSeries) -> ISAXWord:
+        """Encode a :class:`TimeSeries`."""
+        return self.transform_values(series.values)
+
+
+def isax_mindist(a: ISAXWord, b: ISAXWord, original_length: int) -> float:
+    """Lower-bounding distance between two iSAX words.
+
+    Frames are compared at the *lower* of their two cardinalities, using that
+    cardinality's Gaussian breakpoints, per the iSAX paper.
+    """
+    if len(a) != len(b):
+        raise SegmentationError("iSAX words must have equal length")
+    if len(a) == 0:
+        return 0.0
+    squared = 0.0
+    for sa, sb in zip(a.symbols, b.symbols):
+        cardinality = min(sa.cardinality, sb.cardinality)
+        ia = sa.demote(cardinality).index
+        ib = sb.demote(cardinality).index
+        if abs(ia - ib) <= 1:
+            continue
+        beta = gaussian_breakpoints(cardinality)
+        squared += (beta[max(ia, ib) - 1] - beta[min(ia, ib)]) ** 2
+    scale = np.sqrt(original_length / len(a))
+    return float(scale * np.sqrt(squared))
+
+
+class _Node:
+    """Internal iSAX tree node: either a leaf bucket or a split node."""
+
+    __slots__ = ("word", "children", "entries", "capacity")
+
+    def __init__(self, word: ISAXWord, capacity: int) -> None:
+        self.word = word
+        self.capacity = capacity
+        self.children: Dict[ISAXWord, "_Node"] = {}
+        self.entries: List[Tuple[ISAXWord, np.ndarray, object]] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class ISAXIndex:
+    """A minimal iSAX tree for approximate similarity search.
+
+    Series are inserted with a payload (e.g. a house/day identifier).  Leaves
+    split by promoting one frame's cardinality when they exceed
+    ``leaf_capacity``, like the original iSAX index.  ``approximate_search``
+    walks the tree to the most specific covering node and returns the best
+    entries by true Euclidean distance within that node.
+    """
+
+    def __init__(
+        self,
+        segments: int = 8,
+        base_cardinality: int = 2,
+        max_cardinality: int = 16,
+        leaf_capacity: int = 16,
+        normalize: bool = True,
+    ) -> None:
+        if base_cardinality > max_cardinality:
+            raise SegmentationError("base_cardinality cannot exceed max_cardinality")
+        self._encoder = ISAXEncoder(
+            segments=segments, cardinality=max_cardinality, normalize=normalize
+        )
+        self.segments = segments
+        self.base_cardinality = base_cardinality
+        self.max_cardinality = max_cardinality
+        self.leaf_capacity = leaf_capacity
+        self._roots: Dict[ISAXWord, _Node] = {}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, values: Union[Sequence[float], np.ndarray], payload: object = None) -> None:
+        """Insert a series with an arbitrary payload."""
+        arr = np.asarray(values, dtype=np.float64)
+        word = self._encoder.transform_values(arr)
+        root_key = word.demote(self.base_cardinality)
+        node = self._roots.get(root_key)
+        if node is None:
+            node = _Node(root_key, self.leaf_capacity)
+            self._roots[root_key] = node
+        self._insert_into(node, word, arr, payload)
+        self._size += 1
+
+    def _insert_into(self, node: _Node, word: ISAXWord, values: np.ndarray, payload) -> None:
+        while not node.is_leaf:
+            child_key = self._child_key(node, word)
+            child = node.children.get(child_key)
+            if child is None:
+                child = _Node(child_key, self.leaf_capacity)
+                node.children[child_key] = child
+            node = child
+        node.entries.append((word, values, payload))
+        if len(node.entries) > node.capacity:
+            self._split(node)
+
+    def _child_key(self, node: _Node, word: ISAXWord) -> ISAXWord:
+        # Children refine the node's word by doubling each frame's
+        # cardinality (capped at the maximum).
+        target = tuple(
+            min(s.cardinality * 2, self.max_cardinality) for s in node.word.symbols
+        )
+        return ISAXWord(
+            tuple(
+                frame.demote(card)
+                for frame, card in zip(word.symbols, target)
+            )
+        )
+
+    def _split(self, node: _Node) -> None:
+        if all(s.cardinality >= self.max_cardinality for s in node.word.symbols):
+            return  # cannot refine further; allow oversized leaf
+        entries = node.entries
+        node.entries = []
+        for word, values, payload in entries:
+            child_key = self._child_key(node, word)
+            child = node.children.get(child_key)
+            if child is None:
+                child = _Node(child_key, self.leaf_capacity)
+                node.children[child_key] = child
+            child.entries.append((word, values, payload))
+
+    def approximate_search(
+        self, values: Union[Sequence[float], np.ndarray], k: int = 1
+    ) -> List[Tuple[object, float]]:
+        """Return up to ``k`` ``(payload, euclidean_distance)`` results."""
+        arr = np.asarray(values, dtype=np.float64)
+        if self._size == 0:
+            return []
+        word = self._encoder.transform_values(arr)
+        root_key = word.demote(self.base_cardinality)
+        node = self._roots.get(root_key)
+        if node is None:
+            # Fall back to scanning every root's subtree head.
+            candidates = self._collect_all()
+        else:
+            while not node.is_leaf:
+                child_key = self._child_key(node, word)
+                child = node.children.get(child_key)
+                if child is None:
+                    break
+                node = child
+            candidates = self._collect(node)
+            if not candidates:
+                candidates = self._collect_all()
+        query = znormalize(arr) if self._encoder.normalize else arr
+        scored = []
+        for entry_values, payload in candidates:
+            reference = (
+                znormalize(entry_values) if self._encoder.normalize else entry_values
+            )
+            if reference.shape != query.shape:
+                continue
+            scored.append((payload, float(np.linalg.norm(reference - query))))
+        scored.sort(key=lambda item: item[1])
+        return scored[:k]
+
+    def _collect(self, node: _Node) -> List[Tuple[np.ndarray, object]]:
+        out = [(values, payload) for _, values, payload in node.entries]
+        for child in node.children.values():
+            out.extend(self._collect(child))
+        return out
+
+    def _collect_all(self) -> List[Tuple[np.ndarray, object]]:
+        out: List[Tuple[np.ndarray, object]] = []
+        for root in self._roots.values():
+            out.extend(self._collect(root))
+        return out

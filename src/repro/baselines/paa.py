@@ -1,0 +1,72 @@
+"""Piecewise Aggregate Approximation (PAA).
+
+PAA is the dimensionality-reduction step underlying SAX: a series of length
+``n`` is divided into ``segments`` equal-width frames and each frame is
+replaced by its mean.  It plays the same role as the paper's *vertical
+segmentation*, except that PAA is defined by the number of output frames
+rather than by a wall-clock window.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from ..errors import SegmentationError
+from ..core.timeseries import TimeSeries
+
+__all__ = ["paa", "paa_series"]
+
+
+def paa(values: Union[Sequence[float], np.ndarray], segments: int) -> np.ndarray:
+    """Reduce ``values`` to ``segments`` frame means.
+
+    When the length is not a multiple of ``segments``, fractional frame
+    boundaries are handled by weighting samples proportionally to their
+    overlap with each frame (the standard PAA formulation of Keogh et al.).
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise SegmentationError("PAA expects a one-dimensional array")
+    n = arr.shape[0]
+    if segments < 1:
+        raise SegmentationError("segments must be >= 1")
+    if n == 0:
+        raise SegmentationError("cannot apply PAA to an empty series")
+    if segments >= n:
+        return arr.copy()
+    if n % segments == 0:
+        return arr.reshape(segments, n // segments).mean(axis=1)
+
+    # General case: distribute each sample's weight across the frames it
+    # overlaps.  Each frame covers n/segments samples worth of "mass".
+    output = np.zeros(segments, dtype=np.float64)
+    frame_width = n / segments
+    for i in range(segments):
+        start = i * frame_width
+        end = (i + 1) * frame_width
+        first = int(np.floor(start))
+        last = int(np.ceil(end))
+        total = 0.0
+        weight_sum = 0.0
+        for j in range(first, min(last, n)):
+            overlap = min(end, j + 1) - max(start, j)
+            if overlap <= 0:
+                continue
+            total += arr[j] * overlap
+            weight_sum += overlap
+        output[i] = total / weight_sum if weight_sum else 0.0
+    return output
+
+
+def paa_series(series: TimeSeries, segments: int) -> TimeSeries:
+    """PAA over a :class:`TimeSeries`; frame timestamps are frame starts."""
+    reduced = paa(series.values, segments)
+    if len(series) == 0 or segments < 1:
+        return TimeSeries.empty(series.name)
+    duration = series.duration if series.duration > 0 else float(len(series))
+    start = float(series.timestamps[0])
+    step = duration / len(reduced) if len(reduced) else 0.0
+    timestamps = start + step * np.arange(len(reduced))
+    return TimeSeries(timestamps, reduced, name=series.name)

@@ -1,0 +1,86 @@
+"""Core symbolic-representation library (the paper's contribution).
+
+The public surface of this subpackage is:
+
+* :class:`TimeSeries` / :class:`TimePoint` — raw measurement container.
+* :class:`BinaryAlphabet` / :class:`Symbol` — variable-length binary symbols.
+* separator-learning strategies (``uniform``, ``median``, ``distinctmedian``).
+* :class:`LookupTable` — value ↔ symbol mapping.
+* vertical segmentation helpers and :class:`VerticalSegmenter`.
+* :class:`SymbolicSeries` and :func:`horizontal_segment`.
+* :class:`SymbolicEncoder` — the batch fit/encode/decode pipeline.
+* :class:`OnlineEncoder` — the sensor-side streaming pipeline.
+* multi-resolution helpers and the :class:`CompressionModel`.
+"""
+
+from .alphabet import BinaryAlphabet, Symbol, is_power_of_two
+from .compression import CompressionModel, CompressionReport
+from .encoder import SymbolicEncoder
+from .horizontal import SymbolicSeries, horizontal_segment
+from .lookup import LookupTable
+from .multiresolution import (
+    align_resolutions,
+    common_resolution,
+    demote_series,
+    series_distance,
+    symbol_distance,
+)
+from .separators import (
+    CustomSeparators,
+    DistinctMedianSeparators,
+    MedianSeparators,
+    SeparatorMethod,
+    UniformSeparators,
+    available_methods,
+    get_method,
+)
+from .stats import AccumulativeStatistics, accumulative_statistics, convergence_time
+from .streaming import EncodedWindow, OnlineEncoder, RunningStatistics, TableUpdate
+from .timeseries import SECONDS_PER_DAY, SECONDS_PER_HOUR, TimePoint, TimeSeries
+from .vertical import (
+    AGGREGATORS,
+    VerticalSegmenter,
+    get_aggregator,
+    segment_by_count,
+    segment_by_duration,
+)
+
+__all__ = [
+    "AGGREGATORS",
+    "AccumulativeStatistics",
+    "BinaryAlphabet",
+    "CompressionModel",
+    "CompressionReport",
+    "CustomSeparators",
+    "DistinctMedianSeparators",
+    "EncodedWindow",
+    "LookupTable",
+    "MedianSeparators",
+    "OnlineEncoder",
+    "RunningStatistics",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_HOUR",
+    "SeparatorMethod",
+    "Symbol",
+    "SymbolicEncoder",
+    "SymbolicSeries",
+    "TableUpdate",
+    "TimePoint",
+    "TimeSeries",
+    "UniformSeparators",
+    "VerticalSegmenter",
+    "accumulative_statistics",
+    "align_resolutions",
+    "available_methods",
+    "common_resolution",
+    "convergence_time",
+    "demote_series",
+    "get_aggregator",
+    "get_method",
+    "horizontal_segment",
+    "is_power_of_two",
+    "segment_by_count",
+    "segment_by_duration",
+    "series_distance",
+    "symbol_distance",
+]

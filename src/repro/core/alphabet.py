@@ -1,0 +1,252 @@
+"""Variable-length binary alphabets (paper Section 2, Figure 1).
+
+The paper encodes each symbol as a binary number whose length encodes the
+resolution: the full value range is recursively halved, so ``'0'`` denotes
+the lower half of the range, ``'01'`` the upper half of that lower half, and
+so on.  Symbols of different lengths are therefore only *partially* ordered:
+``'0'`` "equals" (is a prefix of / contains) ``'01'``, ``'00'``, ``'010'``...
+
+:class:`BinaryAlphabet` materialises the set of ``k = 2**depth`` symbols at a
+fixed depth plus the containment relation between symbols of different
+depths, which is what makes resolution changes (Section 4) possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from ..errors import AlphabetError
+
+__all__ = [
+    "Symbol",
+    "BinaryAlphabet",
+    "is_power_of_two",
+    "symbol_for_index",
+    "index_for_symbol",
+]
+
+
+def is_power_of_two(n: int) -> bool:
+    """Whether ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def symbol_for_index(index: int, depth: int) -> str:
+    """Binary word of length ``depth`` for subrange ``index`` (0 is lowest)."""
+    if depth <= 0:
+        raise AlphabetError("depth must be positive")
+    if not 0 <= index < (1 << depth):
+        raise AlphabetError(f"index {index} out of range for depth {depth}")
+    return format(index, f"0{depth}b")
+
+
+def index_for_symbol(symbol: str) -> int:
+    """Inverse of :func:`symbol_for_index` (depth is ``len(symbol)``)."""
+    if not symbol or any(ch not in "01" for ch in symbol):
+        raise AlphabetError(f"not a binary symbol: {symbol!r}")
+    return int(symbol, 2)
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A single variable-length binary symbol.
+
+    ``word`` is the binary string (e.g. ``'101'``); :attr:`depth` is its
+    length and :attr:`index` its integer value.  Symbols compare equal only
+    when both word and depth match; use :meth:`contains` / :meth:`is_prefix_of`
+    for the partial order described in the paper.
+    """
+
+    word: str
+
+    def __post_init__(self) -> None:
+        if not self.word or any(ch not in "01" for ch in self.word):
+            raise AlphabetError(f"not a binary symbol: {self.word!r}")
+
+    @property
+    def depth(self) -> int:
+        """Resolution (number of bits)."""
+        return len(self.word)
+
+    @property
+    def index(self) -> int:
+        """Position of the symbol's subrange at its own depth (0 = lowest)."""
+        return int(self.word, 2)
+
+    @property
+    def cardinality(self) -> int:
+        """Number of symbols at this symbol's depth (``2**depth``)."""
+        return 1 << self.depth
+
+    def contains(self, other: "Symbol") -> bool:
+        """Whether ``other`` is a refinement of this symbol.
+
+        ``Symbol('0').contains(Symbol('01'))`` is true: the coarse lower-half
+        symbol covers the finer symbol's subrange.
+        """
+        return other.word.startswith(self.word)
+
+    def is_prefix_of(self, other: "Symbol") -> bool:
+        """Alias of :meth:`contains`, matching the paper's prefix wording."""
+        return self.contains(other)
+
+    def comparable(self, other: "Symbol") -> bool:
+        """Whether the two symbols are related in the partial order."""
+        return self.contains(other) or other.contains(self)
+
+    def promote(self, depth: int, low: bool = True) -> "Symbol":
+        """Return this symbol refined to a greater ``depth``.
+
+        Extra bits are filled with ``0`` (``low=True``, lower edge of the
+        subrange) or ``1`` (upper edge).  Promoting to the current depth is a
+        no-op.
+        """
+        if depth < self.depth:
+            raise AlphabetError(
+                f"cannot promote {self.word!r} to smaller depth {depth}"
+            )
+        filler = "0" if low else "1"
+        return Symbol(self.word + filler * (depth - self.depth))
+
+    def demote(self, depth: int) -> "Symbol":
+        """Return this symbol truncated to a smaller ``depth`` (coarser)."""
+        if depth > self.depth:
+            raise AlphabetError(
+                f"cannot demote {self.word!r} to larger depth {depth}"
+            )
+        if depth <= 0:
+            raise AlphabetError("depth must be positive")
+        return Symbol(self.word[:depth])
+
+    def __str__(self) -> str:
+        return self.word
+
+
+class BinaryAlphabet:
+    """The complete alphabet of ``2**depth`` binary symbols at a fixed depth.
+
+    Parameters
+    ----------
+    size:
+        Number of symbols; must be a power of two (the paper uses 2–16).
+    """
+
+    __slots__ = ("_depth", "_symbols")
+
+    def __init__(self, size: int) -> None:
+        if not is_power_of_two(size) or size < 2:
+            raise AlphabetError(
+                f"alphabet size must be a power of two >= 2, got {size}"
+            )
+        self._depth = size.bit_length() - 1
+        self._symbols: Tuple[Symbol, ...] = tuple(
+            Symbol(symbol_for_index(i, self._depth)) for i in range(size)
+        )
+
+    @classmethod
+    def from_depth(cls, depth: int) -> "BinaryAlphabet":
+        """Alphabet with ``2**depth`` symbols."""
+        if depth < 1:
+            raise AlphabetError("depth must be >= 1")
+        return cls(1 << depth)
+
+    # -- protocol -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __iter__(self) -> Iterator[Symbol]:
+        return iter(self._symbols)
+
+    def __getitem__(self, index: int) -> Symbol:
+        return self._symbols[index]
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Symbol):
+            return item.depth == self._depth
+        if isinstance(item, str):
+            return len(item) == self._depth and all(ch in "01" for ch in item)
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BinaryAlphabet):
+            return NotImplemented
+        return self._depth == other._depth
+
+    def __repr__(self) -> str:
+        return f"BinaryAlphabet(size={len(self)})"
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of symbols."""
+        return len(self._symbols)
+
+    @property
+    def depth(self) -> int:
+        """Word length of every symbol (``log2(size)``)."""
+        return self._depth
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """Storage cost of one symbol in bits (equal to :attr:`depth`)."""
+        return self._depth
+
+    @property
+    def symbols(self) -> Tuple[Symbol, ...]:
+        """All symbols ordered by the subrange they denote (lowest first)."""
+        return self._symbols
+
+    @property
+    def words(self) -> List[str]:
+        """All symbols as plain binary strings."""
+        return [s.word for s in self._symbols]
+
+    def symbol(self, index: int) -> Symbol:
+        """Symbol for subrange ``index`` (0 = lowest range)."""
+        if not 0 <= index < len(self._symbols):
+            raise AlphabetError(
+                f"index {index} out of range for alphabet of size {len(self)}"
+            )
+        return self._symbols[index]
+
+    def index(self, symbol: Symbol) -> int:
+        """Subrange index of ``symbol`` (which must belong to this alphabet)."""
+        if symbol not in self:
+            raise AlphabetError(
+                f"symbol {symbol.word!r} does not belong to {self!r}"
+            )
+        return symbol.index
+
+    # -- resolution changes ---------------------------------------------------
+
+    def coarser(self, size: int) -> "BinaryAlphabet":
+        """Return the alphabet with fewer symbols (``size`` must divide ours)."""
+        other = BinaryAlphabet(size)
+        if other.depth > self._depth:
+            raise AlphabetError("coarser() requires a smaller alphabet size")
+        return other
+
+    def finer(self, size: int) -> "BinaryAlphabet":
+        """Return the alphabet with more symbols."""
+        other = BinaryAlphabet(size)
+        if other.depth < self._depth:
+            raise AlphabetError("finer() requires a larger alphabet size")
+        return other
+
+    def convert(self, symbol: Symbol, target: "BinaryAlphabet") -> Symbol:
+        """Re-express ``symbol`` in ``target``'s resolution.
+
+        Demoting (coarser target) always succeeds and is lossless with
+        respect to the coarse semantics; promoting fills low-order bits with
+        zeros, i.e. the lower edge of the original subrange.
+        """
+        if symbol not in self:
+            raise AlphabetError(
+                f"symbol {symbol.word!r} does not belong to {self!r}"
+            )
+        if target.depth <= self._depth:
+            return symbol.demote(target.depth)
+        return symbol.promote(target.depth)

@@ -1,0 +1,216 @@
+"""Horizontal segmentation: value quantisation into symbols (Definition 3).
+
+Horizontal segmentation turns a real-valued time series into a *symbolic*
+time series using a :class:`~repro.core.lookup.LookupTable`.  The result is a
+:class:`SymbolicSeries`, which keeps the timestamps so that the symbolic data
+can still be sliced into days, fed to classifiers, or decoded back into an
+(approximate) real-valued series.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import SegmentationError
+from .alphabet import BinaryAlphabet, Symbol
+from .lookup import LookupTable
+from .timeseries import TimeSeries, SECONDS_PER_DAY
+
+__all__ = ["SymbolicSeries", "horizontal_segment"]
+
+
+class SymbolicSeries:
+    """A time-ordered sequence of ``(timestamp, Symbol)`` pairs.
+
+    Instances are produced by :func:`horizontal_segment` or by
+    :class:`repro.core.encoder.SymbolicEncoder`; they remember the lookup
+    table that produced them so they can decode themselves.
+    """
+
+    __slots__ = ("_timestamps", "_symbols", "_table", "name")
+
+    def __init__(
+        self,
+        timestamps: Sequence[float],
+        symbols: Sequence[Symbol],
+        table: LookupTable,
+        name: str = "",
+    ) -> None:
+        ts = np.asarray(timestamps, dtype=np.float64)
+        if ts.shape[0] != len(symbols):
+            raise SegmentationError(
+                f"length mismatch: {ts.shape[0]} timestamps vs {len(symbols)} symbols"
+            )
+        if ts.shape[0] > 1 and np.any(np.diff(ts) < 0):
+            raise SegmentationError("timestamps must be non-decreasing")
+        depth = table.alphabet.depth
+        for sym in symbols:
+            if sym.depth != depth:
+                raise SegmentationError(
+                    f"symbol {sym.word!r} has depth {sym.depth}, expected {depth}"
+                )
+        ts.setflags(write=False)
+        self._timestamps = ts
+        self._symbols: Tuple[Symbol, ...] = tuple(symbols)
+        self._table = table
+        self.name = name
+
+    # -- protocol -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __iter__(self) -> Iterator[Tuple[float, Symbol]]:
+        return iter(zip(self._timestamps, self._symbols))
+
+    def __getitem__(self, index: Union[int, slice]):
+        if isinstance(index, slice):
+            return SymbolicSeries(
+                self._timestamps[index],
+                self._symbols[index],
+                self._table,
+                name=self.name,
+            )
+        return (float(self._timestamps[index]), self._symbols[index])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SymbolicSeries):
+            return NotImplemented
+        return (
+            np.array_equal(self._timestamps, other._timestamps)
+            and self._symbols == other._symbols
+        )
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        return f"SymbolicSeries(len={len(self)}, k={self._table.size}{label})"
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Read-only timestamps (seconds)."""
+        return self._timestamps
+
+    @property
+    def symbols(self) -> Tuple[Symbol, ...]:
+        """The symbols in time order."""
+        return self._symbols
+
+    @property
+    def words(self) -> List[str]:
+        """The symbols as binary strings, e.g. ``['010', '110', ...]``."""
+        return [s.word for s in self._symbols]
+
+    @property
+    def indices(self) -> np.ndarray:
+        """The symbols as integer subrange indices (useful for ML features)."""
+        return np.asarray([s.index for s in self._symbols], dtype=np.int64)
+
+    @property
+    def table(self) -> LookupTable:
+        """The lookup table used to produce this series."""
+        return self._table
+
+    @property
+    def alphabet(self) -> BinaryAlphabet:
+        """Shortcut for ``table.alphabet``."""
+        return self._table.alphabet
+
+    def to_string(self, separator: str = " ") -> str:
+        """Join the binary words into one string (storage / hashing form)."""
+        return separator.join(self.words)
+
+    def size_in_bits(self) -> int:
+        """Storage footprint: ``len(self) * bits_per_symbol``."""
+        return len(self) * self.alphabet.bits_per_symbol
+
+    # -- decoding --------------------------------------------------------------
+
+    def decode(self) -> TimeSeries:
+        """Reconstruct an approximate real-valued series (symbol -> value)."""
+        values = self._table.values_for_symbols(self._symbols)
+        return TimeSeries(self._timestamps, values, name=self.name)
+
+    # -- resolution changes -------------------------------------------------------
+
+    def demote(self, alphabet_size: int) -> "SymbolicSeries":
+        """Re-express with a coarser alphabet (Section 4 flexibility).
+
+        Because separators of the coarser table are a subset only in the
+        uniform recursive construction, demotion here is purely symbolic:
+        each word is truncated, and the coarser table keeps every other
+        separator of the current one.  This mirrors the paper's claim that
+        "higher resolution symbols can easily be converted to lower
+        resolution".
+        """
+        target = BinaryAlphabet(alphabet_size)
+        if target.depth > self.alphabet.depth:
+            raise SegmentationError("demote() requires a smaller alphabet size")
+        step = 2 ** (self.alphabet.depth - target.depth)
+        new_separators = self._table.separators[step - 1::step]
+        new_table = LookupTable(target, new_separators)
+        new_symbols = [s.demote(target.depth) for s in self._symbols]
+        return SymbolicSeries(self._timestamps, new_symbols, new_table, name=self.name)
+
+    # -- slicing helpers ------------------------------------------------------------
+
+    def between(self, start: float, end: float) -> "SymbolicSeries":
+        """Sub-series with ``start <= timestamp < end``."""
+        mask = (self._timestamps >= start) & (self._timestamps < end)
+        symbols = [s for s, keep in zip(self._symbols, mask) if keep]
+        return SymbolicSeries(
+            self._timestamps[mask], symbols, self._table, name=self.name
+        )
+
+    def split_days(self, day_length: float = SECONDS_PER_DAY) -> List["SymbolicSeries"]:
+        """Split into day-long chunks aligned to the first timestamp."""
+        if len(self) == 0:
+            return []
+        origin = float(self._timestamps[0])
+        day_index = np.floor((self._timestamps - origin) / day_length).astype(int)
+        out: List[SymbolicSeries] = []
+        for day in range(int(day_index[-1]) + 1):
+            mask = day_index == day
+            if not np.any(mask):
+                continue
+            symbols = [s for s, keep in zip(self._symbols, mask) if keep]
+            out.append(
+                SymbolicSeries(
+                    self._timestamps[mask], symbols, self._table, name=self.name
+                )
+            )
+        return out
+
+    # -- statistics ------------------------------------------------------------------
+
+    def symbol_counts(self) -> dict:
+        """Histogram ``{word: count}`` over the alphabet (zero-filled)."""
+        counts = {word: 0 for word in self.alphabet.words}
+        for sym in self._symbols:
+            counts[sym.word] += 1
+        return counts
+
+    def entropy(self) -> float:
+        """Shannon entropy (bits) of the empirical symbol distribution.
+
+        The paper argues the median method maximises this entropy; the
+        ablation benchmarks verify it.
+        """
+        if len(self) == 0:
+            return 0.0
+        counts = np.asarray(list(self.symbol_counts().values()), dtype=np.float64)
+        probs = counts[counts > 0] / counts.sum()
+        return float(-(probs * np.log2(probs)).sum())
+
+
+def horizontal_segment(
+    series: TimeSeries, table: LookupTable, name: str = ""
+) -> SymbolicSeries:
+    """Apply Definition 3: map every value of ``series`` to its symbol."""
+    symbols = table.symbols_for_values(series.values)
+    return SymbolicSeries(
+        series.timestamps, symbols, table, name=name or series.name
+    )

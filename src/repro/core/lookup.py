@@ -1,0 +1,274 @@
+"""Lookup tables mapping real values to symbols and back (Definition 3).
+
+A :class:`LookupTable` is the pair ``L = (A, B)`` from the paper: an alphabet
+``A`` of ``k`` symbols and ``k - 1`` separators ``B``.  It additionally keeps
+the *reconstruction value* of each symbol, i.e. the representative real value
+sent to the aggregation server so that analytics needing real numbers (such
+as forecasting, Section 3.2) can decode symbols.  Two reconstruction
+semantics are supported:
+
+``"center"``
+    The midpoint of the symbol's range (the paper's forecasting experiment).
+
+``"mean"``
+    The mean of the bootstrap values that fell into the range (the paper's
+    Section 2 description of the lookup table sent to the server).
+
+Tables serialise to/from plain dictionaries so they can be shipped from the
+sensor to the server (and periodically re-shipped when rebuilt).
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import LookupTableError
+from .alphabet import BinaryAlphabet, Symbol
+from .separators import SeparatorMethod, get_method
+from .timeseries import TimeSeries
+
+__all__ = ["LookupTable"]
+
+_RECONSTRUCTION_MODES = ("center", "mean")
+
+
+class LookupTable:
+    """Maps measurement values to symbols of a :class:`BinaryAlphabet`.
+
+    Parameters
+    ----------
+    alphabet:
+        The symbol alphabet ``A``.
+    separators:
+        The ``k - 1`` non-decreasing boundaries ``B``.
+    reconstruction_values:
+        Optional representative value per symbol (length ``k``).  When not
+        given, range centres are derived from the separators (the lowest
+        range uses ``separator/2`` as its centre against an implicit lower
+        bound of 0 W, and the highest range reuses the width of the previous
+        one, mirroring the recursive construction of Figure 1).
+    """
+
+    def __init__(
+        self,
+        alphabet: BinaryAlphabet,
+        separators: Sequence[float],
+        reconstruction_values: Optional[Sequence[float]] = None,
+    ) -> None:
+        seps = [float(s) for s in separators]
+        if len(seps) != len(alphabet) - 1:
+            raise LookupTableError(
+                f"expected {len(alphabet) - 1} separators for alphabet of size "
+                f"{len(alphabet)}, got {len(seps)}"
+            )
+        if any(b < a for a, b in zip(seps, seps[1:])):
+            raise LookupTableError("separators must be non-decreasing")
+        self._alphabet = alphabet
+        self._separators = seps
+        if reconstruction_values is None:
+            recon = self._default_reconstruction(seps)
+        else:
+            recon = [float(v) for v in reconstruction_values]
+            if len(recon) != len(alphabet):
+                raise LookupTableError(
+                    f"expected {len(alphabet)} reconstruction values, got {len(recon)}"
+                )
+        self._reconstruction = recon
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        data: Union[TimeSeries, Sequence[float], np.ndarray],
+        alphabet_size: int,
+        method: Union[str, SeparatorMethod] = "median",
+        reconstruction: str = "center",
+    ) -> "LookupTable":
+        """Learn a lookup table from historical data.
+
+        ``data`` is the bootstrap window (e.g. the first two days of
+        measurements in the paper); ``method`` is one of ``uniform``,
+        ``median``, ``distinctmedian`` or a :class:`SeparatorMethod` instance.
+        """
+        if reconstruction not in _RECONSTRUCTION_MODES:
+            raise LookupTableError(
+                f"reconstruction must be one of {_RECONSTRUCTION_MODES}, "
+                f"got {reconstruction!r}"
+            )
+        strategy = method if isinstance(method, SeparatorMethod) else get_method(method)
+        alphabet = BinaryAlphabet(alphabet_size)
+        separators = strategy.separators(data, alphabet_size)
+        table = cls(alphabet, separators)
+        if reconstruction == "mean":
+            table = table.with_mean_reconstruction(data)
+        return table
+
+    def with_mean_reconstruction(
+        self, data: Union[TimeSeries, Sequence[float], np.ndarray]
+    ) -> "LookupTable":
+        """Return a copy whose reconstruction values are per-range means.
+
+        Ranges that received no bootstrap value keep their range centre.
+        """
+        values = data.values if isinstance(data, TimeSeries) else np.asarray(data, float)
+        values = values[~np.isnan(values)]
+        recon = list(self._reconstruction)
+        indices = self.indices_for_values(values)
+        for sym_index in range(len(self._alphabet)):
+            bucket = values[indices == sym_index]
+            if bucket.size:
+                recon[sym_index] = float(bucket.mean())
+        return LookupTable(self._alphabet, self._separators, recon)
+
+    def _default_reconstruction(self, seps: List[float]) -> List[float]:
+        k = len(self._alphabet)
+        if k == 1:  # pragma: no cover - alphabet enforces k >= 2
+            return [0.0]
+        lows = [0.0] + seps
+        # Width of the last (open-ended) range mirrors the previous range.
+        # When that width degenerates to zero (e.g. all separators equal), a
+        # positive fallback keeps the top symbol's representative value
+        # strictly above the last separator so decode/encode stays idempotent.
+        last_width = seps[-1] - (seps[-2] if len(seps) >= 2 else 0.0)
+        if last_width <= 0.0:
+            last_width = max(1.0, abs(seps[-1]))
+        highs = seps + [seps[-1] + last_width]
+        return [(lo + hi) / 2.0 for lo, hi in zip(lows, highs)]
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def alphabet(self) -> BinaryAlphabet:
+        """The alphabet ``A``."""
+        return self._alphabet
+
+    @property
+    def separators(self) -> List[float]:
+        """The separators ``B`` (length ``k - 1``)."""
+        return list(self._separators)
+
+    @property
+    def reconstruction_values(self) -> List[float]:
+        """Representative real value of every symbol (length ``k``)."""
+        return list(self._reconstruction)
+
+    @property
+    def size(self) -> int:
+        """Alphabet size ``k``."""
+        return len(self._alphabet)
+
+    def range_of(self, symbol: Symbol) -> tuple:
+        """``(low, high)`` bounds of ``symbol``'s subrange.
+
+        The lowest range has ``-inf`` as its low bound and the highest range
+        ``+inf`` as its high bound, matching cases (i) and (ii) of
+        Definition 3.
+        """
+        index = self._alphabet.index(symbol)
+        low = -np.inf if index == 0 else self._separators[index - 1]
+        high = np.inf if index == len(self._alphabet) - 1 else self._separators[index]
+        return (float(low), float(high))
+
+    # -- encoding ---------------------------------------------------------------
+
+    def index_for_value(self, value: float) -> int:
+        """Subrange index for a single measurement (Definition 3 cases i-iii)."""
+        if np.isnan(value):
+            raise LookupTableError("cannot encode NaN; drop missing values first")
+        # bisect_left gives the number of separators strictly below `value`,
+        # which matches "beta_{j-1} < v <= beta_j  =>  a_j".
+        return bisect.bisect_left(self._separators, value)
+
+    def symbol_for_value(self, value: float) -> Symbol:
+        """Symbol for a single measurement."""
+        return self._alphabet.symbol(self.index_for_value(value))
+
+    def indices_for_values(self, values: Union[Sequence[float], np.ndarray]) -> np.ndarray:
+        """Vectorised :meth:`index_for_value` over an array."""
+        arr = np.asarray(values, dtype=np.float64)
+        if np.any(np.isnan(arr)):
+            raise LookupTableError("cannot encode NaN; drop missing values first")
+        return np.searchsorted(np.asarray(self._separators), arr, side="left")
+
+    def symbols_for_values(
+        self, values: Union[Sequence[float], np.ndarray]
+    ) -> List[Symbol]:
+        """Vectorised :meth:`symbol_for_value`."""
+        return [self._alphabet.symbol(int(i)) for i in self.indices_for_values(values)]
+
+    # -- decoding ----------------------------------------------------------------
+
+    def value_for_symbol(self, symbol: Symbol) -> float:
+        """Representative real value for ``symbol``.
+
+        Symbols coarser or finer than this table's alphabet are first
+        converted (coarse symbols decode to the value of their lower-edge
+        refinement).
+        """
+        if symbol.depth != self._alphabet.depth:
+            symbol = symbol.promote(self._alphabet.depth) if (
+                symbol.depth < self._alphabet.depth
+            ) else symbol.demote(self._alphabet.depth)
+        return self._reconstruction[self._alphabet.index(symbol)]
+
+    def values_for_symbols(self, symbols: Iterable[Symbol]) -> np.ndarray:
+        """Vectorised :meth:`value_for_symbol`."""
+        return np.asarray([self.value_for_symbol(s) for s in symbols], dtype=np.float64)
+
+    # -- serialisation -------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form suitable for shipping sensor -> server."""
+        return {
+            "alphabet_size": len(self._alphabet),
+            "separators": list(self._separators),
+            "reconstruction_values": list(self._reconstruction),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "LookupTable":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                BinaryAlphabet(int(payload["alphabet_size"])),
+                payload["separators"],
+                payload.get("reconstruction_values"),
+            )
+        except KeyError as exc:
+            raise LookupTableError(f"missing lookup-table field: {exc}") from None
+
+    def to_json(self) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, payload: str) -> "LookupTable":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(payload))
+
+    def size_in_bits(self, value_bits: int = 64) -> int:
+        """Transmission cost of the table (Section 2.3 amortised overhead)."""
+        n_values = len(self._separators) + len(self._reconstruction)
+        return n_values * value_bits + 32  # 32 bits for the alphabet size header
+
+    # -- comparisons ----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LookupTable):
+            return NotImplemented
+        return (
+            self._alphabet == other._alphabet
+            and self._separators == other._separators
+            and self._reconstruction == other._reconstruction
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LookupTable(size={self.size}, "
+            f"separators={[round(s, 2) for s in self._separators]})"
+        )

@@ -1,0 +1,85 @@
+"""Multi-resolution operations on symbolic series (paper Section 4).
+
+The discussion section argues that the recursive binary construction makes
+the representation *flexible*: symbols encoded at a high resolution can be
+converted to a lower one (truncate the word), and symbols of different
+resolutions remain comparable through the prefix/containment relation.  This
+module provides those operations plus a distance function that works across
+resolutions, so machine-learning algorithms can mix series encoded with
+different alphabet sizes (or whose resolution changed over time).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SegmentationError
+from .alphabet import BinaryAlphabet, Symbol
+from .horizontal import SymbolicSeries
+
+__all__ = [
+    "demote_series",
+    "common_resolution",
+    "align_resolutions",
+    "symbol_distance",
+    "series_distance",
+    "compatible",
+]
+
+
+def demote_series(series: SymbolicSeries, alphabet_size: int) -> SymbolicSeries:
+    """Convert ``series`` to a coarser alphabet (word truncation)."""
+    return series.demote(alphabet_size)
+
+
+def common_resolution(*series: SymbolicSeries) -> int:
+    """Largest alphabet size shared by all series (the coarsest one)."""
+    if not series:
+        raise SegmentationError("at least one series is required")
+    return min(s.alphabet.size for s in series)
+
+
+def align_resolutions(*series: SymbolicSeries) -> List[SymbolicSeries]:
+    """Demote every series to the coarsest resolution among them.
+
+    This is the paper's recipe for running one algorithm over data encoded
+    with heterogeneous resolutions: truncating words never invents
+    information, so the coarsest common alphabet is the safe meeting point.
+    """
+    target = common_resolution(*series)
+    return [s if s.alphabet.size == target else s.demote(target) for s in series]
+
+
+def compatible(a: Symbol, b: Symbol) -> bool:
+    """Whether two symbols (possibly of different depth) denote overlapping ranges."""
+    return a.comparable(b)
+
+
+def symbol_distance(a: Symbol, b: Symbol) -> float:
+    """Distance between two symbols, possibly of different resolutions.
+
+    The symbols are compared at their *coarsest common depth*; the distance
+    is the absolute difference of subrange indices at that depth, normalised
+    by the number of subranges minus one, giving a value in ``[0, 1]``.
+    Comparable symbols (one a prefix of the other) have distance 0.
+    """
+    depth = min(a.depth, b.depth)
+    ai = a.demote(depth).index
+    bi = b.demote(depth).index
+    denominator = max((1 << depth) - 1, 1)
+    return abs(ai - bi) / denominator
+
+
+def series_distance(a: SymbolicSeries, b: SymbolicSeries) -> float:
+    """Mean symbol distance between two equally-long symbolic series."""
+    if len(a) != len(b):
+        raise SegmentationError(
+            f"series must have equal length, got {len(a)} and {len(b)}"
+        )
+    if len(a) == 0:
+        return 0.0
+    return float(
+        np.mean([symbol_distance(x, y) for x, y in zip(a.symbols, b.symbols)])
+    )

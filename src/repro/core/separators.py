@@ -1,0 +1,178 @@
+"""Separator learning for horizontal segmentation (paper Section 2.2).
+
+A lookup table needs ``k - 1`` separators ``beta_1 < ... < beta_{k-1}`` that
+partition the real line into ``k`` subranges, one per symbol.  The paper
+proposes three strategies to learn them from (historical) data:
+
+``uniform``
+    Divide ``[0, max]`` into ``k`` equally wide subranges.
+
+``median``
+    Use the ``k``-quantiles of the raw values so that every symbol represents
+    the same *number of measurements* (maximum-entropy symbols).  This is the
+    generalisation of the SAX breakpoints to non-Gaussian data.
+
+``median of distinct values`` (*distinctmedian*)
+    Use the ``k``-quantiles of the *set* of distinct values, which removes the
+    bias introduced when one value (e.g. the standby level) dominates.
+
+Each strategy is a :class:`SeparatorMethod`; :func:`get_method` resolves the
+string names used throughout the paper and in experiment configurations.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, List, Sequence, Type
+
+import numpy as np
+
+from ..errors import SegmentationError
+from .timeseries import TimeSeries
+
+__all__ = [
+    "SeparatorMethod",
+    "UniformSeparators",
+    "MedianSeparators",
+    "DistinctMedianSeparators",
+    "CustomSeparators",
+    "get_method",
+    "available_methods",
+]
+
+
+def _as_values(data) -> np.ndarray:
+    """Accept a TimeSeries, array or sequence and return a float array."""
+    if isinstance(data, TimeSeries):
+        values = data.values
+    else:
+        values = np.asarray(data, dtype=np.float64)
+    values = values[~np.isnan(values)]
+    if values.size == 0:
+        raise SegmentationError("cannot learn separators from an empty series")
+    return values
+
+
+class SeparatorMethod(abc.ABC):
+    """Strategy interface: turn historical values into ``k - 1`` separators."""
+
+    #: canonical name used in experiment configs and result tables
+    name: str = ""
+
+    @abc.abstractmethod
+    def separators(self, data, k: int) -> List[float]:
+        """Return the ``k - 1`` non-decreasing separators for alphabet size ``k``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+    @staticmethod
+    def _check_k(k: int) -> None:
+        if k < 2:
+            raise SegmentationError(f"alphabet size must be >= 2, got {k}")
+
+
+class UniformSeparators(SeparatorMethod):
+    """Equal-width subranges over ``[0, max]`` (paper method (a))."""
+
+    name = "uniform"
+
+    def separators(self, data, k: int) -> List[float]:
+        self._check_k(k)
+        values = _as_values(data)
+        maximum = float(values.max())
+        if maximum <= 0:
+            # A flat all-zero bootstrap window: degenerate but legal; every
+            # separator collapses to zero so all data maps to the last symbol
+            # range boundary behaviour of Definition 3.
+            return [0.0] * (k - 1)
+        width = maximum / k
+        return [width * i for i in range(1, k)]
+
+
+class MedianSeparators(SeparatorMethod):
+    """Equal-frequency subranges: ``k``-quantiles of all values (method (b))."""
+
+    name = "median"
+
+    def separators(self, data, k: int) -> List[float]:
+        self._check_k(k)
+        values = _as_values(data)
+        quantiles = np.arange(1, k) / k
+        seps = np.quantile(values, quantiles, method="lower")
+        return [float(s) for s in seps]
+
+
+class DistinctMedianSeparators(SeparatorMethod):
+    """``k``-quantiles of the *distinct* values (method (c), *distinctmedian*)."""
+
+    name = "distinctmedian"
+
+    def separators(self, data, k: int) -> List[float]:
+        self._check_k(k)
+        values = np.unique(_as_values(data))
+        quantiles = np.arange(1, k) / k
+        seps = np.quantile(values, quantiles, method="lower")
+        return [float(s) for s in seps]
+
+
+class CustomSeparators(SeparatorMethod):
+    """Expert-provided separators (paper Section 3.2, low/high example).
+
+    The paper notes that background knowledge can drive segmentation, e.g. a
+    two-symbol low/high split at a domain threshold.  This method ignores the
+    data and returns the user-provided boundaries, validating only their
+    count and ordering.
+    """
+
+    name = "custom"
+
+    def __init__(self, boundaries: Sequence[float]) -> None:
+        bounds = [float(b) for b in boundaries]
+        if any(b2 < b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise SegmentationError("custom separators must be non-decreasing")
+        self._boundaries = bounds
+
+    def separators(self, data, k: int) -> List[float]:
+        self._check_k(k)
+        if len(self._boundaries) != k - 1:
+            raise SegmentationError(
+                f"expected {k - 1} separators for alphabet size {k}, "
+                f"got {len(self._boundaries)}"
+            )
+        return list(self._boundaries)
+
+
+_REGISTRY: Dict[str, Type[SeparatorMethod]] = {
+    UniformSeparators.name: UniformSeparators,
+    MedianSeparators.name: MedianSeparators,
+    DistinctMedianSeparators.name: DistinctMedianSeparators,
+}
+
+#: Aliases accepted by :func:`get_method`.
+_ALIASES: Dict[str, str] = {
+    "distinct_median": "distinctmedian",
+    "distinct-median": "distinctmedian",
+    "median_of_distinct_values": "distinctmedian",
+    "equalwidth": "uniform",
+    "equal-width": "uniform",
+    "equalfrequency": "median",
+    "quantile": "median",
+}
+
+
+def available_methods() -> List[str]:
+    """Names of the built-in separator-learning strategies."""
+    return sorted(_REGISTRY)
+
+
+def get_method(name: str) -> SeparatorMethod:
+    """Instantiate a separator method from its (case-insensitive) name."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return _REGISTRY[key]()
+    except KeyError:
+        raise SegmentationError(
+            f"unknown separator method {name!r}; available: {available_methods()}"
+        ) from None

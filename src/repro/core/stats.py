@@ -1,0 +1,117 @@
+"""Accumulative statistics over a growing prefix of a series (paper Figure 4).
+
+Figure 4 plots, for house 1 of REDD, the mean, median and median-of-distinct-
+values computed over the first ``t`` seconds of data as ``t`` grows over
+three days, showing that the statistics converge after roughly one day.
+:func:`accumulative_statistics` reproduces that computation; it is also the
+basis of the bootstrap-length ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import SegmentationError
+from .timeseries import TimeSeries
+
+__all__ = [
+    "AccumulativeStatistics",
+    "accumulative_statistics",
+    "convergence_time",
+]
+
+
+@dataclass(frozen=True)
+class AccumulativeStatistics:
+    """Statistics of growing prefixes, evaluated every ``step`` seconds."""
+
+    times: List[float]
+    mean: List[float]
+    median: List[float]
+    distinctmedian: List[float]
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        """Column-oriented dictionary (for table rendering / plotting)."""
+        return {
+            "time": list(self.times),
+            "mean": list(self.mean),
+            "median": list(self.median),
+            "distinctmedian": list(self.distinctmedian),
+        }
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+def accumulative_statistics(
+    series: TimeSeries, step_seconds: float = 3600.0
+) -> AccumulativeStatistics:
+    """Mean/median/distinct-median of every growing prefix of ``series``.
+
+    Prefixes are evaluated at multiples of ``step_seconds`` after the first
+    timestamp.  Statistics of an empty prefix are reported as 0.
+    """
+    if step_seconds <= 0:
+        raise SegmentationError("step_seconds must be positive")
+    if len(series) == 0:
+        return AccumulativeStatistics([], [], [], [])
+
+    timestamps = series.timestamps
+    values = series.values
+    origin = float(timestamps[0])
+    horizon = float(timestamps[-1])
+    times: List[float] = []
+    means: List[float] = []
+    medians: List[float] = []
+    dmedians: List[float] = []
+
+    t = origin + step_seconds
+    while t <= horizon + step_seconds:
+        # Number of samples with timestamp < t; prefixes are cumulative so
+        # searchsorted on the already-sorted timestamps is enough.
+        n = int(np.searchsorted(timestamps, t, side="left"))
+        prefix = values[:n]
+        elapsed = t - origin
+        times.append(elapsed)
+        if prefix.size == 0:
+            means.append(0.0)
+            medians.append(0.0)
+            dmedians.append(0.0)
+        else:
+            means.append(float(prefix.mean()))
+            medians.append(float(np.median(prefix)))
+            dmedians.append(float(np.median(np.unique(prefix))))
+        t += step_seconds
+    return AccumulativeStatistics(times, means, medians, dmedians)
+
+
+def convergence_time(
+    stats: AccumulativeStatistics,
+    statistic: str = "median",
+    tolerance: float = 0.05,
+) -> float:
+    """Earliest prefix length (seconds) after which ``statistic`` stays within
+    ``tolerance`` (relative) of its final value.
+
+    Returns ``inf`` when the statistic never settles.  The paper observes the
+    REDD statistics "start to converge after day one"; the Figure 4 benchmark
+    reports this number for the synthetic data.
+    """
+    series = getattr(stats, statistic, None)
+    if series is None:
+        raise SegmentationError(
+            f"unknown statistic {statistic!r}; use mean, median or distinctmedian"
+        )
+    if not series:
+        return float("inf")
+    final = series[-1]
+    if final == 0:
+        return float("inf")
+    for i, value in enumerate(series):
+        remaining = series[i:]
+        if all(abs(v - final) / abs(final) <= tolerance for v in remaining):
+            return stats.times[i]
+    return float("inf")

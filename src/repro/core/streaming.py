@@ -1,0 +1,341 @@
+"""Online conversion of measurements into symbols (paper Section 2).
+
+The paper stresses that symbolisation must work *online*: the sensor sees one
+measurement at a time, cannot look at future data, and must ship a stable
+lookup table to the aggregation server before it starts emitting symbols.
+This module provides the sensor-side state machines:
+
+* :class:`RunningStatistics` — O(1)-memory accumulators for the mean and
+  bounded-memory quantile estimates used to learn separators incrementally
+  (this is what Figure 4 plots as the data accumulates).
+* :class:`OnlineEncoder` — the full sensor pipeline: a bootstrap phase that
+  buffers raw values until enough history is available, then a streaming
+  phase that aggregates each vertical window and emits one symbol per window.
+  Optionally monitors distribution drift and rebuilds the lookup table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import SegmentationError
+from .alphabet import BinaryAlphabet, Symbol
+from .horizontal import SymbolicSeries
+from .lookup import LookupTable
+from .separators import SeparatorMethod, get_method
+from .timeseries import TimeSeries
+from .vertical import Aggregator, get_aggregator
+
+__all__ = ["RunningStatistics", "OnlineEncoder", "EncodedWindow", "TableUpdate"]
+
+
+class RunningStatistics:
+    """Incremental mean / median / distinct-median estimates.
+
+    A bounded reservoir of raw values (and a set of distinct values) is kept
+    so that quantile-based statistics remain exact up to ``max_samples``
+    values and become reservoir-sampled estimates beyond that.  The REDD
+    bootstrap window (two days at 1 Hz, 172 800 samples) fits comfortably.
+    """
+
+    def __init__(self, max_samples: int = 500_000, seed: int = 7) -> None:
+        if max_samples < 1:
+            raise SegmentationError("max_samples must be >= 1")
+        self._max_samples = max_samples
+        self._rng = np.random.default_rng(seed)
+        self._count = 0
+        self._sum = 0.0
+        self._reservoir: List[float] = []
+        self._distinct: set = set()
+
+    def update(self, value: float) -> None:
+        """Feed one measurement."""
+        if np.isnan(value):
+            return
+        self._count += 1
+        self._sum += value
+        self._distinct.add(float(value))
+        if len(self._reservoir) < self._max_samples:
+            self._reservoir.append(float(value))
+        else:
+            # Standard reservoir sampling keeps a uniform sample of the stream.
+            j = int(self._rng.integers(0, self._count))
+            if j < self._max_samples:
+                self._reservoir[j] = float(value)
+
+    def update_many(self, values: Union[Sequence[float], np.ndarray]) -> None:
+        """Feed a batch of measurements."""
+        for value in np.asarray(values, dtype=np.float64):
+            self.update(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of measurements seen so far."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Accumulative mean (0.0 before any data)."""
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def median(self) -> float:
+        """Accumulative median estimate."""
+        if not self._reservoir:
+            return 0.0
+        return float(np.median(self._reservoir))
+
+    @property
+    def distinct_median(self) -> float:
+        """Accumulative median of distinct values."""
+        if not self._distinct:
+            return 0.0
+        return float(np.median(np.fromiter(self._distinct, dtype=np.float64)))
+
+    @property
+    def maximum(self) -> float:
+        """Largest value seen (0.0 before any data)."""
+        return max(self._reservoir) if self._reservoir else 0.0
+
+    def values(self) -> np.ndarray:
+        """Snapshot of the retained sample (for separator learning)."""
+        return np.asarray(self._reservoir, dtype=np.float64)
+
+    def snapshot(self) -> dict:
+        """All three accumulative statistics at once (Figure 4 series)."""
+        return {
+            "count": self._count,
+            "mean": self.mean,
+            "median": self.median,
+            "distinctmedian": self.distinct_median,
+        }
+
+
+@dataclass(frozen=True)
+class EncodedWindow:
+    """One symbol emitted by the online encoder for a closed vertical window."""
+
+    timestamp: float
+    symbol: Symbol
+    aggregated_value: float
+
+
+@dataclass(frozen=True)
+class TableUpdate:
+    """Emitted when the online encoder (re)builds its lookup table."""
+
+    timestamp: float
+    table: LookupTable
+    reason: str
+
+
+class OnlineEncoder:
+    """Sensor-side streaming pipeline: bootstrap, then symbol-per-window.
+
+    Parameters
+    ----------
+    alphabet_size, method, aggregator:
+        Same meaning as in :class:`repro.core.encoder.SymbolicEncoder`.
+    window_seconds:
+        Vertical-segmentation window (e.g. 900 or 3600 seconds).
+    bootstrap_seconds:
+        How much history to accumulate before building the first lookup table
+        (two days in the paper).
+    drift_threshold:
+        If greater than zero, the encoder keeps updating its running
+        statistics after bootstrap and rebuilds the lookup table when the
+        relative change of the running median versus the table-building
+        median exceeds this fraction (paper: "rebuilding and resending the
+        lookup table ... if the distribution of the data changes too much").
+    """
+
+    def __init__(
+        self,
+        alphabet_size: int = 8,
+        method: Union[str, SeparatorMethod] = "median",
+        window_seconds: float = 900.0,
+        bootstrap_seconds: float = 2 * 86400.0,
+        aggregator: Union[str, Aggregator] = "average",
+        drift_threshold: float = 0.0,
+    ) -> None:
+        if window_seconds <= 0:
+            raise SegmentationError("window_seconds must be positive")
+        if bootstrap_seconds <= 0:
+            raise SegmentationError("bootstrap_seconds must be positive")
+        self.alphabet_size = int(alphabet_size)
+        self._method = method if isinstance(method, SeparatorMethod) else get_method(method)
+        self._window_seconds = float(window_seconds)
+        self._bootstrap_seconds = float(bootstrap_seconds)
+        self._aggregator = get_aggregator(aggregator)
+        self._drift_threshold = float(drift_threshold)
+
+        self._stats = RunningStatistics()
+        self._bootstrap_values: List[float] = []
+        self._bootstrap_aggregates: List[float] = []
+        self._bootstrap_start: Optional[float] = None
+        self._table: Optional[LookupTable] = None
+        self._table_median: float = 0.0
+
+        self._window_start: Optional[float] = None
+        self._window_values: List[float] = []
+
+        self._emitted: List[EncodedWindow] = []
+        self._updates: List[TableUpdate] = []
+
+    # -- public state -------------------------------------------------------------
+
+    @property
+    def is_bootstrapped(self) -> bool:
+        """Whether the first lookup table has been built."""
+        return self._table is not None
+
+    @property
+    def table(self) -> Optional[LookupTable]:
+        """Current lookup table (``None`` during bootstrap)."""
+        return self._table
+
+    @property
+    def table_updates(self) -> List[TableUpdate]:
+        """All (re)builds of the lookup table, in order."""
+        return list(self._updates)
+
+    @property
+    def statistics(self) -> RunningStatistics:
+        """The running statistics accumulator (Figure 4 data source)."""
+        return self._stats
+
+    @property
+    def emitted(self) -> List[EncodedWindow]:
+        """Every symbol emitted so far."""
+        return list(self._emitted)
+
+    # -- feeding data -----------------------------------------------------------------
+
+    def push(self, timestamp: float, value: float) -> List[EncodedWindow]:
+        """Feed one raw measurement; return any symbols emitted by this push.
+
+        During bootstrap nothing is emitted.  Once the bootstrap window has
+        elapsed, the buffered history is (a) used to build the lookup table
+        and (b) replayed through the window aggregator so no data is lost.
+        """
+        if np.isnan(value):
+            return []
+        self._stats.update(value)
+
+        if self._table is None:
+            if self._bootstrap_start is None:
+                self._bootstrap_start = timestamp
+            if timestamp - self._bootstrap_start < self._bootstrap_seconds:
+                # Still inside the half-open bootstrap window [start, start + T).
+                self._bootstrap_values.append(value)
+                self._bootstrap_aggregates.append(timestamp)
+                return []
+            emitted = self._finish_bootstrap(timestamp)
+            emitted.extend(self._feed_window(timestamp, value))
+            return emitted
+
+        emitted = self._feed_window(timestamp, value)
+        if self._drift_threshold > 0:
+            self._maybe_rebuild(timestamp)
+        return emitted
+
+    def push_series(self, series: TimeSeries) -> List[EncodedWindow]:
+        """Feed a whole series, returning every symbol emitted."""
+        out: List[EncodedWindow] = []
+        for point in series:
+            out.extend(self.push(point.timestamp, point.value))
+        return out
+
+    def flush(self) -> List[EncodedWindow]:
+        """Close the currently open window (end-of-stream)."""
+        if self._table is None or not self._window_values:
+            return []
+        emitted = [self._close_window()]
+        return emitted
+
+    def to_symbolic_series(self, name: str = "") -> SymbolicSeries:
+        """All emitted symbols as a :class:`SymbolicSeries`."""
+        if self._table is None:
+            raise SegmentationError("encoder is still bootstrapping; no symbols yet")
+        return SymbolicSeries(
+            [w.timestamp for w in self._emitted],
+            [w.symbol for w in self._emitted],
+            self._table,
+            name=name,
+        )
+
+    # -- internals ------------------------------------------------------------------------
+
+    def _finish_bootstrap(self, timestamp: float) -> List[EncodedWindow]:
+        values = np.asarray(self._bootstrap_values, dtype=np.float64)
+        timestamps = np.asarray(self._bootstrap_aggregates, dtype=np.float64)
+        # Learn separators on the *aggregated* bootstrap data, consistent with
+        # SymbolicEncoder.fit().
+        bootstrap_series = TimeSeries(timestamps, values)
+        from .vertical import segment_by_duration  # local import to avoid cycle
+
+        aggregated = segment_by_duration(
+            bootstrap_series, self._window_seconds, self._aggregator
+        )
+        source = aggregated if len(aggregated) >= self.alphabet_size else bootstrap_series
+        separators = self._method.separators(source, self.alphabet_size)
+        self._table = LookupTable(
+            alphabet=BinaryAlphabet(self.alphabet_size),
+            separators=separators,
+        )
+        self._table_median = self._stats.median
+        self._updates.append(TableUpdate(timestamp, self._table, reason="bootstrap"))
+
+        # Replay the bootstrap data through the windowing logic so the
+        # symbols for the bootstrap period are also emitted.
+        emitted: List[EncodedWindow] = []
+        for ts, val in zip(timestamps, values):
+            emitted.extend(self._feed_window(float(ts), float(val)))
+        self._bootstrap_values = []
+        self._bootstrap_aggregates = []
+        return emitted
+
+    def _feed_window(self, timestamp: float, value: float) -> List[EncodedWindow]:
+        emitted: List[EncodedWindow] = []
+        if self._window_start is None:
+            self._window_start = timestamp
+        while timestamp - self._window_start >= self._window_seconds:
+            if self._window_values:
+                emitted.append(self._close_window())
+            else:
+                # Empty window (gap): just advance to the next slot.
+                self._window_start += self._window_seconds
+        self._window_values.append(value)
+        return emitted
+
+    def _close_window(self) -> EncodedWindow:
+        assert self._table is not None and self._window_start is not None
+        aggregated = self._aggregator(np.asarray(self._window_values, dtype=np.float64))
+        symbol = self._table.symbol_for_value(aggregated)
+        window = EncodedWindow(
+            timestamp=self._window_start,
+            symbol=symbol,
+            aggregated_value=aggregated,
+        )
+        self._emitted.append(window)
+        self._window_start += self._window_seconds
+        self._window_values = []
+        return window
+
+    def _maybe_rebuild(self, timestamp: float) -> None:
+        if self._table is None or self._table_median == 0:
+            return
+        current = self._stats.median
+        drift = abs(current - self._table_median) / abs(self._table_median)
+        if drift > self._drift_threshold:
+            separators = self._method.separators(
+                self._stats.values(), self.alphabet_size
+            )
+            self._table = LookupTable(self._table.alphabet, separators)
+            self._table_median = current
+            self._updates.append(
+                TableUpdate(timestamp, self._table, reason=f"drift={drift:.3f}")
+            )

@@ -1,0 +1,323 @@
+"""Time-series container used throughout the library.
+
+The paper (Definition 1) models a smart-meter signal as a sequence
+``S = {s_1, s_2, ...}`` of ``(timestamp, value)`` tuples where timestamps are
+non-decreasing.  :class:`TimeSeries` is a thin, immutable wrapper around two
+NumPy arrays that enforces this invariant and provides the slicing,
+resampling and gap-inspection helpers the rest of the library needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import TimeSeriesError
+
+__all__ = ["TimePoint", "TimeSeries", "SECONDS_PER_DAY", "SECONDS_PER_HOUR"]
+
+SECONDS_PER_HOUR = 3600
+SECONDS_PER_DAY = 86400
+
+
+@dataclass(frozen=True)
+class TimePoint:
+    """A single measurement: ``(timestamp, value)``.
+
+    ``timestamp`` is expressed in seconds (integer or float) since an
+    arbitrary epoch; ``value`` is the measured power in watts.
+    """
+
+    timestamp: float
+    value: float
+
+    def __iter__(self) -> Iterator[float]:
+        return iter((self.timestamp, self.value))
+
+
+class TimeSeries:
+    """An immutable, time-ordered sequence of measurements.
+
+    Parameters
+    ----------
+    timestamps:
+        Non-decreasing sequence of timestamps in seconds.
+    values:
+        Measurements aligned with ``timestamps``.
+    name:
+        Optional label (for example ``"house_1"``); carried through
+        transformations when it makes sense.
+
+    Raises
+    ------
+    TimeSeriesError
+        If lengths differ, timestamps decrease, or values are not finite
+        numbers (NaN is allowed only through :meth:`with_gaps`).
+    """
+
+    __slots__ = ("_timestamps", "_values", "name")
+
+    def __init__(
+        self,
+        timestamps: Sequence[float],
+        values: Sequence[float],
+        name: str = "",
+    ) -> None:
+        ts = np.asarray(timestamps, dtype=np.float64)
+        vs = np.asarray(values, dtype=np.float64)
+        if ts.ndim != 1 or vs.ndim != 1:
+            raise TimeSeriesError("timestamps and values must be one-dimensional")
+        if ts.shape[0] != vs.shape[0]:
+            raise TimeSeriesError(
+                f"length mismatch: {ts.shape[0]} timestamps vs {vs.shape[0]} values"
+            )
+        if ts.shape[0] > 1 and np.any(np.diff(ts) < 0):
+            raise TimeSeriesError("timestamps must be non-decreasing")
+        ts.setflags(write=False)
+        vs.setflags(write=False)
+        self._timestamps = ts
+        self._values = vs
+        self.name = name
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_points(cls, points: Iterable[TimePoint], name: str = "") -> "TimeSeries":
+        """Build a series from an iterable of :class:`TimePoint`."""
+        pts = list(points)
+        return cls([p.timestamp for p in pts], [p.value for p in pts], name=name)
+
+    @classmethod
+    def regular(
+        cls,
+        values: Sequence[float],
+        start: float = 0.0,
+        interval: float = 1.0,
+        name: str = "",
+    ) -> "TimeSeries":
+        """Build a regularly-sampled series starting at ``start``.
+
+        ``interval`` is the sampling period in seconds (1.0 for the 1 Hz REDD
+        setting, 1800 for the Irish CER 30-minute setting).
+        """
+        values = np.asarray(values, dtype=np.float64)
+        timestamps = start + interval * np.arange(values.shape[0], dtype=np.float64)
+        return cls(timestamps, values, name=name)
+
+    @classmethod
+    def empty(cls, name: str = "") -> "TimeSeries":
+        """Return a series with no measurements."""
+        return cls([], [], name=name)
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self._timestamps.shape[0])
+
+    def __iter__(self) -> Iterator[TimePoint]:
+        for t, v in zip(self._timestamps, self._values):
+            yield TimePoint(float(t), float(v))
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[TimePoint, "TimeSeries"]:
+        if isinstance(index, slice):
+            return TimeSeries(
+                self._timestamps[index], self._values[index], name=self.name
+            )
+        t = float(self._timestamps[index])
+        v = float(self._values[index])
+        return TimePoint(t, v)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimeSeries):
+            return NotImplemented
+        return (
+            len(self) == len(other)
+            and np.array_equal(self._timestamps, other._timestamps)
+            and np.array_equal(self._values, other._values, equal_nan=True)
+        )
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        return f"TimeSeries(len={len(self)}{label})"
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Read-only array of timestamps (seconds)."""
+        return self._timestamps
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only array of measurements (watts)."""
+        return self._values
+
+    @property
+    def duration(self) -> float:
+        """Elapsed time between the first and last measurement (seconds)."""
+        if len(self) < 2:
+            return 0.0
+        return float(self._timestamps[-1] - self._timestamps[0])
+
+    @property
+    def sampling_interval(self) -> float:
+        """Median spacing between consecutive timestamps (seconds).
+
+        Returns 0.0 for series with fewer than two points.
+        """
+        if len(self) < 2:
+            return 0.0
+        return float(np.median(np.diff(self._timestamps)))
+
+    def is_regular(self, tolerance: float = 1e-9) -> bool:
+        """Whether all consecutive timestamps are equally spaced."""
+        if len(self) < 3:
+            return True
+        deltas = np.diff(self._timestamps)
+        return bool(np.all(np.abs(deltas - deltas[0]) <= tolerance))
+
+    # -- transformations ---------------------------------------------------
+
+    def with_name(self, name: str) -> "TimeSeries":
+        """Return a copy carrying a different name."""
+        return TimeSeries(self._timestamps, self._values, name=name)
+
+    def map_values(self, func) -> "TimeSeries":
+        """Apply ``func`` element-wise to the values."""
+        return TimeSeries(self._timestamps, func(self._values.copy()), name=self.name)
+
+    def shift_time(self, offset: float) -> "TimeSeries":
+        """Return a copy with every timestamp shifted by ``offset`` seconds."""
+        return TimeSeries(self._timestamps + offset, self._values, name=self.name)
+
+    def add(self, other: "TimeSeries", name: str = "") -> "TimeSeries":
+        """Point-wise sum of two series sharing identical timestamps.
+
+        The paper sums the two mains phases of a REDD house to obtain the
+        total household consumption; this is the operation used there.
+        """
+        if len(self) != len(other) or not np.array_equal(
+            self._timestamps, other._timestamps
+        ):
+            raise TimeSeriesError("can only add series with identical timestamps")
+        return TimeSeries(
+            self._timestamps, self._values + other._values, name=name or self.name
+        )
+
+    def between(self, start: float, end: float) -> "TimeSeries":
+        """Return the sub-series with ``start <= timestamp < end``."""
+        if end < start:
+            raise TimeSeriesError("end must be >= start")
+        mask = (self._timestamps >= start) & (self._timestamps < end)
+        return TimeSeries(self._timestamps[mask], self._values[mask], name=self.name)
+
+    def head(self, n: int) -> "TimeSeries":
+        """First ``n`` measurements."""
+        return self[:n]
+
+    def tail(self, n: int) -> "TimeSeries":
+        """Last ``n`` measurements."""
+        if n <= 0:
+            return TimeSeries.empty(self.name)
+        return self[-n:]
+
+    def concat(self, other: "TimeSeries") -> "TimeSeries":
+        """Concatenate two series; ``other`` must start no earlier than ``self`` ends."""
+        if len(self) and len(other) and other._timestamps[0] < self._timestamps[-1]:
+            raise TimeSeriesError("cannot concatenate: other starts before self ends")
+        return TimeSeries(
+            np.concatenate([self._timestamps, other._timestamps]),
+            np.concatenate([self._values, other._values]),
+            name=self.name,
+        )
+
+    # -- day-level helpers (used by the classification pipeline) -----------
+
+    def split_days(self, day_length: float = SECONDS_PER_DAY) -> List["TimeSeries"]:
+        """Split the series into consecutive day-long chunks.
+
+        Days are aligned to multiples of ``day_length`` relative to the first
+        timestamp.  Empty days (gaps spanning a full day) are skipped.
+        """
+        if len(self) == 0:
+            return []
+        origin = float(self._timestamps[0])
+        day_index = np.floor((self._timestamps - origin) / day_length).astype(int)
+        days: List[TimeSeries] = []
+        for day in range(int(day_index[-1]) + 1):
+            mask = day_index == day
+            if not np.any(mask):
+                continue
+            days.append(
+                TimeSeries(
+                    self._timestamps[mask], self._values[mask], name=self.name
+                )
+            )
+        return days
+
+    def coverage(self, expected_interval: Optional[float] = None) -> float:
+        """Fraction of expected samples actually present.
+
+        The paper keeps only days with at least 20 hours of data; coverage is
+        the statistic that decision is based on.  ``expected_interval``
+        defaults to the series' median sampling interval.
+        """
+        if len(self) < 2:
+            return 0.0
+        interval = expected_interval or self.sampling_interval
+        if interval <= 0:
+            return 0.0
+        expected = self.duration / interval + 1
+        return min(1.0, len(self) / expected)
+
+    def observed_seconds(self, expected_interval: Optional[float] = None) -> float:
+        """Total seconds of data assuming each sample covers one interval."""
+        interval = expected_interval or self.sampling_interval
+        if interval <= 0:
+            return 0.0
+        return len(self) * interval
+
+    # -- gap handling -------------------------------------------------------
+
+    def gaps(self, min_gap: Optional[float] = None) -> List[Tuple[float, float]]:
+        """Return ``(start, end)`` pairs where consecutive samples are farther
+        apart than ``min_gap`` seconds (default: twice the sampling interval).
+        """
+        if len(self) < 2:
+            return []
+        threshold = min_gap if min_gap is not None else 2.0 * self.sampling_interval
+        deltas = np.diff(self._timestamps)
+        idx = np.nonzero(deltas > threshold)[0]
+        return [
+            (float(self._timestamps[i]), float(self._timestamps[i + 1])) for i in idx
+        ]
+
+    def drop_missing(self) -> "TimeSeries":
+        """Drop NaN values (used after gap injection)."""
+        mask = ~np.isnan(self._values)
+        return TimeSeries(self._timestamps[mask], self._values[mask], name=self.name)
+
+    # -- summary statistics --------------------------------------------------
+
+    def mean(self) -> float:
+        """Arithmetic mean of the values (0.0 for an empty series)."""
+        return float(self._values.mean()) if len(self) else 0.0
+
+    def median(self) -> float:
+        """Median of the values (0.0 for an empty series)."""
+        return float(np.median(self._values)) if len(self) else 0.0
+
+    def minimum(self) -> float:
+        return float(self._values.min()) if len(self) else 0.0
+
+    def maximum(self) -> float:
+        return float(self._values.max()) if len(self) else 0.0
+
+    def total_energy_wh(self) -> float:
+        """Approximate energy in watt-hours using the trapezoidal rule."""
+        if len(self) < 2:
+            return 0.0
+        trapezoid = getattr(np, "trapezoid", None) or np.trapz
+        return float(trapezoid(self._values, self._timestamps) / 3600.0)

@@ -1,0 +1,190 @@
+"""Vertical segmentation: temporal aggregation (paper Definition 2).
+
+Vertical segmentation reduces *numerosity*: ``n`` consecutive raw samples are
+collapsed into one, using an aggregation function.  The paper uses the
+average (Definition 2) and mentions sum, maximum and minimum as alternatives;
+all of them are provided here, plus median, because they share the same
+segmentation machinery.
+
+Two entry points are provided:
+
+* :func:`segment_by_count` — aggregate every ``n`` samples (the paper's
+  ``VA(S, n)``), which assumes a regularly-sampled series.
+* :func:`segment_by_duration` — aggregate every ``seconds`` of wall-clock
+  time (e.g. 15 minutes / 1 hour), robust to gaps and irregular sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Union
+
+import numpy as np
+
+from ..errors import SegmentationError
+from .timeseries import TimeSeries
+
+__all__ = [
+    "Aggregator",
+    "AGGREGATORS",
+    "get_aggregator",
+    "segment_by_count",
+    "segment_by_duration",
+    "VerticalSegmenter",
+]
+
+#: An aggregation function mapping a non-empty 1-D array to a scalar.
+Aggregator = Callable[[np.ndarray], float]
+
+AGGREGATORS: Dict[str, Aggregator] = {
+    "average": lambda a: float(a.mean()),
+    "sum": lambda a: float(a.sum()),
+    "max": lambda a: float(a.max()),
+    "min": lambda a: float(a.min()),
+    "median": lambda a: float(np.median(a)),
+}
+
+#: Aliases accepted by :func:`get_aggregator`.
+_ALIASES = {"mean": "average", "avg": "average", "maximum": "max", "minimum": "min"}
+
+
+def get_aggregator(name: Union[str, Aggregator]) -> Aggregator:
+    """Resolve an aggregator by name, or pass a callable through unchanged."""
+    if callable(name):
+        return name
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return AGGREGATORS[key]
+    except KeyError:
+        raise SegmentationError(
+            f"unknown aggregator {name!r}; available: {sorted(AGGREGATORS)}"
+        ) from None
+
+
+def segment_by_count(
+    series: TimeSeries,
+    n: int,
+    aggregator: Union[str, Aggregator] = "average",
+    keep_partial: bool = False,
+) -> TimeSeries:
+    """Aggregate every ``n`` consecutive samples into one (``VA(S, n)``).
+
+    The timestamp of each aggregated sample is the timestamp of the *last*
+    raw sample in its window (``t_{i*n}`` in Definition 2).  A trailing
+    window with fewer than ``n`` samples is dropped unless ``keep_partial``.
+    """
+    if n < 1:
+        raise SegmentationError(f"window size must be >= 1, got {n}")
+    agg = get_aggregator(aggregator)
+    if len(series) == 0:
+        return TimeSeries.empty(series.name)
+    if n == 1:
+        return series
+
+    values = series.values
+    timestamps = series.timestamps
+    full_windows = len(series) // n
+    out_times: List[float] = []
+    out_values: List[float] = []
+    for w in range(full_windows):
+        lo, hi = w * n, (w + 1) * n
+        out_times.append(float(timestamps[hi - 1]))
+        out_values.append(agg(values[lo:hi]))
+    if keep_partial and full_windows * n < len(series):
+        out_times.append(float(timestamps[-1]))
+        out_values.append(agg(values[full_windows * n:]))
+    return TimeSeries(out_times, out_values, name=series.name)
+
+
+def segment_by_duration(
+    series: TimeSeries,
+    seconds: float,
+    aggregator: Union[str, Aggregator] = "average",
+    min_samples: int = 1,
+    align_to_origin: bool = True,
+) -> TimeSeries:
+    """Aggregate every ``seconds`` of wall-clock time into one sample.
+
+    Windows are aligned to multiples of ``seconds`` from the first timestamp
+    (``align_to_origin=True``) or from absolute time zero.  Windows with
+    fewer than ``min_samples`` raw samples are skipped, which is how gaps in
+    the REDD-like data propagate to missing aggregated slots.  The timestamp
+    of an aggregated sample is the *start* of its window, which keeps slots
+    comparable across days when building day vectors.
+    """
+    if seconds <= 0:
+        raise SegmentationError(f"window duration must be positive, got {seconds}")
+    if min_samples < 1:
+        raise SegmentationError("min_samples must be >= 1")
+    agg = get_aggregator(aggregator)
+    if len(series) == 0:
+        return TimeSeries.empty(series.name)
+
+    timestamps = series.timestamps
+    values = series.values
+    origin = float(timestamps[0]) if align_to_origin else 0.0
+    window_index = np.floor((timestamps - origin) / seconds).astype(np.int64)
+
+    out_times: List[float] = []
+    out_values: List[float] = []
+    # np.unique returns sorted window ids and the first occurrence index of
+    # each; since timestamps are sorted, samples of one window are contiguous.
+    unique_windows, starts = np.unique(window_index, return_index=True)
+    boundaries = list(starts) + [len(series)]
+    for w, lo, hi in zip(unique_windows, boundaries[:-1], boundaries[1:]):
+        if hi - lo < min_samples:
+            continue
+        out_times.append(origin + float(w) * seconds)
+        out_values.append(agg(values[lo:hi]))
+    return TimeSeries(out_times, out_values, name=series.name)
+
+
+class VerticalSegmenter:
+    """Configured vertical segmentation, reusable across series.
+
+    Exactly one of ``count`` and ``seconds`` must be provided.  This object
+    form is what :class:`repro.core.encoder.SymbolicEncoder` composes with a
+    lookup table.
+    """
+
+    def __init__(
+        self,
+        count: int = 0,
+        seconds: float = 0.0,
+        aggregator: Union[str, Aggregator] = "average",
+        min_samples: int = 1,
+    ) -> None:
+        if bool(count) == bool(seconds):
+            raise SegmentationError(
+                "provide exactly one of count (samples) or seconds (duration)"
+            )
+        self._count = int(count)
+        self._seconds = float(seconds)
+        self._aggregator = get_aggregator(aggregator)
+        self._min_samples = min_samples
+
+    @property
+    def window_seconds(self) -> float:
+        """Window length in seconds (0.0 when configured by sample count)."""
+        return self._seconds
+
+    @property
+    def window_count(self) -> int:
+        """Window length in samples (0 when configured by duration)."""
+        return self._count
+
+    def segment(self, series: TimeSeries) -> TimeSeries:
+        """Apply the configured vertical segmentation to ``series``."""
+        if self._count:
+            return segment_by_count(series, self._count, self._aggregator)
+        return segment_by_duration(
+            series, self._seconds, self._aggregator, min_samples=self._min_samples
+        )
+
+    def __call__(self, series: TimeSeries) -> TimeSeries:
+        return self.segment(series)
+
+    def __repr__(self) -> str:
+        if self._count:
+            return f"VerticalSegmenter(count={self._count})"
+        return f"VerticalSegmenter(seconds={self._seconds})"

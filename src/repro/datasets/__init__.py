@@ -1,0 +1,48 @@
+"""Synthetic substitutes for the smart-meter datasets the paper uses.
+
+* :mod:`repro.datasets.redd` — 6 houses, 1 Hz, appliance-level simulation
+  with gaps (the dataset the paper's experiments run on).
+* :mod:`repro.datasets.smartstar` — 443-house wide part plus 3-house deep part.
+* :mod:`repro.datasets.cer` — 30-minute readings with annual seasonality.
+* :mod:`repro.datasets.gaps` — outage injection and the 20-hour day filter.
+* :mod:`repro.datasets.io` — CSV persistence.
+"""
+
+from .appliances import (
+    ActivityAppliance,
+    Appliance,
+    CyclicAppliance,
+    StandbyLoad,
+    default_profile,
+)
+from .base import House, MeterDataset
+from .cer import CERGenerator, generate_cer
+from .gaps import day_coverage_hours, filter_days, inject_gaps
+from .io import read_dataset, read_series_csv, write_dataset, write_series_csv
+from .redd import HouseConfig, REDDGenerator, default_house_configs, generate_redd
+from .smartstar import SmartStarGenerator, generate_smartstar
+
+__all__ = [
+    "ActivityAppliance",
+    "Appliance",
+    "CERGenerator",
+    "CyclicAppliance",
+    "House",
+    "HouseConfig",
+    "MeterDataset",
+    "REDDGenerator",
+    "SmartStarGenerator",
+    "StandbyLoad",
+    "day_coverage_hours",
+    "default_house_configs",
+    "default_profile",
+    "filter_days",
+    "generate_cer",
+    "generate_redd",
+    "generate_smartstar",
+    "inject_gaps",
+    "read_dataset",
+    "read_series_csv",
+    "write_dataset",
+    "write_series_csv",
+]

@@ -1,0 +1,114 @@
+"""Dataset abstractions shared by the synthetic generators.
+
+A :class:`MeterDataset` is a collection of households, each contributing one
+total-consumption :class:`~repro.core.timeseries.TimeSeries` (the sum of its
+mains channels, which is what the paper's experiments consume) plus optional
+per-channel series and metadata.  The synthetic REDD/Smart*/CER generators
+all return this type so the analytics pipelines are dataset-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from ..core.timeseries import TimeSeries
+from ..errors import DatasetError
+
+__all__ = ["House", "MeterDataset"]
+
+
+@dataclass
+class House:
+    """One household's data.
+
+    ``mains`` is the total consumption (the paper sums a REDD house's two
+    mains phases); ``channels`` optionally holds per-circuit or per-appliance
+    series; ``metadata`` carries generator parameters (useful for debugging
+    and for the appliance-recognition example).
+    """
+
+    house_id: int
+    mains: TimeSeries
+    channels: Dict[str, TimeSeries] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        """Conventional label, e.g. ``"house_3"``."""
+        return f"house_{self.house_id}"
+
+    def __repr__(self) -> str:
+        return (
+            f"House(id={self.house_id}, samples={len(self.mains)}, "
+            f"channels={sorted(self.channels)})"
+        )
+
+
+class MeterDataset:
+    """A named collection of :class:`House` objects."""
+
+    def __init__(self, name: str, houses: Mapping[int, House]) -> None:
+        if not houses:
+            raise DatasetError("a dataset needs at least one house")
+        self.name = name
+        self._houses: Dict[int, House] = dict(sorted(houses.items()))
+
+    # -- protocol ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._houses)
+
+    def __iter__(self) -> Iterator[House]:
+        return iter(self._houses.values())
+
+    def __contains__(self, house_id: int) -> bool:
+        return house_id in self._houses
+
+    def __getitem__(self, house_id: int) -> House:
+        try:
+            return self._houses[house_id]
+        except KeyError:
+            raise DatasetError(
+                f"no house {house_id} in dataset {self.name!r}; "
+                f"available: {self.house_ids}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return f"MeterDataset(name={self.name!r}, houses={self.house_ids})"
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def house_ids(self) -> List[int]:
+        """Sorted house identifiers."""
+        return list(self._houses)
+
+    @property
+    def houses(self) -> List[House]:
+        """Houses sorted by identifier."""
+        return list(self._houses.values())
+
+    def mains(self, house_id: int) -> TimeSeries:
+        """Shortcut for ``self[house_id].mains``."""
+        return self[house_id].mains
+
+    def total_samples(self) -> int:
+        """Sum of mains sample counts over all houses."""
+        return sum(len(h.mains) for h in self)
+
+    def subset(self, house_ids) -> "MeterDataset":
+        """Dataset restricted to ``house_ids`` (order preserved, must exist)."""
+        picked = {hid: self[hid] for hid in house_ids}
+        return MeterDataset(self.name, picked)
+
+    def summary(self) -> Dict[int, Dict[str, float]]:
+        """Per-house sample count, duration and mean power (for reports)."""
+        return {
+            house.house_id: {
+                "samples": float(len(house.mains)),
+                "duration_days": house.mains.duration / 86400.0,
+                "mean_power_w": house.mains.mean(),
+            }
+            for house in self
+        }

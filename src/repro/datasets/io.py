@@ -1,0 +1,90 @@
+"""CSV persistence for time series and datasets.
+
+Generated datasets can be written to disk once and re-loaded by experiments,
+which keeps long benchmark runs reproducible and avoids re-simulating.  The
+format is deliberately simple: one CSV per house with ``timestamp,value``
+rows, plus a ``manifest.csv`` listing the houses of a dataset.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Union
+
+from ..core.timeseries import TimeSeries
+from ..errors import DatasetError
+from .base import House, MeterDataset
+
+__all__ = [
+    "write_series_csv",
+    "read_series_csv",
+    "write_dataset",
+    "read_dataset",
+]
+
+
+def write_series_csv(series: TimeSeries, path: Union[str, Path]) -> Path:
+    """Write one series as ``timestamp,value`` rows (with a header)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["timestamp", "value"])
+        for point in series:
+            writer.writerow([repr(point.timestamp), repr(point.value)])
+    return path
+
+
+def read_series_csv(path: Union[str, Path], name: str = "") -> TimeSeries:
+    """Read a series written by :func:`write_series_csv`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no such file: {path}")
+    timestamps = []
+    values = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != ["timestamp", "value"]:
+            raise DatasetError(f"{path} does not look like a series CSV")
+        for row in reader:
+            if len(row) != 2:
+                raise DatasetError(f"malformed row in {path}: {row!r}")
+            timestamps.append(float(row[0]))
+            values.append(float(row[1]))
+    return TimeSeries(timestamps, values, name=name or path.stem)
+
+
+def write_dataset(dataset: MeterDataset, directory: Union[str, Path]) -> Path:
+    """Write every house's mains series plus a manifest into ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = directory / "manifest.csv"
+    with manifest.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["house_id", "filename", "samples"])
+        for house in dataset:
+            filename = f"house_{house.house_id}.csv"
+            write_series_csv(house.mains, directory / filename)
+            writer.writerow([house.house_id, filename, len(house.mains)])
+    return directory
+
+
+def read_dataset(directory: Union[str, Path], name: str = "") -> MeterDataset:
+    """Read a dataset written by :func:`write_dataset`."""
+    directory = Path(directory)
+    manifest = directory / "manifest.csv"
+    if not manifest.exists():
+        raise DatasetError(f"no manifest.csv in {directory}")
+    houses: Dict[int, House] = {}
+    with manifest.open(newline="") as handle:
+        reader = csv.reader(handle)
+        next(reader, None)  # header
+        for row in reader:
+            if len(row) < 2:
+                raise DatasetError(f"malformed manifest row: {row!r}")
+            house_id = int(row[0])
+            series = read_series_csv(directory / row[1], name=f"house_{house_id}")
+            houses[house_id] = House(house_id=house_id, mains=series)
+    return MeterDataset(name or directory.name, houses)

@@ -1,0 +1,321 @@
+"""Synthetic REDD-like dataset generator.
+
+The REDD dataset (Kolter & Johnson, 2011) that the paper evaluates on is not
+redistributable, so this module generates a statistically similar substitute:
+
+* 6 houses, each with its own appliance fleet (fridge, heating, lighting,
+  kitchen appliances, electronics, ...) so houses have distinguishable
+  consumption signatures — the property the classification experiment needs;
+* 1 Hz sampling by default (configurable, because the analytics aggregate to
+  15 minutes / 1 hour anyway and coarser sampling keeps benches fast);
+* heavy-tailed, approximately log-normal marginal power distribution
+  (paper Figure 2);
+* day/night and weekday/weekend rhythms;
+* data-collection gaps, so the paper's "at least 20 h per day" filter has
+  something to do.
+
+The houses are intentionally parameterised differently (consumption level,
+appliance mix, schedule regularity); classification should therefore achieve
+clearly-better-than-chance F-measures that improve with alphabet size, which
+is the qualitative result the reproduction must show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.timeseries import SECONDS_PER_DAY, TimeSeries
+from ..errors import DatasetError
+from .appliances import (
+    ActivityAppliance,
+    Appliance,
+    CyclicAppliance,
+    StandbyLoad,
+    default_profile,
+)
+from .base import House, MeterDataset
+from .gaps import inject_gaps
+
+__all__ = ["HouseConfig", "REDDGenerator", "generate_redd", "default_house_configs"]
+
+
+@dataclass
+class HouseConfig:
+    """Generator parameters for one synthetic house."""
+
+    house_id: int
+    appliances: List[Appliance]
+    measurement_noise: float = 3.0
+    gaps_per_day: float = 0.3
+    mean_gap_minutes: float = 90.0
+
+    def __post_init__(self) -> None:
+        if not self.appliances:
+            raise DatasetError("a house needs at least one appliance")
+
+
+def _hour_profile(peaks: dict, base: float = 0.01) -> List[float]:
+    """Build a 24-entry hourly start-probability profile from ``{hour: prob}``."""
+    profile = [base] * 24
+    for hour, probability in peaks.items():
+        profile[hour % 24] = probability
+    return profile
+
+
+def default_house_configs() -> List[HouseConfig]:
+    """Six house profiles with distinct consumption signatures.
+
+    Real REDD houses differ not only in how much they consume but in *when*
+    and *how* they consume (occupancy schedules, appliance fleets).  The
+    classification experiment relies on those per-house signatures, so each
+    synthetic house gets its own near-regular daily routine:
+
+    * House 1 — family home: heavy cooking 18–20 h, laundry in the morning.
+    * House 2 — night-owl apartment: late-evening/night electronics, tiny base.
+    * House 3 — electric heating: long morning and evening heating blocks.
+    * House 4 — home office: sustained 9–17 h load, little evening activity.
+    * House 5 — irregular occupancy plus many metering outages (the paper's
+      house 5 lacks data for forecasting).
+    * House 6 — big consumer: morning and evening peaks plus a midday pool pump.
+    """
+    configs = [
+        HouseConfig(
+            house_id=1,
+            appliances=[
+                StandbyLoad(watts=70.0),
+                CyclicAppliance("fridge", watts=130.0, period_minutes=45, duty_cycle=0.45),
+                ActivityAppliance("oven", 1800.0,
+                                  _hour_profile({18: 0.95, 19: 0.8}),
+                                  mean_duration_minutes=50, duration_sigma=0.25),
+                ActivityAppliance("washer", 650.0,
+                                  _hour_profile({8: 0.7, 9: 0.5}),
+                                  mean_duration_minutes=55, duration_sigma=0.25),
+                ActivityAppliance("dishwasher", 1100.0,
+                                  _hour_profile({20: 0.8, 21: 0.5}),
+                                  mean_duration_minutes=50, duration_sigma=0.25),
+                ActivityAppliance("lighting", 200.0,
+                                  _hour_profile({17: 0.9, 18: 0.9, 19: 0.9, 20: 0.9, 21: 0.7}),
+                                  mean_duration_minutes=70, duration_sigma=0.2),
+            ],
+        ),
+        HouseConfig(
+            house_id=2,
+            appliances=[
+                StandbyLoad(watts=90.0),
+                CyclicAppliance("fridge", watts=95.0, period_minutes=35, duty_cycle=0.35),
+                ActivityAppliance("space_heater", 1000.0,
+                                  _hour_profile({23: 0.8, 0: 0.6}),
+                                  mean_duration_minutes=70, duration_sigma=0.25),
+                ActivityAppliance("tv_and_console", 340.0,
+                                  _hour_profile({22: 0.9, 23: 0.85, 0: 0.7, 1: 0.5}),
+                                  mean_duration_minutes=110, duration_sigma=0.25),
+                ActivityAppliance("kettle", 1200.0,
+                                  _hour_profile({11: 0.6, 23: 0.6}),
+                                  mean_duration_minutes=5, duration_sigma=0.2),
+                ActivityAppliance("lighting", 100.0,
+                                  _hour_profile({21: 0.8, 22: 0.9, 23: 0.9, 0: 0.7}),
+                                  mean_duration_minutes=80, duration_sigma=0.2),
+            ],
+            gaps_per_day=0.2,
+        ),
+        HouseConfig(
+            house_id=3,
+            appliances=[
+                StandbyLoad(watts=55.0),
+                CyclicAppliance("fridge", watts=110.0, period_minutes=40, duty_cycle=0.4),
+                ActivityAppliance("electric_heating", 900.0,
+                                  _hour_profile({5: 0.9, 6: 0.9, 7: 0.7,
+                                                 17: 0.8, 18: 0.8, 19: 0.7}),
+                                  mean_duration_minutes=100, duration_sigma=0.2,
+                                  power_jitter=40.0),
+                ActivityAppliance("stove", 1000.0,
+                                  _hour_profile({12: 0.7}),
+                                  mean_duration_minutes=35, duration_sigma=0.25),
+                ActivityAppliance("lighting", 140.0,
+                                  _hour_profile({6: 0.8, 7: 0.7, 18: 0.8, 19: 0.8, 20: 0.7}),
+                                  mean_duration_minutes=70, duration_sigma=0.2),
+            ],
+        ),
+        HouseConfig(
+            house_id=4,
+            appliances=[
+                StandbyLoad(watts=90.0),
+                CyclicAppliance("fridge", watts=100.0, period_minutes=50, duty_cycle=0.4),
+                ActivityAppliance("office_equipment", 420.0,
+                                  _hour_profile({9: 0.95, 10: 0.4, 13: 0.6}),
+                                  mean_duration_minutes=220, duration_sigma=0.15,
+                                  weekend_factor=0.3),
+                ActivityAppliance("air_conditioner", 1100.0,
+                                  _hour_profile({11: 0.7, 14: 0.7, 16: 0.5}),
+                                  mean_duration_minutes=80, duration_sigma=0.25,
+                                  weekend_factor=0.5),
+                ActivityAppliance("microwave", 900.0,
+                                  _hour_profile({12: 0.8}),
+                                  mean_duration_minutes=8, duration_sigma=0.2),
+            ],
+        ),
+        HouseConfig(
+            house_id=5,
+            appliances=[
+                StandbyLoad(watts=70.0),
+                CyclicAppliance("fridge", watts=105.0, period_minutes=38, duty_cycle=0.42),
+                ActivityAppliance("lighting", 160.0,
+                                  _hour_profile({19: 0.5, 20: 0.5, 21: 0.4}, base=0.05),
+                                  mean_duration_minutes=90, duration_sigma=0.4),
+                ActivityAppliance("dryer", 1500.0,
+                                  _hour_profile({}, base=0.08),
+                                  mean_duration_minutes=45, duration_sigma=0.4),
+            ],
+            gaps_per_day=2.0,
+            mean_gap_minutes=260.0,
+        ),
+        HouseConfig(
+            house_id=6,
+            appliances=[
+                StandbyLoad(watts=85.0),
+                CyclicAppliance("fridge", watts=140.0, period_minutes=42, duty_cycle=0.5),
+                CyclicAppliance("freezer", watts=110.0, period_minutes=55, duty_cycle=0.45),
+                ActivityAppliance("breakfast_cooking", 1300.0,
+                                  _hour_profile({7: 0.9, 8: 0.5}),
+                                  mean_duration_minutes=35, duration_sigma=0.25),
+                ActivityAppliance("oven", 1400.0,
+                                  _hour_profile({19: 0.9, 20: 0.6}),
+                                  mean_duration_minutes=55, duration_sigma=0.25),
+                ActivityAppliance("pool_pump", 500.0,
+                                  _hour_profile({11: 0.95}),
+                                  mean_duration_minutes=170, duration_sigma=0.15),
+                ActivityAppliance("washer", 600.0,
+                                  _hour_profile({9: 0.6, 16: 0.4}),
+                                  mean_duration_minutes=55, duration_sigma=0.3),
+                ActivityAppliance("lighting", 230.0,
+                                  _hour_profile({18: 0.9, 19: 0.9, 20: 0.9, 21: 0.8, 22: 0.6}),
+                                  mean_duration_minutes=80, duration_sigma=0.2),
+            ],
+        ),
+    ]
+    return configs
+
+
+class REDDGenerator:
+    """Generate a REDD-like multi-house dataset.
+
+    Parameters
+    ----------
+    days:
+        Number of days of data per house (REDD has 1–2 months; smaller values
+        keep tests fast).
+    sampling_interval:
+        Seconds between raw samples (1.0 reproduces REDD's 1 Hz).
+    seed:
+        Seed of the pseudo-random generator; the same seed always produces
+        the same dataset.
+    configs:
+        House configurations; defaults to :func:`default_house_configs`.
+    with_gaps:
+        Whether to inject data-collection outages.
+    """
+
+    def __init__(
+        self,
+        days: int = 14,
+        sampling_interval: float = 1.0,
+        seed: int = 42,
+        configs: Optional[Sequence[HouseConfig]] = None,
+        with_gaps: bool = True,
+    ) -> None:
+        if days < 1:
+            raise DatasetError("days must be >= 1")
+        if sampling_interval <= 0:
+            raise DatasetError("sampling_interval must be positive")
+        self.days = int(days)
+        self.sampling_interval = float(sampling_interval)
+        self.seed = int(seed)
+        self.configs = list(configs) if configs is not None else default_house_configs()
+        self.with_gaps = bool(with_gaps)
+
+    def generate(self) -> MeterDataset:
+        """Generate the full dataset."""
+        houses: Dict[int, House] = {}
+        for config in self.configs:
+            houses[config.house_id] = self._generate_house(config)
+        return MeterDataset("synthetic-redd", houses)
+
+    def generate_house(self, house_id: int) -> House:
+        """Generate a single house by its identifier."""
+        for config in self.configs:
+            if config.house_id == house_id:
+                return self._generate_house(config)
+        raise DatasetError(f"no configuration for house {house_id}")
+
+    # -- internals -----------------------------------------------------------------
+
+    def _generate_house(self, config: HouseConfig) -> House:
+        rng = np.random.default_rng(self.seed + 1000 * config.house_id)
+        samples_per_day = int(round(SECONDS_PER_DAY / self.sampling_interval))
+        n_samples = samples_per_day * self.days
+
+        total = np.zeros(n_samples, dtype=np.float64)
+        channels: Dict[str, np.ndarray] = {
+            appliance.name: np.zeros(n_samples, dtype=np.float64)
+            for appliance in config.appliances
+        }
+        for day in range(self.days):
+            lo = day * samples_per_day
+            hi = lo + samples_per_day
+            for appliance in config.appliances:
+                rendered = appliance.render(
+                    day, samples_per_day, self.sampling_interval, rng
+                )
+                channels[appliance.name][lo:hi] += rendered
+                total[lo:hi] += rendered
+
+        noise = rng.normal(0.0, config.measurement_noise, size=n_samples)
+        # Real meters report quantised readings (integer watts in REDD), which
+        # is what makes the *median of distinct values* method meaningfully
+        # different from the plain median.
+        total = np.round(np.clip(total + noise, 0.0, None))
+
+        timestamps = self.sampling_interval * np.arange(n_samples, dtype=np.float64)
+        mains = TimeSeries(timestamps, total, name=f"house_{config.house_id}")
+        if self.with_gaps and config.gaps_per_day > 0:
+            mains = inject_gaps(
+                mains,
+                rng,
+                gaps_per_day=config.gaps_per_day,
+                mean_gap_minutes=config.mean_gap_minutes,
+            )
+
+        channel_series = {
+            name: TimeSeries(timestamps, values, name=f"house_{config.house_id}/{name}")
+            for name, values in channels.items()
+        }
+        metadata = {
+            "sampling_interval": self.sampling_interval,
+            "days": self.days,
+            "appliances": sorted(channels),
+            "gaps_per_day": config.gaps_per_day,
+        }
+        return House(
+            house_id=config.house_id,
+            mains=mains,
+            channels=channel_series,
+            metadata=metadata,
+        )
+
+
+def generate_redd(
+    days: int = 14,
+    sampling_interval: float = 1.0,
+    seed: int = 42,
+    with_gaps: bool = True,
+) -> MeterDataset:
+    """Convenience wrapper around :class:`REDDGenerator`."""
+    return REDDGenerator(
+        days=days,
+        sampling_interval=sampling_interval,
+        seed=seed,
+        with_gaps=with_gaps,
+    ).generate()

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate normally.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class TimeSeriesError(ReproError):
+    """Raised when a time series is malformed (unsorted, mismatched lengths...)."""
+
+
+class AlphabetError(ReproError):
+    """Raised when an alphabet is invalid (non power of two, empty, ...)."""
+
+
+class SegmentationError(ReproError):
+    """Raised when a vertical or horizontal segmentation cannot be performed."""
+
+
+class LookupTableError(ReproError):
+    """Raised when a lookup table is inconsistent with its alphabet."""
+
+
+class NotFittedError(ReproError):
+    """Raised when an estimator is used before ``fit`` has been called."""
+
+
+class DatasetError(ReproError):
+    """Raised when a synthetic dataset cannot be generated or parsed."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment configuration is invalid."""

@@ -1,0 +1,66 @@
+"""Reproduction harness: one module per table/figure of the paper.
+
+* :mod:`repro.experiments.fig2` — power-level distribution (Figure 2).
+* :mod:`repro.experiments.fig4` — accumulative statistics convergence (Figure 4).
+* :mod:`repro.experiments.classification_figures` — Figures 5, 6 and 7.
+* :mod:`repro.experiments.table1` — the full Table 1 matrix.
+* :mod:`repro.experiments.forecasting_figures` — Figures 8 and 9.
+* :mod:`repro.experiments.compression` — the Section 2.3 compression ratios.
+* :mod:`repro.experiments.config` / :mod:`repro.experiments.runner` — grids,
+  dataset defaults and result rendering.
+"""
+
+from .classification_figures import (
+    FigureReport,
+    figure5_naive_bayes,
+    figure6_random_forest,
+    figure7_global_table,
+)
+from .compression import CompressionSweep, compression_sweep, paper_example_report
+from .config import (
+    PAPER_AGGREGATIONS,
+    PAPER_ALPHABET_SIZES,
+    PAPER_CLASSIFIERS,
+    PAPER_METHODS,
+    ExperimentGrid,
+    default_dataset,
+)
+from .fig2 import DistributionReport, power_distribution
+from .fig4 import ConvergenceReport, statistics_convergence
+from .forecasting_figures import (
+    ForecastFigureReport,
+    figure8_naive_bayes,
+    figure9_random_forest,
+)
+from .runner import GridRunner, render_table
+from .seasonal import SeasonalReport, seasonal_drift_study
+from .table1 import Table1Report, reproduce_table1
+
+__all__ = [
+    "CompressionSweep",
+    "ConvergenceReport",
+    "DistributionReport",
+    "ExperimentGrid",
+    "FigureReport",
+    "ForecastFigureReport",
+    "GridRunner",
+    "PAPER_AGGREGATIONS",
+    "PAPER_ALPHABET_SIZES",
+    "PAPER_CLASSIFIERS",
+    "PAPER_METHODS",
+    "SeasonalReport",
+    "Table1Report",
+    "compression_sweep",
+    "default_dataset",
+    "figure5_naive_bayes",
+    "figure6_random_forest",
+    "figure7_global_table",
+    "figure8_naive_bayes",
+    "figure9_random_forest",
+    "paper_example_report",
+    "power_distribution",
+    "render_table",
+    "reproduce_table1",
+    "seasonal_drift_study",
+    "statistics_convergence",
+]

@@ -1,0 +1,114 @@
+"""Figures 5, 6 and 7 — classification F-measure and processing time.
+
+* Figure 5: Naive Bayes over symbolic (per-house tables) and raw data.
+* Figure 6: Random Forest over the same grid.
+* Figure 7: Random Forest with a *single global* lookup table.
+
+Each experiment returns one row per configuration with the weighted
+F-measure and the processing time, i.e. the two series the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..analytics.classification import ClassificationResult
+from ..datasets.base import MeterDataset
+from .config import ExperimentGrid
+from .runner import GridRunner
+
+__all__ = [
+    "FigureReport",
+    "figure5_naive_bayes",
+    "figure6_random_forest",
+    "figure7_global_table",
+]
+
+
+@dataclass(frozen=True)
+class FigureReport:
+    """All cells of one classification figure."""
+
+    figure: str
+    classifier: str
+    results: List[ClassificationResult]
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Rows matching the figure's x-axis labels."""
+        return [
+            {
+                "configuration": result.config.label(),
+                "f_measure": result.f_measure,
+                "processing_seconds": result.processing_seconds,
+            }
+            for result in self.results
+        ]
+
+    def best(self) -> ClassificationResult:
+        """Best-performing cell by F-measure."""
+        return max(self.results, key=lambda result: result.f_measure)
+
+    def by_encoding(self) -> Dict[str, List[ClassificationResult]]:
+        """Group the cells by separator method (plus ``raw``)."""
+        grouped: Dict[str, List[ClassificationResult]] = {}
+        for result in self.results:
+            grouped.setdefault(result.config.encoding, []).append(result)
+        return grouped
+
+
+def _run_figure(
+    figure: str,
+    dataset: MeterDataset,
+    classifier: str,
+    grid: Optional[ExperimentGrid],
+    global_table: bool,
+    n_folds: int,
+    seed: int,
+) -> FigureReport:
+    grid = grid or ExperimentGrid.paper()
+    if grid.global_table != global_table:
+        # The figure's table scope (per-house vs global) overrides whatever a
+        # caller-supplied grid says, so Figure 7 always uses the global table.
+        grid = ExperimentGrid(
+            methods=grid.methods,
+            aggregations=grid.aggregations,
+            alphabet_sizes=grid.alphabet_sizes,
+            global_table=global_table,
+            include_raw=grid.include_raw,
+            bootstrap_days=grid.bootstrap_days,
+            min_hours=grid.min_hours,
+        )
+    runner = GridRunner(dataset, n_folds=n_folds, seed=seed)
+    results = runner.run_grid(grid, [classifier])
+    return FigureReport(figure=figure, classifier=classifier, results=results)
+
+
+def figure5_naive_bayes(
+    dataset: MeterDataset,
+    grid: Optional[ExperimentGrid] = None,
+    n_folds: int = 10,
+    seed: int = 0,
+) -> FigureReport:
+    """Figure 5: Naive Bayes, per-house lookup tables."""
+    return _run_figure("figure5", dataset, "naive_bayes", grid, False, n_folds, seed)
+
+
+def figure6_random_forest(
+    dataset: MeterDataset,
+    grid: Optional[ExperimentGrid] = None,
+    n_folds: int = 10,
+    seed: int = 0,
+) -> FigureReport:
+    """Figure 6: Random Forest, per-house lookup tables."""
+    return _run_figure("figure6", dataset, "random_forest", grid, False, n_folds, seed)
+
+
+def figure7_global_table(
+    dataset: MeterDataset,
+    grid: Optional[ExperimentGrid] = None,
+    n_folds: int = 10,
+    seed: int = 0,
+) -> FigureReport:
+    """Figure 7: Random Forest, one global lookup table for all houses."""
+    return _run_figure("figure7", dataset, "random_forest", grid, True, n_folds, seed)

@@ -1,0 +1,71 @@
+"""Section 2.3 — compression-ratio analysis.
+
+The paper's example: 1 Hz doubles are ~680 kB per day, while 16 symbols at a
+15-minute aggregation are 384 bits — about three orders of magnitude less.
+This experiment reproduces that number and sweeps the alphabet-size ×
+aggregation-window plane so the trade-off surface can be tabulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.compression import CompressionModel, CompressionReport
+from ..errors import ExperimentError
+
+__all__ = ["CompressionSweep", "compression_sweep", "paper_example_report"]
+
+
+@dataclass(frozen=True)
+class CompressionSweep:
+    """Compression reports over a grid of (alphabet size, aggregation window)."""
+
+    sampling_interval: float
+    reports: Dict[Tuple[int, float], CompressionReport]
+
+    def rows(self) -> List[Dict[str, object]]:
+        """One row per configuration with sizes and ratios."""
+        rows: List[Dict[str, object]] = []
+        for (alphabet, window), report in sorted(self.reports.items()):
+            rows.append(
+                {
+                    "alphabet_size": alphabet,
+                    "aggregation_minutes": window / 60.0,
+                    "raw_kB_per_day": report.raw_bits_per_day / 8.0 / 1024.0,
+                    "symbolic_bits_per_day": report.symbolic_bits_per_day,
+                    "ratio": report.ratio,
+                    "orders_of_magnitude": report.orders_of_magnitude,
+                }
+            )
+        return rows
+
+    def report(self, alphabet_size: int, aggregation_seconds: float) -> CompressionReport:
+        """Look up one configuration."""
+        try:
+            return self.reports[(alphabet_size, aggregation_seconds)]
+        except KeyError:
+            raise ExperimentError(
+                f"no report for alphabet {alphabet_size}, window {aggregation_seconds}"
+            ) from None
+
+
+def compression_sweep(
+    alphabet_sizes: Sequence[int] = (2, 4, 8, 16),
+    aggregation_seconds: Sequence[float] = (60.0, 900.0, 3600.0),
+    sampling_interval: float = 1.0,
+    value_bits: int = 64,
+) -> CompressionSweep:
+    """Compression reports over the full grid."""
+    model = CompressionModel(sampling_interval=sampling_interval, value_bits=value_bits)
+    reports = {
+        (int(alphabet), float(window)): model.report(int(alphabet), float(window))
+        for alphabet in alphabet_sizes
+        for window in aggregation_seconds
+    }
+    return CompressionSweep(sampling_interval=sampling_interval, reports=reports)
+
+
+def paper_example_report() -> CompressionReport:
+    """The exact Section 2.3 example (1 Hz doubles vs 16 symbols @ 15 min)."""
+    return CompressionModel.paper_example()

@@ -1,0 +1,70 @@
+"""Figure 4 — convergence of the accumulative statistics of house 1.
+
+The paper plots the accumulative mean, median and median-of-distinct-values
+over three consecutive days of house 1 and observes they "start to converge
+after day one", which justifies the two-day bootstrap window.  This
+experiment reproduces the series and reports the convergence time of each
+statistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.stats import AccumulativeStatistics, accumulative_statistics, convergence_time
+from ..core.timeseries import SECONDS_PER_DAY, TimeSeries
+from ..datasets.base import MeterDataset
+from ..errors import ExperimentError
+
+__all__ = ["ConvergenceReport", "statistics_convergence"]
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """The Figure 4 series plus per-statistic convergence times (seconds)."""
+
+    statistics: AccumulativeStatistics
+    convergence_seconds: Dict[str, float]
+
+    @property
+    def converges_within_days(self) -> float:
+        """Latest convergence time among the three statistics, in days."""
+        worst = max(self.convergence_seconds.values())
+        return worst / SECONDS_PER_DAY
+
+    def rows(self) -> List[Dict[str, object]]:
+        """One row per evaluation step (time, mean, median, distinctmedian)."""
+        data = self.statistics.as_dict()
+        return [
+            {
+                "hours": data["time"][i] / 3600.0,
+                "mean": data["mean"][i],
+                "median": data["median"][i],
+                "distinctmedian": data["distinctmedian"][i],
+            }
+            for i in range(len(self.statistics))
+        ]
+
+
+def statistics_convergence(
+    dataset: MeterDataset,
+    house_id: int = 1,
+    days: int = 3,
+    step_seconds: float = 3600.0,
+    tolerance: float = 0.05,
+) -> ConvergenceReport:
+    """Accumulative statistics of one house over its first ``days`` days."""
+    if days < 1:
+        raise ExperimentError("days must be >= 1")
+    series: TimeSeries = dataset.mains(house_id)
+    if len(series) == 0:
+        raise ExperimentError(f"house {house_id} has no data")
+    start = float(series.timestamps[0])
+    window = series.between(start, start + days * SECONDS_PER_DAY)
+    stats = accumulative_statistics(window, step_seconds=step_seconds)
+    convergence = {
+        name: convergence_time(stats, name, tolerance=tolerance)
+        for name in ("mean", "median", "distinctmedian")
+    }
+    return ConvergenceReport(statistics=stats, convergence_seconds=convergence)

@@ -1,0 +1,121 @@
+"""Figures 8 and 9 — MAE of symbolic forecasting vs raw SVR forecasting.
+
+Figure 8 uses Naive Bayes for the symbolic forecasters, Figure 9 uses Random
+Forest; both compare against SVR on raw hourly values, per house, with 16
+symbols, 12 lag attributes, one week of training and one day of testing.
+House 5 is skipped in the paper because it lacks data; the synthetic house 5
+is likewise the gap-heavy one and is skipped automatically when it lacks the
+required contiguous hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..analytics.forecasting import ForecastResult, forecast_dataset
+from ..datasets.base import MeterDataset
+from ..errors import ExperimentError
+
+__all__ = ["ForecastFigureReport", "figure8_naive_bayes", "figure9_random_forest"]
+
+_PAPER_FORECAST_METHODS = ("raw", "distinctmedian", "median", "uniform")
+
+
+@dataclass(frozen=True)
+class ForecastFigureReport:
+    """Per-house MAE for every forecasting method (one figure)."""
+
+    figure: str
+    classifier: str
+    results: Dict[int, Dict[str, ForecastResult]]
+
+    def rows(self) -> List[Dict[str, object]]:
+        """One row per house with one MAE column per method."""
+        rows: List[Dict[str, object]] = []
+        for house_id in sorted(self.results):
+            row: Dict[str, object] = {"house": f"house {house_id}"}
+            for method, result in self.results[house_id].items():
+                row[f"mae_{method}"] = result.mae
+            rows.append(row)
+        return rows
+
+    def mae(self, house_id: int, method: str) -> float:
+        """MAE of one (house, method) bar."""
+        try:
+            return self.results[house_id][method].mae
+        except KeyError:
+            raise ExperimentError(
+                f"no forecast for house {house_id} with method {method!r}"
+            ) from None
+
+    def houses(self) -> List[int]:
+        """Houses that had enough data to forecast."""
+        return sorted(self.results)
+
+    def symbolic_wins(self) -> Dict[int, bool]:
+        """Per house: does some symbolic method beat the raw SVR baseline?
+
+        The paper reports symbolic forecasting winning for several houses;
+        this is the qualitative check the benchmark asserts on.
+        """
+        wins: Dict[int, bool] = {}
+        for house_id, methods in self.results.items():
+            raw_mae = methods["raw"].mae if "raw" in methods else float("inf")
+            symbolic = [
+                result.mae for method, result in methods.items() if method != "raw"
+            ]
+            wins[house_id] = bool(symbolic) and min(symbolic) <= raw_mae
+        return wins
+
+
+def _run_forecast_figure(
+    figure: str,
+    dataset: MeterDataset,
+    classifier: str,
+    methods: Sequence[str],
+    alphabet_size: int,
+    train_days: int,
+    test_days: int,
+    house_ids: Optional[Sequence[int]],
+) -> ForecastFigureReport:
+    results = forecast_dataset(
+        dataset,
+        classifier=classifier,
+        methods=methods,
+        alphabet_size=alphabet_size,
+        train_days=train_days,
+        test_days=test_days,
+        house_ids=house_ids,
+    )
+    return ForecastFigureReport(figure=figure, classifier=classifier, results=results)
+
+
+def figure8_naive_bayes(
+    dataset: MeterDataset,
+    methods: Sequence[str] = _PAPER_FORECAST_METHODS,
+    alphabet_size: int = 16,
+    train_days: int = 7,
+    test_days: int = 1,
+    house_ids: Optional[Sequence[int]] = None,
+) -> ForecastFigureReport:
+    """Figure 8: symbolic forecasting with Naive Bayes vs raw SVR."""
+    return _run_forecast_figure(
+        "figure8", dataset, "naive_bayes", methods, alphabet_size,
+        train_days, test_days, house_ids,
+    )
+
+
+def figure9_random_forest(
+    dataset: MeterDataset,
+    methods: Sequence[str] = _PAPER_FORECAST_METHODS,
+    alphabet_size: int = 16,
+    train_days: int = 7,
+    test_days: int = 1,
+    house_ids: Optional[Sequence[int]] = None,
+) -> ForecastFigureReport:
+    """Figure 9: symbolic forecasting with Random Forest vs raw SVR."""
+    return _run_forecast_figure(
+        "figure9", dataset, "random_forest", methods, alphabet_size,
+        train_days, test_days, house_ids,
+    )

@@ -1,0 +1,122 @@
+"""Result containers and plain-text rendering for the reproduction harness.
+
+Every experiment module returns structured results; this module renders them
+as aligned text tables (the closest offline analogue of the paper's figures)
+and provides a tiny orchestration helper that runs a grid of classification
+cells while reusing day vectors across classifiers, like the paper's Weka
+runs reuse one ARFF file per configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..analytics.classification import ClassificationResult, classify_households
+from ..analytics.vectors import DayVectorConfig, build_day_vectors
+from ..datasets.base import MeterDataset
+from ..errors import ExperimentError
+from ..ml.dataset import MLDataset
+from .config import ExperimentGrid
+
+__all__ = ["render_table", "GridRunner", "format_float"]
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Fixed-point formatting used across the result tables."""
+    return f"{value:.{digits}f}"
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_digits: int = 2,
+) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    rendered: List[List[str]] = []
+    for row in rows:
+        line = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                line.append(format_float(value, float_digits))
+            else:
+                line.append(str(value))
+        rendered.append(line)
+    widths = [
+        max(len(column), max(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in rendered
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+@dataclass
+class GridRunner:
+    """Run a classification grid, reusing day vectors across classifiers.
+
+    Parameters
+    ----------
+    dataset:
+        The multi-house dataset to evaluate on.
+    n_folds:
+        Cross-validation folds (10 in the paper).
+    seed:
+        Seed shared by fold shuffling across cells, so cells are comparable.
+    """
+
+    dataset: MeterDataset
+    n_folds: int = 10
+    seed: int = 0
+    _vector_cache: Dict[str, MLDataset] = field(default_factory=dict, repr=False)
+
+    def vectors_for(self, config: DayVectorConfig) -> MLDataset:
+        """Day vectors for ``config`` (cached by configuration label)."""
+        key = config.label()
+        if key not in self._vector_cache:
+            self._vector_cache[key] = build_day_vectors(self.dataset, config)
+        return self._vector_cache[key]
+
+    def run_cell(self, config: DayVectorConfig, classifier: str) -> ClassificationResult:
+        """One (configuration, classifier) cell."""
+        return classify_households(
+            self.dataset,
+            config,
+            classifier=classifier,
+            n_folds=self.n_folds,
+            seed=self.seed,
+            vectors=self.vectors_for(config),
+        )
+
+    def run_grid(
+        self, grid: ExperimentGrid, classifiers: Sequence[str]
+    ) -> List[ClassificationResult]:
+        """Every cell of ``grid`` for every classifier, in a stable order."""
+        if not classifiers:
+            raise ExperimentError("at least one classifier is required")
+        results: List[ClassificationResult] = []
+        for config in grid:
+            for classifier in classifiers:
+                results.append(self.run_cell(config, classifier))
+        return results
+
+    @staticmethod
+    def results_as_rows(results: Iterable[ClassificationResult]) -> List[Dict[str, object]]:
+        """Flatten results for :func:`render_table`."""
+        return [
+            {
+                "configuration": result.config.label(),
+                "classifier": result.classifier,
+                "f_measure": result.f_measure,
+                "time_s": result.processing_seconds,
+            }
+            for result in results
+        ]

@@ -1,0 +1,173 @@
+"""Seasonal-change study on CER-like data (paper Section 4, future work).
+
+The paper suggests using the Irish CER dataset (1.5 years, strong seasonal
+cycle) to study when the lookup table should be rebuilt "on the fly".  This
+experiment quantifies that: a household with a pronounced annual cycle is
+encoded for a full year with
+
+* a **static** table learned once from the two-day bootstrap window, and
+* an **adaptive** table maintained by the :class:`~repro.core.OnlineEncoder`
+  drift monitor (rebuild + re-ship whenever the running median drifts by more
+  than a threshold),
+
+and the per-month reconstruction error of both is compared, together with the
+extra bandwidth spent on shipping rebuilt tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.lookup import LookupTable
+from ..core.streaming import OnlineEncoder
+from ..core.timeseries import SECONDS_PER_DAY, TimeSeries
+from ..datasets.cer import CERGenerator
+from ..errors import ExperimentError
+
+__all__ = ["SeasonalReport", "seasonal_drift_study"]
+
+
+@dataclass(frozen=True)
+class SeasonalReport:
+    """Monthly reconstruction error for static vs adaptive lookup tables."""
+
+    monthly_static_mae: List[float]
+    monthly_adaptive_mae: List[float]
+    table_rebuilds: int
+    table_bits_shipped: float
+
+    @property
+    def months(self) -> int:
+        return len(self.monthly_static_mae)
+
+    @property
+    def static_mae(self) -> float:
+        """Year-average MAE of the static-table encoding."""
+        return float(np.mean(self.monthly_static_mae)) if self.monthly_static_mae else 0.0
+
+    @property
+    def adaptive_mae(self) -> float:
+        """Year-average MAE of the drift-adaptive encoding."""
+        return (
+            float(np.mean(self.monthly_adaptive_mae))
+            if self.monthly_adaptive_mae
+            else 0.0
+        )
+
+    @property
+    def improvement(self) -> float:
+        """Relative MAE reduction achieved by adapting the table."""
+        if self.static_mae == 0:
+            return 0.0
+        return 1.0 - self.adaptive_mae / self.static_mae
+
+    def rows(self) -> List[Dict[str, object]]:
+        """One row per month for table rendering."""
+        return [
+            {
+                "month": month + 1,
+                "static_mae_w": static,
+                "adaptive_mae_w": adaptive,
+            }
+            for month, (static, adaptive) in enumerate(
+                zip(self.monthly_static_mae, self.monthly_adaptive_mae)
+            )
+        ]
+
+
+def _monthly_mae(
+    actual: np.ndarray, decoded: np.ndarray, timestamps: np.ndarray
+) -> List[float]:
+    month_index = (timestamps // (30 * SECONDS_PER_DAY)).astype(int)
+    maes: List[float] = []
+    for month in range(int(month_index.max()) + 1):
+        mask = month_index == month
+        if not np.any(mask):
+            continue
+        maes.append(float(np.mean(np.abs(actual[mask] - decoded[mask]))))
+    return maes
+
+
+def seasonal_drift_study(
+    days: int = 360,
+    alphabet_size: int = 8,
+    window_seconds: float = 3 * 1800.0,
+    drift_threshold: float = 0.2,
+    seasonal_amplitude: float = 0.45,
+    seed: int = 3,
+) -> SeasonalReport:
+    """Compare static vs drift-adaptive lookup tables over a seasonal year."""
+    if days < 60:
+        raise ExperimentError("need at least two months of data for the study")
+    dataset = CERGenerator(
+        n_houses=1, days=days, seasonal_amplitude=seasonal_amplitude, seed=seed
+    ).generate()
+    series = dataset.mains(1)
+
+    # Adaptive encoder: bootstrap two days, rebuild on drift.
+    adaptive = OnlineEncoder(
+        alphabet_size=alphabet_size,
+        method="median",
+        window_seconds=window_seconds,
+        bootstrap_seconds=2 * SECONDS_PER_DAY,
+        drift_threshold=drift_threshold,
+    )
+    adaptive_decoded: List[float] = []
+    adaptive_actual: List[float] = []
+    adaptive_times: List[float] = []
+    for point in series:
+        for window in adaptive.push(point.timestamp, point.value):
+            table = adaptive.table
+            adaptive_decoded.append(table.value_for_symbol(window.symbol))
+            adaptive_actual.append(window.aggregated_value)
+            adaptive_times.append(window.timestamp)
+    for window in adaptive.flush():
+        table = adaptive.table
+        adaptive_decoded.append(table.value_for_symbol(window.symbol))
+        adaptive_actual.append(window.aggregated_value)
+        adaptive_times.append(window.timestamp)
+
+    # Static encoder: one table from the first two days, never rebuilt.
+    static_encoder = OnlineEncoder(
+        alphabet_size=alphabet_size,
+        method="median",
+        window_seconds=window_seconds,
+        bootstrap_seconds=2 * SECONDS_PER_DAY,
+        drift_threshold=0.0,
+    )
+    static_decoded: List[float] = []
+    static_actual: List[float] = []
+    static_times: List[float] = []
+    for point in series:
+        for window in static_encoder.push(point.timestamp, point.value):
+            table = static_encoder.table
+            static_decoded.append(table.value_for_symbol(window.symbol))
+            static_actual.append(window.aggregated_value)
+            static_times.append(window.timestamp)
+    for window in static_encoder.flush():
+        table = static_encoder.table
+        static_decoded.append(table.value_for_symbol(window.symbol))
+        static_actual.append(window.aggregated_value)
+        static_times.append(window.timestamp)
+
+    monthly_static = _monthly_mae(
+        np.asarray(static_actual), np.asarray(static_decoded), np.asarray(static_times)
+    )
+    monthly_adaptive = _monthly_mae(
+        np.asarray(adaptive_actual),
+        np.asarray(adaptive_decoded),
+        np.asarray(adaptive_times),
+    )
+    months = min(len(monthly_static), len(monthly_adaptive))
+    table_bits = float(
+        sum(update.table.size_in_bits() for update in adaptive.table_updates)
+    )
+    return SeasonalReport(
+        monthly_static_mae=monthly_static[:months],
+        monthly_adaptive_mae=monthly_adaptive[:months],
+        table_rebuilds=max(len(adaptive.table_updates) - 1, 0),
+        table_bits_shipped=table_bits,
+    )

@@ -1,0 +1,132 @@
+"""Table 1 — F-measure of every method × aggregation × alphabet × classifier.
+
+The paper's Table 1 has one row per (method, aggregation window, alphabet
+size) plus raw baselines, and one column per classifier: Random Forest, J48,
+Naive Bayes, Logistic — each twice, once with per-house lookup tables and
+once (marked "+") with a single global lookup table.  This experiment
+reproduces the whole matrix and renders it in the same layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analytics.classification import ClassificationResult
+from ..datasets.base import MeterDataset
+from ..errors import ExperimentError
+from .config import PAPER_CLASSIFIERS, ExperimentGrid
+from .runner import GridRunner, render_table
+
+__all__ = ["Table1Report", "reproduce_table1"]
+
+_CLASSIFIER_HEADERS = {
+    "random_forest": "Random Forest",
+    "j48": "J48",
+    "naive_bayes": "Naive Bayes",
+    "logistic": "Logistic",
+}
+
+
+@dataclass(frozen=True)
+class Table1Report:
+    """The reproduced Table 1: per-house and global-table result sets."""
+
+    per_house: List[ClassificationResult]
+    global_table: List[ClassificationResult]
+    classifiers: Tuple[str, ...]
+
+    def _row_key(self, result: ClassificationResult) -> str:
+        config = result.config
+        if config.encoding == "raw":
+            window = "1h" if config.aggregation_seconds == 3600 else "15m"
+            return f"raw {window}"
+        window = "1h" if config.aggregation_seconds == 3600 else "15m"
+        return f"{config.encoding} {window} {config.alphabet_size}s"
+
+    def matrix(self) -> List[Dict[str, object]]:
+        """One dict per Table 1 row; columns mirror the paper's header."""
+        cells: Dict[str, Dict[str, float]] = {}
+        order: List[str] = []
+
+        def insert(results: List[ClassificationResult], suffix: str) -> None:
+            for result in results:
+                key = self._row_key(result)
+                if key not in cells:
+                    cells[key] = {}
+                    order.append(key)
+                column = _CLASSIFIER_HEADERS[result.classifier] + suffix
+                cells[key][column] = result.f_measure
+
+        insert(self.per_house, "")
+        insert(self.global_table, "+")
+        rows: List[Dict[str, object]] = []
+        for key in order:
+            row: Dict[str, object] = {"configuration": key}
+            row.update(cells[key])
+            rows.append(row)
+        return rows
+
+    def render(self) -> str:
+        """Aligned text rendering of the reproduced Table 1."""
+        columns = ["configuration"]
+        columns += [_CLASSIFIER_HEADERS[c] for c in self.classifiers]
+        columns += [_CLASSIFIER_HEADERS[c] + "+" for c in self.classifiers]
+        return render_table(self.matrix(), columns=columns)
+
+    def f_measure(self, encoding: str, aggregation: str, alphabet: int,
+                  classifier: str, global_table: bool = False) -> float:
+        """Look up one cell, e.g. ``("median", "1h", 16, "naive_bayes")``."""
+        source = self.global_table if global_table else self.per_house
+        for result in source:
+            config = result.config
+            window = "1h" if config.aggregation_seconds == 3600 else "15m"
+            if (
+                config.encoding == encoding
+                and window == aggregation
+                and (encoding == "raw" or config.alphabet_size == alphabet)
+                and result.classifier == classifier
+            ):
+                return result.f_measure
+        raise ExperimentError(
+            f"no cell for {encoding} {aggregation} {alphabet} {classifier} "
+            f"(global={global_table})"
+        )
+
+    def average_by_encoding(self, global_table: bool = False) -> Dict[str, float]:
+        """Mean F-measure per encoding, used for the paper's ordering claim."""
+        source = self.global_table if global_table else self.per_house
+        sums: Dict[str, List[float]] = {}
+        for result in source:
+            sums.setdefault(result.config.encoding, []).append(result.f_measure)
+        return {
+            encoding: sum(values) / len(values) for encoding, values in sums.items()
+        }
+
+
+def reproduce_table1(
+    dataset: MeterDataset,
+    grid: Optional[ExperimentGrid] = None,
+    classifiers: Sequence[str] = PAPER_CLASSIFIERS,
+    n_folds: int = 10,
+    seed: int = 0,
+) -> Table1Report:
+    """Run the full Table 1 matrix (per-house and global-table scopes)."""
+    per_house_grid = grid or ExperimentGrid.paper(global_table=False)
+    global_grid = ExperimentGrid(
+        methods=per_house_grid.methods,
+        aggregations=per_house_grid.aggregations,
+        alphabet_sizes=per_house_grid.alphabet_sizes,
+        global_table=True,
+        include_raw=per_house_grid.include_raw,
+        bootstrap_days=per_house_grid.bootstrap_days,
+        min_hours=per_house_grid.min_hours,
+    )
+    runner = GridRunner(dataset, n_folds=n_folds, seed=seed)
+    per_house = runner.run_grid(per_house_grid, list(classifiers))
+    global_results = runner.run_grid(global_grid, list(classifiers))
+    return Table1Report(
+        per_house=per_house,
+        global_table=global_results,
+        classifiers=tuple(classifiers),
+    )

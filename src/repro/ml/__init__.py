@@ -1,0 +1,76 @@
+"""From-scratch machine-learning substrate (Weka stand-in).
+
+The paper runs Weka classifiers over ARFF exports of the symbolic and raw
+data; in this offline reproduction the same roles are played by:
+
+* :class:`NaiveBayesClassifier` — Weka ``NaiveBayes``.
+* :class:`DecisionTreeClassifier` — Weka ``J48`` (C4.5).
+* :class:`RandomForestClassifier` — Weka ``RandomForest``.
+* :class:`LogisticRegressionClassifier` — Weka ``Logistic``.
+* :class:`KernelSVR` / :class:`LinearSVR` — Weka SVM-for-regression.
+
+plus the :class:`MLDataset` attribute/instance table, evaluation metrics and
+the 10-fold cross-validation harness.
+"""
+
+from .arff import from_arff, read_arff, to_arff, write_arff
+from .base import Classifier, Regressor
+from .crossval import CrossValidationResult, cross_validate, stratified_folds
+from .dataset import Attribute, MLDataset, train_test_split
+from .forest import RandomForestClassifier
+from .logistic import LogisticRegressionClassifier
+from .metrics import (
+    ClassificationReport,
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    precision_recall_f1,
+    root_mean_squared_error,
+    weighted_f_measure,
+)
+from .naive_bayes import NaiveBayesClassifier
+from .svr import KernelSVR, LinearSVR
+from .tree import DecisionTreeClassifier
+
+__all__ = [
+    "Attribute",
+    "ClassificationReport",
+    "Classifier",
+    "CrossValidationResult",
+    "DecisionTreeClassifier",
+    "KernelSVR",
+    "LinearSVR",
+    "LogisticRegressionClassifier",
+    "MLDataset",
+    "NaiveBayesClassifier",
+    "RandomForestClassifier",
+    "Regressor",
+    "accuracy",
+    "classification_report",
+    "confusion_matrix",
+    "cross_validate",
+    "from_arff",
+    "mean_absolute_error",
+    "mean_absolute_percentage_error",
+    "precision_recall_f1",
+    "read_arff",
+    "root_mean_squared_error",
+    "stratified_folds",
+    "to_arff",
+    "train_test_split",
+    "weighted_f_measure",
+    "write_arff",
+]
+
+#: Mapping from the paper's classifier names to factory callables, used by the
+#: experiment grid so Table 1 columns can be addressed by name.
+CLASSIFIER_FACTORIES = {
+    "random_forest": lambda: RandomForestClassifier(n_trees=25, random_state=1),
+    "j48": lambda: DecisionTreeClassifier(min_samples_split=4),
+    "naive_bayes": lambda: NaiveBayesClassifier(),
+    "logistic": lambda: LogisticRegressionClassifier(),
+}
+
+__all__.append("CLASSIFIER_FACTORIES")

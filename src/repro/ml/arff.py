@@ -1,0 +1,173 @@
+"""ARFF import/export for :class:`~repro.ml.dataset.MLDataset`.
+
+The paper runs its classifiers through Weka, whose native input format is
+ARFF.  This module lets the day vectors produced by
+:mod:`repro.analytics.vectors` be exported to ARFF (so the reproduction's
+inputs can be fed to real Weka for cross-checking) and read back.
+
+Only the subset of ARFF the experiments need is supported: nominal and
+numeric attributes, a nominal class attribute in the last position, and
+dense data rows.  Sparse rows, string/date attributes and instance weights
+are out of scope.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from ..errors import DatasetError
+from .dataset import Attribute, MLDataset
+
+__all__ = ["to_arff", "from_arff", "write_arff", "read_arff"]
+
+_CLASS_ATTRIBUTE = "class"
+
+
+def _quote(name: str) -> str:
+    """Quote an identifier if it contains ARFF-significant characters."""
+    if any(ch in name for ch in " ,{}%'\""):
+        escaped = name.replace("'", "\\'")
+        return f"'{escaped}'"
+    return name
+
+
+def to_arff(dataset: MLDataset, relation: str = "repro") -> str:
+    """Render ``dataset`` as an ARFF document (class attribute last)."""
+    lines: List[str] = [f"@relation {_quote(relation)}", ""]
+    for attribute in dataset.attributes:
+        if attribute.is_nominal:
+            categories = ",".join(_quote(c) for c in attribute.categories)
+            lines.append(f"@attribute {_quote(attribute.name)} {{{categories}}}")
+        else:
+            lines.append(f"@attribute {_quote(attribute.name)} numeric")
+    classes = ",".join(_quote(c) for c in dataset.class_names)
+    lines.append(f"@attribute {_quote(_CLASS_ATTRIBUTE)} {{{classes}}}")
+    lines.append("")
+    lines.append("@data")
+    for row, label_index in zip(dataset.X, dataset.y):
+        cells: List[str] = []
+        for value, attribute in zip(row, dataset.attributes):
+            if attribute.is_nominal:
+                cells.append(_quote(attribute.categories[int(value)]))
+            else:
+                cells.append(repr(float(value)))
+        cells.append(_quote(dataset.class_names[int(label_index)]))
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+def write_arff(dataset: MLDataset, path: Union[str, Path], relation: str = "repro") -> Path:
+    """Write :func:`to_arff` output to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_arff(dataset, relation=relation))
+    return path
+
+
+def _unquote(token: str) -> str:
+    token = token.strip()
+    if len(token) >= 2 and token[0] == token[-1] == "'":
+        return token[1:-1].replace("\\'", "'")
+    return token
+
+
+def _split_csv(line: str) -> List[str]:
+    """Split a data row on commas, honouring single-quoted cells."""
+    cells: List[str] = []
+    current: List[str] = []
+    in_quotes = False
+    for ch in line:
+        if ch == "'":
+            in_quotes = not in_quotes
+            current.append(ch)
+        elif ch == "," and not in_quotes:
+            cells.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    cells.append("".join(current))
+    return cells
+
+
+def _parse_attribute(line: str) -> Tuple[str, Union[str, List[str]]]:
+    body = line[len("@attribute"):].strip()
+    if body.startswith("'"):
+        end = body.index("'", 1)
+        name = body[1:end]
+        rest = body[end + 1:].strip()
+    else:
+        name, _, rest = body.partition(" ")
+        rest = rest.strip()
+    if rest.lower() in ("numeric", "real", "integer"):
+        return name, "numeric"
+    if rest.startswith("{") and rest.endswith("}"):
+        categories = [_unquote(c) for c in _split_csv(rest[1:-1])]
+        return name, categories
+    raise DatasetError(f"unsupported ARFF attribute declaration: {line!r}")
+
+
+def from_arff(text: str) -> MLDataset:
+    """Parse an ARFF document produced by :func:`to_arff` (or equivalent)."""
+    attributes: List[Tuple[str, Union[str, List[str]]]] = []
+    data_lines: List[str] = []
+    in_data = False
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("%"):
+            continue
+        lowered = line.lower()
+        if lowered.startswith("@relation"):
+            continue
+        if lowered.startswith("@attribute"):
+            attributes.append(_parse_attribute(line))
+            continue
+        if lowered.startswith("@data"):
+            in_data = True
+            continue
+        if in_data:
+            data_lines.append(line)
+
+    if not attributes:
+        raise DatasetError("ARFF document declares no attributes")
+    class_name, class_spec = attributes[-1]
+    if class_spec == "numeric":
+        raise DatasetError("the last (class) attribute must be nominal")
+    feature_specs = attributes[:-1]
+
+    schema: List[Attribute] = []
+    for name, spec in feature_specs:
+        if spec == "numeric":
+            schema.append(Attribute.numeric(name))
+        else:
+            schema.append(Attribute.nominal(name, spec))
+
+    rows: List[List[float]] = []
+    labels: List[str] = []
+    for line in data_lines:
+        cells = [_unquote(c) for c in _split_csv(line)]
+        if len(cells) != len(attributes):
+            raise DatasetError(
+                f"row has {len(cells)} cells but {len(attributes)} attributes: {line!r}"
+            )
+        row: List[float] = []
+        for cell, attribute in zip(cells[:-1], schema):
+            if attribute.is_nominal:
+                row.append(float(attribute.index_of(cell)))
+            else:
+                row.append(float(cell))
+        rows.append(row)
+        labels.append(cells[-1])
+
+    matrix = np.asarray(rows, dtype=np.float64) if rows else np.zeros((0, len(schema)))
+    return MLDataset(schema, matrix, labels, class_names=class_spec)
+
+
+def read_arff(path: Union[str, Path]) -> MLDataset:
+    """Read an ARFF file from disk."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no such file: {path}")
+    return from_arff(path.read_text())

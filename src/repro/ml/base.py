@@ -1,0 +1,71 @@
+"""Estimator interfaces shared by the from-scratch learners."""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import NotFittedError
+from .dataset import MLDataset
+
+__all__ = ["Classifier", "Regressor"]
+
+
+class Classifier(abc.ABC):
+    """Interface of every classifier: ``fit`` on an :class:`MLDataset`,
+    ``predict`` class indices, optionally ``predict_proba``."""
+
+    def __init__(self) -> None:
+        self._fitted = False
+        self._class_names: tuple = ()
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    @property
+    def class_names(self) -> tuple:
+        """Class labels seen during fitting."""
+        return self._class_names
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} has not been fitted yet")
+
+    @abc.abstractmethod
+    def fit(self, dataset: MLDataset) -> "Classifier":
+        """Learn from ``dataset``; returns ``self``."""
+
+    @abc.abstractmethod
+    def predict(self, dataset: MLDataset) -> np.ndarray:
+        """Predicted class indices for every instance of ``dataset``."""
+
+    def predict_labels(self, dataset: MLDataset) -> List[str]:
+        """Predicted class names."""
+        self._check_fitted()
+        return [self._class_names[int(i)] for i in self.predict(dataset)]
+
+
+class Regressor(abc.ABC):
+    """Interface of every regressor: plain NumPy feature matrices."""
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} has not been fitted yet")
+
+    @abc.abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Regressor":
+        """Learn from features ``X`` and targets ``y``; returns ``self``."""
+
+    @abc.abstractmethod
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted targets for ``X``."""

@@ -1,0 +1,248 @@
+"""Attribute/instance tables for the from-scratch learners (Weka stand-in).
+
+The paper feeds Weka ARFF files whose attributes are either *nominal* (the
+symbols) or *numeric* (aggregated raw values).  :class:`MLDataset` plays the
+same role here: a fixed schema of :class:`Attribute` objects plus a dense
+float matrix where nominal values are stored as category indices.  All
+classifiers in :mod:`repro.ml` consume this type, so the same pipeline code
+runs on symbolic and raw data — one of the paper's selling points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import DatasetError
+
+__all__ = ["Attribute", "MLDataset", "train_test_split"]
+
+NOMINAL = "nominal"
+NUMERIC = "numeric"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """Schema of one column: a name, a kind and (for nominal) its categories."""
+
+    name: str
+    kind: str = NUMERIC
+    categories: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in (NOMINAL, NUMERIC):
+            raise DatasetError(f"attribute kind must be nominal or numeric, got {self.kind!r}")
+        if self.kind == NOMINAL and not self.categories:
+            raise DatasetError(f"nominal attribute {self.name!r} needs categories")
+        if self.kind == NUMERIC and self.categories:
+            raise DatasetError(f"numeric attribute {self.name!r} cannot have categories")
+
+    @property
+    def is_nominal(self) -> bool:
+        return self.kind == NOMINAL
+
+    @property
+    def n_categories(self) -> int:
+        return len(self.categories)
+
+    def index_of(self, category: str) -> int:
+        """Category index of ``category`` (raises for unknown values)."""
+        try:
+            return self.categories.index(category)
+        except ValueError:
+            raise DatasetError(
+                f"value {category!r} is not a category of attribute {self.name!r}"
+            ) from None
+
+    @staticmethod
+    def nominal(name: str, categories: Sequence[str]) -> "Attribute":
+        """Convenience constructor for a nominal attribute."""
+        return Attribute(name=name, kind=NOMINAL, categories=tuple(categories))
+
+    @staticmethod
+    def numeric(name: str) -> "Attribute":
+        """Convenience constructor for a numeric attribute."""
+        return Attribute(name=name, kind=NUMERIC)
+
+
+class MLDataset:
+    """A labelled table of instances with a mixed nominal/numeric schema.
+
+    Parameters
+    ----------
+    attributes:
+        Column schema.
+    X:
+        ``(n_instances, n_attributes)`` float matrix.  Nominal columns hold
+        category indices (0-based floats).
+    y:
+        Class labels, one per instance; stored as indices into
+        ``class_names``.
+    class_names:
+        Ordered class labels.  When omitted they are derived from ``y``.
+    """
+
+    def __init__(
+        self,
+        attributes: Sequence[Attribute],
+        X: Union[Sequence[Sequence[float]], np.ndarray],
+        y: Sequence,
+        class_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.attributes: Tuple[Attribute, ...] = tuple(attributes)
+        matrix = np.asarray(X, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise DatasetError("X must be a 2-D matrix")
+        if matrix.shape[1] != len(self.attributes):
+            raise DatasetError(
+                f"X has {matrix.shape[1]} columns but {len(self.attributes)} attributes"
+            )
+        labels = list(y)
+        if matrix.shape[0] != len(labels):
+            raise DatasetError(
+                f"X has {matrix.shape[0]} rows but {len(labels)} labels"
+            )
+        if class_names is None:
+            names = sorted({str(label) for label in labels})
+        else:
+            names = [str(n) for n in class_names]
+        self.class_names: Tuple[str, ...] = tuple(names)
+        index = {name: i for i, name in enumerate(self.class_names)}
+        try:
+            self.y = np.asarray([index[str(label)] for label in labels], dtype=np.int64)
+        except KeyError as exc:
+            raise DatasetError(f"label {exc} not in class_names {self.class_names}") from None
+        self.X = matrix
+        self._validate_nominal_ranges()
+
+    def _validate_nominal_ranges(self) -> None:
+        for col, attribute in enumerate(self.attributes):
+            if not attribute.is_nominal or self.X.shape[0] == 0:
+                continue
+            column = self.X[:, col]
+            if np.any(column < 0) or np.any(column >= attribute.n_categories):
+                raise DatasetError(
+                    f"column {attribute.name!r} holds indices outside "
+                    f"[0, {attribute.n_categories})"
+                )
+            if np.any(column != np.round(column)):
+                raise DatasetError(
+                    f"nominal column {attribute.name!r} holds non-integer codes"
+                )
+
+    # -- protocol -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.X.shape[0])
+
+    def __repr__(self) -> str:
+        return (
+            f"MLDataset(instances={len(self)}, attributes={len(self.attributes)}, "
+            f"classes={len(self.class_names)})"
+        )
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def n_attributes(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_names)
+
+    def class_counts(self) -> np.ndarray:
+        """Number of instances per class (aligned with ``class_names``)."""
+        return np.bincount(self.y, minlength=self.n_classes)
+
+    def label_of(self, index: int) -> str:
+        """Class name of instance ``index``."""
+        return self.class_names[int(self.y[index])]
+
+    # -- manipulation ----------------------------------------------------------------
+
+    def subset(self, indices: Union[Sequence[int], np.ndarray]) -> "MLDataset":
+        """Dataset restricted to the given instance indices (order preserved)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        labels = [self.class_names[i] for i in self.y[idx]]
+        return MLDataset(self.attributes, self.X[idx], labels, class_names=self.class_names)
+
+    def shuffled(self, rng: np.random.Generator) -> "MLDataset":
+        """Random permutation of the instances."""
+        order = rng.permutation(len(self))
+        return self.subset(order)
+
+    def merge(self, other: "MLDataset") -> "MLDataset":
+        """Concatenate two datasets sharing the same schema and classes."""
+        if self.attributes != other.attributes:
+            raise DatasetError("cannot merge datasets with different schemas")
+        if self.class_names != other.class_names:
+            raise DatasetError("cannot merge datasets with different class names")
+        labels = [self.class_names[i] for i in self.y] + [
+            other.class_names[i] for i in other.y
+        ]
+        return MLDataset(
+            self.attributes,
+            np.vstack([self.X, other.X]),
+            labels,
+            class_names=self.class_names,
+        )
+
+    def one_hot(self) -> np.ndarray:
+        """Expand nominal columns into one-hot indicators (for logistic/SVR).
+
+        Numeric columns are passed through unchanged.  The expansion order is
+        column-major: all indicators of attribute 0 first, and so on.
+        """
+        blocks: List[np.ndarray] = []
+        for col, attribute in enumerate(self.attributes):
+            column = self.X[:, col]
+            if attribute.is_nominal:
+                block = np.zeros((len(self), attribute.n_categories), dtype=np.float64)
+                block[np.arange(len(self)), column.astype(np.int64)] = 1.0
+                blocks.append(block)
+            else:
+                blocks.append(column.reshape(-1, 1))
+        if not blocks:
+            return np.zeros((len(self), 0), dtype=np.float64)
+        return np.hstack(blocks)
+
+
+def train_test_split(
+    dataset: MLDataset,
+    test_fraction: float = 0.3,
+    rng: Optional[np.random.Generator] = None,
+    stratified: bool = True,
+) -> Tuple[MLDataset, MLDataset]:
+    """Split into train and test subsets.
+
+    Stratified splitting keeps the per-class proportions, which matters for
+    the small per-house day counts of the REDD-like data.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise DatasetError("test_fraction must be in (0, 1)")
+    rng = rng or np.random.default_rng(0)
+    n = len(dataset)
+    if n < 2:
+        raise DatasetError("need at least two instances to split")
+
+    if stratified:
+        test_indices: List[int] = []
+        for klass in range(dataset.n_classes):
+            members = np.nonzero(dataset.y == klass)[0]
+            members = rng.permutation(members)
+            n_test = int(round(len(members) * test_fraction))
+            test_indices.extend(members[:n_test].tolist())
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[test_indices] = True
+    else:
+        order = rng.permutation(n)
+        n_test = int(round(n * test_fraction))
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[order[:n_test]] = True
+
+    train = dataset.subset(np.nonzero(~test_mask)[0])
+    test = dataset.subset(np.nonzero(test_mask)[0])
+    return train, test

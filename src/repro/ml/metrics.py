@@ -1,0 +1,142 @@
+"""Evaluation metrics used by the paper's experiments.
+
+Classification is scored with the *weighted F-measure* (the harmonic mean of
+precision and recall per class, averaged with class-support weights), which
+is what Weka reports and what the paper's Table 1 and Figures 5–7 plot.
+Forecasting is scored with the mean absolute error (MAE) of Figures 8–9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import DatasetError
+
+__all__ = [
+    "confusion_matrix",
+    "precision_recall_f1",
+    "weighted_f_measure",
+    "accuracy",
+    "ClassificationReport",
+    "classification_report",
+    "mean_absolute_error",
+    "root_mean_squared_error",
+    "mean_absolute_percentage_error",
+]
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> None:
+    if y_true.shape != y_pred.shape:
+        raise DatasetError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise DatasetError("cannot score empty predictions")
+
+
+def confusion_matrix(
+    y_true: Sequence[int], y_pred: Sequence[int], n_classes: Optional[int] = None
+) -> np.ndarray:
+    """Confusion matrix ``M[i, j]`` = instances of class ``i`` predicted ``j``."""
+    t = np.asarray(y_true, dtype=np.int64)
+    p = np.asarray(y_pred, dtype=np.int64)
+    _validate(t, p)
+    k = n_classes or int(max(t.max(), p.max())) + 1
+    matrix = np.zeros((k, k), dtype=np.int64)
+    for i, j in zip(t, p):
+        matrix[i, j] += 1
+    return matrix
+
+
+def precision_recall_f1(
+    y_true: Sequence[int], y_pred: Sequence[int], n_classes: Optional[int] = None
+) -> Dict[str, np.ndarray]:
+    """Per-class precision, recall and F1 (zero where undefined)."""
+    matrix = confusion_matrix(y_true, y_pred, n_classes)
+    true_positive = np.diag(matrix).astype(np.float64)
+    predicted = matrix.sum(axis=0).astype(np.float64)
+    actual = matrix.sum(axis=1).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted > 0, true_positive / predicted, 0.0)
+        recall = np.where(actual > 0, true_positive / actual, 0.0)
+        denominator = precision + recall
+        f1 = np.where(denominator > 0, 2.0 * precision * recall / denominator, 0.0)
+    return {"precision": precision, "recall": recall, "f1": f1, "support": actual}
+
+
+def weighted_f_measure(
+    y_true: Sequence[int], y_pred: Sequence[int], n_classes: Optional[int] = None
+) -> float:
+    """Support-weighted mean of per-class F1 (Weka's "Weighted Avg. F-Measure")."""
+    scores = precision_recall_f1(y_true, y_pred, n_classes)
+    support = scores["support"]
+    total = support.sum()
+    if total == 0:
+        return 0.0
+    return float((scores["f1"] * support).sum() / total)
+
+
+def accuracy(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    """Fraction of correct predictions."""
+    t = np.asarray(y_true, dtype=np.int64)
+    p = np.asarray(y_pred, dtype=np.int64)
+    _validate(t, p)
+    return float((t == p).mean())
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Bundle of the classification metrics the experiments report."""
+
+    f_measure: float
+    accuracy: float
+    per_class_f1: List[float]
+    confusion: np.ndarray
+
+    def __str__(self) -> str:
+        return (
+            f"F-measure={self.f_measure:.3f} accuracy={self.accuracy:.3f} "
+            f"classes={len(self.per_class_f1)}"
+        )
+
+
+def classification_report(
+    y_true: Sequence[int], y_pred: Sequence[int], n_classes: Optional[int] = None
+) -> ClassificationReport:
+    """Weighted F-measure, accuracy, per-class F1 and the confusion matrix."""
+    scores = precision_recall_f1(y_true, y_pred, n_classes)
+    return ClassificationReport(
+        f_measure=weighted_f_measure(y_true, y_pred, n_classes),
+        accuracy=accuracy(y_true, y_pred),
+        per_class_f1=[float(v) for v in scores["f1"]],
+        confusion=confusion_matrix(y_true, y_pred, n_classes),
+    )
+
+
+def mean_absolute_error(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """MAE, the forecasting metric of Figures 8–9."""
+    t = np.asarray(y_true, dtype=np.float64)
+    p = np.asarray(y_pred, dtype=np.float64)
+    _validate(t, p)
+    return float(np.mean(np.abs(t - p)))
+
+
+def root_mean_squared_error(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """RMSE (reported alongside MAE in the extended experiments)."""
+    t = np.asarray(y_true, dtype=np.float64)
+    p = np.asarray(y_pred, dtype=np.float64)
+    _validate(t, p)
+    return float(np.sqrt(np.mean((t - p) ** 2)))
+
+
+def mean_absolute_percentage_error(
+    y_true: Sequence[float], y_pred: Sequence[float], epsilon: float = 1e-9
+) -> float:
+    """MAPE with an epsilon guard against zero true values."""
+    t = np.asarray(y_true, dtype=np.float64)
+    p = np.asarray(y_pred, dtype=np.float64)
+    _validate(t, p)
+    return float(np.mean(np.abs(t - p) / np.maximum(np.abs(t), epsilon)))

@@ -1,0 +1,116 @@
+"""Naive Bayes classifier for mixed nominal/numeric attributes.
+
+This mirrors Weka's ``NaiveBayes``: nominal attributes use Laplace-smoothed
+category frequencies per class; numeric attributes use per-class Gaussian
+densities.  Naive Bayes is the classifier the paper highlights as benefiting
+most from the symbolic (nominal) representation — it outperforms its own raw
+numeric variant in Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import DatasetError
+from .base import Classifier
+from .dataset import MLDataset
+
+__all__ = ["NaiveBayesClassifier"]
+
+_MIN_STD = 1e-3
+_LOG_EPS = 1e-12
+
+
+class NaiveBayesClassifier(Classifier):
+    """Gaussian / multinomial Naive Bayes (Weka-style).
+
+    Parameters
+    ----------
+    laplace:
+        Additive smoothing for nominal category counts.
+    """
+
+    def __init__(self, laplace: float = 1.0) -> None:
+        super().__init__()
+        if laplace < 0:
+            raise DatasetError("laplace smoothing must be non-negative")
+        self.laplace = float(laplace)
+        self._priors: Optional[np.ndarray] = None
+        self._nominal_log_likelihoods: List[Optional[np.ndarray]] = []
+        self._gaussian_params: List[Optional[np.ndarray]] = []
+        self._attributes: tuple = ()
+
+    def fit(self, dataset: MLDataset) -> "NaiveBayesClassifier":
+        n_classes = dataset.n_classes
+        counts = dataset.class_counts().astype(np.float64)
+        self._priors = np.log((counts + 1.0) / (counts.sum() + n_classes))
+        self._attributes = dataset.attributes
+        self._nominal_log_likelihoods = []
+        self._gaussian_params = []
+
+        for col, attribute in enumerate(dataset.attributes):
+            column = dataset.X[:, col]
+            if attribute.is_nominal:
+                table = np.zeros((n_classes, attribute.n_categories), dtype=np.float64)
+                for klass in range(n_classes):
+                    members = column[dataset.y == klass].astype(np.int64)
+                    if members.size:
+                        table[klass] = np.bincount(
+                            members, minlength=attribute.n_categories
+                        )
+                table += self.laplace
+                table /= table.sum(axis=1, keepdims=True)
+                self._nominal_log_likelihoods.append(np.log(table + _LOG_EPS))
+                self._gaussian_params.append(None)
+            else:
+                params = np.zeros((n_classes, 2), dtype=np.float64)
+                overall_std = max(float(column.std()), _MIN_STD)
+                for klass in range(n_classes):
+                    members = column[dataset.y == klass]
+                    if members.size:
+                        params[klass, 0] = float(members.mean())
+                        params[klass, 1] = max(float(members.std()), _MIN_STD)
+                    else:
+                        params[klass, 0] = float(column.mean())
+                        params[klass, 1] = overall_std
+                self._gaussian_params.append(params)
+                self._nominal_log_likelihoods.append(None)
+
+        self._class_names = dataset.class_names
+        self._fitted = True
+        return self
+
+    def _log_posterior(self, dataset: MLDataset) -> np.ndarray:
+        self._check_fitted()
+        if dataset.attributes != self._attributes:
+            raise DatasetError("dataset schema differs from the one used to fit")
+        n = len(dataset)
+        scores = np.tile(self._priors, (n, 1))
+        for col, attribute in enumerate(dataset.attributes):
+            column = dataset.X[:, col]
+            if attribute.is_nominal:
+                table = self._nominal_log_likelihoods[col]
+                scores += table[:, column.astype(np.int64)].T
+            else:
+                params = self._gaussian_params[col]
+                means = params[:, 0][np.newaxis, :]
+                stds = params[:, 1][np.newaxis, :]
+                x = column[:, np.newaxis]
+                scores += (
+                    -0.5 * np.log(2.0 * np.pi * stds**2)
+                    - 0.5 * ((x - means) / stds) ** 2
+                )
+        return scores
+
+    def predict_proba(self, dataset: MLDataset) -> np.ndarray:
+        """Posterior class probabilities, one row per instance."""
+        scores = self._log_posterior(dataset)
+        scores -= scores.max(axis=1, keepdims=True)
+        probabilities = np.exp(scores)
+        probabilities /= probabilities.sum(axis=1, keepdims=True)
+        return probabilities
+
+    def predict(self, dataset: MLDataset) -> np.ndarray:
+        return np.argmax(self._log_posterior(dataset), axis=1)

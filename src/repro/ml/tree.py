@@ -1,0 +1,281 @@
+"""C4.5-style decision tree (the stand-in for Weka's J48).
+
+The tree supports mixed schemas: nominal attributes produce multiway splits
+(one child per category), numeric attributes produce binary threshold splits.
+Split selection uses gain ratio, as in C4.5/J48.  A light-weight
+minimum-instances / maximum-depth stopping rule plus optional reduced-error
+style collapse (merging children that all predict the parent majority) keeps
+trees from overfitting the small day-vector datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import DatasetError
+from .base import Classifier
+from .dataset import Attribute, MLDataset
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+def _entropy(labels: np.ndarray, n_classes: int) -> float:
+    if labels.size == 0:
+        return 0.0
+    counts = np.bincount(labels, minlength=n_classes).astype(np.float64)
+    probs = counts[counts > 0] / labels.size
+    return float(-(probs * np.log2(probs)).sum())
+
+
+@dataclass
+class _Node:
+    """Internal tree node; leaves have ``attribute_index is None``."""
+
+    majority_class: int
+    class_distribution: np.ndarray
+    attribute_index: Optional[int] = None
+    threshold: Optional[float] = None  # numeric splits only
+    children: Dict[int, "_Node"] = field(default_factory=dict)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.attribute_index is None
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 1
+        return 1 + max(child.depth() for child in self.children.values())
+
+    def count_nodes(self) -> int:
+        if self.is_leaf:
+            return 1
+        return 1 + sum(child.count_nodes() for child in self.children.values())
+
+
+class DecisionTreeClassifier(Classifier):
+    """Gain-ratio decision tree with multiway nominal splits.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (0 means unlimited).
+    min_samples_split:
+        Do not split nodes with fewer instances than this.
+    min_gain:
+        Minimum information gain required to accept a split.
+    max_features:
+        If positive, consider only this many randomly chosen attributes at
+        each split (used by the random forest); 0 considers all attributes.
+    random_state:
+        Seed for the feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 0,
+        min_samples_split: int = 2,
+        min_gain: float = 1e-7,
+        max_features: int = 0,
+        random_state: int = 0,
+    ) -> None:
+        super().__init__()
+        if min_samples_split < 2:
+            raise DatasetError("min_samples_split must be >= 2")
+        self.max_depth = int(max_depth)
+        self.min_samples_split = int(min_samples_split)
+        self.min_gain = float(min_gain)
+        self.max_features = int(max_features)
+        self.random_state = int(random_state)
+        self._root: Optional[_Node] = None
+        self._attributes: tuple = ()
+        self._n_classes = 0
+
+    # -- fitting ---------------------------------------------------------------------
+
+    def fit(self, dataset: MLDataset) -> "DecisionTreeClassifier":
+        if len(dataset) == 0:
+            raise DatasetError("cannot fit a tree on an empty dataset")
+        self._attributes = dataset.attributes
+        self._n_classes = dataset.n_classes
+        self._class_names = dataset.class_names
+        self._rng = np.random.default_rng(self.random_state)
+        self._root = self._build(dataset.X, dataset.y, depth=1)
+        self._fitted = True
+        return self
+
+    def _candidate_columns(self, n_columns: int) -> np.ndarray:
+        if self.max_features and self.max_features < n_columns:
+            return self._rng.choice(n_columns, size=self.max_features, replace=False)
+        return np.arange(n_columns)
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        distribution = np.bincount(y, minlength=self._n_classes)
+        majority = int(np.argmax(distribution))
+        node = _Node(majority_class=majority, class_distribution=distribution)
+
+        if (
+            len(np.unique(y)) == 1
+            or y.size < self.min_samples_split
+            or (self.max_depth and depth >= self.max_depth)
+        ):
+            return node
+
+        best = self._best_split(X, y)
+        if best is None:
+            return node
+        gain, column, threshold, partitions = best
+        if gain < self.min_gain:
+            return node
+
+        node.attribute_index = column
+        node.threshold = threshold
+        for branch, indices in partitions.items():
+            if indices.size == 0:
+                continue
+            node.children[branch] = self._build(X[indices], y[indices], depth + 1)
+        if not node.children:
+            node.attribute_index = None
+            node.threshold = None
+        return node
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> Optional[Tuple[float, int, Optional[float], Dict[int, np.ndarray]]]:
+        parent_entropy = _entropy(y, self._n_classes)
+        best: Optional[Tuple[float, int, Optional[float], Dict[int, np.ndarray]]] = None
+        best_ratio = -np.inf
+
+        for column in self._candidate_columns(X.shape[1]):
+            attribute = self._attributes[column]
+            values = X[:, column]
+            if attribute.is_nominal:
+                split = self._nominal_split(values, y, attribute)
+            else:
+                split = self._numeric_split(values, y)
+            if split is None:
+                continue
+            gain, threshold, partitions, split_info = split
+            information_gain = parent_entropy - gain
+            if information_gain <= 0 or split_info <= 0:
+                continue
+            gain_ratio = information_gain / split_info
+            if gain_ratio > best_ratio:
+                best_ratio = gain_ratio
+                best = (information_gain, int(column), threshold, partitions)
+        return best
+
+    def _nominal_split(
+        self, values: np.ndarray, y: np.ndarray, attribute: Attribute
+    ) -> Optional[Tuple[float, Optional[float], Dict[int, np.ndarray], float]]:
+        codes = values.astype(np.int64)
+        partitions: Dict[int, np.ndarray] = {}
+        weighted_entropy = 0.0
+        split_info = 0.0
+        for category in range(attribute.n_categories):
+            indices = np.nonzero(codes == category)[0]
+            partitions[category] = indices
+            if indices.size == 0:
+                continue
+            fraction = indices.size / y.size
+            weighted_entropy += fraction * _entropy(y[indices], self._n_classes)
+            split_info -= fraction * np.log2(fraction)
+        non_empty = sum(1 for idx in partitions.values() if idx.size)
+        if non_empty < 2:
+            return None
+        return weighted_entropy, None, partitions, split_info
+
+    def _numeric_split(
+        self, values: np.ndarray, y: np.ndarray
+    ) -> Optional[Tuple[float, Optional[float], Dict[int, np.ndarray], float]]:
+        order = np.argsort(values, kind="mergesort")
+        sorted_values = values[order]
+        distinct = np.unique(sorted_values)
+        if distinct.size < 2:
+            return None
+        # Candidate thresholds: midpoints between consecutive distinct values.
+        candidates = (distinct[:-1] + distinct[1:]) / 2.0
+        if candidates.size > 32:
+            # Subsample candidate thresholds for speed on long numeric columns.
+            candidates = candidates[:: max(1, candidates.size // 32)]
+        best: Optional[Tuple[float, Optional[float], Dict[int, np.ndarray], float]] = None
+        best_entropy = np.inf
+        for threshold in candidates:
+            left = np.nonzero(values <= threshold)[0]
+            right = np.nonzero(values > threshold)[0]
+            if left.size == 0 or right.size == 0:
+                continue
+            fraction_left = left.size / y.size
+            fraction_right = 1.0 - fraction_left
+            weighted = fraction_left * _entropy(y[left], self._n_classes)
+            weighted += fraction_right * _entropy(y[right], self._n_classes)
+            if weighted < best_entropy:
+                split_info = -(
+                    fraction_left * np.log2(fraction_left)
+                    + fraction_right * np.log2(fraction_right)
+                )
+                best_entropy = weighted
+                best = (
+                    weighted,
+                    float(threshold),
+                    {0: left, 1: right},
+                    float(split_info),
+                )
+        return best
+
+    # -- prediction -------------------------------------------------------------------
+
+    def predict(self, dataset: MLDataset) -> np.ndarray:
+        self._check_fitted()
+        if dataset.attributes != self._attributes:
+            raise DatasetError("dataset schema differs from the one used to fit")
+        return np.asarray(
+            [self._predict_row(row) for row in dataset.X], dtype=np.int64
+        )
+
+    def predict_proba(self, dataset: MLDataset) -> np.ndarray:
+        """Leaf class distributions normalised to probabilities."""
+        self._check_fitted()
+        out = np.zeros((len(dataset), self._n_classes), dtype=np.float64)
+        for i, row in enumerate(dataset.X):
+            distribution = self._leaf_for_row(row).class_distribution.astype(np.float64)
+            total = distribution.sum()
+            out[i] = distribution / total if total else 1.0 / self._n_classes
+        return out
+
+    def _leaf_for_row(self, row: np.ndarray) -> _Node:
+        node = self._root
+        assert node is not None
+        while not node.is_leaf:
+            column = node.attribute_index
+            attribute = self._attributes[column]
+            if attribute.is_nominal:
+                branch = int(row[column])
+            else:
+                branch = 0 if row[column] <= node.threshold else 1
+            child = node.children.get(branch)
+            if child is None:
+                break  # unseen branch: stop at current node's majority
+            node = child
+        return node
+
+    def _predict_row(self, row: np.ndarray) -> int:
+        return self._leaf_for_row(row).majority_class
+
+    # -- introspection -------------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Depth of the fitted tree."""
+        self._check_fitted()
+        assert self._root is not None
+        return self._root.depth()
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count of the fitted tree."""
+        self._check_fitted()
+        assert self._root is not None
+        return self._root.count_nodes()

@@ -1,0 +1,73 @@
+"""Unit tests for repro.analytics.classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics import DayVectorConfig, build_day_vectors, classifier_factory, classify_households
+from repro.errors import ExperimentError
+from repro.ml import (
+    DecisionTreeClassifier,
+    LogisticRegressionClassifier,
+    NaiveBayesClassifier,
+    RandomForestClassifier,
+)
+
+
+class TestClassifierFactory:
+    def test_known_names(self):
+        assert isinstance(classifier_factory("naive_bayes")(), NaiveBayesClassifier)
+        assert isinstance(classifier_factory("j48")(), DecisionTreeClassifier)
+        assert isinstance(classifier_factory("random_forest")(), RandomForestClassifier)
+        assert isinstance(classifier_factory("logistic")(), LogisticRegressionClassifier)
+
+    def test_case_insensitive(self):
+        assert isinstance(classifier_factory("Naive_Bayes")(), NaiveBayesClassifier)
+
+    def test_unknown_name(self):
+        with pytest.raises(ExperimentError):
+            classifier_factory("svm")
+
+    def test_factory_returns_fresh_instances(self):
+        factory = classifier_factory("naive_bayes")
+        assert factory() is not factory()
+
+
+class TestClassifyHouseholds:
+    def test_symbolic_classification_beats_chance(self, small_redd):
+        config = DayVectorConfig("median", 3600.0, 16)
+        result = classify_households(small_redd, config, "naive_bayes", n_folds=5)
+        # Six balanced classes -> chance is ~0.17.
+        assert result.f_measure > 0.3
+        assert result.processing_seconds > 0.0
+        assert result.n_instances > 10
+        assert result.classifier == "naive_bayes"
+
+    def test_result_dictionary_and_label(self, small_redd):
+        config = DayVectorConfig("uniform", 3600.0, 4)
+        result = classify_households(small_redd, config, "naive_bayes", n_folds=4)
+        info = result.as_dict()
+        assert info["encoding"] == "uniform"
+        assert info["alphabet_size"] == 4
+        assert "uniform 1h 4s / naive_bayes" == result.label
+
+    def test_prebuilt_vectors_reused(self, small_redd):
+        config = DayVectorConfig("median", 3600.0, 8)
+        vectors = build_day_vectors(small_redd, config)
+        a = classify_households(small_redd, config, "naive_bayes", n_folds=4,
+                                vectors=vectors)
+        b = classify_households(small_redd, config, "naive_bayes", n_folds=4,
+                                vectors=vectors)
+        assert a.f_measure == b.f_measure
+
+    def test_folds_capped_by_instance_count(self, small_redd):
+        # Only two houses with few days each: ask for more folds than instances.
+        tiny = small_redd.subset([1, 2])
+        config = DayVectorConfig("median", 3600.0, 4)
+        result = classify_households(tiny, config, "naive_bayes", n_folds=10)
+        assert result.n_folds <= 10
+
+    def test_raw_configuration_works(self, small_redd):
+        config = DayVectorConfig("raw", 3600.0)
+        result = classify_households(small_redd, config, "j48", n_folds=4)
+        assert 0.0 <= result.f_measure <= 1.0

@@ -1,0 +1,123 @@
+"""Unit tests for repro.analytics.privacy and repro.analytics.segmentation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    DayVectorConfig,
+    KMeans,
+    bucket_sizes,
+    reidentification_risk,
+    segment_customers,
+    symbol_histogram_features,
+    value_obfuscation,
+)
+from repro.core import BinaryAlphabet, LookupTable, SymbolicEncoder
+from repro.datasets import generate_smartstar
+from repro.errors import ExperimentError
+
+
+@pytest.fixture()
+def table8(house1_series):
+    return LookupTable.fit(house1_series, 8, method="median")
+
+
+class TestObfuscation:
+    def test_bucket_sizes_cover_all_readings(self, table8, house1_series):
+        counts = bucket_sizes(table8, house1_series.values)
+        assert sum(counts.values()) == len(house1_series)
+        assert set(counts) == set(table8.alphabet.words)
+
+    def test_obfuscation_report_fields(self, table8, house1_series):
+        report = value_obfuscation(table8, house1_series.values)
+        assert report.n_symbolic_distinct <= 8
+        assert report.n_raw_distinct > report.n_symbolic_distinct
+        assert report.distinct_reduction > 1.0
+        assert report.mean_absolute_reconstruction_error > 0.0
+        assert report.min_bucket_size >= 1
+
+    def test_larger_alphabet_reduces_information_loss(self, house1_series):
+        coarse = LookupTable.fit(house1_series, 2, method="median")
+        fine = LookupTable.fit(house1_series, 16, method="median")
+        loss_coarse = value_obfuscation(coarse, house1_series.values)
+        loss_fine = value_obfuscation(fine, house1_series.values)
+        assert (
+            loss_fine.mean_absolute_reconstruction_error
+            < loss_coarse.mean_absolute_reconstruction_error
+        )
+
+    def test_empty_values_rejected(self, table8):
+        with pytest.raises(ExperimentError):
+            value_obfuscation(table8, [])
+
+
+class TestReidentification:
+    def test_attack_beats_random_guessing(self, small_redd):
+        config = DayVectorConfig("median", 3600.0, 8)
+        risk = reidentification_risk(small_redd, config)
+        assert 0.0 <= risk <= 1.0
+        assert risk > 1.0 / len(small_redd)
+
+    def test_default_config_used_when_omitted(self, small_redd):
+        assert 0.0 <= reidentification_risk(small_redd) <= 1.0
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self, rng):
+        blobs = np.vstack([
+            rng.normal(0.0, 0.2, size=(30, 2)),
+            rng.normal(5.0, 0.2, size=(30, 2)),
+            rng.normal([0.0, 8.0], 0.2, size=(30, 2)),
+        ])
+        model = KMeans(n_clusters=3, seed=1)
+        labels = model.fit_predict(blobs)
+        # Each blob should be internally homogeneous.
+        for start in (0, 30, 60):
+            block = labels[start:start + 30]
+            assert (block == np.bincount(block).argmax()).mean() > 0.95
+
+    def test_predict_before_fit_rejected(self, rng):
+        with pytest.raises(ExperimentError):
+            KMeans().predict(rng.normal(size=(3, 2)))
+
+    def test_too_few_rows_rejected(self, rng):
+        with pytest.raises(ExperimentError):
+            KMeans(n_clusters=5).fit(rng.normal(size=(3, 2)))
+
+    def test_inertia_decreases_with_more_clusters(self, rng):
+        data = rng.normal(size=(60, 3))
+        inertia2 = KMeans(n_clusters=2, seed=0).fit(data).inertia_
+        inertia6 = KMeans(n_clusters=6, seed=0).fit(data).inertia_
+        assert inertia6 < inertia2
+
+
+class TestCustomerSegmentation:
+    def test_segment_redd_households(self, small_redd):
+        result = segment_customers(small_redd, n_clusters=3, alphabet_size=8)
+        assert set(result.assignments) == set(small_redd.house_ids)
+        assert set(result.assignments.values()) <= {0, 1, 2}
+        members = result.cluster_members()
+        assert sum(len(v) for v in members.values()) == len(small_redd)
+
+    def test_daily_profile_features_shape(self, small_redd):
+        encoder = SymbolicEncoder(alphabet_size=8, method="median",
+                                  aggregation_seconds=3600.0)
+        encoded = {
+            house.house_id: encoder.fit_encode(house.mains) for house in small_redd
+        }
+        features, house_ids = symbol_histogram_features(encoded)
+        assert features.shape == (6, 8)
+        assert np.allclose(features.sum(axis=1), 1.0)
+        assert house_ids == small_redd.house_ids
+
+    def test_population_scale_segmentation(self):
+        population = generate_smartstar(n_houses=40, wide_interval=900.0, seed=3)
+        result = segment_customers(population, n_clusters=4, features="daily_profile")
+        assert len(result.assignments) == 40
+        assert len(set(result.assignments.values())) > 1
+
+    def test_unknown_feature_type_rejected(self, small_redd):
+        with pytest.raises(ExperimentError):
+            segment_customers(small_redd, features="wavelet")

@@ -1,0 +1,105 @@
+"""Unit tests for repro.analytics.vectors (day-vector construction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytics import DayVectorConfig, build_day_vectors, build_lookup_tables, day_slot_values
+from repro.core import TimeSeries
+from repro.errors import ExperimentError
+
+
+class TestDayVectorConfig:
+    def test_slots_per_day(self):
+        assert DayVectorConfig(aggregation_seconds=3600.0).slots_per_day == 24
+        assert DayVectorConfig(aggregation_seconds=900.0).slots_per_day == 96
+
+    def test_labels_match_paper_axis_format(self):
+        assert DayVectorConfig("median", 3600.0, 8).label() == "median 1h 8s"
+        assert DayVectorConfig("uniform", 900.0, 16).label() == "uniform 15m 16s"
+        assert DayVectorConfig("median", 3600.0, 8, global_table=True).label() == "median+ 1h 8s"
+        assert DayVectorConfig("raw", 900.0).label() == "raw 15m"
+
+
+class TestDaySlotValues:
+    def test_full_day_averages(self):
+        day = TimeSeries.regular(np.arange(1440, dtype=float), interval=60.0)
+        slots = day_slot_values(day, 3600.0, 24)
+        assert slots.shape == (24,)
+        assert slots[0] == pytest.approx(np.arange(60).mean())
+        assert slots[-1] == pytest.approx(np.arange(1380, 1440).mean())
+
+    def test_gap_filled_with_nearest_slot(self):
+        # Data only in the first and last hours of the day.
+        first = TimeSeries.regular(np.full(60, 100.0), interval=60.0)
+        last = TimeSeries.regular(np.full(60, 500.0), start=23 * 3600.0, interval=60.0)
+        day = first.concat(last)
+        slots = day_slot_values(day, 3600.0, 24)
+        assert slots[0] == pytest.approx(100.0)
+        assert slots[23] == pytest.approx(500.0)
+        assert slots[5] == pytest.approx(100.0)   # nearest is slot 0
+        assert slots[20] == pytest.approx(500.0)  # nearest is slot 23
+
+    def test_empty_day_rejected(self):
+        with pytest.raises(ExperimentError):
+            day_slot_values(TimeSeries.empty(), 3600.0, 24)
+
+
+class TestBuildLookupTables:
+    def test_per_house_tables_differ(self, small_redd):
+        config = DayVectorConfig("median", 3600.0, 8)
+        tables = build_lookup_tables(small_redd, config)
+        assert set(tables) == set(small_redd.house_ids)
+        separators = {hid: tuple(t.separators) for hid, t in tables.items()}
+        assert len(set(separators.values())) > 1
+
+    def test_global_table_shared(self, small_redd):
+        config = DayVectorConfig("median", 3600.0, 8, global_table=True)
+        tables = build_lookup_tables(small_redd, config)
+        reference = tables[small_redd.house_ids[0]]
+        assert all(table is reference for table in tables.values())
+
+    def test_raw_encoding_has_no_tables(self, small_redd):
+        with pytest.raises(ExperimentError):
+            build_lookup_tables(small_redd, DayVectorConfig("raw", 3600.0))
+
+
+class TestBuildDayVectors:
+    def test_symbolic_vectors_schema(self, small_redd):
+        config = DayVectorConfig("median", 3600.0, 8)
+        table = build_day_vectors(small_redd, config)
+        assert table.n_attributes == 24
+        assert all(a.is_nominal and a.n_categories == 8 for a in table.attributes)
+        assert set(table.class_names) <= {f"house_{i}" for i in small_redd.house_ids}
+        assert len(table) > 0
+
+    def test_raw_vectors_schema(self, small_redd):
+        config = DayVectorConfig("raw", 900.0)
+        table = build_day_vectors(small_redd, config)
+        assert table.n_attributes == 96
+        assert all(not a.is_nominal for a in table.attributes)
+
+    def test_bootstrap_and_filtering_affect_instance_count(self, small_redd):
+        strict = build_day_vectors(small_redd, DayVectorConfig("median", 3600.0, 8,
+                                                               min_hours=20.0))
+        lax = build_day_vectors(small_redd, DayVectorConfig("median", 3600.0, 8,
+                                                            min_hours=1.0))
+        assert len(lax) >= len(strict)
+
+    def test_alphabet_size_respected(self, small_redd):
+        for size in (2, 4, 16):
+            config = DayVectorConfig("uniform", 3600.0, size)
+            table = build_day_vectors(small_redd, config)
+            assert all(a.n_categories == size for a in table.attributes)
+            assert table.X.max() < size
+
+    def test_instances_correspond_to_filtered_days(self, small_redd):
+        from repro.datasets import filter_days
+
+        config = DayVectorConfig("median", 3600.0, 8, min_hours=20.0)
+        table = build_day_vectors(small_redd, config)
+        expected = sum(
+            len(filter_days(house.mains, min_hours=20.0)) for house in small_redd
+        )
+        assert len(table) == expected

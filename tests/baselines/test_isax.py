@@ -1,0 +1,142 @@
+"""Unit tests for repro.baselines.isax."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ISAXEncoder,
+    ISAXIndex,
+    ISAXSymbol,
+    ISAXWord,
+    isax_mindist,
+    znormalize,
+)
+from repro.errors import SegmentationError
+
+
+class TestISAXSymbol:
+    def test_word_and_bits(self):
+        symbol = ISAXSymbol(index=5, cardinality=8)
+        assert symbol.bits == 3
+        assert symbol.word == "101"
+
+    def test_invalid_cardinality_or_index(self):
+        with pytest.raises(SegmentationError):
+            ISAXSymbol(index=0, cardinality=3)
+        with pytest.raises(SegmentationError):
+            ISAXSymbol(index=8, cardinality=8)
+
+    def test_promote_demote_round_trip(self):
+        symbol = ISAXSymbol(index=2, cardinality=4)
+        promoted = symbol.promote(16)
+        assert promoted.cardinality == 16
+        assert promoted.demote(4) == symbol
+
+    def test_promote_demote_direction_guards(self):
+        symbol = ISAXSymbol(index=2, cardinality=4)
+        with pytest.raises(SegmentationError):
+            symbol.promote(2)
+        with pytest.raises(SegmentationError):
+            symbol.demote(8)
+
+    def test_containment(self):
+        coarse = ISAXSymbol(index=1, cardinality=2)  # upper half
+        fine_inside = ISAXSymbol(index=3, cardinality=4)
+        fine_outside = ISAXSymbol(index=0, cardinality=4)
+        assert coarse.contains(fine_inside)
+        assert not coarse.contains(fine_outside)
+
+
+class TestISAXEncoderAndWord:
+    def test_word_length_and_cardinality(self, rng):
+        encoder = ISAXEncoder(segments=8, cardinality=16)
+        word = encoder.transform_values(rng.normal(size=128))
+        assert len(word) == 8
+        assert set(word.cardinalities) == {16}
+
+    def test_demote_whole_word(self, rng):
+        encoder = ISAXEncoder(segments=8, cardinality=16)
+        word = encoder.transform_values(rng.normal(size=128))
+        coarse = word.demote(4)
+        assert set(coarse.cardinalities) == {4}
+        assert coarse.contains(word)
+
+    def test_str_contains_cardinalities(self, rng):
+        encoder = ISAXEncoder(segments=4, cardinality=8)
+        word = encoder.transform_values(rng.normal(size=64))
+        assert "(8)" in str(word)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SegmentationError):
+            ISAXEncoder(segments=0)
+        with pytest.raises(SegmentationError):
+            ISAXEncoder(cardinality=5)
+        with pytest.raises(SegmentationError):
+            ISAXEncoder().transform_values(np.array([]))
+
+
+class TestMindist:
+    def test_identical_words(self, rng):
+        encoder = ISAXEncoder(segments=8, cardinality=16)
+        word = encoder.transform_values(rng.normal(size=128))
+        assert isax_mindist(word, word, 128) == 0.0
+
+    def test_mixed_cardinality_lower_bounds_distance(self, rng):
+        for _ in range(5):
+            x, y = rng.normal(size=64), rng.normal(size=64)
+            fine = ISAXEncoder(segments=8, cardinality=16)
+            wx = fine.transform_values(x)
+            wy = fine.transform_values(y).demote(4)  # coarser second word
+            true_distance = float(np.linalg.norm(znormalize(x) - znormalize(y)))
+            assert isax_mindist(wx, wy, 64) <= true_distance + 1e-6
+
+    def test_length_mismatch_rejected(self, rng):
+        a = ISAXEncoder(segments=8).transform_values(rng.normal(size=64))
+        b = ISAXEncoder(segments=4).transform_values(rng.normal(size=64))
+        with pytest.raises(SegmentationError):
+            isax_mindist(a, b, 64)
+
+
+class TestISAXIndex:
+    def _patterns(self, rng, n=60, length=96):
+        # Three distinct daily shapes so approximate search has structure.
+        base_shapes = [
+            np.sin(np.linspace(0, 2 * np.pi, length)),
+            np.concatenate([np.zeros(length // 2), np.ones(length - length // 2)]),
+            np.linspace(0, 1, length),
+        ]
+        data = []
+        for i in range(n):
+            shape = base_shapes[i % 3]
+            data.append(shape * 100 + rng.normal(0, 5, size=length), )
+        return data
+
+    def test_insert_and_size(self, rng):
+        index = ISAXIndex(segments=8, leaf_capacity=4)
+        for i, series in enumerate(self._patterns(rng, n=30)):
+            index.insert(series, payload=i % 3)
+        assert len(index) == 30
+
+    def test_approximate_search_finds_same_shape(self, rng):
+        index = ISAXIndex(segments=8, leaf_capacity=4)
+        patterns = self._patterns(rng, n=60)
+        for i, series in enumerate(patterns):
+            index.insert(series, payload=i % 3)
+        hits = 0
+        for shape_id in range(3):
+            query = patterns[shape_id] + rng.normal(0, 5, size=len(patterns[shape_id]))
+            results = index.approximate_search(query, k=1)
+            assert results
+            if results[0][0] == shape_id:
+                hits += 1
+        assert hits >= 2  # approximate search should usually find the right shape
+
+    def test_empty_index_returns_nothing(self, rng):
+        index = ISAXIndex()
+        assert index.approximate_search(rng.normal(size=96)) == []
+
+    def test_invalid_cardinality_combination(self):
+        with pytest.raises(SegmentationError):
+            ISAXIndex(base_cardinality=32, max_cardinality=16)

@@ -1,0 +1,62 @@
+"""Unit tests for repro.baselines.paa."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import paa, paa_series
+from repro.core import TimeSeries
+from repro.errors import SegmentationError
+
+
+class TestPAA:
+    def test_exact_division(self):
+        values = np.array([1.0, 3.0, 5.0, 7.0, 9.0, 11.0])
+        assert paa(values, 3).tolist() == [2.0, 6.0, 10.0]
+
+    def test_single_segment_is_mean(self):
+        values = np.array([2.0, 4.0, 6.0])
+        assert paa(values, 1).tolist() == [4.0]
+
+    def test_segments_greater_than_length_returns_copy(self):
+        values = np.array([1.0, 2.0])
+        result = paa(values, 5)
+        assert result.tolist() == [1.0, 2.0]
+        result[0] = 99.0
+        assert values[0] == 1.0  # original untouched
+
+    def test_fractional_frames_weighted_correctly(self):
+        # 5 samples into 2 frames: frame width 2.5 samples.
+        values = np.array([0.0, 0.0, 10.0, 10.0, 10.0])
+        result = paa(values, 2)
+        # First frame: samples 0,1 and half of sample 2 -> (0+0+5)/2.5 = 2.
+        assert result[0] == pytest.approx(2.0)
+        assert result[1] == pytest.approx(10.0)
+
+    def test_overall_mean_preserved(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 100, size=97)
+        result = paa(values, 10)
+        # PAA is a weighted partition of the samples, so the weighted mean of
+        # the frames equals the global mean.
+        assert result.mean() == pytest.approx(values.mean(), rel=0.02)
+
+    def test_errors(self):
+        with pytest.raises(SegmentationError):
+            paa(np.array([]), 2)
+        with pytest.raises(SegmentationError):
+            paa(np.array([1.0]), 0)
+        with pytest.raises(SegmentationError):
+            paa(np.ones((2, 2)), 2)
+
+
+class TestPAASeries:
+    def test_timestamps_cover_duration(self, simple_series):
+        reduced = paa_series(simple_series, 5)
+        assert len(reduced) == 5
+        assert reduced.timestamps[0] == simple_series.timestamps[0]
+        assert reduced.timestamps[-1] < simple_series.timestamps[-1] + 1e-9
+
+    def test_name_preserved(self, simple_series):
+        assert paa_series(simple_series, 2).name == simple_series.name

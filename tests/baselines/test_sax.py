@@ -1,0 +1,114 @@
+"""Unit tests for repro.baselines.sax."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import SAXEncoder, gaussian_breakpoints, mindist, znormalize
+from repro.errors import SegmentationError
+
+
+class TestBreakpoints:
+    def test_tabulated_values(self):
+        # Classic SAX table values.
+        assert gaussian_breakpoints(2) == pytest.approx([0.0], abs=1e-9)
+        assert gaussian_breakpoints(3) == pytest.approx([-0.4307, 0.4307], abs=1e-3)
+        assert gaussian_breakpoints(4) == pytest.approx([-0.6745, 0.0, 0.6745], abs=1e-3)
+
+    def test_breakpoints_sorted_and_symmetric(self):
+        for k in (2, 4, 8, 16):
+            beta = gaussian_breakpoints(k)
+            assert beta == sorted(beta)
+            assert beta == pytest.approx([-b for b in reversed(beta)], abs=1e-9)
+
+    def test_invalid_size(self):
+        with pytest.raises(SegmentationError):
+            gaussian_breakpoints(1)
+
+
+class TestZNormalize:
+    def test_zero_mean_unit_variance(self, rng):
+        values = rng.normal(100.0, 20.0, size=1000)
+        normed = znormalize(values)
+        assert normed.mean() == pytest.approx(0.0, abs=1e-9)
+        assert normed.std() == pytest.approx(1.0, abs=1e-9)
+
+    def test_constant_series_maps_to_zeros(self):
+        assert znormalize(np.full(10, 5.0)).tolist() == [0.0] * 10
+
+
+class TestSAXEncoder:
+    def test_equiprobable_symbols_on_gaussian_data(self, rng):
+        values = rng.normal(0.0, 1.0, size=8000)
+        encoder = SAXEncoder(alphabet_size=8, normalize=True)
+        word = encoder.transform_values(values)
+        counts = np.bincount(np.asarray(word.indices), minlength=8)
+        assert counts.min() > 0.8 * len(values) / 8
+        assert counts.max() < 1.2 * len(values) / 8
+
+    def test_paa_reduces_word_length(self, house1_series):
+        encoder = SAXEncoder(alphabet_size=8, segments=24)
+        word = encoder.transform(house1_series)
+        assert len(word) == 24
+        assert len(word.letters) == 24
+        assert set(word.letters) <= set("abcdefgh")
+
+    def test_normalization_erases_consumption_level(self):
+        # The paper's Figure 3 argument: after z-normalisation a big consumer
+        # and a small consumer with the same shape become identical, whereas
+        # the paper's shared (un-normalised) lookup table keeps them apart.
+        from repro.core import LookupTable
+
+        small = np.array([100.0, 120.0, 100.0, 130.0] * 6)
+        big = small * 10.0
+        encoder = SAXEncoder(alphabet_size=4, segments=8, normalize=True)
+        assert encoder.transform_values(small).indices == encoder.transform_values(big).indices
+        shared = LookupTable.fit(np.concatenate([small, big]), 4, method="median")
+        assert (
+            shared.indices_for_values(small).tolist()
+            != shared.indices_for_values(big).tolist()
+        )
+
+    def test_reconstruct_shape(self, rng):
+        values = rng.normal(0.0, 1.0, size=64)
+        encoder = SAXEncoder(alphabet_size=8, segments=16)
+        word = encoder.transform_values(values)
+        recon = encoder.reconstruct(word)
+        assert recon.shape == (16,)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SegmentationError):
+            SAXEncoder().transform_values(np.array([]))
+
+
+class TestMindist:
+    def test_identical_words_distance_zero(self, rng):
+        values = rng.normal(size=64)
+        encoder = SAXEncoder(alphabet_size=8, segments=8)
+        word = encoder.transform_values(values)
+        assert mindist(word, word, 64) == 0.0
+
+    def test_adjacent_symbols_contribute_zero(self):
+        encoder = SAXEncoder(alphabet_size=4, segments=4)
+        a = encoder.transform_values(np.array([0.0, 0.0, 1.0, 1.0] * 4))
+        b = encoder.transform_values(np.array([0.1, 0.1, 0.9, 0.9] * 4))
+        assert mindist(a, b, 16) <= mindist(a, a, 16) + 1.0
+
+    def test_lower_bounds_euclidean_distance(self, rng):
+        # MINDIST must lower-bound the true Euclidean distance of the
+        # z-normalised series (the SAX contract).
+        for _ in range(10):
+            x = rng.normal(size=64)
+            y = rng.normal(size=64)
+            encoder = SAXEncoder(alphabet_size=8, segments=8)
+            wx, wy = encoder.transform_values(x), encoder.transform_values(y)
+            true_distance = float(np.linalg.norm(znormalize(x) - znormalize(y)))
+            assert mindist(wx, wy, 64) <= true_distance + 1e-6
+
+    def test_mismatched_words_rejected(self, rng):
+        encoder8 = SAXEncoder(alphabet_size=8, segments=8)
+        encoder4 = SAXEncoder(alphabet_size=4, segments=8)
+        x = rng.normal(size=64)
+        with pytest.raises(SegmentationError):
+            mindist(encoder8.transform_values(x), encoder4.transform_values(x), 64)

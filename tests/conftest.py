@@ -1,0 +1,44 @@
+"""Shared fixtures: small synthetic datasets reused across the test suite.
+
+Datasets are session-scoped because generation is the slowest part of the
+suite; every test treats them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TimeSeries
+from repro.datasets import REDDGenerator, generate_redd
+
+
+@pytest.fixture(scope="session")
+def small_redd():
+    """Six houses, 6 days, 2-minute sampling, with gaps (fast but realistic)."""
+    return generate_redd(days=6, sampling_interval=120.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def gapless_redd():
+    """Six houses, 9 days, 1-minute sampling, no gaps (forecasting needs 8 days)."""
+    return generate_redd(days=9, sampling_interval=60.0, seed=11, with_gaps=False)
+
+
+@pytest.fixture(scope="session")
+def house1_series(small_redd):
+    """Mains series of house 1 from the small dataset."""
+    return small_redd.mains(1)
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic random generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def simple_series():
+    """A tiny hand-checkable series: ten values at 1 Hz."""
+    values = [100.0, 150.0, 200.0, 250.0, 300.0, 350.0, 400.0, 450.0, 500.0, 550.0]
+    return TimeSeries.regular(values, start=0.0, interval=1.0, name="simple")

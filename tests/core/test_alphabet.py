@@ -1,0 +1,143 @@
+"""Unit tests for repro.core.alphabet."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BinaryAlphabet, Symbol, is_power_of_two
+from repro.core.alphabet import index_for_symbol, symbol_for_index
+from repro.errors import AlphabetError
+
+
+class TestHelpers:
+    @pytest.mark.parametrize("n,expected", [(1, True), (2, True), (16, True),
+                                            (0, False), (3, False), (-4, False)])
+    def test_is_power_of_two(self, n, expected):
+        assert is_power_of_two(n) is expected
+
+    def test_symbol_for_index_round_trip(self):
+        for depth in (1, 2, 3, 4):
+            for index in range(1 << depth):
+                word = symbol_for_index(index, depth)
+                assert len(word) == depth
+                assert index_for_symbol(word) == index
+
+    def test_symbol_for_index_rejects_out_of_range(self):
+        with pytest.raises(AlphabetError):
+            symbol_for_index(4, 2)
+        with pytest.raises(AlphabetError):
+            symbol_for_index(0, 0)
+
+    def test_index_for_symbol_rejects_non_binary(self):
+        with pytest.raises(AlphabetError):
+            index_for_symbol("102")
+        with pytest.raises(AlphabetError):
+            index_for_symbol("")
+
+
+class TestSymbol:
+    def test_basic_properties(self):
+        symbol = Symbol("101")
+        assert symbol.depth == 3
+        assert symbol.index == 5
+        assert symbol.cardinality == 8
+        assert str(symbol) == "101"
+
+    def test_invalid_word_rejected(self):
+        with pytest.raises(AlphabetError):
+            Symbol("abc")
+        with pytest.raises(AlphabetError):
+            Symbol("")
+
+    def test_containment_matches_paper_example(self):
+        # The paper: '0' equals (covers) '01', '00', '00101'...
+        coarse = Symbol("0")
+        assert coarse.contains(Symbol("01"))
+        assert coarse.contains(Symbol("00"))
+        assert coarse.contains(Symbol("00101"))
+        assert not coarse.contains(Symbol("10"))
+
+    def test_comparable_is_symmetric(self):
+        assert Symbol("0").comparable(Symbol("01"))
+        assert Symbol("01").comparable(Symbol("0"))
+        assert not Symbol("01").comparable(Symbol("10"))
+
+    def test_promote_and_demote(self):
+        symbol = Symbol("10")
+        assert symbol.promote(4).word == "1000"
+        assert symbol.promote(4, low=False).word == "1011"
+        assert symbol.promote(2).word == "10"
+        assert Symbol("1011").demote(2).word == "10"
+
+    def test_promote_demote_reject_wrong_direction(self):
+        with pytest.raises(AlphabetError):
+            Symbol("10").demote(3)
+        with pytest.raises(AlphabetError):
+            Symbol("10").promote(1)
+        with pytest.raises(AlphabetError):
+            Symbol("10").demote(0)
+
+
+class TestBinaryAlphabet:
+    def test_sizes_and_depths(self):
+        for size, depth in [(2, 1), (4, 2), (8, 3), (16, 4)]:
+            alphabet = BinaryAlphabet(size)
+            assert len(alphabet) == size
+            assert alphabet.depth == depth
+            assert alphabet.bits_per_symbol == depth
+
+    def test_non_power_of_two_rejected(self):
+        for bad in (0, 1, 3, 6, 12):
+            with pytest.raises(AlphabetError):
+                BinaryAlphabet(bad)
+
+    def test_from_depth(self):
+        assert BinaryAlphabet.from_depth(3).size == 8
+        with pytest.raises(AlphabetError):
+            BinaryAlphabet.from_depth(0)
+
+    def test_words_are_sorted_by_range(self):
+        alphabet = BinaryAlphabet(8)
+        assert alphabet.words == ["000", "001", "010", "011", "100", "101", "110", "111"]
+
+    def test_symbol_and_index_round_trip(self):
+        alphabet = BinaryAlphabet(16)
+        for i in range(16):
+            assert alphabet.index(alphabet.symbol(i)) == i
+
+    def test_symbol_out_of_range(self):
+        with pytest.raises(AlphabetError):
+            BinaryAlphabet(4).symbol(4)
+
+    def test_contains_by_symbol_and_string(self):
+        alphabet = BinaryAlphabet(4)
+        assert Symbol("01") in alphabet
+        assert "01" in alphabet
+        assert Symbol("011") not in alphabet
+        assert 3 not in alphabet
+
+    def test_equality_is_by_size(self):
+        assert BinaryAlphabet(8) == BinaryAlphabet(8)
+        assert BinaryAlphabet(8) != BinaryAlphabet(4)
+
+    def test_convert_between_resolutions(self):
+        fine = BinaryAlphabet(16)
+        coarse = BinaryAlphabet(4)
+        symbol = fine.symbol(13)  # '1101'
+        demoted = fine.convert(symbol, coarse)
+        assert demoted.word == "11"
+        promoted = coarse.convert(demoted, fine)
+        assert promoted.word == "1100"
+
+    def test_convert_rejects_foreign_symbol(self):
+        with pytest.raises(AlphabetError):
+            BinaryAlphabet(4).convert(Symbol("101"), BinaryAlphabet(8))
+
+    def test_coarser_finer_guards(self):
+        alphabet = BinaryAlphabet(8)
+        assert alphabet.coarser(4).size == 4
+        assert alphabet.finer(16).size == 16
+        with pytest.raises(AlphabetError):
+            alphabet.coarser(16)
+        with pytest.raises(AlphabetError):
+            alphabet.finer(4)

@@ -1,0 +1,66 @@
+"""Unit tests for repro.core.compression (Section 2.3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import BinaryAlphabet, CompressionModel, LookupTable
+from repro.errors import SegmentationError
+
+
+class TestPaperExample:
+    def test_raw_size_matches_680kb_per_day(self):
+        model = CompressionModel(sampling_interval=1.0, value_bits=64)
+        raw_kb = model.raw_bits_per_day() / 8.0 / 1024.0
+        assert raw_kb == pytest.approx(675.0, rel=0.01)  # "around 680 kB"
+
+    def test_symbolic_size_matches_384_bits(self):
+        model = CompressionModel(sampling_interval=1.0, value_bits=64)
+        assert model.symbolic_bits_per_day(16, 900.0) == pytest.approx(384.0)
+
+    def test_three_orders_of_magnitude(self):
+        report = CompressionModel.paper_example()
+        assert report.orders_of_magnitude >= 3.0
+        assert report.ratio == pytest.approx(14400.0, rel=0.01)
+
+
+class TestModel:
+    def test_invalid_parameters(self):
+        with pytest.raises(SegmentationError):
+            CompressionModel(sampling_interval=0.0)
+        with pytest.raises(SegmentationError):
+            CompressionModel(value_bits=0)
+        with pytest.raises(SegmentationError):
+            CompressionModel().symbolic_bits_per_day(1, 900.0)
+
+    def test_ratio_improves_with_larger_windows(self):
+        model = CompressionModel()
+        small = model.report(16, 60.0)
+        large = model.report(16, 3600.0)
+        assert large.ratio > small.ratio
+
+    def test_ratio_worsens_with_larger_alphabets(self):
+        model = CompressionModel()
+        few = model.report(2, 900.0)
+        many = model.report(16, 900.0)
+        assert few.ratio > many.ratio
+
+    def test_table_overhead_amortised(self):
+        model = CompressionModel()
+        report = model.report(16, 900.0, amortisation_days=30.0)
+        assert report.ratio_with_table < report.ratio
+        long_report = model.report(16, 900.0, amortisation_days=365.0)
+        assert long_report.ratio_with_table > report.ratio_with_table
+
+    def test_explicit_table_cost_used(self):
+        table = LookupTable(BinaryAlphabet(4), [1.0, 2.0, 3.0])
+        model = CompressionModel()
+        report = model.report(4, 900.0, table=table)
+        assert report.table_bits == table.size_in_bits(64)
+
+    def test_zero_aggregation_defaults_to_sampling_interval(self):
+        model = CompressionModel(sampling_interval=2.0)
+        bits = model.symbolic_bits_per_day(4, 0.0)
+        assert bits == pytest.approx((86400 / 2.0) * 2)

@@ -1,0 +1,103 @@
+"""Unit tests for repro.core.encoder.SymbolicEncoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LookupTable, SymbolicEncoder, TimeSeries
+from repro.errors import NotFittedError, SegmentationError
+
+
+class TestFitEncodeDecode:
+    def test_docstring_example(self):
+        raw = TimeSeries.regular([100.0, 120.0, 400.0, 80.0], interval=1.0)
+        encoder = SymbolicEncoder(alphabet_size=4, method="median")
+        encoded = encoder.fit(raw).encode(raw)
+        assert encoded.words == ["01", "10", "11", "00"]
+
+    def test_unfitted_encoder_raises(self, simple_series):
+        encoder = SymbolicEncoder(alphabet_size=4)
+        assert not encoder.is_fitted
+        with pytest.raises(NotFittedError):
+            encoder.encode(simple_series)
+        with pytest.raises(NotFittedError):
+            encoder.table
+
+    def test_fit_encode_convenience(self, simple_series):
+        encoder = SymbolicEncoder(alphabet_size=8, method="uniform")
+        encoded = encoder.fit_encode(simple_series)
+        assert len(encoded) == len(simple_series)
+        assert encoder.is_fitted
+
+    def test_fit_on_plain_values(self):
+        encoder = SymbolicEncoder(alphabet_size=4, method="median")
+        encoder.fit(np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]))
+        encoded = encoder.encode_values([1.5, 7.5])
+        assert encoded.indices.tolist() == [0, 3]
+
+    def test_decode_round_trip_buckets(self, house1_series):
+        encoder = SymbolicEncoder(alphabet_size=16, method="median")
+        encoded = encoder.fit_encode(house1_series)
+        decoded = encoder.decode(encoded)
+        re_encoded = encoder.table.indices_for_values(decoded.values)
+        assert np.array_equal(re_encoded, encoded.indices)
+
+    def test_reconstruction_error_decreases_with_alphabet_size(self, house1_series):
+        errors = []
+        for size in (2, 4, 8, 16):
+            encoder = SymbolicEncoder(alphabet_size=size, method="median")
+            encoder.fit(house1_series)
+            errors.append(encoder.reconstruction_error(house1_series))
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] < errors[0]
+
+
+class TestVerticalIntegration:
+    def test_aggregation_reduces_length(self, house1_series):
+        encoder = SymbolicEncoder(
+            alphabet_size=8, method="median", aggregation_seconds=3600.0
+        )
+        encoded = encoder.fit_encode(house1_series)
+        assert len(encoded) < len(house1_series)
+        aggregated = encoder.aggregate(house1_series)
+        assert len(encoded) == len(aggregated)
+
+    def test_aggregation_by_count(self, simple_series):
+        encoder = SymbolicEncoder(
+            alphabet_size=4, method="uniform", aggregation_count=2
+        )
+        encoded = encoder.fit_encode(simple_series)
+        assert len(encoded) == 5
+
+    def test_both_aggregation_modes_rejected(self):
+        with pytest.raises(SegmentationError):
+            SymbolicEncoder(aggregation_seconds=900.0, aggregation_count=4)
+
+    def test_separators_learned_on_aggregated_values(self):
+        # Aggregation smooths a spiky signal, so the separator range must be
+        # learned from the smoothed values, not the raw peaks.
+        values = np.zeros(7200)
+        values[::60] = 6000.0  # 1-minute spikes
+        series = TimeSeries.regular(values, interval=1.0)
+        encoder = SymbolicEncoder(
+            alphabet_size=4, method="uniform", aggregation_seconds=3600.0
+        )
+        encoder.fit(series)
+        assert max(encoder.table.separators) < 6000.0
+
+
+class TestFromTable:
+    def test_reattach_shipped_table(self, simple_series):
+        encoder = SymbolicEncoder(alphabet_size=8, method="median")
+        encoder.fit(simple_series)
+        shipped = LookupTable.from_json(encoder.table.to_json())
+        server_side = SymbolicEncoder.from_table(shipped)
+        assert server_side.is_fitted
+        assert server_side.encode(simple_series).words == encoder.encode(simple_series).words
+
+    def test_repr_mentions_parameters(self):
+        encoder = SymbolicEncoder(alphabet_size=16, method="uniform",
+                                  aggregation_seconds=900.0)
+        text = repr(encoder)
+        assert "16" in text and "uniform" in text

@@ -1,0 +1,128 @@
+"""Unit tests for repro.core.horizontal (Definition 3 and SymbolicSeries)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BinaryAlphabet,
+    LookupTable,
+    Symbol,
+    SymbolicSeries,
+    TimeSeries,
+    horizontal_segment,
+)
+from repro.errors import SegmentationError
+
+
+@pytest.fixture()
+def table8():
+    separators = [100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0]
+    return LookupTable(BinaryAlphabet(8), separators)
+
+
+@pytest.fixture()
+def symbolic(simple_series, table8):
+    return horizontal_segment(simple_series, table8)
+
+
+class TestHorizontalSegment:
+    def test_symbols_match_definition3(self, simple_series, table8):
+        result = horizontal_segment(simple_series, table8)
+        expected_indices = [0, 1, 1, 2, 2, 3, 3, 4, 4, 5]
+        assert result.indices.tolist() == expected_indices
+
+    def test_preserves_timestamps_and_name(self, simple_series, table8):
+        result = horizontal_segment(simple_series, table8)
+        assert np.array_equal(result.timestamps, simple_series.timestamps)
+        assert result.name == simple_series.name
+
+    def test_length_matches_input(self, house1_series, table8):
+        result = horizontal_segment(house1_series, table8)
+        assert len(result) == len(house1_series)
+
+
+class TestSymbolicSeries:
+    def test_construction_validates_lengths(self, table8):
+        with pytest.raises(SegmentationError):
+            SymbolicSeries([0.0, 1.0], [Symbol("000")], table8)
+
+    def test_construction_validates_depth(self, table8):
+        with pytest.raises(SegmentationError):
+            SymbolicSeries([0.0], [Symbol("00")], table8)
+
+    def test_construction_validates_time_order(self, table8):
+        with pytest.raises(SegmentationError):
+            SymbolicSeries([1.0, 0.0], [Symbol("000"), Symbol("001")], table8)
+
+    def test_words_and_to_string(self, symbolic):
+        assert symbolic.words[0] == "000"
+        assert symbolic.to_string().split(" ") == symbolic.words
+
+    def test_indexing_and_slicing(self, symbolic):
+        timestamp, symbol = symbolic[0]
+        assert timestamp == 0.0
+        assert symbol.word == "000"
+        sliced = symbolic[2:5]
+        assert isinstance(sliced, SymbolicSeries)
+        assert len(sliced) == 3
+
+    def test_size_in_bits(self, symbolic):
+        assert symbolic.size_in_bits() == len(symbolic) * 3
+
+    def test_decode_produces_in_range_values(self, symbolic, table8, simple_series):
+        decoded = symbolic.decode()
+        assert len(decoded) == len(symbolic)
+        # Decoded values re-encode to the same symbols (idempotence).
+        re_encoded = horizontal_segment(decoded, table8)
+        assert re_encoded.words == symbolic.words
+
+    def test_between_and_split_days(self, table8):
+        values = np.linspace(0, 750, 48)
+        series = TimeSeries.regular(values, interval=3600.0)
+        encoded = horizontal_segment(series, table8)
+        days = encoded.split_days()
+        assert len(days) == 2
+        assert len(days[0]) == 24
+        window = encoded.between(0.0, 7200.0)
+        assert len(window) == 2
+
+    def test_symbol_counts_and_entropy(self, table8):
+        values = [50.0] * 8  # everything in the first bucket
+        series = TimeSeries.regular(values)
+        encoded = horizontal_segment(series, table8)
+        counts = encoded.symbol_counts()
+        assert counts["000"] == 8
+        assert sum(counts.values()) == 8
+        assert encoded.entropy() == 0.0
+
+    def test_entropy_maximal_for_uniform_symbols(self, table8):
+        # One value per bucket -> maximal entropy log2(8) = 3 bits.
+        values = [50.0, 150.0, 250.0, 350.0, 450.0, 550.0, 650.0, 750.0]
+        encoded = horizontal_segment(TimeSeries.regular(values), table8)
+        assert encoded.entropy() == pytest.approx(3.0)
+
+    def test_equality(self, simple_series, table8):
+        a = horizontal_segment(simple_series, table8)
+        b = horizontal_segment(simple_series, table8)
+        assert a == b
+        assert a != b[:-1]
+
+
+class TestDemotion:
+    def test_demote_truncates_words(self, symbolic):
+        coarse = symbolic.demote(4)
+        assert coarse.alphabet.size == 4
+        assert all(
+            fine.word.startswith(coarse_sym.word)
+            for fine, coarse_sym in zip(symbolic.symbols, coarse.symbols)
+        )
+
+    def test_demote_keeps_every_other_separator(self, symbolic, table8):
+        coarse = symbolic.demote(4)
+        assert coarse.table.separators == [200.0, 400.0, 600.0]
+
+    def test_demote_to_larger_alphabet_rejected(self, symbolic):
+        with pytest.raises(SegmentationError):
+            symbolic.demote(16)

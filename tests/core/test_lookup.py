@@ -1,0 +1,123 @@
+"""Unit tests for repro.core.lookup."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BinaryAlphabet, LookupTable, Symbol, TimeSeries
+from repro.errors import LookupTableError
+
+
+@pytest.fixture()
+def table4():
+    """Four symbols with separators at 100/200/300 W."""
+    return LookupTable(BinaryAlphabet(4), [100.0, 200.0, 300.0])
+
+
+class TestConstruction:
+    def test_wrong_separator_count_rejected(self):
+        with pytest.raises(LookupTableError):
+            LookupTable(BinaryAlphabet(4), [100.0])
+
+    def test_unsorted_separators_rejected(self):
+        with pytest.raises(LookupTableError):
+            LookupTable(BinaryAlphabet(4), [300.0, 200.0, 100.0])
+
+    def test_wrong_reconstruction_count_rejected(self):
+        with pytest.raises(LookupTableError):
+            LookupTable(BinaryAlphabet(4), [1.0, 2.0, 3.0], [1.0])
+
+    def test_default_reconstruction_values_are_range_centres(self, table4):
+        assert table4.reconstruction_values == [50.0, 150.0, 250.0, 350.0]
+
+    def test_fit_median_on_series(self, simple_series):
+        table = LookupTable.fit(simple_series, 4, method="median")
+        assert table.size == 4
+        assert len(table.separators) == 3
+
+    def test_fit_rejects_unknown_reconstruction(self, simple_series):
+        with pytest.raises(LookupTableError):
+            LookupTable.fit(simple_series, 4, reconstruction="mode")
+
+
+class TestEncoding:
+    def test_definition3_boundary_cases(self, table4):
+        # (i) v <= beta_1 -> a_1 ; boundary values belong to the lower symbol.
+        assert table4.symbol_for_value(50.0).word == "00"
+        assert table4.symbol_for_value(100.0).word == "00"
+        # (iii) beta_{j-1} < v <= beta_j
+        assert table4.symbol_for_value(100.1).word == "01"
+        assert table4.symbol_for_value(200.0).word == "01"
+        # (ii) v > beta_{k-1} -> a_k
+        assert table4.symbol_for_value(300.1).word == "11"
+        assert table4.symbol_for_value(10_000.0).word == "11"
+
+    def test_vectorised_encoding_matches_scalar(self, table4, rng):
+        values = rng.uniform(0, 500, size=200)
+        indices = table4.indices_for_values(values)
+        scalar = [table4.index_for_value(float(v)) for v in values]
+        assert indices.tolist() == scalar
+
+    def test_nan_rejected(self, table4):
+        with pytest.raises(LookupTableError):
+            table4.index_for_value(float("nan"))
+        with pytest.raises(LookupTableError):
+            table4.indices_for_values([1.0, float("nan")])
+
+    def test_range_of(self, table4):
+        low, high = table4.range_of(Symbol("00"))
+        assert low == -np.inf and high == 100.0
+        low, high = table4.range_of(Symbol("11"))
+        assert low == 300.0 and high == np.inf
+
+
+class TestDecoding:
+    def test_round_trip_value_within_range(self, table4, rng):
+        values = rng.uniform(0, 400, size=100)
+        symbols = table4.symbols_for_values(values)
+        decoded = table4.values_for_symbols(symbols)
+        # Decoded values must land in the same bucket as the original.
+        assert np.array_equal(
+            table4.indices_for_values(decoded), table4.indices_for_values(values)
+        )
+
+    def test_mean_reconstruction_uses_bucket_means(self):
+        values = np.array([10.0, 20.0, 150.0, 170.0, 250.0, 350.0, 450.0])
+        table = LookupTable(BinaryAlphabet(4), [100.0, 200.0, 300.0])
+        table = table.with_mean_reconstruction(values)
+        assert table.reconstruction_values[0] == pytest.approx(15.0)
+        assert table.reconstruction_values[1] == pytest.approx(160.0)
+        assert table.reconstruction_values[2] == pytest.approx(250.0)
+        assert table.reconstruction_values[3] == pytest.approx(400.0)
+
+    def test_decode_foreign_resolution_symbols(self, table4):
+        coarse = Symbol("0")
+        fine = Symbol("001")
+        assert table4.value_for_symbol(coarse) == table4.reconstruction_values[0]
+        assert table4.value_for_symbol(fine) == table4.reconstruction_values[0]
+
+
+class TestSerialisation:
+    def test_dict_round_trip(self, table4):
+        rebuilt = LookupTable.from_dict(table4.to_dict())
+        assert rebuilt == table4
+
+    def test_json_round_trip(self, table4):
+        rebuilt = LookupTable.from_json(table4.to_json())
+        assert rebuilt == table4
+
+    def test_from_dict_missing_field(self):
+        with pytest.raises(LookupTableError):
+            LookupTable.from_dict({"separators": [1.0]})
+
+    def test_size_in_bits_scales_with_alphabet(self):
+        small = LookupTable(BinaryAlphabet(4), [1.0, 2.0, 3.0])
+        large = LookupTable(BinaryAlphabet(16), list(range(1, 16)))
+        assert large.size_in_bits() > small.size_in_bits()
+
+    def test_equality(self, table4):
+        same = LookupTable(BinaryAlphabet(4), [100.0, 200.0, 300.0])
+        different = LookupTable(BinaryAlphabet(4), [100.0, 200.0, 301.0])
+        assert table4 == same
+        assert table4 != different

@@ -1,0 +1,79 @@
+"""Unit tests for repro.core.multiresolution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SymbolicEncoder,
+    Symbol,
+    TimeSeries,
+    align_resolutions,
+    common_resolution,
+    demote_series,
+    series_distance,
+    symbol_distance,
+)
+from repro.core.multiresolution import compatible
+from repro.errors import SegmentationError
+
+
+@pytest.fixture()
+def encoded_pair(house1_series):
+    fine = SymbolicEncoder(alphabet_size=16, method="median",
+                           aggregation_seconds=3600.0).fit_encode(house1_series)
+    coarse = SymbolicEncoder(alphabet_size=4, method="median",
+                             aggregation_seconds=3600.0).fit_encode(house1_series)
+    return fine, coarse
+
+
+class TestSymbolDistance:
+    def test_identical_symbols_distance_zero(self):
+        assert symbol_distance(Symbol("1010"), Symbol("1010")) == 0.0
+
+    def test_prefix_related_symbols_distance_zero(self):
+        assert symbol_distance(Symbol("10"), Symbol("1011")) == 0.0
+        assert compatible(Symbol("10"), Symbol("1011"))
+
+    def test_distance_normalised_to_unit_interval(self):
+        assert symbol_distance(Symbol("00"), Symbol("11")) == 1.0
+        assert 0.0 < symbol_distance(Symbol("00"), Symbol("01")) < 1.0
+
+    def test_distance_is_symmetric(self):
+        a, b = Symbol("0101"), Symbol("11")
+        assert symbol_distance(a, b) == symbol_distance(b, a)
+
+
+class TestSeriesOperations:
+    def test_common_resolution(self, encoded_pair):
+        fine, coarse = encoded_pair
+        assert common_resolution(fine, coarse) == 4
+        with pytest.raises(SegmentationError):
+            common_resolution()
+
+    def test_align_resolutions_demotes_finer_series(self, encoded_pair):
+        fine, coarse = encoded_pair
+        aligned = align_resolutions(fine, coarse)
+        assert all(series.alphabet.size == 4 for series in aligned)
+        assert len(aligned[0]) == len(fine)
+
+    def test_demote_series_wrapper(self, encoded_pair):
+        fine, _ = encoded_pair
+        assert demote_series(fine, 8).alphabet.size == 8
+
+    def test_series_distance_zero_for_identical(self, encoded_pair):
+        fine, _ = encoded_pair
+        assert series_distance(fine, fine) == 0.0
+
+    def test_series_distance_requires_equal_length(self, encoded_pair):
+        fine, _ = encoded_pair
+        with pytest.raises(SegmentationError):
+            series_distance(fine, fine[:-1])
+
+    def test_cross_resolution_distance_small_for_same_signal(self, encoded_pair):
+        # The same underlying signal encoded at 16 and 4 symbols should be
+        # close (distance well under random-pair expectation of ~0.33).
+        fine, coarse = encoded_pair
+        n = min(len(fine), len(coarse))
+        assert series_distance(fine[:n], coarse[:n]) < 0.15

@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These check the structural guarantees the paper's construction relies on:
+Definition 3 is a total, order-preserving, idempotent mapping; vertical
+segmentation preserves the mean for exact windows; demotion is consistent
+with the prefix partial order; compression ratios are always >= 1 for
+aggregating configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BinaryAlphabet,
+    CompressionModel,
+    LookupTable,
+    Symbol,
+    SymbolicEncoder,
+    TimeSeries,
+    segment_by_count,
+)
+from repro.baselines import paa
+
+# Strategies -----------------------------------------------------------------
+
+power_values = st.floats(
+    min_value=0.0,
+    max_value=10_000.0,
+    allow_nan=False,
+    allow_infinity=False,
+    # Subnormal floats create value ranges narrower than machine precision,
+    # which no quantisation scheme can round-trip; real meters never produce
+    # them.
+    allow_subnormal=False,
+)
+value_lists = st.lists(power_values, min_size=4, max_size=200)
+alphabet_sizes = st.sampled_from([2, 4, 8, 16])
+methods = st.sampled_from(["uniform", "median", "distinctmedian"])
+
+
+def _binary_words(max_depth: int = 6):
+    return st.integers(min_value=1, max_value=max_depth).flatmap(
+        lambda depth: st.integers(min_value=0, max_value=(1 << depth) - 1).map(
+            lambda index: format(index, f"0{depth}b")
+        )
+    )
+
+
+# Horizontal segmentation ------------------------------------------------------
+
+
+class TestLookupTableProperties:
+    @given(values=value_lists, k=alphabet_sizes, method=methods)
+    @settings(max_examples=60, deadline=None)
+    def test_encoding_is_total_and_in_range(self, values, k, method):
+        assume(len(set(values)) >= 2)
+        table = LookupTable.fit(np.asarray(values), k, method=method)
+        indices = table.indices_for_values(values)
+        assert indices.min() >= 0
+        assert indices.max() < k
+
+    @given(values=value_lists, k=alphabet_sizes, method=methods)
+    @settings(max_examples=60, deadline=None)
+    def test_encoding_is_monotone_in_the_value(self, values, k, method):
+        assume(len(set(values)) >= 2)
+        table = LookupTable.fit(np.asarray(values), k, method=method)
+        ordered = np.sort(np.asarray(values))
+        indices = table.indices_for_values(ordered)
+        assert np.all(np.diff(indices) >= 0)
+
+    @given(values=value_lists, k=alphabet_sizes, method=methods)
+    @settings(max_examples=60, deadline=None)
+    def test_decode_then_encode_is_idempotent(self, values, k, method):
+        assume(len(set(values)) >= 2)
+        table = LookupTable.fit(np.asarray(values), k, method=method)
+        indices = table.indices_for_values(values)
+        decoded = [table.reconstruction_values[int(i)] for i in indices]
+        again = table.indices_for_values(decoded)
+        assert np.array_equal(indices, again)
+
+    @given(values=value_lists, k=alphabet_sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_serialisation_round_trip(self, values, k):
+        assume(len(set(values)) >= 2)
+        table = LookupTable.fit(np.asarray(values), k, method="median")
+        assert LookupTable.from_json(table.to_json()) == table
+
+
+class TestSymbolProperties:
+    @given(word=_binary_words())
+    @settings(max_examples=100, deadline=None)
+    def test_demote_is_prefix(self, word):
+        symbol = Symbol(word)
+        for depth in range(1, symbol.depth + 1):
+            coarse = symbol.demote(depth)
+            assert coarse.contains(symbol)
+            assert word.startswith(coarse.word)
+
+    @given(word=_binary_words(4), extra=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=100, deadline=None)
+    def test_promote_then_demote_is_identity(self, word, extra):
+        symbol = Symbol(word)
+        promoted = symbol.promote(symbol.depth + extra)
+        assert promoted.demote(symbol.depth) == symbol
+
+    @given(a=_binary_words(), b=_binary_words())
+    @settings(max_examples=100, deadline=None)
+    def test_containment_is_antisymmetric_up_to_equality(self, a, b):
+        sa, sb = Symbol(a), Symbol(b)
+        if sa.contains(sb) and sb.contains(sa):
+            assert sa == sb
+
+
+class TestVerticalProperties:
+    @given(values=value_lists, n=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_count_segmentation_length(self, values, n):
+        series = TimeSeries.regular(values)
+        segmented = segment_by_count(series, n)
+        assert len(segmented) == len(values) // n if n > 1 else len(values)
+
+    @given(values=value_lists, n=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_average_segmentation_preserves_total_mean_of_full_windows(self, values, n):
+        series = TimeSeries.regular(values)
+        segmented = segment_by_count(series, n)
+        assume(len(segmented) > 0)
+        full = np.asarray(values[: (len(values) // n) * n]) if n > 1 else np.asarray(values)
+        assert segmented.values.mean() == pytest.approx(full.mean(), rel=1e-9)
+
+    @given(values=value_lists, n=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_aggregated_values_bounded_by_input_range(self, values, n):
+        series = TimeSeries.regular(values)
+        segmented = segment_by_count(series, n)
+        assume(len(segmented) > 0)
+        assert segmented.values.min() >= min(values) - 1e-9
+        assert segmented.values.max() <= max(values) + 1e-9
+
+
+class TestEncoderProperties:
+    @given(values=value_lists, k=alphabet_sizes, method=methods)
+    @settings(max_examples=40, deadline=None)
+    def test_demoted_encoding_consistent_with_prefix_order(self, values, k, method):
+        assume(len(set(values)) >= k)
+        encoder = SymbolicEncoder(alphabet_size=k, method=method)
+        encoded = encoder.fit_encode(TimeSeries.regular(values))
+        if k == 2:
+            return
+        coarse = encoded.demote(k // 2)
+        for fine_symbol, coarse_symbol in zip(encoded.symbols, coarse.symbols):
+            assert coarse_symbol.contains(fine_symbol)
+
+    @given(
+        values=st.lists(power_values, min_size=32, max_size=200, unique=True)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reconstruction_error_non_increasing_in_alphabet_size(self, values):
+        series = TimeSeries.regular(values)
+        errors = []
+        for k in (2, 4, 8, 16):
+            encoder = SymbolicEncoder(alphabet_size=k, method="median")
+            encoder.fit(series)
+            errors.append(encoder.reconstruction_error(series))
+        for coarse, fine in zip(errors, errors[1:]):
+            assert fine <= coarse + 1e-9
+
+
+class TestPAAProperties:
+    @given(values=value_lists, segments=st.integers(min_value=1, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_paa_output_length_and_bounds(self, values, segments):
+        result = paa(np.asarray(values), segments)
+        assert len(result) == min(segments, len(values))
+        assert result.min() >= min(values) - 1e-6
+        assert result.max() <= max(values) + 1e-6
+
+    @given(values=value_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_paa_single_segment_is_global_mean(self, values):
+        result = paa(np.asarray(values), 1)
+        assert result[0] == pytest.approx(np.mean(values), rel=1e-9, abs=1e-9)
+
+
+class TestCompressionProperties:
+    @given(
+        k=alphabet_sizes,
+        window=st.sampled_from([60.0, 300.0, 900.0, 3600.0]),
+        interval=st.sampled_from([1.0, 10.0, 30.0]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ratio_at_least_one_when_aggregating(self, k, window, interval):
+        assume(window >= interval)
+        model = CompressionModel(sampling_interval=interval)
+        report = model.report(k, window)
+        assert report.ratio >= 1.0

@@ -1,0 +1,120 @@
+"""Unit tests for repro.core.separators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CustomSeparators,
+    DistinctMedianSeparators,
+    MedianSeparators,
+    TimeSeries,
+    UniformSeparators,
+    available_methods,
+    get_method,
+)
+from repro.errors import SegmentationError
+
+
+class TestUniform:
+    def test_equal_width_ranges(self):
+        values = [0.0, 100.0, 200.0, 400.0]
+        separators = UniformSeparators().separators(values, 4)
+        assert separators == [100.0, 200.0, 300.0]
+
+    def test_number_of_separators(self):
+        values = np.linspace(0, 1000, 101)
+        for k in (2, 4, 8, 16):
+            assert len(UniformSeparators().separators(values, k)) == k - 1
+
+    def test_all_zero_data_degenerates_gracefully(self):
+        separators = UniformSeparators().separators([0.0, 0.0, 0.0], 4)
+        assert separators == [0.0, 0.0, 0.0]
+
+    def test_accepts_time_series(self, simple_series):
+        separators = UniformSeparators().separators(simple_series, 2)
+        assert separators == [pytest.approx(275.0)]
+
+
+class TestMedian:
+    def test_two_symbols_split_at_median(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+        separators = MedianSeparators().separators(values, 2)
+        assert len(separators) == 1
+        assert 4.0 <= separators[0] <= 5.0
+
+    def test_equal_frequency_buckets(self):
+        rng = np.random.default_rng(0)
+        values = rng.lognormal(5.0, 1.0, size=5000)
+        separators = MedianSeparators().separators(values, 8)
+        buckets = np.searchsorted(separators, values, side="left")
+        counts = np.bincount(buckets, minlength=8)
+        # Every symbol should get roughly 1/8 of the data.
+        assert counts.min() > 0.8 * len(values) / 8
+        assert counts.max() < 1.2 * len(values) / 8
+
+    def test_separators_are_sorted(self):
+        rng = np.random.default_rng(1)
+        values = rng.exponential(100.0, size=1000)
+        separators = MedianSeparators().separators(values, 16)
+        assert separators == sorted(separators)
+
+    def test_repeated_value_bias(self):
+        # 90% of readings are the standby value 60 W.
+        values = np.concatenate([np.full(900, 60.0), np.linspace(100, 1000, 100)])
+        separators = MedianSeparators().separators(values, 4)
+        # With the plain median method most separators collapse onto 60 W.
+        assert separators.count(60.0) >= 2
+
+
+class TestDistinctMedian:
+    def test_ignores_value_frequency(self):
+        values = np.concatenate([np.full(900, 60.0), np.linspace(100, 1000, 100)])
+        separators = DistinctMedianSeparators().separators(values, 4)
+        # Separators spread over the distinct values instead of collapsing at 60.
+        assert separators.count(60.0) == 0
+        assert separators == sorted(separators)
+
+    def test_equivalent_to_median_when_all_values_distinct(self):
+        values = np.linspace(1.0, 1000.0, 640)
+        med = MedianSeparators().separators(values, 8)
+        dmed = DistinctMedianSeparators().separators(values, 8)
+        assert med == pytest.approx(dmed)
+
+
+class TestCustomAndRegistry:
+    def test_custom_separators_pass_through(self):
+        method = CustomSeparators([500.0])
+        assert method.separators([1, 2, 3], 2) == [500.0]
+
+    def test_custom_wrong_count_rejected(self):
+        with pytest.raises(SegmentationError):
+            CustomSeparators([1.0, 2.0]).separators([1, 2], 2)
+
+    def test_custom_unsorted_rejected(self):
+        with pytest.raises(SegmentationError):
+            CustomSeparators([5.0, 1.0])
+
+    def test_get_method_resolves_names_and_aliases(self):
+        assert isinstance(get_method("median"), MedianSeparators)
+        assert isinstance(get_method("UNIFORM"), UniformSeparators)
+        assert isinstance(get_method("distinct_median"), DistinctMedianSeparators)
+        assert isinstance(get_method("median_of_distinct_values"), DistinctMedianSeparators)
+
+    def test_get_method_unknown_name(self):
+        with pytest.raises(SegmentationError):
+            get_method("not-a-method")
+
+    def test_available_methods(self):
+        assert set(available_methods()) == {"uniform", "median", "distinctmedian"}
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(SegmentationError):
+            MedianSeparators().separators([], 4)
+        with pytest.raises(SegmentationError):
+            MedianSeparators().separators([np.nan], 4)
+
+    def test_k_below_two_rejected(self):
+        with pytest.raises(SegmentationError):
+            UniformSeparators().separators([1.0, 2.0], 1)

@@ -1,0 +1,68 @@
+"""Unit tests for repro.core.stats (Figure 4 statistics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TimeSeries, accumulative_statistics, convergence_time
+from repro.errors import SegmentationError
+
+
+class TestAccumulativeStatistics:
+    def test_number_of_steps(self):
+        series = TimeSeries.regular(np.ones(7200), interval=1.0)  # 2 hours
+        stats = accumulative_statistics(series, step_seconds=3600.0)
+        assert len(stats) >= 2
+        assert stats.times[0] == 3600.0
+
+    def test_constant_series_statistics_are_constant(self):
+        series = TimeSeries.regular(np.full(7200, 250.0), interval=1.0)
+        stats = accumulative_statistics(series, step_seconds=1800.0)
+        assert all(value == pytest.approx(250.0) for value in stats.mean)
+        assert all(value == pytest.approx(250.0) for value in stats.median)
+        assert all(value == pytest.approx(250.0) for value in stats.distinctmedian)
+
+    def test_prefix_growth_reflects_trend(self):
+        # Values keep increasing, so the accumulative mean keeps increasing.
+        series = TimeSeries.regular(np.arange(7200, dtype=float), interval=1.0)
+        stats = accumulative_statistics(series, step_seconds=1800.0)
+        assert stats.mean == sorted(stats.mean)
+
+    def test_empty_series(self):
+        stats = accumulative_statistics(TimeSeries.empty())
+        assert len(stats) == 0
+
+    def test_invalid_step(self, simple_series):
+        with pytest.raises(SegmentationError):
+            accumulative_statistics(simple_series, step_seconds=0.0)
+
+    def test_as_dict_columns(self, simple_series):
+        stats = accumulative_statistics(simple_series, step_seconds=2.0)
+        data = stats.as_dict()
+        assert set(data) == {"time", "mean", "median", "distinctmedian"}
+        assert len(data["time"]) == len(stats)
+
+
+class TestConvergenceTime:
+    def test_converged_series_reports_early_time(self):
+        series = TimeSeries.regular(np.full(4 * 3600, 100.0), interval=1.0)
+        stats = accumulative_statistics(series, step_seconds=3600.0)
+        assert convergence_time(stats, "median") == 3600.0
+
+    def test_trending_series_converges_late_or_never(self):
+        series = TimeSeries.regular(
+            np.linspace(1.0, 10_000.0, 6 * 3600), interval=1.0
+        )
+        stats = accumulative_statistics(series, step_seconds=3600.0)
+        assert convergence_time(stats, "mean", tolerance=0.01) >= stats.times[-2]
+
+    def test_unknown_statistic_rejected(self, simple_series):
+        stats = accumulative_statistics(simple_series, step_seconds=2.0)
+        with pytest.raises(SegmentationError):
+            convergence_time(stats, "variance")
+
+    def test_redd_like_house_converges_within_window(self, house1_series):
+        stats = accumulative_statistics(house1_series, step_seconds=3600.0)
+        converged_at = convergence_time(stats, "median", tolerance=0.15)
+        assert converged_at < float("inf")

@@ -1,0 +1,157 @@
+"""Unit tests for repro.core.streaming (OnlineEncoder, RunningStatistics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import OnlineEncoder, RunningStatistics, SymbolicEncoder, TimeSeries
+from repro.errors import SegmentationError
+
+
+class TestRunningStatistics:
+    def test_mean_median_distinct_median(self):
+        stats = RunningStatistics()
+        stats.update_many([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.count == 5
+        assert stats.mean == pytest.approx(3.0)
+        assert stats.median == pytest.approx(3.0)
+        assert stats.distinct_median == pytest.approx(3.0)
+
+    def test_distinct_median_ignores_repeats(self):
+        stats = RunningStatistics()
+        stats.update_many([60.0] * 100 + [100.0, 200.0, 300.0])
+        # Plain median is dominated by the repeated 60s.
+        assert stats.median == pytest.approx(60.0)
+        # Distinct median sees {60, 100, 200, 300}.
+        assert stats.distinct_median > 60.0
+
+    def test_nan_values_ignored(self):
+        stats = RunningStatistics()
+        stats.update(float("nan"))
+        stats.update(5.0)
+        assert stats.count == 1
+
+    def test_empty_statistics_are_zero(self):
+        stats = RunningStatistics()
+        assert stats.mean == 0.0
+        assert stats.median == 0.0
+        assert stats.distinct_median == 0.0
+        assert stats.maximum == 0.0
+
+    def test_reservoir_bounded_memory(self):
+        stats = RunningStatistics(max_samples=100, seed=3)
+        stats.update_many(np.arange(10_000, dtype=float))
+        assert len(stats.values()) == 100
+        assert stats.count == 10_000
+        # The reservoir median should approximate the true median (~5000).
+        assert abs(stats.median - 5000.0) < 1500.0
+
+    def test_invalid_max_samples(self):
+        with pytest.raises(SegmentationError):
+            RunningStatistics(max_samples=0)
+
+    def test_snapshot_keys(self):
+        stats = RunningStatistics()
+        stats.update(1.0)
+        snapshot = stats.snapshot()
+        assert set(snapshot) == {"count", "mean", "median", "distinctmedian"}
+
+
+class TestOnlineEncoder:
+    def _hourly_sine(self, hours: int, interval: float = 60.0) -> TimeSeries:
+        n = int(hours * 3600 / interval)
+        t = np.arange(n) * interval
+        values = 300.0 + 200.0 * np.sin(2 * np.pi * t / 86400.0) + 50.0
+        return TimeSeries(t, np.clip(values, 1.0, None))
+
+    def test_bootstrap_then_emission(self):
+        series = self._hourly_sine(hours=30)
+        encoder = OnlineEncoder(
+            alphabet_size=4,
+            window_seconds=3600.0,
+            bootstrap_seconds=6 * 3600.0,
+        )
+        emitted = encoder.push_series(series)
+        emitted += encoder.flush()
+        assert encoder.is_bootstrapped
+        assert encoder.table is not None
+        # Roughly one symbol per hour of data.
+        assert 26 <= len(emitted) <= 30
+        assert encoder.table_updates[0].reason == "bootstrap"
+
+    def test_no_emission_during_bootstrap(self):
+        series = self._hourly_sine(hours=2)
+        encoder = OnlineEncoder(window_seconds=900.0, bootstrap_seconds=4 * 3600.0)
+        emitted = encoder.push_series(series)
+        assert emitted == []
+        assert not encoder.is_bootstrapped
+        with pytest.raises(SegmentationError):
+            encoder.to_symbolic_series()
+
+    def test_matches_batch_encoder_on_stable_data(self):
+        series = self._hourly_sine(hours=48)
+        window = 3600.0
+        bootstrap = 24 * 3600.0
+        online = OnlineEncoder(
+            alphabet_size=8, method="median", window_seconds=window,
+            bootstrap_seconds=bootstrap,
+        )
+        online.push_series(series)
+        online.flush()
+        symbolic = online.to_symbolic_series()
+        assert len(symbolic) >= 46
+        # The online separators come from the bootstrap prefix only; a batch
+        # encoder fitted on that same prefix and applied to the whole stream
+        # must produce identical symbols for the covered windows.
+        start = float(series.timestamps[0])
+        prefix = series.between(start, start + bootstrap)
+        batch = SymbolicEncoder(
+            alphabet_size=8, method="median", aggregation_seconds=window
+        )
+        batch.fit(prefix)
+        batch_symbols = batch.encode(series)
+        online_by_time = dict(zip(symbolic.timestamps, symbolic.words))
+        matches = [
+            online_by_time[t] == w
+            for t, w in zip(batch_symbols.timestamps, batch_symbols.words)
+            if t in online_by_time
+        ]
+        assert matches and sum(matches) / len(matches) > 0.9
+
+    def test_gap_skips_windows_without_emitting(self):
+        # One hour of data, a 3-hour gap, then another hour.
+        part1 = TimeSeries.regular(np.full(60, 100.0), start=0.0, interval=60.0)
+        part2 = TimeSeries.regular(np.full(60, 500.0), start=4 * 3600.0, interval=60.0)
+        series = part1.concat(part2)
+        encoder = OnlineEncoder(
+            alphabet_size=4, window_seconds=1800.0, bootstrap_seconds=1800.0
+        )
+        encoder.push_series(series)
+        encoder.flush()
+        timestamps = [w.timestamp for w in encoder.emitted]
+        # No windows should be emitted for the empty [3600, 14400) stretch.
+        assert all(t < 3600.0 or t >= 4 * 3600.0 for t in timestamps)
+
+    def test_drift_triggers_table_rebuild(self):
+        low = TimeSeries.regular(np.full(240, 100.0), interval=60.0)
+        high = TimeSeries.regular(
+            np.full(2000, 1000.0), start=240 * 60.0, interval=60.0
+        )
+        series = low.concat(high)
+        encoder = OnlineEncoder(
+            alphabet_size=4,
+            window_seconds=900.0,
+            bootstrap_seconds=3600.0,
+            drift_threshold=0.5,
+        )
+        encoder.push_series(series)
+        reasons = [update.reason for update in encoder.table_updates]
+        assert reasons[0] == "bootstrap"
+        assert any(reason.startswith("drift") for reason in reasons[1:])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SegmentationError):
+            OnlineEncoder(window_seconds=0.0)
+        with pytest.raises(SegmentationError):
+            OnlineEncoder(bootstrap_seconds=0.0)

@@ -1,0 +1,161 @@
+"""Unit tests for repro.core.timeseries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SECONDS_PER_DAY, TimePoint, TimeSeries
+from repro.errors import TimeSeriesError
+
+
+class TestConstruction:
+    def test_regular_builds_expected_timestamps(self):
+        series = TimeSeries.regular([1.0, 2.0, 3.0], start=10.0, interval=5.0)
+        assert series.timestamps.tolist() == [10.0, 15.0, 20.0]
+        assert series.values.tolist() == [1.0, 2.0, 3.0]
+
+    def test_from_points_round_trips(self):
+        points = [TimePoint(0.0, 1.0), TimePoint(1.0, 2.0)]
+        series = TimeSeries.from_points(points)
+        assert list(series) == points
+
+    def test_empty_series(self):
+        series = TimeSeries.empty("nothing")
+        assert len(series) == 0
+        assert series.name == "nothing"
+        assert series.duration == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TimeSeriesError):
+            TimeSeries([0.0, 1.0], [1.0])
+
+    def test_decreasing_timestamps_rejected(self):
+        with pytest.raises(TimeSeriesError):
+            TimeSeries([2.0, 1.0], [1.0, 2.0])
+
+    def test_two_dimensional_input_rejected(self):
+        with pytest.raises(TimeSeriesError):
+            TimeSeries([[0.0], [1.0]], [[1.0], [2.0]])
+
+    def test_equal_timestamps_allowed(self):
+        series = TimeSeries([1.0, 1.0, 2.0], [5.0, 6.0, 7.0])
+        assert len(series) == 3
+
+    def test_values_are_read_only(self, simple_series):
+        with pytest.raises(ValueError):
+            simple_series.values[0] = 99.0
+
+
+class TestAccessors:
+    def test_indexing_returns_timepoint(self, simple_series):
+        point = simple_series[2]
+        assert point == TimePoint(2.0, 200.0)
+
+    def test_slicing_returns_series(self, simple_series):
+        sliced = simple_series[2:5]
+        assert isinstance(sliced, TimeSeries)
+        assert len(sliced) == 3
+        assert sliced.values.tolist() == [200.0, 250.0, 300.0]
+
+    def test_duration_and_sampling_interval(self, simple_series):
+        assert simple_series.duration == 9.0
+        assert simple_series.sampling_interval == 1.0
+
+    def test_is_regular(self, simple_series):
+        assert simple_series.is_regular()
+        irregular = TimeSeries([0.0, 1.0, 5.0], [1.0, 2.0, 3.0])
+        assert not irregular.is_regular()
+
+    def test_summary_statistics(self, simple_series):
+        assert simple_series.mean() == pytest.approx(325.0)
+        assert simple_series.median() == pytest.approx(325.0)
+        assert simple_series.minimum() == 100.0
+        assert simple_series.maximum() == 550.0
+
+    def test_repr_contains_name_and_length(self):
+        series = TimeSeries.regular([1.0], name="abc")
+        assert "abc" in repr(series)
+        assert "1" in repr(series)
+
+
+class TestTransformations:
+    def test_add_requires_identical_timestamps(self, simple_series):
+        other = TimeSeries.regular([1.0] * 10, interval=1.0)
+        total = simple_series.add(other)
+        assert total.values.tolist() == [v + 1.0 for v in simple_series.values]
+        shifted = other.shift_time(0.5)
+        with pytest.raises(TimeSeriesError):
+            simple_series.add(shifted)
+
+    def test_between_half_open_interval(self, simple_series):
+        window = simple_series.between(2.0, 5.0)
+        assert window.timestamps.tolist() == [2.0, 3.0, 4.0]
+
+    def test_between_rejects_reversed_bounds(self, simple_series):
+        with pytest.raises(TimeSeriesError):
+            simple_series.between(5.0, 2.0)
+
+    def test_head_and_tail(self, simple_series):
+        assert simple_series.head(3).values.tolist() == [100.0, 150.0, 200.0]
+        assert simple_series.tail(2).values.tolist() == [500.0, 550.0]
+        assert len(simple_series.tail(0)) == 0
+
+    def test_concat_enforces_time_order(self, simple_series):
+        later = simple_series.shift_time(100.0)
+        combined = simple_series.concat(later)
+        assert len(combined) == 20
+        with pytest.raises(TimeSeriesError):
+            later.concat(simple_series)
+
+    def test_map_values(self, simple_series):
+        doubled = simple_series.map_values(lambda v: v * 2)
+        assert doubled.values.tolist() == [v * 2 for v in simple_series.values]
+
+    def test_with_name(self, simple_series):
+        renamed = simple_series.with_name("other")
+        assert renamed.name == "other"
+        assert renamed == simple_series.with_name("other")
+
+
+class TestDaySplitting:
+    def test_split_days_counts(self):
+        values = np.arange(3 * 24, dtype=float)
+        series = TimeSeries.regular(values, interval=3600.0)
+        days = series.split_days()
+        assert len(days) == 3
+        assert all(len(day) == 24 for day in days)
+
+    def test_split_days_skips_empty_days(self):
+        timestamps = [0.0, 1.0, 2 * SECONDS_PER_DAY + 5.0]
+        series = TimeSeries(timestamps, [1.0, 2.0, 3.0])
+        days = series.split_days()
+        assert len(days) == 2
+
+    def test_coverage_full_and_partial(self):
+        series = TimeSeries.regular(np.ones(100), interval=1.0)
+        assert series.coverage() == pytest.approx(1.0, abs=0.02)
+        holey = TimeSeries(np.concatenate([np.arange(50.0), np.arange(80.0, 130.0)]),
+                           np.ones(100))
+        assert holey.coverage(expected_interval=1.0) < 1.0
+
+
+class TestGaps:
+    def test_gaps_detected(self):
+        timestamps = [0.0, 1.0, 2.0, 10.0, 11.0]
+        series = TimeSeries(timestamps, [1.0] * 5)
+        gaps = series.gaps(min_gap=2.0)
+        assert gaps == [(2.0, 10.0)]
+
+    def test_no_gaps_in_regular_series(self, simple_series):
+        assert simple_series.gaps() == []
+
+    def test_drop_missing_removes_nan(self):
+        series = TimeSeries([0.0, 1.0, 2.0], [1.0, np.nan, 3.0])
+        cleaned = series.drop_missing()
+        assert cleaned.values.tolist() == [1.0, 3.0]
+
+    def test_total_energy(self):
+        # Constant 3600 W for one hour is exactly 3600 Wh... / 3600 s -> 3600 Wh.
+        series = TimeSeries.regular([3600.0] * 3601, interval=1.0)
+        assert series.total_energy_wh() == pytest.approx(3600.0, rel=1e-6)

@@ -1,0 +1,119 @@
+"""Unit tests for repro.core.vertical (Definition 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    TimeSeries,
+    VerticalSegmenter,
+    get_aggregator,
+    segment_by_count,
+    segment_by_duration,
+)
+from repro.errors import SegmentationError
+
+
+class TestAggregators:
+    def test_named_aggregators(self):
+        data = np.array([1.0, 2.0, 3.0, 4.0])
+        assert get_aggregator("average")(data) == 2.5
+        assert get_aggregator("sum")(data) == 10.0
+        assert get_aggregator("max")(data) == 4.0
+        assert get_aggregator("min")(data) == 1.0
+        assert get_aggregator("median")(data) == 2.5
+
+    def test_aliases_and_callables(self):
+        data = np.array([2.0, 4.0])
+        assert get_aggregator("mean")(data) == 3.0
+        assert get_aggregator(lambda a: 42.0)(data) == 42.0
+
+    def test_unknown_aggregator(self):
+        with pytest.raises(SegmentationError):
+            get_aggregator("mode")
+
+
+class TestSegmentByCount:
+    def test_definition2_average(self, simple_series):
+        # VA(S, 2): averages of consecutive pairs, timestamp of the last sample.
+        segmented = segment_by_count(simple_series, 2)
+        assert segmented.values.tolist() == [125.0, 225.0, 325.0, 425.0, 525.0]
+        assert segmented.timestamps.tolist() == [1.0, 3.0, 5.0, 7.0, 9.0]
+
+    def test_partial_window_dropped_by_default(self, simple_series):
+        segmented = segment_by_count(simple_series, 3)
+        assert len(segmented) == 3
+
+    def test_partial_window_kept_when_requested(self, simple_series):
+        segmented = segment_by_count(simple_series, 3, keep_partial=True)
+        assert len(segmented) == 4
+        assert segmented.values[-1] == pytest.approx(550.0)
+
+    def test_n_equal_one_is_identity(self, simple_series):
+        assert segment_by_count(simple_series, 1) == simple_series
+
+    def test_invalid_window(self, simple_series):
+        with pytest.raises(SegmentationError):
+            segment_by_count(simple_series, 0)
+
+    def test_empty_series(self):
+        assert len(segment_by_count(TimeSeries.empty(), 5)) == 0
+
+    def test_other_aggregators(self, simple_series):
+        maxes = segment_by_count(simple_series, 5, aggregator="max")
+        assert maxes.values.tolist() == [300.0, 550.0]
+
+
+class TestSegmentByDuration:
+    def test_quarter_hour_windows(self):
+        values = np.arange(3600.0)
+        series = TimeSeries.regular(values, interval=1.0)
+        segmented = segment_by_duration(series, 900.0)
+        assert len(segmented) == 4
+        assert segmented.values[0] == pytest.approx(np.mean(np.arange(900.0)))
+        assert segmented.timestamps.tolist() == [0.0, 900.0, 1800.0, 2700.0]
+
+    def test_gap_produces_missing_window(self):
+        timestamps = np.concatenate([np.arange(0, 900.0), np.arange(1800.0, 2700.0)])
+        series = TimeSeries(timestamps, np.ones(1800))
+        segmented = segment_by_duration(series, 900.0)
+        # Window [900, 1800) is empty and therefore absent.
+        assert segmented.timestamps.tolist() == [0.0, 1800.0]
+
+    def test_min_samples_filter(self):
+        timestamps = [0.0, 1.0, 900.0]
+        series = TimeSeries(timestamps, [1.0, 3.0, 10.0])
+        segmented = segment_by_duration(series, 900.0, min_samples=2)
+        assert segmented.values.tolist() == [2.0]
+
+    def test_invalid_parameters(self, simple_series):
+        with pytest.raises(SegmentationError):
+            segment_by_duration(simple_series, 0.0)
+        with pytest.raises(SegmentationError):
+            segment_by_duration(simple_series, 10.0, min_samples=0)
+
+    def test_irregular_sampling_supported(self):
+        timestamps = [0.0, 100.0, 450.0, 900.0, 1300.0]
+        series = TimeSeries(timestamps, [1.0, 2.0, 3.0, 4.0, 5.0])
+        segmented = segment_by_duration(series, 900.0)
+        assert segmented.values.tolist() == [2.0, 4.5]
+
+
+class TestVerticalSegmenter:
+    def test_requires_exactly_one_mode(self):
+        with pytest.raises(SegmentationError):
+            VerticalSegmenter()
+        with pytest.raises(SegmentationError):
+            VerticalSegmenter(count=5, seconds=60.0)
+
+    def test_count_mode(self, simple_series):
+        segmenter = VerticalSegmenter(count=2)
+        assert segmenter(simple_series) == segment_by_count(simple_series, 2)
+        assert segmenter.window_count == 2
+        assert segmenter.window_seconds == 0.0
+
+    def test_duration_mode(self, simple_series):
+        segmenter = VerticalSegmenter(seconds=5.0)
+        assert segmenter(simple_series) == segment_by_duration(simple_series, 5.0)
+        assert "5" in repr(segmenter)

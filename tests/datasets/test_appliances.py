@@ -1,0 +1,100 @@
+"""Unit tests for repro.datasets.appliances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import ActivityAppliance, CyclicAppliance, StandbyLoad, default_profile
+from repro.datasets.appliances import EVENING_PROFILE, FLAT_PROFILE
+from repro.errors import DatasetError
+
+SAMPLES_PER_DAY_MIN = 1440  # one-minute resolution
+
+
+class TestStandbyLoad:
+    def test_mean_close_to_nominal(self, rng):
+        load = StandbyLoad(watts=60.0, jitter=2.0)
+        rendered = load.render(0, SAMPLES_PER_DAY_MIN, 60.0, rng)
+        assert rendered.shape == (SAMPLES_PER_DAY_MIN,)
+        assert rendered.mean() == pytest.approx(60.0, abs=1.0)
+        assert rendered.min() >= 0.0
+
+    def test_negative_watts_rejected(self):
+        with pytest.raises(DatasetError):
+            StandbyLoad(watts=-5.0)
+
+
+class TestCyclicAppliance:
+    def test_duty_cycle_respected(self, rng):
+        fridge = CyclicAppliance(watts=100.0, period_minutes=40, duty_cycle=0.4,
+                                 power_jitter=0.0)
+        rendered = fridge.render(0, SAMPLES_PER_DAY_MIN, 60.0, rng)
+        on_fraction = float((rendered > 0).mean())
+        assert on_fraction == pytest.approx(0.4, abs=0.05)
+
+    def test_power_level_when_on(self, rng):
+        fridge = CyclicAppliance(watts=120.0, power_jitter=0.0)
+        rendered = fridge.render(0, SAMPLES_PER_DAY_MIN, 60.0, rng)
+        on_values = rendered[rendered > 0]
+        assert on_values.mean() == pytest.approx(120.0, abs=1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            CyclicAppliance(duty_cycle=0.0)
+        with pytest.raises(DatasetError):
+            CyclicAppliance(duty_cycle=1.5)
+        with pytest.raises(DatasetError):
+            CyclicAppliance(period_minutes=0.0)
+
+
+class TestActivityAppliance:
+    def test_events_follow_hourly_profile(self, rng):
+        # An appliance that can only start between 18:00 and 21:00.
+        profile = [0.0] * 24
+        profile[18] = profile[19] = profile[20] = 1.0
+        oven = ActivityAppliance("oven", 2000.0, profile, mean_duration_minutes=30,
+                                 duration_sigma=0.1)
+        rendered = oven.render(0, SAMPLES_PER_DAY_MIN, 60.0, rng)
+        active_minutes = np.nonzero(rendered > 0)[0]
+        assert active_minutes.size > 0
+        hours = active_minutes // 60
+        assert hours.min() >= 18
+
+    def test_weekend_factor_increases_activity(self):
+        profile = [0.3] * 24
+        appliance = ActivityAppliance("tv", 150.0, profile, weekend_factor=2.0,
+                                      mean_duration_minutes=60)
+        weekday_minutes = []
+        weekend_minutes = []
+        for trial in range(20):
+            rng = np.random.default_rng(trial)
+            weekday = appliance.render(0, SAMPLES_PER_DAY_MIN, 60.0, rng)  # Monday
+            rng = np.random.default_rng(trial)
+            weekend = appliance.render(5, SAMPLES_PER_DAY_MIN, 60.0, rng)  # Saturday
+            weekday_minutes.append((weekday > 0).sum())
+            weekend_minutes.append((weekend > 0).sum())
+        assert np.mean(weekend_minutes) > np.mean(weekday_minutes)
+
+    def test_no_activity_with_zero_profile(self, rng):
+        silent = ActivityAppliance("off", 1000.0, [0.0] * 24)
+        rendered = silent.render(0, SAMPLES_PER_DAY_MIN, 60.0, rng)
+        assert rendered.max() == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            ActivityAppliance("x", -1.0, FLAT_PROFILE)
+        with pytest.raises(DatasetError):
+            ActivityAppliance("x", 100.0, [0.1] * 23)
+        with pytest.raises(DatasetError):
+            ActivityAppliance("x", 100.0, FLAT_PROFILE, mean_duration_minutes=0.0)
+
+
+class TestProfiles:
+    def test_named_profiles(self):
+        assert default_profile("evening") == EVENING_PROFILE
+        assert len(default_profile("daytime")) == 24
+
+    def test_unknown_profile(self):
+        with pytest.raises(DatasetError):
+            default_profile("midnight")

@@ -1,0 +1,104 @@
+"""Unit tests for gap injection, day filtering and CSV persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SECONDS_PER_DAY, TimeSeries
+from repro.datasets import (
+    day_coverage_hours,
+    filter_days,
+    inject_gaps,
+    read_dataset,
+    read_series_csv,
+    write_dataset,
+    write_series_csv,
+)
+from repro.errors import DatasetError
+
+
+@pytest.fixture()
+def three_days():
+    """Three days of 5-minute samples."""
+    n = 3 * 288
+    return TimeSeries.regular(np.full(n, 200.0), interval=300.0, name="x")
+
+
+class TestInjectGaps:
+    def test_removes_samples(self, three_days, rng):
+        gapped = inject_gaps(three_days, rng, gaps_per_day=3.0, mean_gap_minutes=120.0)
+        assert len(gapped) < len(three_days)
+        assert len(gapped) > 0
+
+    def test_zero_rate_is_identity(self, three_days, rng):
+        assert inject_gaps(three_days, rng, gaps_per_day=0.0) == three_days
+
+    def test_negative_rate_rejected(self, three_days, rng):
+        with pytest.raises(DatasetError):
+            inject_gaps(three_days, rng, gaps_per_day=-1.0)
+
+    def test_gap_durations_bounded(self, three_days, rng):
+        gapped = inject_gaps(
+            three_days, rng, gaps_per_day=5.0, mean_gap_minutes=60.0,
+            max_gap_minutes=90.0,
+        )
+        gaps = gapped.gaps(min_gap=600.0)
+        # Individual outages are capped at 90 minutes; adjacent outages can
+        # merge in the observed series, so allow a small number of caps.
+        for start, end in gaps:
+            assert end - start <= 3 * 90 * 60.0
+
+
+class TestFilterDays:
+    def test_all_days_pass_without_gaps(self, three_days):
+        days = filter_days(three_days, min_hours=20.0)
+        assert len(days) == 3
+
+    def test_day_with_large_gap_filtered(self):
+        # Day 2 only has 10 hours of data.
+        day1 = TimeSeries.regular(np.ones(288), interval=300.0)
+        day2 = TimeSeries.regular(
+            np.ones(120), start=SECONDS_PER_DAY, interval=300.0
+        )
+        series = day1.concat(day2)
+        kept = filter_days(series, min_hours=20.0, sampling_interval=300.0)
+        assert len(kept) == 1
+
+    def test_threshold_zero_keeps_everything(self, three_days):
+        assert len(filter_days(three_days, min_hours=0.0)) == 3
+
+    def test_negative_threshold_rejected(self, three_days):
+        with pytest.raises(DatasetError):
+            filter_days(three_days, min_hours=-1.0)
+
+    def test_day_coverage_hours(self):
+        day = TimeSeries.regular(np.ones(144), interval=300.0)  # 12 hours
+        assert day_coverage_hours(day, 300.0) == pytest.approx(12.0)
+
+
+class TestCSVRoundTrip:
+    def test_series_round_trip(self, tmp_path, three_days):
+        path = write_series_csv(three_days, tmp_path / "series.csv")
+        loaded = read_series_csv(path, name="x")
+        assert loaded == three_days
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_series_csv(tmp_path / "absent.csv")
+
+    def test_malformed_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(DatasetError):
+            read_series_csv(path)
+
+    def test_dataset_round_trip(self, tmp_path, small_redd):
+        directory = write_dataset(small_redd.subset([1, 2]), tmp_path / "redd")
+        loaded = read_dataset(directory, name="reloaded")
+        assert loaded.house_ids == [1, 2]
+        assert loaded.mains(1) == small_redd.mains(1)
+
+    def test_read_dataset_requires_manifest(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_dataset(tmp_path)

@@ -1,0 +1,140 @@
+"""Unit tests for repro.datasets.redd (and base dataset containers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    House,
+    HouseConfig,
+    MeterDataset,
+    REDDGenerator,
+    StandbyLoad,
+    default_house_configs,
+    generate_redd,
+)
+from repro.errors import DatasetError
+
+
+class TestGenerator:
+    def test_six_houses_by_default(self, small_redd):
+        assert len(small_redd) == 6
+        assert small_redd.house_ids == [1, 2, 3, 4, 5, 6]
+
+    def test_deterministic_for_same_seed(self):
+        a = generate_redd(days=4, sampling_interval=300, seed=5)
+        b = generate_redd(days=4, sampling_interval=300, seed=5)
+        assert a.mains(1) == b.mains(1)
+        assert a.mains(6) == b.mains(6)
+
+    def test_different_seeds_differ(self):
+        a = generate_redd(days=4, sampling_interval=300, seed=5)
+        b = generate_redd(days=4, sampling_interval=300, seed=6)
+        assert a.mains(1) != b.mains(1)
+
+    def test_sampling_interval_controls_sample_count(self):
+        dataset = generate_redd(days=4, sampling_interval=600, seed=2, with_gaps=False)
+        expected = 4 * 86400 / 600
+        assert len(dataset.mains(1)) == expected
+
+    def test_values_are_non_negative(self, small_redd):
+        for house in small_redd:
+            assert house.mains.values.min() >= 0.0
+
+    def test_houses_have_distinct_consumption_levels(self, small_redd):
+        # Houses overlap in level (like real REDD homes) but are not identical.
+        means = [house.mains.mean() for house in small_redd]
+        assert len(set(round(m) for m in means)) >= 5
+        assert max(means) / max(min(means), 1e-9) > 1.2
+
+    def test_houses_have_distinct_daily_schedules(self, small_redd):
+        # The discriminative signal is *when* each house consumes: hourly
+        # profiles (normalised to remove level) must differ across houses.
+        profiles = []
+        for house in small_redd:
+            series = house.mains
+            hours = (series.timestamps % 86400) // 3600
+            profile = np.array(
+                [series.values[hours == h].mean() for h in range(24)]
+            )
+            profiles.append(profile / profile.mean())
+        correlations = []
+        for i in range(len(profiles)):
+            for j in range(i + 1, len(profiles)):
+                correlations.append(float(np.corrcoef(profiles[i], profiles[j])[0, 1]))
+        # Most pairs of houses should have clearly different shapes.
+        assert np.median(correlations) < 0.75
+
+    def test_gaps_injected_for_gapful_house(self):
+        dataset = generate_redd(days=6, sampling_interval=120, seed=3)
+        gapless = generate_redd(days=6, sampling_interval=120, seed=3, with_gaps=False)
+        # House 5 is configured with many outages.
+        assert len(dataset.mains(5)) < len(gapless.mains(5))
+
+    def test_channels_sum_close_to_mains(self):
+        dataset = generate_redd(days=2, sampling_interval=300, seed=9, with_gaps=False)
+        house = dataset[1]
+        total = np.zeros(len(house.mains))
+        for channel in house.channels.values():
+            total += channel.values
+        # Mains = channels + measurement noise (a few watts).
+        assert np.abs(total - house.mains.values).mean() < 10.0
+
+    def test_heavy_tailed_distribution(self, small_redd):
+        values = np.concatenate([h.mains.values for h in small_redd])
+        values = values[values > 0]
+        # Skewness of a log-normal-like load curve is clearly positive.
+        mean, std = values.mean(), values.std()
+        skew = float(np.mean(((values - mean) / std) ** 3))
+        assert skew > 1.0
+
+    def test_daily_rhythm_present(self):
+        dataset = generate_redd(days=6, sampling_interval=300, seed=4, with_gaps=False)
+        house = dataset.mains(1)
+        hours = (house.timestamps % 86400) // 3600
+        evening = house.values[(hours >= 18) & (hours <= 22)].mean()
+        night = house.values[(hours >= 1) & (hours <= 5)].mean()
+        assert evening > night
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            REDDGenerator(days=0)
+        with pytest.raises(DatasetError):
+            REDDGenerator(sampling_interval=0.0)
+        with pytest.raises(DatasetError):
+            HouseConfig(house_id=1, appliances=[])
+
+    def test_generate_single_house(self):
+        generator = REDDGenerator(days=2, sampling_interval=600, seed=1)
+        house = generator.generate_house(3)
+        assert house.house_id == 3
+        with pytest.raises(DatasetError):
+            generator.generate_house(99)
+
+
+class TestMeterDataset:
+    def test_subset_and_lookup(self, small_redd):
+        subset = small_redd.subset([1, 2])
+        assert subset.house_ids == [1, 2]
+        assert subset.mains(1) == small_redd.mains(1)
+        with pytest.raises(DatasetError):
+            small_redd[99]
+
+    def test_summary_keys(self, small_redd):
+        summary = small_redd.summary()
+        assert set(summary) == set(small_redd.house_ids)
+        assert {"samples", "duration_days", "mean_power_w"} <= set(summary[1])
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            MeterDataset("empty", {})
+
+    def test_house_name(self, small_redd):
+        assert small_redd[3].name == "house_3"
+
+    def test_default_configs_are_six_distinct_houses(self):
+        configs = default_house_configs()
+        assert len(configs) == 6
+        assert len({c.house_id for c in configs}) == 6
+        assert all(len(c.appliances) >= 3 for c in configs)

@@ -1,0 +1,85 @@
+"""Unit tests for the Smart*-like and CER-like generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import CERGenerator, SmartStarGenerator, generate_cer, generate_smartstar
+from repro.errors import DatasetError
+
+
+class TestSmartStarWide:
+    def test_house_count_and_duration(self):
+        dataset = generate_smartstar(n_houses=25, wide_interval=300.0, seed=1)
+        assert len(dataset) == 25
+        house = dataset.mains(1)
+        assert house.duration == pytest.approx(86400.0 - 300.0)
+
+    def test_population_base_levels_are_heterogeneous(self):
+        dataset = generate_smartstar(n_houses=60, wide_interval=600.0, seed=2)
+        means = np.array([house.mains.mean() for house in dataset])
+        assert means.std() / means.mean() > 0.3
+
+    def test_deterministic(self):
+        a = generate_smartstar(n_houses=5, seed=3)
+        b = generate_smartstar(n_houses=5, seed=3)
+        assert a.mains(3) == b.mains(3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            SmartStarGenerator(n_houses=0)
+        with pytest.raises(DatasetError):
+            SmartStarGenerator(wide_interval=0.0)
+        with pytest.raises(DatasetError):
+            SmartStarGenerator(deep_days=0)
+
+
+class TestSmartStarDeep:
+    def test_three_fine_grained_houses(self):
+        generator = SmartStarGenerator(deep_days=2, deep_interval=300.0, seed=4)
+        deep = generator.generate_deep()
+        assert len(deep) == 3
+        for house in deep:
+            assert len(house.mains) == 2 * 86400 / 300
+
+
+class TestCER:
+    def test_half_hourly_sampling(self):
+        dataset = generate_cer(n_houses=4, days=14, seed=5)
+        house = dataset.mains(1)
+        assert house.sampling_interval == 1800.0
+        assert len(house) == 14 * 48
+
+    def test_seasonality_modulates_consumption(self):
+        dataset = CERGenerator(n_houses=3, days=365, seasonal_amplitude=0.5, seed=6).generate()
+        house = dataset.mains(1)
+        day_index = (house.timestamps // 86400).astype(int)
+        winter = house.values[day_index < 30].mean()       # around day 0 (winter peak)
+        summer = house.values[(day_index > 165) & (day_index < 200)].mean()
+        assert winter > summer * 1.2
+
+    def test_no_seasonality_when_amplitude_zero(self):
+        dataset = CERGenerator(n_houses=2, days=365, seasonal_amplitude=0.0, seed=7).generate()
+        house = dataset.mains(1)
+        day_index = (house.timestamps // 86400).astype(int)
+        winter = house.values[day_index < 30].mean()
+        summer = house.values[(day_index > 165) & (day_index < 200)].mean()
+        assert winter == pytest.approx(summer, rel=0.1)
+
+    def test_weekend_effect(self):
+        dataset = CERGenerator(n_houses=2, days=140, weekend_factor=1.5,
+                               seasonal_amplitude=0.0, seed=8).generate()
+        house = dataset.mains(1)
+        day_index = (house.timestamps // 86400).astype(int)
+        weekend = house.values[day_index % 7 >= 5].mean()
+        weekday = house.values[day_index % 7 < 5].mean()
+        assert weekend > weekday
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            CERGenerator(n_houses=0)
+        with pytest.raises(DatasetError):
+            CERGenerator(days=0)
+        with pytest.raises(DatasetError):
+            CERGenerator(seasonal_amplitude=-0.1)

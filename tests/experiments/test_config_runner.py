@@ -1,0 +1,106 @@
+"""Unit tests for the experiment grid, dataset defaults and result rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics import DayVectorConfig
+from repro.errors import ExperimentError
+from repro.experiments import ExperimentGrid, GridRunner, default_dataset, render_table
+from repro.experiments.config import (
+    PAPER_AGGREGATIONS,
+    PAPER_ALPHABET_SIZES,
+    PAPER_CLASSIFIERS,
+    PAPER_METHODS,
+)
+
+
+class TestExperimentGrid:
+    def test_paper_grid_size(self):
+        grid = ExperimentGrid.paper()
+        # 3 methods x 2 aggregations x 4 alphabet sizes = 24 symbolic cells
+        assert len(grid.symbolic_configs()) == 24
+        # plus 2 raw baselines
+        assert len(grid) == 26
+
+    def test_quick_grid_is_smaller(self):
+        assert len(ExperimentGrid.quick()) < len(ExperimentGrid.paper())
+
+    def test_global_table_flag_propagates(self):
+        grid = ExperimentGrid.paper(global_table=True)
+        assert all(config.global_table for config in grid.symbolic_configs())
+
+    def test_raw_configs_excluded_when_disabled(self):
+        grid = ExperimentGrid(include_raw=False)
+        assert grid.raw_configs() == []
+
+    def test_paper_constants(self):
+        assert PAPER_METHODS == ("distinctmedian", "median", "uniform")
+        assert PAPER_AGGREGATIONS == (3600.0, 900.0)
+        assert PAPER_ALPHABET_SIZES == (2, 4, 8, 16)
+        assert len(PAPER_CLASSIFIERS) == 4
+
+    def test_iteration_yields_day_vector_configs(self):
+        for config in ExperimentGrid.quick():
+            assert isinstance(config, DayVectorConfig)
+
+
+class TestDefaultDataset:
+    def test_shape(self):
+        dataset = default_dataset(days=4, sampling_interval=600.0, seed=1)
+        assert len(dataset) == 6
+        assert dataset.mains(1).duration <= 4 * 86400
+
+    def test_minimum_days_enforced(self):
+        with pytest.raises(ExperimentError):
+            default_dataset(days=2)
+
+
+class TestRenderTable:
+    def test_alignment_and_float_formatting(self):
+        rows = [
+            {"name": "median", "f": 0.912345, "n": 3},
+            {"name": "uniform", "f": 0.5, "n": 30},
+        ]
+        text = render_table(rows, float_digits=2)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "0.91" in text and "0.50" in text
+        assert lines[0].startswith("name")
+
+    def test_empty_rows(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_column_subset_and_missing_values(self):
+        rows = [{"a": 1, "b": 2}]
+        text = render_table(rows, columns=["a", "c"])
+        assert "b" not in text.splitlines()[0]
+
+
+class TestGridRunner:
+    def test_vector_cache_reused(self, small_redd):
+        runner = GridRunner(small_redd, n_folds=4)
+        config = DayVectorConfig("median", 3600.0, 4)
+        first = runner.vectors_for(config)
+        second = runner.vectors_for(config)
+        assert first is second
+
+    def test_run_grid_produces_cell_per_config_and_classifier(self, small_redd):
+        runner = GridRunner(small_redd, n_folds=4)
+        grid = ExperimentGrid(methods=("median",), aggregations=(3600.0,),
+                              alphabet_sizes=(4,), include_raw=False)
+        results = runner.run_grid(grid, ["naive_bayes", "j48"])
+        assert len(results) == 2
+        assert {r.classifier for r in results} == {"naive_bayes", "j48"}
+
+    def test_run_grid_requires_classifiers(self, small_redd):
+        runner = GridRunner(small_redd)
+        with pytest.raises(ExperimentError):
+            runner.run_grid(ExperimentGrid.quick(), [])
+
+    def test_results_as_rows(self, small_redd):
+        runner = GridRunner(small_redd, n_folds=4)
+        result = runner.run_cell(DayVectorConfig("uniform", 3600.0, 4), "naive_bayes")
+        rows = GridRunner.results_as_rows([result])
+        assert rows[0]["configuration"] == "uniform 1h 4s"
+        assert 0.0 <= rows[0]["f_measure"] <= 1.0

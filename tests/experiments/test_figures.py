@@ -1,0 +1,123 @@
+"""Unit tests for the per-figure experiment modules (reduced grids for speed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ExperimentGrid,
+    compression_sweep,
+    figure5_naive_bayes,
+    figure7_global_table,
+    figure8_naive_bayes,
+    paper_example_report,
+    power_distribution,
+    reproduce_table1,
+    statistics_convergence,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_grid():
+    return ExperimentGrid(methods=("median", "uniform"), aggregations=(3600.0,),
+                          alphabet_sizes=(4, 16))
+
+
+class TestFigure2:
+    def test_histogram_and_lognormal_fit(self, small_redd):
+        report = power_distribution(small_redd, bin_width=100.0, max_power=2400.0)
+        assert len(report.counts) == 24
+        assert sum(report.counts) > 0
+        assert report.lognormal_fits_better
+        assert len(report.rows()) == 24
+
+    def test_invalid_parameters(self, small_redd):
+        with pytest.raises(ExperimentError):
+            power_distribution(small_redd, bin_width=0.0)
+
+
+class TestFigure4:
+    def test_statistics_converge_within_three_days(self, small_redd):
+        report = statistics_convergence(small_redd, house_id=1, days=3,
+                                        tolerance=0.2)
+        assert len(report.statistics) >= 24
+        assert set(report.convergence_seconds) == {"mean", "median", "distinctmedian"}
+        assert report.converges_within_days <= 3.0
+        rows = report.rows()
+        assert {"hours", "mean", "median", "distinctmedian"} <= set(rows[0])
+
+    def test_invalid_days(self, small_redd):
+        with pytest.raises(ExperimentError):
+            statistics_convergence(small_redd, days=0)
+
+
+class TestClassificationFigures:
+    def test_figure5_report_structure(self, small_redd, quick_grid):
+        report = figure5_naive_bayes(small_redd, grid=quick_grid, n_folds=4)
+        assert report.classifier == "naive_bayes"
+        # 2 methods x 1 aggregation x 2 sizes + 1 raw baseline
+        assert len(report.results) == 5
+        assert set(report.by_encoding()) == {"median", "uniform", "raw"}
+        assert 0.0 <= report.best().f_measure <= 1.0
+        rows = report.rows()
+        assert all("f_measure" in row and "processing_seconds" in row for row in rows)
+
+    def test_figure7_uses_global_tables(self, small_redd, quick_grid):
+        report = figure7_global_table(small_redd, grid=quick_grid, n_folds=4)
+        symbolic = [r for r in report.results if r.config.encoding != "raw"]
+        assert symbolic and all(r.config.global_table for r in symbolic)
+
+
+class TestTable1:
+    def test_reduced_matrix_layout(self, small_redd):
+        grid = ExperimentGrid(methods=("median",), aggregations=(3600.0,),
+                              alphabet_sizes=(4,))
+        report = reproduce_table1(small_redd, grid=grid,
+                                  classifiers=("naive_bayes", "j48"), n_folds=4)
+        matrix = report.matrix()
+        configurations = [row["configuration"] for row in matrix]
+        assert "median 1h 4s" in configurations
+        assert "raw 1h" in configurations
+        rendered = report.render()
+        assert "Naive Bayes" in rendered and "Naive Bayes+" in rendered
+        value = report.f_measure("median", "1h", 4, "naive_bayes")
+        assert 0.0 <= value <= 1.0
+        with pytest.raises(ExperimentError):
+            report.f_measure("median", "15m", 4, "naive_bayes")
+
+    def test_average_by_encoding(self, small_redd):
+        grid = ExperimentGrid(methods=("median", "uniform"), aggregations=(3600.0,),
+                              alphabet_sizes=(8,), include_raw=False)
+        report = reproduce_table1(small_redd, grid=grid, classifiers=("naive_bayes",),
+                                  n_folds=4)
+        averages = report.average_by_encoding()
+        assert set(averages) == {"median", "uniform"}
+
+
+class TestForecastFigures:
+    def test_figure8_structure(self, gapless_redd):
+        report = figure8_naive_bayes(gapless_redd, methods=("raw", "median"),
+                                     house_ids=[1, 2])
+        assert report.houses() == [1, 2]
+        assert report.mae(1, "median") >= 0.0
+        wins = report.symbolic_wins()
+        assert set(wins) == {1, 2}
+        rows = report.rows()
+        assert rows[0]["house"] == "house 1"
+        with pytest.raises(ExperimentError):
+            report.mae(1, "wavelet")
+
+
+class TestCompression:
+    def test_paper_example(self):
+        report = paper_example_report()
+        assert report.symbolic_bits_per_day == pytest.approx(384.0)
+        assert report.orders_of_magnitude >= 3.0
+
+    def test_sweep_rows_and_lookup(self):
+        sweep = compression_sweep(alphabet_sizes=(4, 16), aggregation_seconds=(900.0,))
+        assert len(sweep.rows()) == 2
+        assert sweep.report(16, 900.0).ratio > sweep.report(4, 900.0).ratio / 10
+        with pytest.raises(ExperimentError):
+            sweep.report(8, 900.0)

@@ -1,0 +1,42 @@
+"""Unit tests for the seasonal-drift study (Section 4 extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import SeasonalReport, seasonal_drift_study
+
+
+@pytest.fixture(scope="module")
+def report():
+    # Four months keeps the test fast while still crossing a seasonal swing;
+    # the tighter 10% threshold makes the drift monitor fire within that span.
+    return seasonal_drift_study(days=120, drift_threshold=0.1, seed=3)
+
+
+class TestSeasonalDriftStudy:
+    def test_monthly_series_lengths_match(self, report):
+        assert report.months >= 3
+        assert len(report.monthly_static_mae) == len(report.monthly_adaptive_mae)
+
+    def test_adaptive_encoding_not_worse_on_average(self, report):
+        assert report.adaptive_mae <= report.static_mae * 1.05
+
+    def test_rebuilds_happen_and_cost_bandwidth(self, report):
+        assert report.table_rebuilds >= 1
+        assert report.table_bits_shipped > 0
+
+    def test_rows_structure(self, report):
+        rows = report.rows()
+        assert len(rows) == report.months
+        assert {"month", "static_mae_w", "adaptive_mae_w"} <= set(rows[0])
+
+    def test_zero_threshold_never_rebuilds(self):
+        static_only = seasonal_drift_study(days=90, drift_threshold=0.0, seed=3)
+        assert static_only.table_rebuilds == 0
+        assert static_only.improvement == pytest.approx(0.0, abs=1e-9)
+
+    def test_too_short_study_rejected(self):
+        with pytest.raises(ExperimentError):
+            seasonal_drift_study(days=30)

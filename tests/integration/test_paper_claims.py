@@ -1,0 +1,113 @@
+"""Integration tests asserting the paper's qualitative claims hold.
+
+These are the "shape" checks of the reproduction: which method wins, how
+accuracy moves with alphabet size, and the compression claim.  They use a
+moderate synthetic dataset so they stay within test-suite runtime budgets;
+the benchmarks run the full grids.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics import DayVectorConfig, build_day_vectors, classify_households
+from repro.core import LookupTable, SymbolicEncoder, horizontal_segment
+from repro.core.vertical import segment_by_duration
+from repro.datasets import generate_redd
+from repro.experiments import paper_example_report
+
+
+@pytest.fixture(scope="module")
+def claim_dataset():
+    """Ten days, 1-minute sampling: enough day vectors for stable comparisons."""
+    return generate_redd(days=10, sampling_interval=60.0, seed=42)
+
+
+def _f_measure(dataset, encoding, alphabet_size, classifier="naive_bayes",
+               aggregation=3600.0, global_table=False):
+    config = DayVectorConfig(encoding=encoding, aggregation_seconds=aggregation,
+                             alphabet_size=alphabet_size, global_table=global_table)
+    return classify_households(dataset, config, classifier, n_folds=5, seed=0).f_measure
+
+
+class TestClassificationClaims:
+    def test_accuracy_improves_with_alphabet_size(self, claim_dataset):
+        """Paper: "Accuracy improves with the size of the alphabet".
+
+        The trend is clearest for the uniform encoding (whose two-symbol
+        variant is very coarse); the average over all three methods must not
+        get worse either.
+        """
+        uniform_small = _f_measure(claim_dataset, "uniform", 2)
+        uniform_large = _f_measure(claim_dataset, "uniform", 16)
+        assert uniform_large > uniform_small
+        methods = ("median", "distinctmedian", "uniform")
+        mean_small = sum(_f_measure(claim_dataset, m, 2) for m in methods) / 3
+        mean_large = sum(_f_measure(claim_dataset, m, 16) for m in methods) / 3
+        assert mean_large >= mean_small - 0.02
+
+    def test_median_beats_uniform_on_average(self, claim_dataset):
+        """Paper: "median encoding performs better than ... uniform" on average."""
+        sizes = (2, 4, 8, 16)
+        median_scores = [_f_measure(claim_dataset, "median", k) for k in sizes]
+        uniform_scores = [_f_measure(claim_dataset, "uniform", k) for k in sizes]
+        assert sum(median_scores) > sum(uniform_scores)
+
+    def test_median_16_symbols_competitive_with_raw(self, claim_dataset):
+        """Paper: median encoding matches or outperforms raw-value classification."""
+        symbolic = _f_measure(claim_dataset, "median", 16, classifier="naive_bayes")
+        raw = _f_measure(claim_dataset, "raw", 16, classifier="naive_bayes")
+        assert symbolic >= raw - 0.05
+
+    def test_global_table_encoding_reaches_raw_level(self, claim_dataset):
+        """Paper (Figure 7 / Table 1 "+"): even with a single global lookup
+        table, median encoding reaches the level of the raw values with Naive
+        Bayes."""
+        shared = _f_measure(claim_dataset, "median", 16, global_table=True)
+        raw = _f_measure(claim_dataset, "raw", 16, classifier="naive_bayes")
+        assert shared >= raw - 0.05
+
+    def test_per_house_tables_do_not_lose_to_global_table(self, claim_dataset):
+        """Paper: per-house separators add house-specific information, so the
+        per-house encoding scores at least as well as the single global table
+        (the paper observes a large gap; the synthetic substitute reproduces
+        the direction with a smaller margin — see EXPERIMENTS.md)."""
+        per_house = _f_measure(claim_dataset, "median", 16)
+        shared = _f_measure(claim_dataset, "median", 16, global_table=True)
+        assert per_house >= shared - 0.02
+
+    def test_symbolic_classification_clearly_above_chance(self, claim_dataset):
+        score = _f_measure(claim_dataset, "median", 16, classifier="random_forest")
+        assert score > 2.0 / 6.0
+
+
+class TestEntropyClaim:
+    def test_median_maximises_symbol_entropy(self, claim_dataset):
+        """Paper: the median segmentation "aims to maximize the entropy of the
+        generated symbols"."""
+        series = segment_by_duration(claim_dataset.mains(1), 3600.0, "average")
+        entropies = {}
+        for method in ("median", "distinctmedian", "uniform"):
+            table = LookupTable.fit(series, 8, method=method)
+            entropies[method] = horizontal_segment(series, table).entropy()
+        assert entropies["median"] >= entropies["uniform"]
+        assert entropies["median"] >= entropies["distinctmedian"] - 1e-6
+
+
+class TestCompressionClaim:
+    def test_three_orders_of_magnitude(self):
+        """Paper Section 2.3: 680 kB/day -> 384 bits is ~3 orders of magnitude."""
+        report = paper_example_report()
+        assert report.raw_bits_per_day / 8 / 1024 == pytest.approx(675.0, rel=0.02)
+        assert report.symbolic_bits_per_day == 384.0
+        assert 3.0 <= report.orders_of_magnitude <= 5.0
+
+
+class TestVectorConstructionClaims:
+    def test_day_vectors_have_uniform_length_despite_gaps(self, claim_dataset):
+        """Paper: "To have vectors of same size, raw values were also
+        aggregated" — every instance must have the same number of slots."""
+        for aggregation, slots in ((3600.0, 24), (900.0, 96)):
+            config = DayVectorConfig("median", aggregation, 8)
+            table = build_day_vectors(claim_dataset, config)
+            assert table.n_attributes == slots

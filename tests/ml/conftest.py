@@ -1,0 +1,76 @@
+"""Shared fixtures for the machine-learning substrate tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import Attribute, MLDataset
+
+
+def make_nominal_dataset(
+    n_per_class: int = 40, n_attributes: int = 6, n_categories: int = 4,
+    n_classes: int = 3, noise: float = 0.15, seed: int = 0,
+) -> MLDataset:
+    """Separable nominal data: class c prefers category (c + column) mod k."""
+    rng = np.random.default_rng(seed)
+    categories = [f"v{i}" for i in range(n_categories)]
+    attributes = [Attribute.nominal(f"a{i}", categories) for i in range(n_attributes)]
+    rows, labels = [], []
+    for klass in range(n_classes):
+        for _ in range(n_per_class):
+            row = []
+            for column in range(n_attributes):
+                if rng.random() < noise:
+                    row.append(rng.integers(0, n_categories))
+                else:
+                    row.append((klass + column) % n_categories)
+            rows.append(row)
+            labels.append(f"c{klass}")
+    return MLDataset(attributes, np.asarray(rows, dtype=float), labels)
+
+
+def make_numeric_dataset(
+    n_per_class: int = 40, n_attributes: int = 4, n_classes: int = 3,
+    spread: float = 1.0, seed: int = 0,
+) -> MLDataset:
+    """Separable numeric data: Gaussian blobs around class-specific means."""
+    rng = np.random.default_rng(seed)
+    attributes = [Attribute.numeric(f"x{i}") for i in range(n_attributes)]
+    rows, labels = [], []
+    for klass in range(n_classes):
+        centre = np.full(n_attributes, klass * 5.0)
+        for _ in range(n_per_class):
+            rows.append(centre + rng.normal(0, spread, size=n_attributes))
+            labels.append(f"c{klass}")
+    return MLDataset(attributes, np.asarray(rows), labels)
+
+
+@pytest.fixture()
+def nominal_data():
+    return make_nominal_dataset()
+
+@pytest.fixture()
+def numeric_data():
+    return make_numeric_dataset()
+
+@pytest.fixture()
+def mixed_data():
+    """Half nominal, half numeric attributes, separable classes."""
+    rng = np.random.default_rng(3)
+    categories = ["low", "mid", "high"]
+    attributes = [
+        Attribute.nominal("n0", categories),
+        Attribute.nominal("n1", categories),
+        Attribute.numeric("x0"),
+        Attribute.numeric("x1"),
+    ]
+    rows, labels = [], []
+    for klass in range(2):
+        for _ in range(50):
+            nominal = [klass if rng.random() > 0.2 else rng.integers(0, 3)
+                       for _ in range(2)]
+            numeric = rng.normal(klass * 3.0, 1.0, size=2)
+            rows.append(list(map(float, nominal)) + numeric.tolist())
+            labels.append(f"c{klass}")
+    return MLDataset(attributes, np.asarray(rows), labels)

@@ -1,0 +1,102 @@
+"""Unit tests for repro.ml.arff (Weka interoperability)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.ml import Attribute, MLDataset, from_arff, read_arff, to_arff, write_arff
+from .conftest import make_nominal_dataset, make_numeric_dataset
+
+
+class TestExport:
+    def test_header_declares_all_attributes(self, mixed_data):
+        text = to_arff(mixed_data, relation="mixed")
+        assert text.startswith("@relation mixed")
+        assert text.count("@attribute") == mixed_data.n_attributes + 1
+        assert "@attribute class {c0,c1}" in text
+        assert "@data" in text
+
+    def test_nominal_cells_use_category_names(self, nominal_data):
+        text = to_arff(nominal_data)
+        data_section = text.split("@data\n", 1)[1]
+        first_row = data_section.splitlines()[0]
+        assert first_row.endswith(",c0")
+        assert all(cell.startswith("v") or cell.startswith("c")
+                   for cell in first_row.split(","))
+
+    def test_quoting_of_special_names(self):
+        attributes = [Attribute.nominal("slot 0", ["low value", "high"])]
+        dataset = MLDataset(attributes, [[0.0]], ["house 1"])
+        text = to_arff(dataset)
+        assert "'slot 0'" in text
+        assert "'low value'" in text
+        assert "'house 1'" in text
+
+
+class TestRoundTrip:
+    def _assert_equal(self, a: MLDataset, b: MLDataset) -> None:
+        assert a.attributes == b.attributes
+        assert a.class_names == b.class_names
+        assert np.allclose(a.X, b.X)
+        assert np.array_equal(a.y, b.y)
+
+    def test_nominal_round_trip(self, nominal_data):
+        self._assert_equal(nominal_data, from_arff(to_arff(nominal_data)))
+
+    def test_numeric_round_trip(self, numeric_data):
+        self._assert_equal(numeric_data, from_arff(to_arff(numeric_data)))
+
+    def test_mixed_round_trip(self, mixed_data):
+        self._assert_equal(mixed_data, from_arff(to_arff(mixed_data)))
+
+    def test_quoted_round_trip(self):
+        attributes = [Attribute.nominal("slot 0", ["low value", "high"]),
+                      Attribute.numeric("power, W")]
+        dataset = MLDataset(attributes, [[0.0, 1.5], [1.0, 2.5]],
+                            ["house 1", "house 2"])
+        self._assert_equal(dataset, from_arff(to_arff(dataset)))
+
+    def test_file_round_trip(self, tmp_path, nominal_data):
+        path = write_arff(nominal_data, tmp_path / "data.arff")
+        loaded = read_arff(path)
+        self._assert_equal(nominal_data, loaded)
+
+    def test_day_vectors_round_trip(self, small_redd):
+        from repro.analytics import DayVectorConfig, build_day_vectors
+
+        vectors = build_day_vectors(small_redd, DayVectorConfig("median", 3600.0, 4))
+        self._assert_equal(vectors, from_arff(to_arff(vectors)))
+
+
+class TestParsingErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_arff(tmp_path / "absent.arff")
+
+    def test_no_attributes(self):
+        with pytest.raises(DatasetError):
+            from_arff("@relation x\n@data\n")
+
+    def test_numeric_class_rejected(self):
+        text = "@relation x\n@attribute a numeric\n@attribute class numeric\n@data\n1,2\n"
+        with pytest.raises(DatasetError):
+            from_arff(text)
+
+    def test_row_arity_checked(self):
+        text = ("@relation x\n@attribute a numeric\n@attribute class {p,q}\n"
+                "@data\n1.0,p,extra\n")
+        with pytest.raises(DatasetError):
+            from_arff(text)
+
+    def test_unsupported_attribute_type(self):
+        with pytest.raises(DatasetError):
+            from_arff("@relation x\n@attribute a string\n@attribute class {p}\n@data\n")
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = ("% comment\n\n@relation x\n@attribute a numeric\n"
+                "@attribute class {p,q}\n\n@data\n% another\n1.0,p\n")
+        dataset = from_arff(text)
+        assert len(dataset) == 1
+        assert dataset.label_of(0) == "p"

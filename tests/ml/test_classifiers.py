@@ -1,0 +1,199 @@
+"""Unit tests for the four Weka stand-in classifiers.
+
+Each classifier must (a) learn separable data well above chance, (b) handle
+nominal, numeric and mixed schemas, (c) refuse prediction before fitting and
+(d) reject mismatched schemas at prediction time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError, NotFittedError
+from repro.ml import (
+    Attribute,
+    DecisionTreeClassifier,
+    LogisticRegressionClassifier,
+    MLDataset,
+    NaiveBayesClassifier,
+    RandomForestClassifier,
+    accuracy,
+)
+from .conftest import make_nominal_dataset, make_numeric_dataset
+
+ALL_CLASSIFIERS = [
+    ("naive_bayes", lambda: NaiveBayesClassifier()),
+    ("j48", lambda: DecisionTreeClassifier()),
+    ("random_forest", lambda: RandomForestClassifier(n_trees=15, random_state=0)),
+    ("logistic", lambda: LogisticRegressionClassifier(n_iterations=200)),
+]
+
+
+@pytest.mark.parametrize("name,factory", ALL_CLASSIFIERS)
+class TestAllClassifiers:
+    def test_learns_nominal_data(self, name, factory, nominal_data):
+        model = factory().fit(nominal_data)
+        predictions = model.predict(nominal_data)
+        assert accuracy(nominal_data.y, predictions) > 0.9
+
+    def test_learns_numeric_data(self, name, factory, numeric_data):
+        model = factory().fit(numeric_data)
+        predictions = model.predict(numeric_data)
+        assert accuracy(numeric_data.y, predictions) > 0.9
+
+    def test_learns_mixed_data(self, name, factory, mixed_data):
+        model = factory().fit(mixed_data)
+        predictions = model.predict(mixed_data)
+        assert accuracy(mixed_data.y, predictions) > 0.85
+
+    def test_generalises_to_unseen_split(self, name, factory):
+        train = make_nominal_dataset(seed=1)
+        test = make_nominal_dataset(seed=2)
+        model = factory().fit(train)
+        predictions = model.predict(test)
+        assert accuracy(test.y, predictions) > 0.8
+
+    def test_unfitted_prediction_rejected(self, name, factory, nominal_data):
+        with pytest.raises(NotFittedError):
+            factory().predict(nominal_data)
+
+    def test_predict_labels_returns_class_names(self, name, factory, nominal_data):
+        model = factory().fit(nominal_data)
+        labels = model.predict_labels(nominal_data)
+        assert set(labels) <= set(nominal_data.class_names)
+        assert len(labels) == len(nominal_data)
+
+
+class TestNaiveBayes:
+    def test_predict_proba_rows_sum_to_one(self, mixed_data):
+        model = NaiveBayesClassifier().fit(mixed_data)
+        probabilities = model.predict_proba(mixed_data)
+        assert probabilities.shape == (len(mixed_data), 2)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_laplace_smoothing_handles_unseen_categories(self):
+        categories = ["a", "b", "c"]
+        attributes = [Attribute.nominal("f", categories)]
+        train = MLDataset(attributes, [[0.0], [0.0], [1.0], [1.0]],
+                          ["x", "x", "y", "y"])
+        model = NaiveBayesClassifier().fit(train)
+        # Category "c" never appeared during training; prediction must not fail.
+        test = MLDataset(attributes, [[2.0]], ["x"], class_names=["x", "y"])
+        assert model.predict(test).shape == (1,)
+
+    def test_schema_mismatch_rejected(self, nominal_data, numeric_data):
+        model = NaiveBayesClassifier().fit(nominal_data)
+        with pytest.raises(DatasetError):
+            model.predict(numeric_data)
+
+    def test_negative_laplace_rejected(self):
+        with pytest.raises(DatasetError):
+            NaiveBayesClassifier(laplace=-1.0)
+
+    def test_priors_influence_prediction_on_uninformative_data(self):
+        attributes = [Attribute.nominal("f", ["a"])]
+        rows = [[0.0]] * 10
+        labels = ["major"] * 8 + ["minor"] * 2
+        model = NaiveBayesClassifier().fit(MLDataset(attributes, rows, labels))
+        test = MLDataset(attributes, [[0.0]], ["major"], class_names=["major", "minor"])
+        assert model.predict_labels(test) == ["major"]
+
+
+class TestDecisionTree:
+    def test_tree_introspection(self, nominal_data):
+        model = DecisionTreeClassifier().fit(nominal_data)
+        assert model.depth >= 2
+        assert model.n_nodes >= 3
+
+    def test_max_depth_limits_tree(self, nominal_data):
+        stump = DecisionTreeClassifier(max_depth=2).fit(nominal_data)
+        deep = DecisionTreeClassifier().fit(nominal_data)
+        assert stump.depth <= 2
+        assert deep.depth >= stump.depth
+
+    def test_min_samples_split_validation(self):
+        with pytest.raises(DatasetError):
+            DecisionTreeClassifier(min_samples_split=1)
+
+    def test_single_class_data_gives_leaf(self):
+        attributes = [Attribute.numeric("x")]
+        data = MLDataset(attributes, [[1.0], [2.0], [3.0]], ["only"] * 3)
+        model = DecisionTreeClassifier().fit(data)
+        assert model.depth == 1
+        assert model.predict(data).tolist() == [0, 0, 0]
+
+    def test_empty_dataset_rejected(self):
+        attributes = [Attribute.numeric("x")]
+        empty = MLDataset(attributes, np.zeros((0, 1)), [], class_names=["a"])
+        with pytest.raises(DatasetError):
+            DecisionTreeClassifier().fit(empty)
+
+    def test_numeric_threshold_split_found(self):
+        attributes = [Attribute.numeric("x")]
+        rows = [[float(i)] for i in range(20)]
+        labels = ["low"] * 10 + ["high"] * 10
+        model = DecisionTreeClassifier().fit(MLDataset(attributes, rows, labels))
+        test = MLDataset(attributes, [[2.0], [17.0]], ["low", "high"],
+                         class_names=["high", "low"])
+        assert model.predict_labels(test) == ["low", "high"]
+
+
+class TestRandomForest:
+    def test_forest_beats_or_matches_single_tree_on_noisy_data(self):
+        train = make_nominal_dataset(noise=0.35, seed=10)
+        test = make_nominal_dataset(noise=0.35, seed=11)
+        tree_accuracy = accuracy(
+            test.y, DecisionTreeClassifier(random_state=1).fit(train).predict(test)
+        )
+        forest_accuracy = accuracy(
+            test.y,
+            RandomForestClassifier(n_trees=25, random_state=1).fit(train).predict(test),
+        )
+        assert forest_accuracy >= tree_accuracy - 0.05
+
+    def test_deterministic_given_seed(self, nominal_data):
+        a = RandomForestClassifier(n_trees=5, random_state=3).fit(nominal_data)
+        b = RandomForestClassifier(n_trees=5, random_state=3).fit(nominal_data)
+        assert np.array_equal(a.predict(nominal_data), b.predict(nominal_data))
+
+    def test_n_trees_validation(self):
+        with pytest.raises(DatasetError):
+            RandomForestClassifier(n_trees=0)
+
+    def test_trees_property_exposes_fitted_trees(self, nominal_data):
+        model = RandomForestClassifier(n_trees=7, random_state=0).fit(nominal_data)
+        assert len(model.trees) == 7
+
+    def test_predict_proba_shape(self, nominal_data):
+        model = RandomForestClassifier(n_trees=5, random_state=0).fit(nominal_data)
+        probabilities = model.predict_proba(nominal_data)
+        assert probabilities.shape == (len(nominal_data), 3)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+
+class TestLogisticRegression:
+    def test_probabilities_sum_to_one(self, numeric_data):
+        model = LogisticRegressionClassifier().fit(numeric_data)
+        probabilities = model.predict_proba(numeric_data)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(DatasetError):
+            LogisticRegressionClassifier(learning_rate=0.0)
+        with pytest.raises(DatasetError):
+            LogisticRegressionClassifier(n_iterations=0)
+        with pytest.raises(DatasetError):
+            LogisticRegressionClassifier(regularization=-1.0)
+
+    def test_regularisation_shrinks_confidence(self, numeric_data):
+        loose = LogisticRegressionClassifier(regularization=1e-6, n_iterations=300)
+        tight = LogisticRegressionClassifier(regularization=1.0, n_iterations=300)
+        p_loose = loose.fit(numeric_data).predict_proba(numeric_data).max(axis=1).mean()
+        p_tight = tight.fit(numeric_data).predict_proba(numeric_data).max(axis=1).mean()
+        assert p_tight < p_loose
+
+    def test_schema_mismatch_rejected(self, numeric_data, nominal_data):
+        model = LogisticRegressionClassifier().fit(numeric_data)
+        with pytest.raises(DatasetError):
+            model.predict(nominal_data)

@@ -1,0 +1,113 @@
+"""Unit tests for repro.ml.dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.ml import Attribute, MLDataset, train_test_split
+
+
+class TestAttribute:
+    def test_nominal_requires_categories(self):
+        with pytest.raises(DatasetError):
+            Attribute(name="a", kind="nominal")
+
+    def test_numeric_cannot_have_categories(self):
+        with pytest.raises(DatasetError):
+            Attribute(name="a", kind="numeric", categories=("x",))
+
+    def test_unknown_kind(self):
+        with pytest.raises(DatasetError):
+            Attribute(name="a", kind="ordinal")
+
+    def test_index_of(self):
+        attribute = Attribute.nominal("a", ["x", "y", "z"])
+        assert attribute.index_of("y") == 1
+        with pytest.raises(DatasetError):
+            attribute.index_of("w")
+
+    def test_constructors(self):
+        assert Attribute.numeric("n").kind == "numeric"
+        assert Attribute.nominal("m", ["a"]).n_categories == 1
+
+
+class TestMLDataset:
+    def test_basic_shape_checks(self):
+        attributes = [Attribute.numeric("x")]
+        with pytest.raises(DatasetError):
+            MLDataset(attributes, np.zeros((2, 2)), ["a", "b"])
+        with pytest.raises(DatasetError):
+            MLDataset(attributes, np.zeros((2, 1)), ["a"])
+        with pytest.raises(DatasetError):
+            MLDataset(attributes, np.zeros(3), ["a", "b", "c"])
+
+    def test_nominal_range_validation(self):
+        attributes = [Attribute.nominal("a", ["x", "y"])]
+        with pytest.raises(DatasetError):
+            MLDataset(attributes, [[2.0]], ["c"])
+        with pytest.raises(DatasetError):
+            MLDataset(attributes, [[0.5]], ["c"])
+
+    def test_class_names_derived_and_explicit(self, nominal_data):
+        assert nominal_data.class_names == ("c0", "c1", "c2")
+        attributes = [Attribute.numeric("x")]
+        dataset = MLDataset(attributes, [[1.0]], ["b"], class_names=["a", "b"])
+        assert dataset.n_classes == 2
+        assert dataset.y.tolist() == [1]
+
+    def test_unknown_label_rejected(self):
+        attributes = [Attribute.numeric("x")]
+        with pytest.raises(DatasetError):
+            MLDataset(attributes, [[1.0]], ["zzz"], class_names=["a", "b"])
+
+    def test_class_counts_and_label_of(self, nominal_data):
+        counts = nominal_data.class_counts()
+        assert counts.tolist() == [40, 40, 40]
+        assert nominal_data.label_of(0) == "c0"
+
+    def test_subset_preserves_schema_and_classes(self, nominal_data):
+        subset = nominal_data.subset([0, 1, 50])
+        assert len(subset) == 3
+        assert subset.class_names == nominal_data.class_names
+        assert subset.label_of(2) == nominal_data.label_of(50)
+
+    def test_shuffled_is_permutation(self, nominal_data, rng):
+        shuffled = nominal_data.shuffled(rng)
+        assert len(shuffled) == len(nominal_data)
+        assert sorted(shuffled.y.tolist()) == sorted(nominal_data.y.tolist())
+
+    def test_merge_requires_same_schema(self, nominal_data, numeric_data):
+        merged = nominal_data.merge(nominal_data)
+        assert len(merged) == 2 * len(nominal_data)
+        with pytest.raises(DatasetError):
+            nominal_data.merge(numeric_data)
+
+    def test_one_hot_expansion(self, mixed_data):
+        expanded = mixed_data.one_hot()
+        # 2 nominal attributes with 3 categories each + 2 numeric columns.
+        assert expanded.shape == (len(mixed_data), 8)
+        # One-hot blocks sum to 1 per instance per nominal attribute.
+        assert np.allclose(expanded[:, :3].sum(axis=1), 1.0)
+        assert np.allclose(expanded[:, 3:6].sum(axis=1), 1.0)
+
+
+class TestTrainTestSplit:
+    def test_stratified_split_preserves_proportions(self, nominal_data, rng):
+        train, test = train_test_split(nominal_data, test_fraction=0.25, rng=rng)
+        assert len(train) + len(test) == len(nominal_data)
+        for klass in range(3):
+            assert (test.y == klass).sum() == 10
+
+    def test_unstratified_split_sizes(self, nominal_data, rng):
+        train, test = train_test_split(
+            nominal_data, test_fraction=0.5, rng=rng, stratified=False
+        )
+        assert abs(len(test) - 60) <= 1
+
+    def test_invalid_fraction(self, nominal_data):
+        with pytest.raises(DatasetError):
+            train_test_split(nominal_data, test_fraction=0.0)
+        with pytest.raises(DatasetError):
+            train_test_split(nominal_data, test_fraction=1.0)

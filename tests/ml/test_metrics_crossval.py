@@ -1,0 +1,133 @@
+"""Unit tests for repro.ml.metrics and repro.ml.crossval."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.ml import (
+    NaiveBayesClassifier,
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    cross_validate,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    precision_recall_f1,
+    root_mean_squared_error,
+    stratified_folds,
+    weighted_f_measure,
+)
+from .conftest import make_nominal_dataset
+
+
+class TestClassificationMetrics:
+    def test_confusion_matrix_layout(self):
+        y_true = [0, 0, 1, 1, 2]
+        y_pred = [0, 1, 1, 1, 0]
+        matrix = confusion_matrix(y_true, y_pred)
+        assert matrix.shape == (3, 3)
+        assert matrix[0, 0] == 1 and matrix[0, 1] == 1
+        assert matrix[1, 1] == 2
+        assert matrix[2, 0] == 1
+
+    def test_perfect_prediction(self):
+        y = [0, 1, 2, 1, 0]
+        assert accuracy(y, y) == 1.0
+        assert weighted_f_measure(y, y) == 1.0
+
+    def test_all_wrong_prediction(self):
+        y_true = [0, 0, 1, 1]
+        y_pred = [1, 1, 0, 0]
+        assert accuracy(y_true, y_pred) == 0.0
+        assert weighted_f_measure(y_true, y_pred) == 0.0
+
+    def test_hand_computed_f_measure(self):
+        # Class 0: precision 2/3, recall 2/2 -> F1 = 0.8 (support 2)
+        # Class 1: precision 1/1, recall 1/2 -> F1 = 2/3 (support 2)
+        y_true = [0, 0, 1, 1]
+        y_pred = [0, 0, 0, 1]
+        scores = precision_recall_f1(y_true, y_pred)
+        assert scores["f1"][0] == pytest.approx(0.8)
+        assert scores["f1"][1] == pytest.approx(2.0 / 3.0)
+        assert weighted_f_measure(y_true, y_pred) == pytest.approx(0.5 * 0.8 + 0.5 * 2 / 3)
+
+    def test_missing_class_gets_zero_f1(self):
+        y_true = [0, 0, 1]
+        y_pred = [0, 0, 0]
+        scores = precision_recall_f1(y_true, y_pred, n_classes=2)
+        assert scores["f1"][1] == 0.0
+
+    def test_classification_report_bundle(self):
+        y_true = [0, 1, 1, 0]
+        y_pred = [0, 1, 0, 0]
+        report = classification_report(y_true, y_pred)
+        assert 0.0 < report.f_measure <= 1.0
+        assert report.accuracy == 0.75
+        assert report.confusion.shape == (2, 2)
+        assert "F-measure" in str(report)
+
+    def test_empty_and_mismatched_inputs_rejected(self):
+        with pytest.raises(DatasetError):
+            accuracy([], [])
+        with pytest.raises(DatasetError):
+            accuracy([1, 2], [1])
+
+
+class TestRegressionMetrics:
+    def test_mae_rmse_mape(self):
+        y_true = [100.0, 200.0, 300.0]
+        y_pred = [110.0, 190.0, 330.0]
+        assert mean_absolute_error(y_true, y_pred) == pytest.approx(50.0 / 3.0)
+        assert root_mean_squared_error(y_true, y_pred) == pytest.approx(
+            np.sqrt((100 + 100 + 900) / 3.0)
+        )
+        assert mean_absolute_percentage_error(y_true, y_pred) == pytest.approx(
+            (0.1 + 0.05 + 0.1) / 3.0
+        )
+
+    def test_perfect_forecast(self):
+        y = [5.0, 6.0]
+        assert mean_absolute_error(y, y) == 0.0
+        assert root_mean_squared_error(y, y) == 0.0
+
+
+class TestCrossValidation:
+    def test_stratified_folds_partition_all_instances(self, nominal_data, rng):
+        folds = stratified_folds(nominal_data, 10, rng)
+        assert len(folds) == 10
+        all_indices = np.concatenate(folds)
+        assert sorted(all_indices.tolist()) == list(range(len(nominal_data)))
+
+    def test_folds_are_class_balanced(self, nominal_data, rng):
+        folds = stratified_folds(nominal_data, 4, rng)
+        for fold in folds:
+            labels = nominal_data.y[fold]
+            counts = np.bincount(labels, minlength=3)
+            assert counts.max() - counts.min() <= 1
+
+    def test_too_many_folds_rejected(self, rng):
+        tiny = make_nominal_dataset(n_per_class=1, n_classes=2)
+        with pytest.raises(DatasetError):
+            stratified_folds(tiny, 10, rng)
+        with pytest.raises(DatasetError):
+            stratified_folds(tiny, 1, rng)
+
+    def test_cross_validate_scores_and_timing(self, nominal_data):
+        result = cross_validate(lambda: NaiveBayesClassifier(), nominal_data,
+                                n_folds=5, seed=1)
+        assert result.n_folds == 5
+        assert 0.8 < result.f_measure <= 1.0
+        assert len(result.fold_f_measures) == 5
+        assert result.fit_seconds > 0.0
+        assert result.predict_seconds > 0.0
+        assert result.total_seconds == pytest.approx(
+            result.fit_seconds + result.predict_seconds
+        )
+        assert "F-measure" in str(result)
+
+    def test_cross_validate_is_deterministic_given_seed(self, nominal_data):
+        a = cross_validate(lambda: NaiveBayesClassifier(), nominal_data, 5, seed=3)
+        b = cross_validate(lambda: NaiveBayesClassifier(), nominal_data, 5, seed=3)
+        assert a.f_measure == b.f_measure

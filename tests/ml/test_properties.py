@@ -1,0 +1,150 @@
+"""Property-based tests (hypothesis) for the ML substrate invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    Attribute,
+    MLDataset,
+    NaiveBayesClassifier,
+    accuracy,
+    confusion_matrix,
+    from_arff,
+    mean_absolute_error,
+    precision_recall_f1,
+    root_mean_squared_error,
+    to_arff,
+    weighted_f_measure,
+)
+
+label_arrays = st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=60)
+value_arrays = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=60,
+)
+
+#: Pairs of equally-long label / value lists (predictions aligned with truth).
+label_pairs = st.integers(min_value=1, max_value=60).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=n, max_size=n),
+        st.lists(st.integers(min_value=0, max_value=3), min_size=n, max_size=n),
+    )
+)
+value_pairs = st.integers(min_value=1, max_value=60).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                           allow_infinity=False), min_size=n, max_size=n),
+        st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                           allow_infinity=False), min_size=n, max_size=n),
+    )
+)
+
+
+class TestMetricProperties:
+    @given(y=label_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_perfect_prediction_scores_one(self, y):
+        assert accuracy(y, y) == 1.0
+        assert weighted_f_measure(y, y) == 1.0
+
+    @given(pair=label_pairs)
+    @settings(max_examples=60, deadline=None)
+    def test_scores_bounded(self, pair):
+        y_true, y_pred = pair
+        f = weighted_f_measure(y_true, y_pred)
+        a = accuracy(y_true, y_pred)
+        assert 0.0 <= f <= 1.0
+        assert 0.0 <= a <= 1.0
+
+    @given(pair=label_pairs)
+    @settings(max_examples=60, deadline=None)
+    def test_confusion_matrix_totals(self, pair):
+        y_true, y_pred = pair
+        matrix = confusion_matrix(y_true, y_pred)
+        assert matrix.sum() == len(y_true)
+        assert np.all(matrix >= 0)
+
+    @given(y_true=label_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_f1_zero_when_no_true_positives(self, y_true):
+        # Shift every label so no prediction is ever correct.
+        y_pred = [(t + 1) % 5 for t in y_true]
+        assert weighted_f_measure(y_true, y_pred) == 0.0
+        assert accuracy(y_true, y_pred) == 0.0
+
+    @given(values=value_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_regression_metrics_zero_on_identity(self, values):
+        assert mean_absolute_error(values, values) == 0.0
+        assert root_mean_squared_error(values, values) == 0.0
+
+    @given(pair=value_pairs)
+    @settings(max_examples=60, deadline=None)
+    def test_rmse_dominates_mae(self, pair):
+        y_true, y_pred = pair
+        assert root_mean_squared_error(y_true, y_pred) >= mean_absolute_error(
+            y_true, y_pred
+        ) - 1e-9
+
+
+def _dataset_strategy():
+    """Small random mixed-schema datasets with at least two classes."""
+    n_rows = st.integers(min_value=4, max_value=25)
+    n_nominal = st.integers(min_value=1, max_value=3)
+    n_numeric = st.integers(min_value=0, max_value=3)
+    return st.tuples(n_rows, n_nominal, n_numeric, st.integers(min_value=0, max_value=10_000))
+
+
+@given(shape=_dataset_strategy())
+@settings(max_examples=40, deadline=None)
+def test_arff_round_trip_property(shape):
+    n_rows, n_nominal, n_numeric, seed = shape
+    rng = np.random.default_rng(seed)
+    attributes = [
+        Attribute.nominal(f"n{i}", ("a", "b", "c")) for i in range(n_nominal)
+    ] + [Attribute.numeric(f"x{i}") for i in range(n_numeric)]
+    nominal_part = rng.integers(0, 3, size=(n_rows, n_nominal)).astype(float)
+    numeric_part = rng.normal(0.0, 100.0, size=(n_rows, n_numeric))
+    X = np.hstack([nominal_part, numeric_part]) if n_numeric else nominal_part
+    labels = [f"c{int(i)}" for i in rng.integers(0, 2, size=n_rows)]
+    labels[0] = "c0"
+    labels[-1] = "c1"
+    dataset = MLDataset(attributes, X, labels, class_names=["c0", "c1"])
+
+    restored = from_arff(to_arff(dataset))
+    assert restored.attributes == dataset.attributes
+    assert restored.class_names == dataset.class_names
+    assert np.allclose(restored.X, dataset.X)
+    assert np.array_equal(restored.y, dataset.y)
+
+
+@given(shape=_dataset_strategy())
+@settings(max_examples=30, deadline=None)
+def test_naive_bayes_predictions_always_valid(shape):
+    """Whatever the (small, random) training data, predictions are valid class
+    indices and probabilities sum to one."""
+    n_rows, n_nominal, n_numeric, seed = shape
+    rng = np.random.default_rng(seed)
+    attributes = [
+        Attribute.nominal(f"n{i}", ("a", "b", "c")) for i in range(n_nominal)
+    ] + [Attribute.numeric(f"x{i}") for i in range(n_numeric)]
+    nominal_part = rng.integers(0, 3, size=(n_rows, n_nominal)).astype(float)
+    numeric_part = rng.normal(0.0, 10.0, size=(n_rows, n_numeric))
+    X = np.hstack([nominal_part, numeric_part]) if n_numeric else nominal_part
+    labels = [f"c{int(i)}" for i in rng.integers(0, 2, size=n_rows)]
+    labels[0] = "c0"
+    labels[-1] = "c1"
+    dataset = MLDataset(attributes, X, labels, class_names=["c0", "c1"])
+
+    model = NaiveBayesClassifier().fit(dataset)
+    predictions = model.predict(dataset)
+    assert predictions.shape == (n_rows,)
+    assert set(predictions.tolist()) <= {0, 1}
+    probabilities = model.predict_proba(dataset)
+    assert np.allclose(probabilities.sum(axis=1), 1.0)
+    assert np.all(probabilities >= 0.0)

@@ -1,0 +1,92 @@
+"""Unit tests for repro.ml.svr (the raw-value forecasting baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError, NotFittedError
+from repro.ml import KernelSVR, LinearSVR, mean_absolute_error
+
+
+def _linear_problem(rng, n=120, d=4, noise=0.05):
+    X = rng.uniform(-1, 1, size=(n, d))
+    weights = np.array([2.0, -1.0, 0.5, 3.0][:d])
+    y = X @ weights + 5.0 + rng.normal(0, noise, size=n)
+    return X, y
+
+
+def _nonlinear_problem(rng, n=150):
+    X = rng.uniform(-2, 2, size=(n, 1))
+    y = np.sin(2.0 * X[:, 0]) * 10.0 + rng.normal(0, 0.2, size=n)
+    return X, y
+
+
+class TestLinearSVR:
+    def test_fits_linear_relationship(self, rng):
+        X, y = _linear_problem(rng)
+        model = LinearSVR(n_iterations=800, learning_rate=0.05)
+        predictions = model.fit(X, y).predict(X)
+        assert mean_absolute_error(y, predictions) < 0.5
+
+    def test_generalises(self, rng):
+        X, y = _linear_problem(rng, n=200)
+        model = LinearSVR(n_iterations=800, learning_rate=0.05).fit(X[:150], y[:150])
+        assert mean_absolute_error(y[150:], model.predict(X[150:])) < 0.8
+
+    def test_parameter_validation(self):
+        with pytest.raises(DatasetError):
+            LinearSVR(c=0.0)
+        with pytest.raises(DatasetError):
+            LinearSVR(epsilon=-0.1)
+
+    def test_shape_validation(self, rng):
+        model = LinearSVR()
+        with pytest.raises(DatasetError):
+            model.fit(rng.normal(size=(5, 2)), rng.normal(size=4))
+        with pytest.raises(DatasetError):
+            model.fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_unfitted_prediction_rejected(self, rng):
+        with pytest.raises(NotFittedError):
+            LinearSVR().predict(rng.normal(size=(3, 2)))
+
+
+class TestKernelSVR:
+    def test_rbf_fits_nonlinear_relationship(self, rng):
+        X, y = _nonlinear_problem(rng)
+        model = KernelSVR(kernel="rbf", gamma=2.0, n_iterations=600)
+        predictions = model.fit(X, y).predict(X)
+        assert mean_absolute_error(y, predictions) < 2.0
+
+    def test_rbf_beats_linear_on_nonlinear_data(self, rng):
+        X, y = _nonlinear_problem(rng)
+        rbf = KernelSVR(kernel="rbf", gamma=2.0, n_iterations=600).fit(X, y)
+        linear = LinearSVR(n_iterations=600).fit(X, y)
+        rbf_error = mean_absolute_error(y, rbf.predict(X))
+        linear_error = mean_absolute_error(y, linear.predict(X))
+        assert rbf_error < linear_error
+
+    def test_linear_kernel_option(self, rng):
+        X, y = _linear_problem(rng)
+        model = KernelSVR(kernel="linear", n_iterations=800)
+        predictions = model.fit(X, y).predict(X)
+        assert mean_absolute_error(y, predictions) < 1.5
+
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(DatasetError):
+            KernelSVR(kernel="poly")
+        with pytest.raises(DatasetError):
+            KernelSVR(c=-1.0)
+
+    def test_prediction_shape(self, rng):
+        X, y = _nonlinear_problem(rng, n=60)
+        model = KernelSVR(n_iterations=100).fit(X, y)
+        assert model.predict(X[:7]).shape == (7,)
+
+    def test_scale_invariance_of_target(self, rng):
+        # Internally standardised, so a target in kilowatts behaves like one
+        # in watts (relative errors comparable).
+        X, y = _linear_problem(rng)
+        watts = KernelSVR(n_iterations=400).fit(X, y * 1000.0).predict(X)
+        assert mean_absolute_error(y * 1000.0, watts) / 1000.0 < 1.0

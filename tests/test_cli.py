@@ -1,0 +1,69 @@
+"""Unit tests for the command-line interface (python -m repro)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def fast_args():
+    """Dataset arguments small enough for CLI tests to stay quick."""
+    return ["--days", "5", "--interval", "300", "--seed", "3"]
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for command in ("generate", "encode", "classify", "forecast",
+                        "compression", "export-arff"):
+            extra = ["--out", "x"] if command in ("generate", "export-arff") else []
+            args = parser.parse_args([command] + extra)
+            assert callable(args.handler)
+
+
+class TestCommands:
+    def test_generate_then_reuse(self, tmp_path, capsys, fast_args):
+        out = tmp_path / "redd"
+        assert main(["generate", "--out", str(out)] + fast_args) == 0
+        assert (out / "manifest.csv").exists()
+        # Re-use the persisted dataset through --data.
+        assert main(["encode", "--data", str(out), "--house", "1",
+                     "--alphabet", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "symbols" in output and "separators" in output
+
+    def test_encode_prints_symbols(self, capsys, fast_args):
+        assert main(["encode", "--house", "2", "--alphabet", "8",
+                     "--method", "uniform"] + fast_args) == 0
+        output = capsys.readouterr().out
+        assert "symbol entropy" in output
+
+    def test_classify_outputs_f_measure(self, capsys, fast_args):
+        assert main(["classify", "--encoding", "median", "--alphabet", "4",
+                     "--classifier", "naive_bayes", "--folds", "4"] + fast_args) == 0
+        output = capsys.readouterr().out
+        assert "f_measure" in output
+
+    def test_compression_table(self, capsys):
+        assert main(["compression", "--alphabet", "16", "--window", "900"]) == 0
+        output = capsys.readouterr().out
+        assert "ratio" in output
+
+    def test_export_arff(self, tmp_path, capsys, fast_args):
+        out = tmp_path / "vectors.arff"
+        assert main(["export-arff", "--encoding", "median", "--alphabet", "4",
+                     "--out", str(out)] + fast_args) == 0
+        text = out.read_text()
+        assert text.startswith("@relation")
+        assert "@data" in text
+
+    def test_error_paths_return_nonzero(self, capsys):
+        # Reading a dataset directory that does not exist is a ReproError.
+        assert main(["encode", "--data", "/nonexistent/path"]) == 1
+        assert "error:" in capsys.readouterr().err
