@@ -12,6 +12,7 @@ import pytest
 
 from repro.baselines import SAXEncoder
 from repro.core import LookupTable, OnlineEncoder, SymbolicEncoder, TimeSeries
+from repro.pipeline import FleetEncoder, LookupStage, Pipeline, RLEStage, VerticalStage
 
 
 @pytest.fixture(scope="module")
@@ -68,3 +69,50 @@ def test_sax_encode_one_day(benchmark, one_day_series):
     encoder = SAXEncoder(alphabet_size=16, segments=96)
     word = benchmark(lambda: encoder.transform(one_day_series))
     assert len(word) == 96
+
+
+def test_pipeline_batch_one_day(benchmark, one_day_series):
+    """The unified engine: vertical + lookup + RLE in one vectorized pass."""
+    table = LookupTable.fit(one_day_series.values, 16, method="median")
+    pipe = Pipeline([VerticalStage(900), LookupStage(table), RLEStage()])
+    runs = benchmark(lambda: pipe.run_batch(one_day_series.values))
+    assert runs[:, 1].sum() == 96
+
+
+def test_fleet_encode_1000_meters_shared_table(benchmark):
+    """1000 meters x 1 day at minutely sampling, one global table."""
+    rng = np.random.default_rng(1)
+    values = rng.lognormal(mean=np.log(250.0), sigma=0.8, size=(1000, 1440))
+    fleet = FleetEncoder(alphabet_size=16, method="median",
+                         window=15, shared_table=True)
+    fleet.fit(values)
+    indices = benchmark(lambda: fleet.encode(values))
+    assert indices.shape == (1000, 96)
+
+
+def test_fleet_encode_1000_meters_per_meter_tables(benchmark):
+    """Same fleet with one local table per meter (Fig. 7 comparison)."""
+    rng = np.random.default_rng(1)
+    values = rng.lognormal(mean=np.log(250.0), sigma=0.8, size=(1000, 1440))
+    fleet = FleetEncoder(alphabet_size=16, method="median",
+                         window=15, shared_table=False)
+    fleet.fit(values)
+    indices = benchmark(lambda: fleet.encode(values))
+    assert indices.shape == (1000, 96)
+
+
+def test_online_chunked_push_one_day(benchmark, one_day_series):
+    """The vectorized streaming path: one day pushed in 15-minute chunks."""
+    chunk = 900
+
+    def run():
+        encoder = OnlineEncoder(alphabet_size=16, window_seconds=900.0,
+                                bootstrap_seconds=3600.0)
+        for lo in range(0, len(one_day_series), chunk):
+            encoder.push_chunk(one_day_series.timestamps[lo:lo + chunk],
+                               one_day_series.values[lo:lo + chunk])
+        encoder.flush()
+        return encoder
+
+    encoder = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert encoder.is_bootstrapped

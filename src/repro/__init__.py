@@ -22,11 +22,16 @@ The package is organised as:
     The paper's two applications: household classification (customer
     segmentation) and symbolic load forecasting, plus privacy measures.
 
+``repro.pipeline``
+    The unified vectorized encoding engine: composable stages, the
+    batch/streaming :class:`Pipeline` and the fleet-scale
+    :class:`FleetEncoder` that batch and online encoders delegate to.
+
 ``repro.experiments``
     Reproduction harness for every table and figure of the evaluation.
 """
 
-from . import analytics, baselines, core, datasets, experiments, ml
+from . import analytics, baselines, core, datasets, experiments, ml, pipeline
 from .core import (
     BinaryAlphabet,
     LookupTable,
@@ -56,4 +61,5 @@ __all__ = [
     "datasets",
     "experiments",
     "ml",
+    "pipeline",
 ]

@@ -32,6 +32,7 @@ from ..datasets.base import MeterDataset
 from ..datasets.gaps import filter_days
 from ..errors import ExperimentError
 from ..ml.dataset import Attribute, MLDataset
+from ..pipeline import FleetEncoder
 
 __all__ = [
     "DayVectorConfig",
@@ -90,20 +91,21 @@ def day_slot_values(
     day_origin = float(day.timestamps[0]) - (float(day.timestamps[0]) % aggregation_seconds)
     slot_index = np.floor((day.timestamps - day_origin) / aggregation_seconds).astype(int)
     slot_index = np.clip(slot_index, 0, n_slots - 1)
-    values = np.full(n_slots, np.nan, dtype=np.float64)
-    for slot in range(n_slots):
-        mask = slot_index == slot
-        if np.any(mask):
-            values[slot] = float(day.values[mask].mean())
+    counts = np.bincount(slot_index, minlength=n_slots).astype(np.float64)
+    sums = np.bincount(slot_index, weights=day.values, minlength=n_slots)
+    with np.errstate(invalid="ignore"):
+        values = sums / counts  # empty slots become NaN (0/0)
     # Fill gaps with the nearest available slot (forward, then backward).
-    if np.any(np.isnan(values)):
-        valid = np.nonzero(~np.isnan(values))[0]
+    # Keyed on NaN, not on empty slots only: a slot whose readings contain a
+    # NaN has a NaN mean and must be filled exactly like an empty one.
+    missing = np.isnan(values)
+    if np.any(missing):
+        valid = np.nonzero(~missing)[0]
         if valid.size == 0:
             raise ExperimentError("day has no usable slots")
-        for slot in range(n_slots):
-            if np.isnan(values[slot]):
-                nearest = valid[np.argmin(np.abs(valid - slot))]
-                values[slot] = values[nearest]
+        slots = np.arange(n_slots)
+        nearest = valid[np.argmin(np.abs(valid[None, :] - slots[:, None]), axis=1)]
+        values[missing] = values[nearest[missing]]
     return values
 
 
@@ -165,23 +167,29 @@ def build_day_vectors(dataset: MeterDataset, config: DayVectorConfig) -> MLDatas
 
     rows: List[np.ndarray] = []
     labels: List[str] = []
+    row_tables: List[LookupTable] = []
     for house in dataset:
         table = tables.get(house.house_id)
         days = filter_days(house.mains, min_hours=config.min_hours)
         for day in days:
-            slots = day_slot_values(day, config.aggregation_seconds, n_slots)
-            if symbolic:
-                rows.append(table.indices_for_values(slots).astype(np.float64))
-            else:
-                rows.append(slots)
+            rows.append(day_slot_values(day, config.aggregation_seconds, n_slots))
             labels.append(house.name)
+            if symbolic:
+                row_tables.append(table)
 
     if not rows:
         raise ExperimentError(
             "no day vectors were produced; check gap filtering and dataset length"
         )
 
+    matrix = np.vstack(rows)
+
     if symbolic:
+        # One fleet-scale call symbolises every (house, day) row at once —
+        # against the single global table (shared searchsorted fast path) or
+        # each row against its own house's table.
+        fleet_tables = row_tables[0] if config.global_table else row_tables
+        matrix = FleetEncoder.from_tables(fleet_tables).encode(matrix).astype(np.float64)
         words = tuple(
             # Category names are the binary words of the alphabet; every house
             # shares the same alphabet even when tables differ.
@@ -194,4 +202,4 @@ def build_day_vectors(dataset: MeterDataset, config: DayVectorConfig) -> MLDatas
         attributes = [Attribute.numeric(f"slot_{i}") for i in range(n_slots)]
 
     class_names = sorted({label for label in labels})
-    return MLDataset(attributes, np.vstack(rows), labels, class_names=class_names)
+    return MLDataset(attributes, matrix, labels, class_names=class_names)

@@ -22,6 +22,7 @@ from scipy import stats as scipy_stats
 
 from ..errors import SegmentationError
 from ..core.timeseries import TimeSeries
+from ..pipeline.stages import LookupStage
 from .paa import paa
 
 __all__ = ["gaussian_breakpoints", "znormalize", "SAXEncoder", "SAXWord", "mindist"]
@@ -91,6 +92,14 @@ class SAXEncoder:
         self.segments = int(segments)
         self.normalize = bool(normalize)
         self._breakpoints = np.asarray(gaussian_breakpoints(alphabet_size))
+        # Quantisation is the same lookup stage the paper's encoder uses,
+        # just with Gaussian breakpoints instead of a learned table.
+        self._lookup = LookupStage(self._breakpoints)
+        # Centre of every quantile range, precomputed for vectorized decode;
+        # unbounded outer ranges reuse the nearest breakpoint +- 1.
+        lows = np.concatenate([[self._breakpoints[0] - 1.0], self._breakpoints])
+        highs = np.concatenate([self._breakpoints, [self._breakpoints[-1] + 1.0]])
+        self._centres = (lows + highs) / 2.0
 
     @property
     def breakpoints(self) -> List[float]:
@@ -106,8 +115,8 @@ class SAXEncoder:
             arr = znormalize(arr)
         if self.segments:
             arr = paa(arr, self.segments)
-        indices = np.searchsorted(self._breakpoints, arr, side="left")
-        return SAXWord(tuple(int(i) for i in indices), self.alphabet_size)
+        indices = self._lookup.run_batch(arr)
+        return SAXWord(tuple(indices.tolist()), self.alphabet_size)
 
     def transform(self, series: TimeSeries) -> SAXWord:
         """Encode a :class:`TimeSeries`."""
@@ -119,17 +128,8 @@ class SAXEncoder:
         Unbounded outer ranges reuse the nearest breakpoint, mirroring the
         behaviour of the lookup-table reconstruction in ``repro.core``.
         """
-        breakpoints = self._breakpoints
-        centres = []
-        for index in word.indices:
-            low = breakpoints[index - 1] if index > 0 else breakpoints[0] - 1.0
-            high = (
-                breakpoints[index]
-                if index < len(breakpoints)
-                else breakpoints[-1] + 1.0
-            )
-            centres.append((low + high) / 2.0)
-        return np.asarray(centres, dtype=np.float64)
+        indices = np.asarray(word.indices, dtype=np.int64)
+        return self._centres[indices]
 
 
 def mindist(

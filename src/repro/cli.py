@@ -27,6 +27,7 @@ from .datasets import generate_redd, read_dataset, write_dataset
 from .errors import ReproError
 from .experiments import compression_sweep, render_table
 from .ml.arff import write_arff
+from .pipeline import FleetEncoder, rle_encode
 
 __all__ = ["main", "build_parser"]
 
@@ -61,6 +62,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_encode(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args)
+    if args.all:
+        return _encode_fleet(dataset, args)
     series = dataset.mains(args.house)
     encoder = SymbolicEncoder(
         alphabet_size=args.alphabet,
@@ -74,6 +77,53 @@ def _cmd_encode(args: argparse.Namespace) -> int:
     print("first 48 symbols:", " ".join(encoded.words[:48]))
     print(f"symbol entropy: {encoded.entropy():.2f} bits "
           f"(max {encoder.table.alphabet.bits_per_symbol})")
+    return 0
+
+
+def _encode_fleet(dataset, args: argparse.Namespace) -> int:
+    """Encode every house in one vectorized FleetEncoder call."""
+    import numpy as np
+
+    houses = list(dataset)
+    n_samples = min(len(house.mains) for house in houses)
+    dropped = sum(len(house.mains) - n_samples for house in houses)
+    if dropped:
+        print(f"note: ragged series truncated to {n_samples} samples/meter "
+              f"({dropped} trailing samples dropped)")
+    matrix = np.vstack([house.mains.values[:n_samples] for house in houses])
+    # Window width in samples from the dataset's own sampling interval
+    # (``--interval`` only parameterises generation and is stale for --data).
+    intervals = [
+        float(np.median(np.diff(house.mains.timestamps)))
+        for house in houses if len(house.mains) > 1
+    ]
+    sampling = intervals[0] if intervals else 1.0
+    if intervals and max(intervals) > 1.5 * min(intervals):
+        print(f"note: per-house sampling intervals differ "
+              f"({min(intervals):g}-{max(intervals):g} s); count-based windows "
+              f"use {sampling:g} s, so window durations vary across meters")
+    window = max(1, int(round(args.window / sampling)))
+    fleet = FleetEncoder(
+        alphabet_size=args.alphabet,
+        method=args.method,
+        window=window,
+        shared_table=args.global_table,
+    )
+    indices = fleet.fit_encode(matrix)
+    rows = []
+    for house, house_indices in zip(houses, indices):
+        counts = np.bincount(house_indices, minlength=args.alphabet)
+        probs = counts[counts > 0] / counts.sum()
+        rows.append({
+            "house": house.house_id,
+            "symbols": int(house_indices.size),
+            "runs": int(rle_encode(house_indices).shape[0]),
+            "entropy_bits": float(-(probs * np.log2(probs)).sum()),
+        })
+    table_mode = "1 global table" if args.global_table else f"{len(houses)} per-meter tables"
+    print(f"fleet: {matrix.shape[0]} meters x {matrix.shape[1]} samples -> "
+          f"{indices.shape[1]} symbols/meter ({table_mode}, window {window} samples)")
+    print(render_table(rows, float_digits=2))
     return 0
 
 
@@ -151,6 +201,10 @@ def build_parser() -> argparse.ArgumentParser:
     encode.add_argument("--alphabet", type=int, default=8)
     encode.add_argument("--method", type=str, default="median")
     encode.add_argument("--window", type=float, default=900.0)
+    encode.add_argument("--all", action="store_true",
+                        help="encode every house in one vectorized fleet call")
+    encode.add_argument("--global-table", action="store_true",
+                        help="with --all: one shared table instead of per-meter")
     encode.set_defaults(handler=_cmd_encode)
 
     classify = subparsers.add_parser("classify", help="household classification")

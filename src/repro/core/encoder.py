@@ -159,8 +159,45 @@ class SymbolicEncoder:
             return series
         return self._segmenter.segment(series)
 
+    def as_pipeline(self, include_rle: bool = False) -> "Pipeline":
+        """The :class:`repro.pipeline.Pipeline` equivalent of this encoder.
+
+        Count-based vertical segmentation becomes a
+        :class:`~repro.pipeline.stages.VerticalStage`; the lookup table
+        becomes a :class:`~repro.pipeline.stages.LookupStage`.  Time-based
+        windows depend on timestamps, which the value pipeline does not see,
+        so a duration-configured encoder raises here rather than return a
+        pipeline whose output silently differs from :meth:`encode` —
+        :meth:`aggregate` first, or configure ``aggregation_count``.  Pass
+        ``include_rle=True`` to append the run-length compression stage.
+        """
+        from ..pipeline import LookupStage, Pipeline, RLEStage, VerticalStage
+
+        stages: list = []
+        if self._segmenter is not None:
+            if not self._segmenter.window_count:
+                raise SegmentationError(
+                    "time-based vertical segmentation cannot be expressed as "
+                    "a value pipeline; aggregate() the series first or use "
+                    "aggregation_count"
+                )
+            stages.append(
+                VerticalStage(
+                    self._segmenter.window_count, self._segmenter.aggregator
+                )
+            )
+        stages.append(LookupStage(self.table))
+        if include_rle:
+            stages.append(RLEStage())
+        return Pipeline(stages)
+
     def encode(self, series: TimeSeries) -> SymbolicSeries:
-        """Vertical + horizontal segmentation of ``series``."""
+        """Vertical + horizontal segmentation of ``series``.
+
+        Delegates to the vectorized pipeline kernels: aggregation first
+        (which also resolves timestamps), then one array lookup — no
+        per-value Python objects are created.
+        """
         table = self.table  # raises NotFittedError when unfitted
         aggregated = self.aggregate(series)
         return horizontal_segment(aggregated, table)
@@ -169,8 +206,18 @@ class SymbolicEncoder:
         self, values: Union[Sequence[float], np.ndarray]
     ) -> SymbolicSeries:
         """Encode already-aggregated values sampled at an implicit 1-unit rate."""
-        series = TimeSeries.regular(np.asarray(values, dtype=np.float64))
-        return horizontal_segment(series, self.table)
+        from ..pipeline import LookupStage
+
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 1:
+            raise SegmentationError(
+                f"encode_values expects a 1-D array, got shape {arr.shape}"
+            )
+        indices = LookupStage(self.table).run_batch(arr)
+        return SymbolicSeries.from_indices(
+            np.arange(arr.shape[0], dtype=np.float64), indices, self.table,
+            copy=False,
+        )
 
     def decode(self, symbolic: SymbolicSeries) -> TimeSeries:
         """Reconstruct an approximate real-valued series from symbols."""

@@ -5,11 +5,18 @@ time series using a :class:`~repro.core.lookup.LookupTable`.  The result is a
 :class:`SymbolicSeries`, which keeps the timestamps so that the symbolic data
 can still be sliced into days, fed to classifiers, or decoded back into an
 (approximate) real-valued series.
+
+Since the :mod:`repro.pipeline` refactor a :class:`SymbolicSeries` is backed
+by an ``int64`` *index array* (the raw output of the pipeline's lookup
+stage); :class:`~repro.core.alphabet.Symbol` objects are flyweights
+materialised lazily only when a caller actually asks for them.  Slicing,
+decoding, histograms and resolution changes therefore run as NumPy array
+operations end-to-end.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -26,10 +33,13 @@ class SymbolicSeries:
 
     Instances are produced by :func:`horizontal_segment` or by
     :class:`repro.core.encoder.SymbolicEncoder`; they remember the lookup
-    table that produced them so they can decode themselves.
+    table that produced them so they can decode themselves.  Internally the
+    symbols are stored as a read-only index array; use
+    :meth:`from_indices` to build a series straight from pipeline output
+    without materialising any :class:`Symbol` objects.
     """
 
-    __slots__ = ("_timestamps", "_symbols", "_table", "name")
+    __slots__ = ("_timestamps", "_indices", "_symbol_cache", "_table", "name")
 
     def __init__(
         self,
@@ -38,49 +48,104 @@ class SymbolicSeries:
         table: LookupTable,
         name: str = "",
     ) -> None:
-        ts = np.asarray(timestamps, dtype=np.float64)
-        if ts.shape[0] != len(symbols):
-            raise SegmentationError(
-                f"length mismatch: {ts.shape[0]} timestamps vs {len(symbols)} symbols"
-            )
-        if ts.shape[0] > 1 and np.any(np.diff(ts) < 0):
-            raise SegmentationError("timestamps must be non-decreasing")
         depth = table.alphabet.depth
         for sym in symbols:
             if sym.depth != depth:
                 raise SegmentationError(
                     f"symbol {sym.word!r} has depth {sym.depth}, expected {depth}"
                 )
+        indices = np.fromiter(
+            (sym.index for sym in symbols), dtype=np.int64, count=len(symbols)
+        )
+        self._init_from_indices(timestamps, indices, table, name)
+        self._symbol_cache = tuple(symbols)
+
+    # -- fast construction -----------------------------------------------------
+
+    @classmethod
+    def from_indices(
+        cls,
+        timestamps: Sequence[float],
+        indices: Union[Sequence[int], np.ndarray],
+        table: LookupTable,
+        name: str = "",
+        copy: bool = True,
+    ) -> "SymbolicSeries":
+        """Build a series directly from a symbol-index array (pipeline output).
+
+        This is the vectorized constructor: indices are range-checked as one
+        array comparison and no :class:`Symbol` objects are created until
+        :attr:`symbols` (or iteration) is first used.  The series freezes its
+        index array; by default an aliased writable input is copied so the
+        caller's own buffer stays writable — pass ``copy=False`` to hand the
+        array over when it will not be reused.
+        """
+        series = cls.__new__(cls)
+        arr = np.asarray(indices, dtype=np.int64)
+        if arr.size and (arr.min() < 0 or arr.max() >= table.size):
+            raise SegmentationError(
+                f"symbol indices out of range for alphabet of size {table.size}"
+            )
+        if copy and arr is indices and arr.flags.writeable:
+            # Don't freeze the caller's own (aliased) buffer in place.
+            arr = arr.copy()
+        series._init_from_indices(timestamps, arr, table, name)
+        series._symbol_cache = None
+        return series
+
+    def _init_from_indices(
+        self,
+        timestamps: Sequence[float],
+        indices: np.ndarray,
+        table: LookupTable,
+        name: str,
+    ) -> None:
+        ts = np.asarray(timestamps, dtype=np.float64)
+        if ts.shape[0] != indices.shape[0]:
+            raise SegmentationError(
+                f"length mismatch: {ts.shape[0]} timestamps vs "
+                f"{indices.shape[0]} symbols"
+            )
+        if ts.shape[0] > 1 and np.any(np.diff(ts) < 0):
+            raise SegmentationError("timestamps must be non-decreasing")
         ts.setflags(write=False)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        indices.setflags(write=False)
         self._timestamps = ts
-        self._symbols: Tuple[Symbol, ...] = tuple(symbols)
+        self._indices = indices
         self._table = table
         self.name = name
+
+    def _slice(self, timestamps: np.ndarray, indices: np.ndarray) -> "SymbolicSeries":
+        """Internal trusted constructor for already-validated subsets."""
+        series = SymbolicSeries.__new__(SymbolicSeries)
+        series._init_from_indices(timestamps, indices, self._table, self.name)
+        series._symbol_cache = None
+        return series
 
     # -- protocol -------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._symbols)
+        return int(self._indices.shape[0])
 
     def __iter__(self) -> Iterator[Tuple[float, Symbol]]:
-        return iter(zip(self._timestamps, self._symbols))
+        return iter(zip(self._timestamps, self.symbols))
 
     def __getitem__(self, index: Union[int, slice]):
         if isinstance(index, slice):
-            return SymbolicSeries(
-                self._timestamps[index],
-                self._symbols[index],
-                self._table,
-                name=self.name,
-            )
-        return (float(self._timestamps[index]), self._symbols[index])
+            return self._slice(self._timestamps[index], self._indices[index])
+        return (
+            float(self._timestamps[index]),
+            self._table.alphabet.symbol(int(self._indices[index])),
+        )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SymbolicSeries):
             return NotImplemented
         return (
-            np.array_equal(self._timestamps, other._timestamps)
-            and self._symbols == other._symbols
+            self.alphabet.depth == other.alphabet.depth
+            and np.array_equal(self._timestamps, other._timestamps)
+            and np.array_equal(self._indices, other._indices)
         )
 
     def __repr__(self) -> str:
@@ -96,18 +161,24 @@ class SymbolicSeries:
 
     @property
     def symbols(self) -> Tuple[Symbol, ...]:
-        """The symbols in time order."""
-        return self._symbols
+        """The symbols in time order (flyweights, materialised lazily)."""
+        if self._symbol_cache is None:
+            self._symbol_cache = tuple(
+                self._table.symbols_for_indices(self._indices)
+            )
+        return self._symbol_cache
 
     @property
     def words(self) -> List[str]:
         """The symbols as binary strings, e.g. ``['010', '110', ...]``."""
-        return [s.word for s in self._symbols]
+        word_array = np.empty(self._table.size, dtype=object)
+        word_array[:] = self.alphabet.words
+        return word_array[self._indices].tolist()
 
     @property
     def indices(self) -> np.ndarray:
-        """The symbols as integer subrange indices (useful for ML features)."""
-        return np.asarray([s.index for s in self._symbols], dtype=np.int64)
+        """The symbols as integer subrange indices (read-only array)."""
+        return self._indices
 
     @property
     def table(self) -> LookupTable:
@@ -131,7 +202,7 @@ class SymbolicSeries:
 
     def decode(self) -> TimeSeries:
         """Reconstruct an approximate real-valued series (symbol -> value)."""
-        values = self._table.values_for_symbols(self._symbols)
+        values = self._table.values_for_indices(self._indices)
         return TimeSeries(self._timestamps, values, name=self.name)
 
     # -- resolution changes -------------------------------------------------------
@@ -141,10 +212,10 @@ class SymbolicSeries:
 
         Because separators of the coarser table are a subset only in the
         uniform recursive construction, demotion here is purely symbolic:
-        each word is truncated, and the coarser table keeps every other
-        separator of the current one.  This mirrors the paper's claim that
-        "higher resolution symbols can easily be converted to lower
-        resolution".
+        each word is truncated (an index right-shift), and the coarser table
+        keeps every other separator of the current one.  This mirrors the
+        paper's claim that "higher resolution symbols can easily be converted
+        to lower resolution".
         """
         target = BinaryAlphabet(alphabet_size)
         if target.depth > self.alphabet.depth:
@@ -152,18 +223,17 @@ class SymbolicSeries:
         step = 2 ** (self.alphabet.depth - target.depth)
         new_separators = self._table.separators[step - 1::step]
         new_table = LookupTable(target, new_separators)
-        new_symbols = [s.demote(target.depth) for s in self._symbols]
-        return SymbolicSeries(self._timestamps, new_symbols, new_table, name=self.name)
+        new_indices = self._indices >> (self.alphabet.depth - target.depth)
+        return SymbolicSeries.from_indices(
+            self._timestamps, new_indices, new_table, name=self.name, copy=False
+        )
 
     # -- slicing helpers ------------------------------------------------------------
 
     def between(self, start: float, end: float) -> "SymbolicSeries":
         """Sub-series with ``start <= timestamp < end``."""
         mask = (self._timestamps >= start) & (self._timestamps < end)
-        symbols = [s for s, keep in zip(self._symbols, mask) if keep]
-        return SymbolicSeries(
-            self._timestamps[mask], symbols, self._table, name=self.name
-        )
+        return self._slice(self._timestamps[mask], self._indices[mask])
 
     def split_days(self, day_length: float = SECONDS_PER_DAY) -> List["SymbolicSeries"]:
         """Split into day-long chunks aligned to the first timestamp."""
@@ -176,22 +246,17 @@ class SymbolicSeries:
             mask = day_index == day
             if not np.any(mask):
                 continue
-            symbols = [s for s, keep in zip(self._symbols, mask) if keep]
-            out.append(
-                SymbolicSeries(
-                    self._timestamps[mask], symbols, self._table, name=self.name
-                )
-            )
+            out.append(self._slice(self._timestamps[mask], self._indices[mask]))
         return out
 
     # -- statistics ------------------------------------------------------------------
 
     def symbol_counts(self) -> dict:
         """Histogram ``{word: count}`` over the alphabet (zero-filled)."""
-        counts = {word: 0 for word in self.alphabet.words}
-        for sym in self._symbols:
-            counts[sym.word] += 1
-        return counts
+        counts = np.bincount(self._indices, minlength=self._table.size)
+        return {
+            word: int(count) for word, count in zip(self.alphabet.words, counts)
+        }
 
     def entropy(self) -> float:
         """Shannon entropy (bits) of the empirical symbol distribution.
@@ -201,7 +266,9 @@ class SymbolicSeries:
         """
         if len(self) == 0:
             return 0.0
-        counts = np.asarray(list(self.symbol_counts().values()), dtype=np.float64)
+        counts = np.bincount(self._indices, minlength=self._table.size).astype(
+            np.float64
+        )
         probs = counts[counts > 0] / counts.sum()
         return float(-(probs * np.log2(probs)).sum())
 
@@ -209,8 +276,14 @@ class SymbolicSeries:
 def horizontal_segment(
     series: TimeSeries, table: LookupTable, name: str = ""
 ) -> SymbolicSeries:
-    """Apply Definition 3: map every value of ``series`` to its symbol."""
-    symbols = table.symbols_for_values(series.values)
-    return SymbolicSeries(
-        series.timestamps, symbols, table, name=name or series.name
+    """Apply Definition 3: map every value of ``series`` to its symbol.
+
+    Delegates to the vectorized lookup (the pipeline's
+    :class:`~repro.pipeline.stages.LookupStage` kernel): one
+    ``np.searchsorted`` produces the index array and no per-value
+    :class:`Symbol` objects are created.
+    """
+    indices = table.indices_for_values(series.values)
+    return SymbolicSeries.from_indices(
+        series.timestamps, indices, table, name=name or series.name, copy=False
     )

@@ -78,6 +78,14 @@ class LookupTable:
                     f"expected {len(alphabet)} reconstruction values, got {len(recon)}"
                 )
         self._reconstruction = recon
+        # Cached array forms so the hot encode/decode paths never re-allocate
+        # per call (the per-call np.asarray dominated the seed profile).
+        self._separator_array = np.asarray(seps, dtype=np.float64)
+        self._separator_array.setflags(write=False)
+        self._reconstruction_array = np.asarray(recon, dtype=np.float64)
+        self._reconstruction_array.setflags(write=False)
+        self._symbol_array = np.empty(len(alphabet), dtype=object)
+        self._symbol_array[:] = alphabet.symbols
 
     # -- construction --------------------------------------------------------
 
@@ -153,9 +161,19 @@ class LookupTable:
         return list(self._separators)
 
     @property
+    def separator_array(self) -> np.ndarray:
+        """The separators as a cached read-only ``float64`` array."""
+        return self._separator_array
+
+    @property
     def reconstruction_values(self) -> List[float]:
         """Representative real value of every symbol (length ``k``)."""
         return list(self._reconstruction)
+
+    @property
+    def reconstruction_array(self) -> np.ndarray:
+        """The reconstruction values as a cached read-only ``float64`` array."""
+        return self._reconstruction_array
 
     @property
     def size(self) -> int:
@@ -189,17 +207,37 @@ class LookupTable:
         return self._alphabet.symbol(self.index_for_value(value))
 
     def indices_for_values(self, values: Union[Sequence[float], np.ndarray]) -> np.ndarray:
-        """Vectorised :meth:`index_for_value` over an array."""
+        """Vectorised :meth:`index_for_value` over an array (any shape)."""
         arr = np.asarray(values, dtype=np.float64)
         if np.any(np.isnan(arr)):
             raise LookupTableError("cannot encode NaN; drop missing values first")
-        return np.searchsorted(np.asarray(self._separators), arr, side="left")
+        return np.searchsorted(self._separator_array, arr, side="left")
 
     def symbols_for_values(
         self, values: Union[Sequence[float], np.ndarray]
     ) -> List[Symbol]:
-        """Vectorised :meth:`symbol_for_value`."""
-        return [self._alphabet.symbol(int(i)) for i in self.indices_for_values(values)]
+        """Vectorised :meth:`symbol_for_value` (one gather, no per-value calls)."""
+        return self.symbols_for_indices(self.indices_for_values(values))
+
+    def symbols_for_indices(
+        self, indices: Union[Sequence[int], np.ndarray]
+    ) -> List[Symbol]:
+        """Materialise :class:`Symbol` objects for an index array.
+
+        The symbols are the alphabet's flyweights gathered by a single index
+        array, so the cost is one NumPy take regardless of alphabet size.
+        """
+        return self._symbol_array[self._checked_indices(indices)].tolist()
+
+    def _checked_indices(self, indices: Union[Sequence[int], np.ndarray]) -> np.ndarray:
+        """Range-check an index array (rejects NumPy negative wraparound)."""
+        arr = np.asarray(indices, dtype=np.int64)
+        if arr.size and (arr.min() < 0 or arr.max() >= len(self._alphabet)):
+            raise LookupTableError(
+                f"symbol indices out of range for alphabet of size "
+                f"{len(self._alphabet)}"
+            )
+        return arr
 
     # -- decoding ----------------------------------------------------------------
 
@@ -219,6 +257,17 @@ class LookupTable:
     def values_for_symbols(self, symbols: Iterable[Symbol]) -> np.ndarray:
         """Vectorised :meth:`value_for_symbol`."""
         return np.asarray([self.value_for_symbol(s) for s in symbols], dtype=np.float64)
+
+    def values_for_indices(
+        self, indices: Union[Sequence[int], np.ndarray]
+    ) -> np.ndarray:
+        """Reconstruction values gathered by index array (any shape).
+
+        This is the decode fast path used by
+        :class:`~repro.core.horizontal.SymbolicSeries` and the fleet encoder:
+        one NumPy take instead of a per-symbol Python loop.
+        """
+        return self._reconstruction_array[self._checked_indices(indices)]
 
     # -- serialisation -------------------------------------------------------------
 

@@ -173,6 +173,11 @@ class VerticalSegmenter:
         """Window length in samples (0 when configured by duration)."""
         return self._count
 
+    @property
+    def aggregator(self) -> Aggregator:
+        """The resolved aggregation callable."""
+        return self._aggregator
+
     def segment(self, series: TimeSeries) -> TimeSeries:
         """Apply the configured vertical segmentation to ``series``."""
         if self._count:

@@ -5,6 +5,12 @@ as aligned text tables (the closest offline analogue of the paper's figures)
 and provides a tiny orchestration helper that runs a grid of classification
 cells while reusing day vectors across classifiers, like the paper's Weka
 runs reuse one ARFF file per configuration.
+
+Day-vector symbolisation is delegated to the vectorized
+:class:`repro.pipeline.FleetEncoder` (one call per configuration encodes
+every (house, day) row at once — see
+:func:`repro.analytics.vectors.build_day_vectors`), so grid cells spend
+their time in the classifiers, not in per-value encoding loops.
 """
 
 from __future__ import annotations

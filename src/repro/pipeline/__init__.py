@@ -1,0 +1,64 @@
+"""Unified vectorized encoding pipeline (batch *and* streaming).
+
+This subpackage is the single implementation of the paper's sensor-side
+pipeline, shared by :class:`repro.core.encoder.SymbolicEncoder` (batch),
+:class:`repro.core.streaming.OnlineEncoder` (online) and the baselines.  It
+decomposes encoding into composable stages, each of which maps directly onto
+one definition of the paper:
+
+:class:`VerticalStage` — **Definition 2** (vertical segmentation ``VA(S, n)``)
+    Collapses every ``n`` consecutive raw samples into one aggregated value
+    (average by default; sum / max / min / median are also supported).  The
+    batch path reshapes the value array into ``(windows, n)`` and reduces
+    along the window axis; the streaming path carries the partially-filled
+    trailing window between chunks.
+
+:class:`LookupStage` — **Definition 3** (horizontal segmentation / lookup table)
+    Quantises aggregated values into symbol *indices* with a single
+    ``np.searchsorted`` over the separators ``B`` of a
+    :class:`~repro.core.lookup.LookupTable` (or a raw breakpoint array, which
+    is how the SAX baseline reuses the stage).  No per-value Python objects
+    are created: symbols stay an ``int64`` index array until a caller
+    explicitly materialises :class:`~repro.core.alphabet.Symbol` objects.
+
+:class:`RLEStage` — **Definition 4** (horizontal compression)
+    Run-length encodes the symbol-index stream into ``(symbol, count)``
+    pairs, the paper's "sequence of pairs" compression of constant stretches
+    (standby periods compress by orders of magnitude).  The streaming path
+    keeps the open trailing run between chunks so chunk boundaries never
+    split a run.
+
+A :class:`Pipeline` composes stages and runs them in two modes that are
+guaranteed to produce byte-identical outputs:
+
+* :meth:`Pipeline.run_batch` — one fully-vectorized pass over a value array;
+* :meth:`Pipeline.run_stream` — repeated chunked calls with carried state,
+  terminated by :meth:`Pipeline.flush`.
+
+On top of the stages, :class:`FleetEncoder` encodes a whole fleet — a 2-D
+array of ``N`` meters × ``T`` samples — in one call, with either one shared
+(global) lookup table or one table per meter, matching the paper's
+global-vs-local table comparison (Fig. 7 / the "+" columns of Table 1).
+"""
+
+from .stages import (
+    LookupStage,
+    RLEStage,
+    Stage,
+    VerticalStage,
+    rle_decode,
+    rle_encode,
+)
+from .pipeline import Pipeline
+from .fleet import FleetEncoder
+
+__all__ = [
+    "Stage",
+    "VerticalStage",
+    "LookupStage",
+    "RLEStage",
+    "Pipeline",
+    "FleetEncoder",
+    "rle_encode",
+    "rle_decode",
+]

@@ -41,6 +41,16 @@ class TestDaySlotValues:
         assert slots[5] == pytest.approx(100.0)   # nearest is slot 0
         assert slots[20] == pytest.approx(500.0)  # nearest is slot 23
 
+    def test_nan_reading_filled_like_a_gap(self):
+        # A NaN reading poisons its slot's mean; the slot must be filled
+        # from the nearest valid slot, exactly like an empty slot.
+        values = np.full(1440, 100.0)
+        values[90] = np.nan  # inside slot 1
+        day = TimeSeries.regular(values, interval=60.0)
+        slots = day_slot_values(day, 3600.0, 24)
+        assert not np.any(np.isnan(slots))
+        assert slots[1] == pytest.approx(100.0)
+
     def test_empty_day_rejected(self):
         with pytest.raises(ExperimentError):
             day_slot_values(TimeSeries.empty(), 3600.0, 24)

@@ -97,6 +97,18 @@ class TestDecoding:
         assert table4.value_for_symbol(coarse) == table4.reconstruction_values[0]
         assert table4.value_for_symbol(fine) == table4.reconstruction_values[0]
 
+    def test_index_gathers_reject_out_of_range(self, table4):
+        # Negative indices must not wrap to the highest symbol.
+        with pytest.raises(LookupTableError):
+            table4.values_for_indices([-1, 0])
+        with pytest.raises(LookupTableError):
+            table4.values_for_indices([0, 4])
+        with pytest.raises(LookupTableError):
+            table4.symbols_for_indices([-1])
+        assert table4.values_for_indices([0, 3]).tolist() == [
+            table4.reconstruction_values[0], table4.reconstruction_values[3],
+        ]
+
 
 class TestSerialisation:
     def test_dict_round_trip(self, table4):

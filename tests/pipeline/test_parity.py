@@ -1,0 +1,159 @@
+"""Batch/stream parity: the pipeline's central guarantee.
+
+Property-style tests over seeded random data: for random alphabet sizes,
+aggregation windows, aggregators and *random chunkings* of the input, the
+concatenation of ``run_stream`` outputs plus ``flush`` must be byte-identical
+to ``run_batch`` on the whole array.  The same guarantee is asserted for the
+``OnlineEncoder`` chunk path against its per-sample ``push`` loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LookupTable, OnlineEncoder, SymbolicEncoder, TimeSeries
+from repro.pipeline import LookupStage, Pipeline, RLEStage, VerticalStage
+
+ALPHABET_SIZES = (2, 4, 8, 16)
+WINDOWS = (1, 2, 5, 7, 16, 60)
+AGGREGATORS = ("average", "sum", "max", "min", "median")
+
+
+def random_chunks(rng: np.random.Generator, n: int):
+    """Split ``range(n)`` at random cut points (possibly empty chunks)."""
+    n_cuts = int(rng.integers(0, 8))
+    cuts = np.sort(rng.integers(0, n + 1, size=n_cuts))
+    bounds = np.concatenate([[0], cuts, [n]])
+    return [(int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:])]
+
+
+def lognormal_values(rng: np.random.Generator, n: int) -> np.ndarray:
+    return rng.lognormal(mean=np.log(250.0), sigma=0.8, size=n)
+
+
+class TestPipelineParity:
+    @pytest.mark.parametrize("trial", range(25))
+    def test_stream_concatenation_equals_batch(self, trial):
+        rng = np.random.default_rng(1000 + trial)
+        n = int(rng.integers(1, 2000))
+        values = lognormal_values(rng, n)
+        alphabet_size = int(rng.choice(ALPHABET_SIZES))
+        window = int(rng.choice(WINDOWS))
+        aggregator = str(rng.choice(AGGREGATORS))
+        with_rle = bool(rng.integers(0, 2))
+
+        table = LookupTable.fit(values, alphabet_size, method="median")
+        stages = []
+        if window > 1:
+            stages.append(VerticalStage(window, aggregator))
+        stages.append(LookupStage(table))
+        if with_rle:
+            stages.append(RLEStage())
+        pipe = Pipeline(stages)
+
+        batch = pipe.run_batch(values)
+
+        pipe.reset()
+        pieces = []
+        for lo, hi in random_chunks(rng, n):
+            pieces.append(pipe.run_stream(values[lo:hi]))
+        pieces.append(pipe.flush())
+        streamed = np.concatenate([p for p in pieces if p.shape[0]] or pieces[:1])
+
+        np.testing.assert_array_equal(batch, streamed)
+        assert batch.dtype == streamed.dtype
+
+    @pytest.mark.parametrize("window", WINDOWS)
+    def test_single_value_chunks_equal_batch(self, window):
+        """The extreme chunking: one value at a time."""
+        rng = np.random.default_rng(window)
+        values = lognormal_values(rng, 300)
+        table = LookupTable.fit(values, 8, method="median")
+        stages = [LookupStage(table), RLEStage()]
+        if window > 1:
+            stages = [VerticalStage(window)] + stages
+        pipe = Pipeline(stages)
+        batch = pipe.run_batch(values)
+        pipe.reset()
+        pieces = [pipe.run_stream(values[i:i + 1]) for i in range(values.size)]
+        pieces.append(pipe.flush())
+        streamed = np.concatenate([p for p in pieces if p.shape[0]])
+        np.testing.assert_array_equal(batch, streamed)
+
+    def test_keep_partial_parity(self):
+        rng = np.random.default_rng(99)
+        values = lognormal_values(rng, 101)  # 101 % 4 != 0 -> partial window
+        table = LookupTable.fit(values, 4, method="median")
+        pipe = Pipeline([VerticalStage(4, keep_partial=True), LookupStage(table)])
+        batch = pipe.run_batch(values)
+        assert batch.shape[0] == 26  # 25 full windows + flushed partial
+        pipe.reset()
+        pieces = [pipe.run_stream(chunk) for chunk in np.array_split(values, 13)]
+        pieces.append(pipe.flush())
+        streamed = np.concatenate([p for p in pieces if p.shape[0]])
+        np.testing.assert_array_equal(batch, streamed)
+
+
+class TestBatchEncoderPipelineParity:
+    @pytest.mark.parametrize("count", (1, 4, 15))
+    def test_symbolic_encoder_equals_its_pipeline(self, count):
+        """SymbolicEncoder (count-aggregated) == Pipeline on raw values."""
+        rng = np.random.default_rng(count)
+        values = lognormal_values(rng, 1000)
+        series = TimeSeries.regular(values, interval=1.0)
+        encoder = SymbolicEncoder(
+            alphabet_size=8, method="median", aggregation_count=count,
+        )
+        encoder.fit(series)
+        encoded = encoder.encode(series)
+        piped = encoder.as_pipeline().run_batch(values)
+        np.testing.assert_array_equal(encoded.indices, piped)
+
+
+class TestOnlineEncoderChunkParity:
+    @pytest.mark.parametrize("trial", range(8))
+    def test_push_chunk_equals_per_sample_push(self, trial):
+        rng = np.random.default_rng(2000 + trial)
+        n = 8000
+        values = lognormal_values(rng, n)
+        # Irregular timestamps with occasional gaps, as in real meter data.
+        steps = rng.choice([30.0, 60.0, 60.0, 3600.0], size=n)
+        timestamps = np.cumsum(steps)
+
+        bootstrap = float((trial % 3) + 1) * 3600.0
+        a = OnlineEncoder(alphabet_size=8, window_seconds=900.0,
+                          bootstrap_seconds=bootstrap)
+        for t, v in zip(timestamps, values):
+            a.push(float(t), float(v))
+        a.flush()
+
+        b = OnlineEncoder(alphabet_size=8, window_seconds=900.0,
+                          bootstrap_seconds=bootstrap)
+        for lo, hi in random_chunks(rng, n):
+            b.push_chunk(timestamps[lo:hi], values[lo:hi])
+        b.flush()
+
+        assert a.table == b.table
+        wa = [(w.timestamp, w.symbol.word, w.aggregated_value) for w in a.emitted]
+        wb = [(w.timestamp, w.symbol.word, w.aggregated_value) for w in b.emitted]
+        assert wa == wb
+
+    def test_push_series_uses_chunk_path_identically(self):
+        rng = np.random.default_rng(5)
+        values = lognormal_values(rng, 6000)
+        series = TimeSeries.regular(values, interval=60.0)
+        a = OnlineEncoder(alphabet_size=16, window_seconds=900.0,
+                          bootstrap_seconds=7200.0)
+        for t, v in zip(series.timestamps, series.values):
+            a.push(float(t), float(v))
+        b = OnlineEncoder(alphabet_size=16, window_seconds=900.0,
+                          bootstrap_seconds=7200.0)
+        b.push_series(series)
+        assert a.table == b.table
+        assert [w.symbol.word for w in a.emitted] == [w.symbol.word for w in b.emitted]
+
+    def test_chunk_path_rejects_mismatched_lengths(self):
+        encoder = OnlineEncoder()
+        with pytest.raises(Exception):
+            encoder.push_chunk([0.0, 1.0], [1.0])

@@ -1,0 +1,158 @@
+"""Unit tests for the pipeline stages (Definitions 2-4 as array transforms)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BinaryAlphabet, LookupTable, TimeSeries
+from repro.core.vertical import segment_by_count
+from repro.errors import SegmentationError
+from repro.pipeline import (
+    LookupStage,
+    Pipeline,
+    RLEStage,
+    VerticalStage,
+    rle_decode,
+    rle_encode,
+)
+
+
+@pytest.fixture()
+def table4():
+    return LookupTable(BinaryAlphabet(4), [100.0, 200.0, 300.0])
+
+
+class TestVerticalStage:
+    def test_matches_segment_by_count(self):
+        rng = np.random.default_rng(3)
+        values = rng.lognormal(np.log(200.0), 0.7, size=1000)
+        series = TimeSeries.regular(values)
+        for n in (1, 2, 5, 7, 96):
+            for aggregator in ("average", "sum", "max", "min", "median"):
+                stage = VerticalStage(n, aggregator)
+                expected = segment_by_count(series, n, aggregator).values
+                np.testing.assert_array_equal(stage.run_batch(values), expected)
+
+    def test_keep_partial_flushes_trailing_window(self):
+        stage = VerticalStage(4, "sum", keep_partial=True)
+        out = stage.run_batch(np.asarray([1.0, 2.0, 3.0, 4.0, 5.0, 6.0]))
+        assert out.tolist() == [10.0, 11.0]
+
+    def test_drop_partial_by_default(self):
+        stage = VerticalStage(4, "sum")
+        out = stage.run_batch(np.asarray([1.0, 2.0, 3.0, 4.0, 5.0, 6.0]))
+        assert out.tolist() == [10.0]
+
+    def test_custom_scalar_aggregator(self):
+        stage = VerticalStage(2, lambda a: float(a[0]))  # "first" aggregation
+        out = stage.run_batch(np.asarray([5.0, 9.0, 7.0, 1.0]))
+        assert out.tolist() == [5.0, 7.0]
+
+    def test_invalid_window(self):
+        with pytest.raises(SegmentationError):
+            VerticalStage(0)
+
+    def test_unknown_aggregator(self):
+        with pytest.raises(SegmentationError):
+            VerticalStage(2, "mode")
+
+
+class TestLookupStage:
+    def test_matches_table_indexing(self, table4):
+        stage = LookupStage(table4)
+        values = np.asarray([50.0, 100.0, 150.0, 200.0, 250.0, 1000.0])
+        expected = [table4.index_for_value(v) for v in values]
+        assert stage.run_batch(values).tolist() == expected
+
+    def test_raw_breakpoints(self):
+        stage = LookupStage([0.0, 1.0])
+        assert stage.run_batch(np.asarray([-5.0, 0.5, 5.0])).tolist() == [0, 1, 2]
+        assert stage.n_symbols == 3
+
+    def test_rejects_decreasing_breakpoints(self):
+        with pytest.raises(SegmentationError):
+            LookupStage([1.0, 0.0])
+
+    def test_table_nan_rejected(self, table4):
+        with pytest.raises(Exception):
+            LookupStage(table4).run_batch(np.asarray([1.0, np.nan]))
+
+    def test_raw_breakpoint_nan_rejected(self):
+        # NaN must never quantise to the (plausible-looking) top symbol.
+        with pytest.raises(SegmentationError):
+            LookupStage([0.0, 1.0]).run_batch(np.asarray([np.nan]))
+
+
+class TestRLEStage:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(11)
+        indices = rng.integers(0, 4, size=500)
+        pairs = rle_encode(indices)
+        np.testing.assert_array_equal(rle_decode(pairs), indices)
+        # Adjacent runs always differ.
+        assert np.all(np.diff(pairs[:, 0]) != 0)
+
+    def test_chunk_boundary_never_splits_a_run(self):
+        indices = np.asarray([1, 1, 1, 2, 2, 3])
+        stage = RLEStage()
+        state = stage.initial_state()
+        out1, state = stage.process(indices[:2], state)   # 1 1 | open
+        out2, state = stage.process(indices[2:5], state)  # 1 2 2 | open
+        tail = stage.flush(state)
+        merged = np.concatenate([out1, out2, tail])
+        np.testing.assert_array_equal(stage.run_batch(indices[:5]), merged)
+
+    def test_empty_input(self):
+        assert rle_encode(np.empty(0, dtype=np.int64)).shape == (0, 2)
+        assert rle_decode(np.empty((0, 2), dtype=np.int64)).size == 0
+
+    def test_rle_decode_validates_shape(self):
+        with pytest.raises(SegmentationError):
+            rle_decode(np.asarray([1, 2, 3]))
+
+
+class TestPipeline:
+    def test_requires_a_stage(self):
+        with pytest.raises(SegmentationError):
+            Pipeline([])
+
+    def test_batch_composition(self, table4):
+        pipe = Pipeline([VerticalStage(2), LookupStage(table4), RLEStage()])
+        values = np.asarray([50.0, 250.0, 250.0, 250.0, 240.0, 260.0, 350.0, 450.0])
+        # windows: 150, 250, 250, 400 -> indices 1, 2, 2, 3 -> runs (1,1)(2,2)(3,1)
+        pairs = pipe.run_batch(values)
+        assert pairs.tolist() == [[1, 1], [2, 2], [3, 1]]
+
+    def test_flush_cascades_partial_window(self, table4):
+        pipe = Pipeline([VerticalStage(2, keep_partial=True), LookupStage(table4)])
+        pipe.run_stream(np.asarray([50.0, 150.0, 250.0]))  # one full + one open
+        tail = pipe.flush()
+        # The flushed partial window (value 250 -> index 2) passes the lookup.
+        assert tail.tolist() == [2]
+
+    def test_reset_clears_state(self, table4):
+        pipe = Pipeline([VerticalStage(2), LookupStage(table4)])
+        pipe.run_stream(np.asarray([50.0]))
+        pipe.reset()
+        out = pipe.run_stream(np.asarray([250.0, 250.0]))
+        assert out.tolist() == [2]
+
+    def test_flush_resets_for_the_next_stream(self, table4):
+        pipe = Pipeline([VerticalStage(2, keep_partial=True),
+                         LookupStage(table4), RLEStage()])
+        pipe.run_stream(np.asarray([250.0, 250.0, 250.0]))
+        first = pipe.flush()
+        assert first.tolist() == [[2, 2]]  # full window + kept partial
+        # A stray second flush must not re-emit the released open run.
+        assert pipe.flush().shape == (0, 2)
+        # And the pipeline is ready for a fresh stream.
+        out = pipe.run_stream(np.asarray([50.0, 50.0, 350.0, 350.0]))
+        assert np.concatenate([out, pipe.flush()]).tolist() == [[0, 1], [3, 1]]
+
+    def test_run_batch_does_not_disturb_stream(self, table4):
+        pipe = Pipeline([VerticalStage(2), LookupStage(table4)])
+        pipe.run_stream(np.asarray([50.0]))  # open half-window
+        pipe.run_batch(np.asarray([250.0, 250.0]))
+        out = pipe.run_stream(np.asarray([250.0]))
+        assert out.tolist() == [1]  # mean(50, 250) = 150 -> index 1
