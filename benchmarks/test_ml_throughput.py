@@ -1,0 +1,134 @@
+"""Micro-benchmarks of the vectorized ML/analytics engine (``BENCH_ml.json``).
+
+The encoding layer has had a throughput benchmark since PR 1
+(``test_encoding_throughput.py`` -> ``BENCH_encoding.json``); this module
+extends the perf trajectory to the experiment layer the paper actually
+reports on: classifier fit/predict, cross-validation, forecasting and
+clustering.  CI runs it with ``--benchmark-json=BENCH_ml.json`` and uploads
+the file as a workflow artifact, so regressions in the ML hot paths show up
+the same way encoding regressions do.
+
+Dataset shapes mirror the experiments: Table 1-style day vectors (nominal
+hour attributes, one class per house) scaled up ~20x so the timings are not
+dominated by fixed overhead, and a forecasting-style lag-symbol table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytics.forecasting import symbolic_forecast
+from repro.analytics.segmentation import KMeans
+from repro.core.timeseries import TimeSeries
+from repro.ml import (
+    Attribute,
+    DecisionTreeClassifier,
+    LogisticRegressionClassifier,
+    MLDataset,
+    NaiveBayesClassifier,
+    RandomForestClassifier,
+)
+from repro.ml.crossval import cross_validate
+from repro.ml.svr import KernelSVR
+
+
+def _day_vector_table(n_days: int = 200, n_houses: int = 6,
+                      n_symbols: int = 16, n_slots: int = 24,
+                      seed: int = 0) -> MLDataset:
+    """Table 1-shaped data: nominal slot attributes, one class per house."""
+    rng = np.random.default_rng(seed)
+    words = [f"s{i}" for i in range(n_symbols)]
+    attributes = [Attribute.nominal(f"slot_{s}", words) for s in range(n_slots)]
+    rows, labels = [], []
+    for house in range(n_houses):
+        base = rng.integers(0, n_symbols, size=n_slots)
+        for _ in range(n_days):
+            jitter = rng.integers(-2, 3, size=n_slots)
+            rows.append(np.clip(base + jitter, 0, n_symbols - 1).astype(float))
+            labels.append(f"house_{house}")
+    return MLDataset(attributes, np.asarray(rows), labels)
+
+
+@pytest.fixture(scope="module")
+def day_vectors():
+    """1200 day vectors over a 16-symbol alphabet (6 houses x 200 days)."""
+    return _day_vector_table()
+
+
+@pytest.fixture(scope="module")
+def hourly_series():
+    """Nine days of hourly load with a daily cycle (forecasting input)."""
+    rng = np.random.default_rng(7)
+    hours = np.arange(9 * 24)
+    values = (
+        220.0
+        + 160.0 * np.sin(2.0 * np.pi * (hours % 24) / 24.0)
+        + rng.lognormal(mean=3.0, sigma=0.6, size=hours.size)
+    )
+    return TimeSeries.regular(values, interval=3600.0)
+
+
+def test_tree_fit_day_vectors(benchmark, day_vectors):
+    """J48 stand-in: one gain-ratio tree over 1200 day vectors."""
+    model = benchmark(lambda: DecisionTreeClassifier().fit(day_vectors))
+    assert model.depth >= 2
+
+
+def test_forest_fit_predict_day_vectors(benchmark, day_vectors):
+    """25 bagged trees (fit + full-table predict), the Table 1 workhorse."""
+    def run():
+        model = RandomForestClassifier(n_trees=25, random_state=0).fit(day_vectors)
+        return model.predict(day_vectors)
+
+    predictions = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert predictions.shape == (len(day_vectors),)
+
+
+def test_naive_bayes_crossval_day_vectors(benchmark, day_vectors):
+    """Figure 5 protocol: 10-fold cross-validated Naive Bayes."""
+    result = benchmark(
+        lambda: cross_validate(NaiveBayesClassifier, day_vectors, n_folds=10)
+    )
+    assert 0.0 <= result.f_measure <= 1.0
+
+
+def test_logistic_fit_day_vectors(benchmark, day_vectors):
+    """Wide one-hot design (385 columns): representer-space logistic fit."""
+    model = benchmark(
+        lambda: LogisticRegressionClassifier(n_iterations=300).fit(day_vectors)
+    )
+    assert model.predict(day_vectors).shape == (len(day_vectors),)
+
+
+def test_kernel_svr_fit_predict(benchmark):
+    """RBF SVR on a week of 12-lag windows (the Fig 8/9 raw baseline)."""
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(156, 12))
+    y = np.sin(X[:, 0]) + 0.2 * rng.normal(size=156)
+
+    def run():
+        model = KernelSVR(kernel="rbf").fit(X, y)
+        return model.predict(X)
+
+    predictions = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert predictions.shape == (156,)
+
+
+def test_symbolic_forecast_house(benchmark, hourly_series):
+    """One Figure 8 bar: symbolise, fit NB on lags, batch-predict a day."""
+    result = benchmark(
+        lambda: symbolic_forecast(hourly_series, method="median",
+                                  classifier="naive_bayes")
+    )
+    assert len(result.predictions) == 24
+
+
+def test_kmeans_segmentation(benchmark):
+    """Customer segmentation: 2000 histogram profiles into 8 clusters."""
+    rng = np.random.default_rng(11)
+    profiles = np.vstack([
+        rng.normal(c, 0.6, size=(250, 16)) for c in range(8)
+    ])
+    model = benchmark(lambda: KMeans(n_clusters=8, seed=0).fit(profiles))
+    assert model.centroids.shape == (8, 16)

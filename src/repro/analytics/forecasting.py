@@ -19,12 +19,12 @@ previous 12 hours, as in the paper's lag-attribute construction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.encoder import SymbolicEncoder
-from ..core.timeseries import SECONDS_PER_DAY, SECONDS_PER_HOUR, TimeSeries
+from ..core.timeseries import SECONDS_PER_HOUR, TimeSeries
 from ..core.vertical import segment_by_duration
 from ..datasets.base import MeterDataset
 from ..errors import ExperimentError
@@ -93,9 +93,8 @@ def _lag_matrix(values: np.ndarray, lags: int) -> Tuple[np.ndarray, np.ndarray]:
             f"need more than {lags} values to build lag features, got {values.shape[0]}"
         )
     n = values.shape[0] - lags
-    X = np.empty((n, lags), dtype=np.float64)
-    for i in range(n):
-        X[i] = values[i: i + lags]
+    windows = np.lib.stride_tricks.sliding_window_view(values, lags)[:n]
+    X = np.ascontiguousarray(windows, dtype=np.float64)
     y = values[lags:]
     return X, y
 
@@ -132,16 +131,17 @@ def symbolic_forecast(
 
     # One-step-ahead prediction over the test day: lags come from the actual
     # (symbolised) history, which spans the end of training and the test day.
+    # Every test hour's lag window is known up front, so the whole day is one
+    # lag matrix and one batched predict — no per-hour model calls.
     history = np.concatenate([train_values, test_values])
     history_symbols = table.indices_for_values(history).astype(np.float64)
-    predictions: List[float] = []
     start = train_values.shape[0]
-    for t in range(start, history.shape[0]):
-        lag_window = history_symbols[t - lags: t].reshape(1, -1)
-        row = MLDataset(attributes, lag_window, [words[0]], class_names=words)
-        predicted_index = int(model.predict(row)[0])
-        predicted_symbol = table.alphabet.symbol(predicted_index)
-        predictions.append(table.value_for_symbol(predicted_symbol))
+    X_test, _ = _lag_matrix(history_symbols[start - lags:], lags)
+    test_table = MLDataset(
+        attributes, X_test, [words[0]] * X_test.shape[0], class_names=words
+    )
+    predicted_indices = model.predict(test_table)
+    predictions = table.values_for_indices(predicted_indices).tolist()
 
     actuals = test_values.tolist()
     return ForecastResult(
@@ -169,12 +169,11 @@ def raw_forecast(
     model = KernelSVR(kernel="rbf")
     model.fit(X_train, y_train)
 
+    # Same batching as the symbolic path: all test-hour lag windows at once.
     history = np.concatenate([train_values, test_values])
-    predictions: List[float] = []
     start = train_values.shape[0]
-    for t in range(start, history.shape[0]):
-        lag_window = history[t - lags: t].reshape(1, -1)
-        predictions.append(float(model.predict(lag_window)[0]))
+    X_test, _ = _lag_matrix(history[start - lags:], lags)
+    predictions = model.predict(X_test).tolist()
 
     actuals = test_values.tolist()
     return ForecastResult(

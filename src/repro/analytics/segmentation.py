@@ -58,13 +58,21 @@ class KMeans:
         self.centroids: Optional[np.ndarray] = None
         self.inertia_: float = float("inf")
 
+    @staticmethod
+    def _sq_distances(X: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        """``(n, k)`` squared distances via one broadcast (no per-centroid loop).
+
+        The squared-difference form (rather than the ``|x|^2 - 2x.c + |c|^2``
+        expansion) keeps the floats identical to the original per-centroid
+        implementation, which the parity goldens pin down.
+        """
+        return ((X[:, np.newaxis, :] - centroids[np.newaxis, :, :]) ** 2).sum(axis=2)
+
     def _init_centroids(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         n = X.shape[0]
         centroids = [X[int(rng.integers(0, n))]]
         while len(centroids) < self.n_clusters:
-            distances = np.min(
-                [np.sum((X - c) ** 2, axis=1) for c in centroids], axis=0
-            )
+            distances = self._sq_distances(X, np.asarray(centroids)).min(axis=1)
             total = distances.sum()
             if total <= 0:
                 centroids.append(X[int(rng.integers(0, n))])
@@ -83,12 +91,9 @@ class KMeans:
         rng = np.random.default_rng(self.seed)
         centroids = self._init_centroids(X, rng)
         assignment = np.zeros(X.shape[0], dtype=np.int64)
-        for _ in range(self.n_iterations):
-            distances = np.stack(
-                [np.sum((X - c) ** 2, axis=1) for c in centroids], axis=1
-            )
-            new_assignment = np.argmin(distances, axis=1)
-            if np.array_equal(new_assignment, assignment) and _ > 0:
+        for iteration in range(self.n_iterations):
+            new_assignment = np.argmin(self._sq_distances(X, centroids), axis=1)
+            if np.array_equal(new_assignment, assignment) and iteration > 0:
                 break
             assignment = new_assignment
             for cluster in range(self.n_clusters):
@@ -109,10 +114,7 @@ class KMeans:
         if self.centroids is None:
             raise ExperimentError("KMeans has not been fitted")
         X = np.asarray(X, dtype=np.float64)
-        distances = np.stack(
-            [np.sum((X - c) ** 2, axis=1) for c in self.centroids], axis=1
-        )
-        return np.argmin(distances, axis=1)
+        return np.argmin(self._sq_distances(X, self.centroids), axis=1)
 
     def fit_predict(self, X: np.ndarray) -> np.ndarray:
         """Fit then return the training assignment."""

@@ -6,12 +6,20 @@ same role here: a fixed schema of :class:`Attribute` objects plus a dense
 float matrix where nominal values are stored as category indices.  All
 classifiers in :mod:`repro.ml` consume this type, so the same pipeline code
 runs on symbolic and raw data — one of the paper's selling points.
+
+Beyond the raw matrix, a dataset lazily materialises *columnar caches* that
+the vectorized learners share: per-column nominal code vectors, presorted
+numeric columns (argsort index + rank arrays), the one-hot expansion and the
+class histogram.  :meth:`MLDataset.subset` translates whatever caches exist
+onto the child instead of recomputing them, so cross-validation folds and
+random-forest bootstrap samples reuse one presort of the full table.  The
+instance matrix is treated as immutable once constructed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -115,7 +123,42 @@ class MLDataset:
         except KeyError as exc:
             raise DatasetError(f"label {exc} not in class_names {self.class_names}") from None
         self.X = matrix
+        self._init_caches()
         self._validate_nominal_ranges()
+
+    def _init_caches(self) -> None:
+        self._codes_T: Optional[np.ndarray] = None  # (n_nominal, n) codes
+        self._orders_T: Optional[np.ndarray] = None  # (n_numeric, n) argsorts
+        self._ranks_T: Optional[np.ndarray] = None  # inverse of _orders_T
+        self._one_hot_cache: Optional[np.ndarray] = None
+        self._class_counts_cache: Optional[np.ndarray] = None
+        self._nominal_cols: Optional[np.ndarray] = None
+        self._numeric_cols: Optional[np.ndarray] = None
+        self._column_row: Optional[np.ndarray] = None
+        self._max_categories: Optional[int] = None
+        self._fold_memo: Dict[Tuple[int, int], object] = {}
+
+    @classmethod
+    def _from_parts(
+        cls,
+        attributes: Tuple[Attribute, ...],
+        X: np.ndarray,
+        y: np.ndarray,
+        class_names: Tuple[str, ...],
+    ) -> "MLDataset":
+        """Internal fast constructor for rows already validated by a parent.
+
+        Skips the label round-trip and nominal-range re-validation of
+        ``__init__`` — safe only when ``X``/``y`` are drawn from an existing
+        dataset with the same schema (subset, merge, shuffle).
+        """
+        dataset = cls.__new__(cls)
+        dataset.attributes = attributes
+        dataset.class_names = class_names
+        dataset.X = X
+        dataset.y = y
+        dataset._init_caches()
+        return dataset
 
     def _validate_nominal_ranges(self) -> None:
         for col, attribute in enumerate(self.attributes):
@@ -155,19 +198,140 @@ class MLDataset:
 
     def class_counts(self) -> np.ndarray:
         """Number of instances per class (aligned with ``class_names``)."""
-        return np.bincount(self.y, minlength=self.n_classes)
+        if self._class_counts_cache is None:
+            self._class_counts_cache = np.bincount(self.y, minlength=self.n_classes)
+        return self._class_counts_cache.copy()
 
     def label_of(self, index: int) -> str:
         """Class name of instance ``index``."""
         return self.class_names[int(self.y[index])]
 
+    # -- columnar caches ----------------------------------------------------------
+
+    def _column_split(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Nominal/numeric column index arrays plus a col -> cache-row map."""
+        if self._nominal_cols is None:
+            nominal = [c for c, a in enumerate(self.attributes) if a.is_nominal]
+            numeric = [c for c, a in enumerate(self.attributes) if not a.is_nominal]
+            self._nominal_cols = np.asarray(nominal, dtype=np.int64)
+            self._numeric_cols = np.asarray(numeric, dtype=np.int64)
+            row = np.zeros(len(self.attributes), dtype=np.int64)
+            row[self._nominal_cols] = np.arange(len(nominal))
+            row[self._numeric_cols] = np.arange(len(numeric))
+            self._column_row = row
+        return self._nominal_cols, self._numeric_cols, self._column_row
+
+    @property
+    def nominal_columns(self) -> np.ndarray:
+        """Indices of the nominal attributes."""
+        return self._column_split()[0]
+
+    @property
+    def numeric_columns(self) -> np.ndarray:
+        """Indices of the numeric attributes."""
+        return self._column_split()[1]
+
+    @property
+    def max_categories(self) -> int:
+        """Largest nominal category count of the schema (0 if all numeric)."""
+        if self._max_categories is None:
+            self._max_categories = max(
+                (a.n_categories for a in self.attributes if a.is_nominal), default=0
+            )
+        return self._max_categories
+
+    def codes_matrix(self) -> np.ndarray:
+        """``(n_nominal, n)`` integer code matrix, one row per nominal column."""
+        if self._codes_T is None:
+            nominal, _, _ = self._column_split()
+            self._codes_T = self.X.T[nominal].astype(np.int64)
+        return self._codes_T
+
+    def orders_matrix(self) -> np.ndarray:
+        """``(n_numeric, n)`` stable argsorts, one row per numeric column."""
+        if self._orders_T is None:
+            _, numeric, _ = self._column_split()
+            self._orders_T = np.argsort(self.X.T[numeric], axis=1, kind="stable")
+        return self._orders_T
+
+    def _ranks_matrix(self) -> np.ndarray:
+        """Inverse permutations of :meth:`orders_matrix` (row -> position)."""
+        if self._ranks_T is None:
+            orders = self.orders_matrix()
+            ranks = np.empty_like(orders)
+            width = np.arange(orders.shape[1], dtype=np.int64)
+            for row in range(orders.shape[0]):
+                ranks[row, orders[row]] = width
+            self._ranks_T = ranks
+        return self._ranks_T
+
+    def codes(self, col: int) -> np.ndarray:
+        """Integer category codes of nominal column ``col`` (cached)."""
+        return self.codes_matrix()[self._column_row[col]]
+
+    def sort_order(self, col: int) -> np.ndarray:
+        """Stable argsort of column ``col`` (cached; the split-search presort)."""
+        return self.orders_matrix()[self._column_row[col]]
+
+    def warm_columnar_cache(self) -> None:
+        """Materialise every per-column cache on this dataset.
+
+        Cross-validation and bagging call this once on the full table;
+        :meth:`subset` then *translates* the presorted orders and code
+        matrices onto folds and bootstrap samples instead of re-sorting.
+        """
+        _ = self.max_categories
+        if self.nominal_columns.size:
+            self.codes_matrix()
+        if self.numeric_columns.size:
+            self._ranks_matrix()
+
+    def cv_splits(self, n_folds: int, seed: int, factory):
+        """Memoised cross-validation state keyed by ``(n_folds, seed)``.
+
+        ``factory`` builds the (folds, train/test datasets) bundle on a
+        miss; it is deterministic in the key, so evaluating several
+        classifiers on this table shares one presort + subset translation.
+        The memo is bounded so repeated CV over many seeds cannot pin an
+        unbounded number of split copies.
+        """
+        key = (int(n_folds), int(seed))
+        cached = self._fold_memo.get(key)
+        if cached is None:
+            if len(self._fold_memo) >= 4:
+                self._fold_memo.clear()
+            cached = factory()
+            self._fold_memo[key] = cached
+        return cached
+
     # -- manipulation ----------------------------------------------------------------
 
     def subset(self, indices: Union[Sequence[int], np.ndarray]) -> "MLDataset":
-        """Dataset restricted to the given instance indices (order preserved)."""
+        """Dataset restricted to the given instance indices (order preserved).
+
+        Columnar caches already materialised on the parent are translated to
+        the child: nominal codes by gathering, numeric presorts by ranking
+        the selected rows (stable, so duplicated bootstrap rows stay in a
+        valid sorted order) — no re-sorting, no re-validation.
+        """
         idx = np.asarray(indices, dtype=np.int64)
-        labels = [self.class_names[i] for i in self.y[idx]]
-        return MLDataset(self.attributes, self.X[idx], labels, class_names=self.class_names)
+        child = MLDataset._from_parts(
+            self.attributes, self.X[idx], self.y[idx], self.class_names
+        )
+        child._nominal_cols = self._nominal_cols
+        child._numeric_cols = self._numeric_cols
+        child._column_row = self._column_row
+        child._max_categories = self._max_categories
+        if self._codes_T is not None:
+            child._codes_T = self._codes_T[:, idx]
+        if self._orders_T is not None:
+            child._orders_T = np.argsort(
+                self._ranks_matrix()[:, idx], axis=1, kind="stable"
+            )
+        if self._one_hot_cache is not None:
+            child._one_hot_cache = self._one_hot_cache[idx]
+            child._one_hot_cache.setflags(write=False)
+        return child
 
     def shuffled(self, rng: np.random.Generator) -> "MLDataset":
         """Random permutation of the instances."""
@@ -180,34 +344,39 @@ class MLDataset:
             raise DatasetError("cannot merge datasets with different schemas")
         if self.class_names != other.class_names:
             raise DatasetError("cannot merge datasets with different class names")
-        labels = [self.class_names[i] for i in self.y] + [
-            other.class_names[i] for i in other.y
-        ]
-        return MLDataset(
+        return MLDataset._from_parts(
             self.attributes,
             np.vstack([self.X, other.X]),
-            labels,
-            class_names=self.class_names,
+            np.concatenate([self.y, other.y]),
+            self.class_names,
         )
 
     def one_hot(self) -> np.ndarray:
         """Expand nominal columns into one-hot indicators (for logistic/SVR).
 
         Numeric columns are passed through unchanged.  The expansion order is
-        column-major: all indicators of attribute 0 first, and so on.
+        column-major: all indicators of attribute 0 first, and so on.  The
+        result is cached (and row-sliced through :meth:`subset`); treat it as
+        read-only.
         """
+        if self._one_hot_cache is not None:
+            return self._one_hot_cache
         blocks: List[np.ndarray] = []
         for col, attribute in enumerate(self.attributes):
             column = self.X[:, col]
             if attribute.is_nominal:
                 block = np.zeros((len(self), attribute.n_categories), dtype=np.float64)
-                block[np.arange(len(self)), column.astype(np.int64)] = 1.0
+                block[np.arange(len(self)), self.codes(col)] = 1.0
                 blocks.append(block)
             else:
                 blocks.append(column.reshape(-1, 1))
         if not blocks:
-            return np.zeros((len(self), 0), dtype=np.float64)
-        return np.hstack(blocks)
+            expanded = np.zeros((len(self), 0), dtype=np.float64)
+        else:
+            expanded = np.hstack(blocks)
+        expanded.setflags(write=False)
+        self._one_hot_cache = expanded
+        return expanded
 
 
 def train_test_split(

@@ -8,7 +8,7 @@ every split; prediction averages the trees' leaf distributions.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
@@ -66,6 +66,9 @@ class RandomForestClassifier(Classifier):
         self._trees = []
         self._n_classes = dataset.n_classes
         self._class_names = dataset.class_names
+        # Presort/encode every column once; each bootstrap subset below maps
+        # onto this shared presort by rank translation instead of re-sorting.
+        dataset.warm_columnar_cache()
         for t in range(self.n_trees):
             bootstrap = rng.integers(0, n, size=n)
             sample = dataset.subset(bootstrap)

@@ -81,12 +81,35 @@ class LogisticRegressionClassifier(Classifier):
         targets = np.zeros((n, k), dtype=np.float64)
         targets[np.arange(n), dataset.y] = 1.0
 
-        weights = np.zeros((d, k), dtype=np.float64)
-        for _ in range(self.n_iterations):
-            probabilities = _softmax(X @ weights)
-            gradient = X.T @ (probabilities - targets) / n
-            gradient += self.regularization * weights
-            weights -= self.learning_rate * gradient
+        if d <= n:
+            weights = np.zeros((d, k), dtype=np.float64)
+            for _ in range(self.n_iterations):
+                probabilities = _softmax(X @ weights)
+                gradient = X.T @ (probabilities - targets) / n
+                gradient += self.regularization * weights
+                weights -= self.learning_rate * gradient
+        else:
+            # Wide designs (one-hot symbol vectors: d >> n): gradient descent
+            # from W=0 keeps W in the row space of X, so iterate on the
+            # representer coefficients A with the (n, n) Gram matrix instead
+            # of the (d, k) weights.  W_t = X^T A_t throughout:
+            #   W <- W(1 - lr*reg) - (lr/n) X^T D   ==   A <- A(1 - lr*reg)
+            #                                            - (lr/n) D.
+            # One O(n^2 k) product per iteration instead of O(n d k).
+            gram = X @ X.T
+            coefficients = np.zeros((n, k), dtype=np.float64)
+            shrink = 1.0 - self.learning_rate * self.regularization
+            step = self.learning_rate / n
+            for _ in range(self.n_iterations):
+                # In-place softmax (same operation order as _softmax).
+                scores = gram @ coefficients
+                scores -= scores.max(axis=1, keepdims=True)
+                np.exp(scores, out=scores)
+                scores /= scores.sum(axis=1, keepdims=True)
+                scores -= targets
+                coefficients *= shrink
+                coefficients -= step * scores
+            weights = X.T @ coefficients
         self._weights = weights
         self._fitted = True
         return self

@@ -45,10 +45,7 @@ def confusion_matrix(
     p = np.asarray(y_pred, dtype=np.int64)
     _validate(t, p)
     k = n_classes or int(max(t.max(), p.max())) + 1
-    matrix = np.zeros((k, k), dtype=np.int64)
-    for i, j in zip(t, p):
-        matrix[i, j] += 1
-    return matrix
+    return np.bincount(t * k + p, minlength=k * k).reshape(k, k)
 
 
 def precision_recall_f1(

@@ -49,26 +49,55 @@ class NaiveBayesClassifier(Classifier):
         self._attributes = dataset.attributes
         self._nominal_log_likelihoods = []
         self._gaussian_params = []
+        # One member-index pass per class, shared by every numeric column
+        # (the original recomputed the class mask per column per class).
+        numeric_cols = dataset.numeric_columns
+        class_members = (
+            [np.nonzero(dataset.y == klass)[0] for klass in range(n_classes)]
+            if numeric_cols.size else []
+        )
+
+        # Every nominal column's (class, category) contingency table comes
+        # from one joint bincount over the code matrix, and the smoothing /
+        # normalisation / log run once on the stacked tensor — the per-column
+        # arithmetic is identical to processing each table separately.
+        nominal_cols = dataset.nominal_columns
+        nominal_tables: dict = {}
+        if nominal_cols.size:
+            n_cat = dataset.max_categories
+            block = n_classes * n_cat
+            codes = dataset.codes_matrix()
+            keys = dataset.y * n_cat + codes
+            keys += (np.arange(nominal_cols.size) * block)[:, np.newaxis]
+            tensor = np.bincount(
+                keys.ravel(), minlength=nominal_cols.size * block
+            ).reshape(nominal_cols.size, n_classes, n_cat).astype(np.float64)
+            widths = [dataset.attributes[col].n_categories for col in nominal_cols]
+            if all(width == n_cat for width in widths):
+                # Uniform alphabets: smooth/normalise/log the whole stack.
+                tensor += self.laplace
+                tensor /= tensor.sum(axis=2, keepdims=True)
+                logs = np.log(tensor + _LOG_EPS)
+                for row, col in enumerate(nominal_cols):
+                    nominal_tables[int(col)] = logs[row]
+            else:
+                for row, col in enumerate(nominal_cols):
+                    width = widths[row]
+                    table = tensor[row, :, :width]
+                    table += self.laplace
+                    table /= table.sum(axis=1, keepdims=True)
+                    nominal_tables[int(col)] = np.log(table + _LOG_EPS)
 
         for col, attribute in enumerate(dataset.attributes):
-            column = dataset.X[:, col]
             if attribute.is_nominal:
-                table = np.zeros((n_classes, attribute.n_categories), dtype=np.float64)
-                for klass in range(n_classes):
-                    members = column[dataset.y == klass].astype(np.int64)
-                    if members.size:
-                        table[klass] = np.bincount(
-                            members, minlength=attribute.n_categories
-                        )
-                table += self.laplace
-                table /= table.sum(axis=1, keepdims=True)
-                self._nominal_log_likelihoods.append(np.log(table + _LOG_EPS))
+                self._nominal_log_likelihoods.append(nominal_tables[col])
                 self._gaussian_params.append(None)
             else:
+                column = dataset.X[:, col]
                 params = np.zeros((n_classes, 2), dtype=np.float64)
                 overall_std = max(float(column.std()), _MIN_STD)
                 for klass in range(n_classes):
-                    members = column[dataset.y == klass]
+                    members = column[class_members[klass]]
                     if members.size:
                         params[klass, 0] = float(members.mean())
                         params[klass, 1] = max(float(members.std()), _MIN_STD)
@@ -92,7 +121,7 @@ class NaiveBayesClassifier(Classifier):
             column = dataset.X[:, col]
             if attribute.is_nominal:
                 table = self._nominal_log_likelihoods[col]
-                scores += table[:, column.astype(np.int64)].T
+                scores += table[:, dataset.codes(col)].T
             else:
                 params = self._gaussian_params[col]
                 means = params[:, 0][np.newaxis, :]

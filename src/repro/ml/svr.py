@@ -179,15 +179,20 @@ class KernelSVR(Regressor):
         self._gamma_effective = self.gamma if self.gamma > 0 else 1.0 / max(X.shape[1], 1)
 
         n = Xs.shape[0]
+        # The Gram matrix is computed once; every iteration below is pure
+        # matrix algebra on it (no per-sample kernel evaluation), and the
+        # K @ alphas product is shared between the prediction and the
+        # regularisation gradient instead of being evaluated twice.
         K = self._kernel_matrix(Xs, Xs)
         alphas = np.zeros(n, dtype=np.float64)
         bias = 0.0
         for iteration in range(self.n_iterations):
-            predictions = K @ alphas + bias
+            kernel_alphas = K @ alphas
+            predictions = kernel_alphas + bias
             residuals = predictions - ys
             outside = np.abs(residuals) > self.epsilon
             signs = np.sign(residuals) * outside
-            grad_alpha = (K @ alphas) / self.c + K @ signs / n
+            grad_alpha = kernel_alphas / self.c + K @ signs / n
             grad_b = float(signs.mean())
             step = self.learning_rate / (1.0 + 0.01 * iteration)
             alphas -= step * grad_alpha

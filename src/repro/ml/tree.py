@@ -6,28 +6,68 @@ Split selection uses gain ratio, as in C4.5/J48.  A light-weight
 minimum-instances / maximum-depth stopping rule plus optional reduced-error
 style collapse (merging children that all predict the parent majority) keeps
 trees from overfitting the small day-vector datasets.
+
+The split search is fully vectorized and histogram-based:
+
+* every candidate *nominal* column of a node is scored from one
+  ``(column, category, class)`` contingency tensor built by a single
+  ``bincount`` — no per-category masks, no per-column loops;
+* *numeric* columns sweep cumulative class-count histograms over the
+  presorted column (``MLDataset.sort_order``, filtered down the recursion),
+  scoring every candidate threshold at once — one O(n) pass per attribute
+  per node instead of one per *threshold*;
+* entropies come from the identity ``n*H(counts) = n*log2(n) - sum_c
+  c*log2(c)`` using a precomputed ``i -> i*log2(i)`` lookup over integer
+  counts, so the sweep never evaluates a logarithm;
+* child class distributions are sliced out of the parent's winning
+  histogram, so only the root ever bins labels.
+
+``tests/ml/test_vectorized_parity.py`` pins the fitted trees (predictions,
+depth, node counts) to goldens generated from the original per-threshold
+implementation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from ..errors import DatasetError
 from .base import Classifier
-from .dataset import Attribute, MLDataset
+from .dataset import MLDataset
 
 __all__ = ["DecisionTreeClassifier"]
 
 
-def _entropy(labels: np.ndarray, n_classes: int) -> float:
-    if labels.size == 0:
-        return 0.0
-    counts = np.bincount(labels, minlength=n_classes).astype(np.float64)
-    probs = counts[counts > 0] / labels.size
+def _entropy_from_counts(counts: np.ndarray, total: int) -> float:
+    """Reference entropy of a class histogram (the original float ops).
+
+    This is the slow reference formula, kept float-identical to the
+    pre-vectorization per-label implementation; the split search uses it
+    only to re-rank candidates whose fast lookup-table scores are within
+    rounding distance of each other (see ``_TIE_TOL`` below).
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    probs = counts[counts > 0] / total
     return float(-(probs * np.log2(probs)).sum())
+
+
+# Two candidate splits whose fast scores differ by less than this are
+# re-scored with the reference formula so tie-breaks match the original
+# sequential implementation bit for bit.  The lookup-table reformulation is
+# accurate to ~1e-13 relative, so 1e-8 is a comfortably safe margin.
+_TIE_TOL = 1e-8
+
+# Reference-entropy memos shared across trees and forests: the values are
+# pure functions of integer histograms, and tie groups repeat the same tiny
+# tables constantly.  Cleared when they grow past the cap.
+_ENTROPY_MEMO: Dict[Tuple[int, bytes], float] = {}
+_NOMINAL_SCORE_MEMO: Dict[
+    Tuple[int, Tuple[int, ...], bytes], Tuple[float, float]
+] = {}
+_MEMO_CAP = 200_000
 
 
 @dataclass
@@ -98,101 +138,346 @@ class DecisionTreeClassifier(Classifier):
     def fit(self, dataset: MLDataset) -> "DecisionTreeClassifier":
         if len(dataset) == 0:
             raise DatasetError("cannot fit a tree on an empty dataset")
+        n = len(dataset)
         self._attributes = dataset.attributes
         self._n_classes = dataset.n_classes
         self._class_names = dataset.class_names
         self._rng = np.random.default_rng(self.random_state)
-        self._root = self._build(dataset.X, dataset.y, depth=1)
+
+        self._X = dataset.X
+        self._y = dataset.y
+        # Columnar fit-time state comes straight from the dataset's shared
+        # caches (presorted orders, code matrix) — bootstrap samples and CV
+        # folds arrive with these already translated from their parent.
+        self._nominal_cols = dataset.nominal_columns
+        self._numeric_cols = dataset.numeric_columns
+        self._row_of = dataset._column_row
+        self._is_nominal = np.zeros(len(self._attributes), dtype=bool)
+        self._is_nominal[self._nominal_cols] = True
+        self._max_categories = dataset.max_categories
+        self._codes_T = (
+            dataset.codes_matrix() if self._nominal_cols.size
+            else np.empty((0, n), dtype=np.int64)
+        )
+        root_orders = (
+            dataset.orders_matrix() if self._numeric_cols.size
+            else np.empty((0, n), dtype=np.int64)
+        )
+        # i -> i * log2(i) over every possible count (0 maps to 0), the only
+        # log evaluations of the whole fit.
+        table = np.arange(n + 1, dtype=np.float64)
+        table[1:] *= np.log2(table[1:])
+        self._xlog2x = table
+        self._offsets_memo: Dict[Tuple[int, int], np.ndarray] = {}
+
+        root_distribution = np.bincount(self._y, minlength=self._n_classes)
+        self._root = self._build(
+            np.arange(n, dtype=np.int64), root_orders, root_distribution, depth=1
+        )
         self._fitted = True
+        del self._X, self._y, self._codes_T, self._offsets_memo
         return self
+
+    def _tensor_offsets(self, n_columns: int, block: int) -> np.ndarray:
+        """Cached ``(n_columns, 1)`` bin offsets for the contingency tensor."""
+        key = (n_columns, block)
+        cached = self._offsets_memo.get(key)
+        if cached is None:
+            cached = (np.arange(n_columns) * block)[:, np.newaxis]
+            self._offsets_memo[key] = cached
+        return cached
 
     def _candidate_columns(self, n_columns: int) -> np.ndarray:
         if self.max_features and self.max_features < n_columns:
             return self._rng.choice(n_columns, size=self.max_features, replace=False)
         return np.arange(n_columns)
 
-    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
-        distribution = np.bincount(y, minlength=self._n_classes)
-        majority = int(np.argmax(distribution))
+    def _entropy_of_distribution(self, distribution: np.ndarray, total: int) -> float:
+        """``H`` from an integer class histogram via the x*log2(x) table."""
+        if total == 0:
+            return 0.0
+        xlx = self._xlog2x
+        return float(xlx[total] - xlx[distribution].sum()) / total
+
+    def _build(
+        self,
+        idx: np.ndarray,
+        orders: np.ndarray,
+        distribution: np.ndarray,
+        depth: int,
+    ) -> _Node:
+        """Grow the subtree over the rows ``idx`` (absolute row ids).
+
+        ``orders`` carries one presorted row of node-local positions per
+        numeric column; ``distribution`` is this node's class histogram,
+        sliced from the parent's winning split histogram.
+        """
+        n = idx.size
+        majority = int(distribution.argmax())
         node = _Node(majority_class=majority, class_distribution=distribution)
 
         if (
-            len(np.unique(y)) == 1
-            or y.size < self.min_samples_split
+            int(distribution[majority]) == n
+            or n < self.min_samples_split
             or (self.max_depth and depth >= self.max_depth)
         ):
             return node
 
-        best = self._best_split(X, y)
+        best = self._best_split(idx, orders, distribution)
         if best is None:
             return node
-        gain, column, threshold, partitions = best
+        gain, column, threshold, histogram = best
         if gain < self.min_gain:
             return node
 
         node.attribute_index = column
         node.threshold = threshold
-        for branch, indices in partitions.items():
-            if indices.size == 0:
+
+        # Materialise the winning partition: node-local row groups plus the
+        # per-branch class histograms already computed by the split search.
+        if self._is_nominal[column]:
+            codes = self._codes_T[self._row_of[column], idx]
+            grouped = np.argsort(codes, kind="stable")
+            counts = np.bincount(
+                codes, minlength=self._attributes[column].n_categories
+            )
+            boundaries = np.cumsum(counts)
+            local_groups = [
+                grouped[boundaries[b] - counts[b]: boundaries[b]]
+                for b in range(counts.size)
+            ]
+            branches = range(len(local_groups))
+        else:
+            values = self._X[idx, column]
+            left_mask = values <= threshold
+            left = np.nonzero(left_mask)[0]
+            right = np.nonzero(~left_mask)[0]
+            local_groups = [left, right]
+            branches = range(2)
+
+        for branch, local in zip(branches, local_groups):
+            if local.size == 0:
                 continue
-            node.children[branch] = self._build(X[indices], y[indices], depth + 1)
+            if orders.shape[0]:
+                # Filter the parent presort instead of re-sorting: keep the
+                # sorted positions that fall in this child and renumber them
+                # to child-local positions.
+                mask = np.zeros(n, dtype=bool)
+                mask[local] = True
+                renumber = np.cumsum(mask) - 1
+                kept = orders[mask[orders]].reshape(orders.shape[0], local.size)
+                child_orders = renumber[kept]
+            else:
+                child_orders = orders
+            node.children[branch] = self._build(
+                idx[local], child_orders, histogram[branch], depth + 1
+            )
         if not node.children:
             node.attribute_index = None
             node.threshold = None
         return node
 
     def _best_split(
-        self, X: np.ndarray, y: np.ndarray
+        self, idx: np.ndarray, orders: np.ndarray, distribution: np.ndarray
     ) -> Optional[Tuple[float, int, Optional[float], Dict[int, np.ndarray]]]:
-        parent_entropy = _entropy(y, self._n_classes)
-        best: Optional[Tuple[float, int, Optional[float], Dict[int, np.ndarray]]] = None
-        best_ratio = -np.inf
-
-        for column in self._candidate_columns(X.shape[1]):
-            attribute = self._attributes[column]
-            values = X[:, column]
-            if attribute.is_nominal:
-                split = self._nominal_split(values, y, attribute)
-            else:
-                split = self._numeric_split(values, y)
-            if split is None:
-                continue
-            gain, threshold, partitions, split_info = split
-            information_gain = parent_entropy - gain
-            if information_gain <= 0 or split_info <= 0:
-                continue
-            gain_ratio = information_gain / split_info
-            if gain_ratio > best_ratio:
-                best_ratio = gain_ratio
-                best = (information_gain, int(column), threshold, partitions)
-        return best
-
-    def _nominal_split(
-        self, values: np.ndarray, y: np.ndarray, attribute: Attribute
-    ) -> Optional[Tuple[float, Optional[float], Dict[int, np.ndarray], float]]:
-        codes = values.astype(np.int64)
-        partitions: Dict[int, np.ndarray] = {}
-        weighted_entropy = 0.0
-        split_info = 0.0
-        for category in range(attribute.n_categories):
-            indices = np.nonzero(codes == category)[0]
-            partitions[category] = indices
-            if indices.size == 0:
-                continue
-            fraction = indices.size / y.size
-            weighted_entropy += fraction * _entropy(y[indices], self._n_classes)
-            split_info -= fraction * np.log2(fraction)
-        non_empty = sum(1 for idx in partitions.values() if idx.size)
-        if non_empty < 2:
+        n = idx.size
+        y = self._y[idx]
+        parent_entropy = self._entropy_of_distribution(distribution, n)
+        candidates = self._candidate_columns(len(self._attributes))
+        if candidates.size == 0:
             return None
-        return weighted_entropy, None, partitions, split_info
+        all_nominal = bool(self._numeric_cols.size == 0)
+        nominal_candidates = (
+            candidates if all_nominal else candidates[self._is_nominal[candidates]]
+        )
+        xlx = self._xlog2x
+        log2_n = xlx[n] / n if n else 0.0
+
+        numeric_results: Dict[int, Tuple[float, Dict[int, np.ndarray]]] = {}
+        nominal_tensor: Optional[np.ndarray] = None
+
+        if nominal_candidates.size:
+            k_cat, k_cls = self._max_categories, self._n_classes
+            block = k_cat * k_cls
+            rows = self._row_of[nominal_candidates]
+            codes = self._codes_T[rows[:, np.newaxis], idx]
+            keys = codes * k_cls + y
+            keys += self._tensor_offsets(nominal_candidates.size, block)
+            tensor = np.bincount(
+                keys.ravel(), minlength=nominal_candidates.size * block
+            ).reshape(nominal_candidates.size, k_cat, k_cls)
+            sizes = np.add.reduce(tensor, axis=2)
+            # n*H identities: weighted child entropy and split info without
+            # a single log evaluation (xlx = i*log2(i) lookup).
+            child_term = np.add.reduce(xlx[sizes], axis=1)
+            weighted = (
+                child_term
+                - np.add.reduce(
+                    xlx[tensor].reshape(nominal_candidates.size, block), axis=1
+                )
+            ) / n
+            information = parent_entropy - weighted
+            split_info = log2_n - child_term / n
+            valid = np.count_nonzero(sizes, axis=1) >= 2
+            usable = valid & (information > 0) & (split_info > 0)
+            nominal_gains = np.where(usable, information, -np.inf)
+            nominal_tensor = tensor
+
+        if all_nominal:
+            # Pure-symbolic schema (the common Table 1 / forecasting case):
+            # no scatter into a mixed candidate array needed.
+            gains = nominal_gains
+            split_infos = split_info
+        else:
+            gains = np.full(candidates.size, -np.inf)
+            split_infos = np.zeros(candidates.size)
+            if nominal_candidates.size:
+                positions = np.nonzero(self._is_nominal[candidates])[0]
+                gains[positions] = nominal_gains
+                split_infos[positions] = split_info
+
+        if nominal_candidates.size < candidates.size:
+            # Shared per-node precomputation for every numeric candidate:
+            # sorted values, distinct masks and cumulative class counts come
+            # from three batched gathers over the presorted orders.
+            numeric_positions = np.nonzero(~self._is_nominal[candidates])[0]
+            numeric_cols = candidates[numeric_positions]
+            node_orders = orders[self._row_of[numeric_cols]]
+            sorted_rows = idx[node_orders]
+            sorted_values = self._X[sorted_rows, numeric_cols[:, np.newaxis]]
+            one_hot = np.zeros((n, self._n_classes), dtype=np.int64)
+            one_hot[np.arange(n), y] = 1
+            cumulatives = one_hot[node_orders].cumsum(axis=1)
+            distinct_masks = np.empty(sorted_values.shape, dtype=bool)
+            distinct_masks[:, 0] = True
+            np.not_equal(
+                sorted_values[:, 1:], sorted_values[:, :-1],
+                out=distinct_masks[:, 1:],
+            )
+            for j, position in enumerate(numeric_positions):
+                result = self._numeric_split(
+                    sorted_values[j], distinct_masks[j], cumulatives[j],
+                    n, parent_entropy,
+                )
+                if result is None:
+                    continue
+                information, split_info, threshold, histogram = result
+                if information <= 0 or split_info <= 0:
+                    continue
+                gains[position] = information
+                split_infos[position] = split_info
+                numeric_results[int(position)] = (threshold, histogram)
+
+        ratios = np.full(candidates.size, -np.inf)
+        np.divide(gains, split_infos, out=ratios, where=gains > -np.inf)
+        best_position = int(ratios.argmax())
+        best_ratio = float(ratios[best_position])
+        if best_ratio == -np.inf:
+            return None
+        tied = np.nonzero(
+            ratios >= best_ratio - _TIE_TOL * max(1.0, abs(best_ratio))
+        )[0]
+        if tied.size > 1:
+            # Candidates this close can flip under the reformulated floats;
+            # re-rank them with the reference formula (first maximum wins,
+            # like the original strict-greater scan).
+            parent_exact = self._exact_entropy(distribution, n)
+            exact_ratios = np.empty(tied.size)
+            exact_gains = np.empty(tied.size)
+            for j, position in enumerate(tied):
+                tied_column = int(candidates[position])
+                if self._is_nominal[tied_column]:
+                    assert nominal_tensor is not None
+                    row = int(np.nonzero(nominal_candidates == tied_column)[0][0])
+                    weighted, split_info = self._exact_nominal_score(
+                        nominal_tensor[row], n
+                    )
+                else:
+                    _, histogram = numeric_results[position]
+                    left_size = int(histogram[0].sum())
+                    fraction_left = left_size / n
+                    fraction_right = 1.0 - fraction_left
+                    weighted = fraction_left * self._exact_entropy(
+                        histogram[0], left_size
+                    )
+                    weighted += fraction_right * self._exact_entropy(
+                        histogram[1], n - left_size
+                    )
+                    split_info = -(
+                        fraction_left * np.log2(fraction_left)
+                        + fraction_right * np.log2(fraction_right)
+                    )
+                exact_gains[j] = parent_exact - weighted
+                exact_ratios[j] = exact_gains[j] / split_info
+            winner = int(exact_ratios.argmax())
+            best_position = int(tied[winner])
+            gains[best_position] = exact_gains[winner]
+        column = int(candidates[best_position])
+        if self._is_nominal[column]:
+            assert nominal_tensor is not None
+            tensor_row = int(np.nonzero(nominal_candidates == column)[0][0])
+            histogram = {
+                cat: nominal_tensor[tensor_row, cat]
+                for cat in range(self._attributes[column].n_categories)
+            }
+            return float(gains[best_position]), column, None, histogram
+        threshold, histogram = numeric_results[best_position]
+        return float(gains[best_position]), column, threshold, histogram
+
+    @staticmethod
+    def _exact_entropy(counts: np.ndarray, total: int) -> float:
+        """Memoised reference entropy (tiny histograms repeat across nodes)."""
+        key = (total, counts.tobytes())
+        cached = _ENTROPY_MEMO.get(key)
+        if cached is None:
+            if len(_ENTROPY_MEMO) >= _MEMO_CAP:
+                _ENTROPY_MEMO.clear()
+            cached = _entropy_from_counts(counts, total)
+            _ENTROPY_MEMO[key] = cached
+        return cached
+
+    def _exact_nominal_score(
+        self, tensor_row: np.ndarray, n: int
+    ) -> Tuple[float, float]:
+        """Reference weighted entropy / split info of one nominal column.
+
+        Sequential per-category accumulation, float-identical to the original
+        per-mask implementation; used only to resolve near-ties.  Memoised —
+        tie groups repeat the same contingency tables across nodes and trees.
+        """
+        key = (n, tensor_row.shape, tensor_row.tobytes())
+        cached = _NOMINAL_SCORE_MEMO.get(key)
+        if cached is not None:
+            return cached
+        sizes = tensor_row.sum(axis=1)
+        weighted = 0.0
+        split_info = 0.0
+        for category in range(tensor_row.shape[0]):
+            size = int(sizes[category])
+            if size == 0:
+                continue
+            fraction = size / n
+            weighted += fraction * self._exact_entropy(tensor_row[category], size)
+            split_info -= fraction * np.log2(fraction)
+        if len(_NOMINAL_SCORE_MEMO) >= _MEMO_CAP:
+            _NOMINAL_SCORE_MEMO.clear()
+        _NOMINAL_SCORE_MEMO[key] = (weighted, split_info)
+        return weighted, split_info
 
     def _numeric_split(
-        self, values: np.ndarray, y: np.ndarray
-    ) -> Optional[Tuple[float, Optional[float], Dict[int, np.ndarray], float]]:
-        order = np.argsort(values, kind="mergesort")
-        sorted_values = values[order]
-        distinct = np.unique(sorted_values)
+        self,
+        sorted_values: np.ndarray,
+        distinct_mask: np.ndarray,
+        cumulative: np.ndarray,
+        n: int,
+        parent_entropy: float,
+    ) -> Optional[Tuple[float, float, float, Dict[int, np.ndarray]]]:
+        """Score one presorted numeric column from its cumulative histogram.
+
+        ``cumulative[i]`` holds the class counts of the first ``i + 1`` rows
+        in value order; every candidate threshold is one row gather away.
+        """
+        distinct = sorted_values[distinct_mask]
         if distinct.size < 2:
             return None
         # Candidate thresholds: midpoints between consecutive distinct values.
@@ -200,58 +485,96 @@ class DecisionTreeClassifier(Classifier):
         if candidates.size > 32:
             # Subsample candidate thresholds for speed on long numeric columns.
             candidates = candidates[:: max(1, candidates.size // 32)]
-        best: Optional[Tuple[float, Optional[float], Dict[int, np.ndarray], float]] = None
-        best_entropy = np.inf
-        for threshold in candidates:
-            left = np.nonzero(values <= threshold)[0]
-            right = np.nonzero(values > threshold)[0]
-            if left.size == 0 or right.size == 0:
-                continue
-            fraction_left = left.size / y.size
-            fraction_right = 1.0 - fraction_left
-            weighted = fraction_left * _entropy(y[left], self._n_classes)
-            weighted += fraction_right * _entropy(y[right], self._n_classes)
-            if weighted < best_entropy:
-                split_info = -(
-                    fraction_left * np.log2(fraction_left)
-                    + fraction_right * np.log2(fraction_right)
+
+        total_counts = cumulative[-1]
+        positions = np.searchsorted(sorted_values, candidates, side="right")
+        interior = (positions > 0) & (positions < n)
+        if not interior.any():
+            return None
+        positions = positions[interior]
+        candidates = candidates[interior]
+
+        xlx = self._xlog2x
+        left_counts = cumulative[positions - 1]
+        right_counts = total_counts - left_counts
+        # n*H identity per side; weighted = (sum_side size*log2(size)
+        #                                    - sum_cell c*log2(c)) / n.
+        side_term = xlx[positions] + xlx[n - positions]
+        cell_term = xlx[left_counts].sum(axis=1) + xlx[right_counts].sum(axis=1)
+        weighted = (side_term - cell_term) / n
+        best_at = int(weighted.argmin())
+        weighted_best = float(weighted[best_at])
+        tied = np.nonzero(
+            weighted <= weighted_best + _TIE_TOL * max(1.0, abs(weighted_best))
+        )[0]
+        if tied.size > 1:
+            # Re-rank near-tied thresholds with the reference formula so the
+            # chosen threshold matches the original first-strict-less scan.
+            exact = np.empty(tied.size)
+            for j, at in enumerate(tied):
+                left_size = int(positions[at])
+                fraction_left = left_size / n
+                fraction_right = 1.0 - fraction_left
+                value = fraction_left * self._exact_entropy(
+                    left_counts[at], left_size
                 )
-                best_entropy = weighted
-                best = (
-                    weighted,
-                    float(threshold),
-                    {0: left, 1: right},
-                    float(split_info),
+                value += fraction_right * self._exact_entropy(
+                    right_counts[at], n - left_size
                 )
-        return best
+                exact[j] = value
+            best_at = int(tied[int(exact.argmin())])
+        information = parent_entropy - float(weighted[best_at])
+        split_info = xlx[n] / n - float(side_term[best_at]) / n
+        histogram = {0: left_counts[best_at], 1: right_counts[best_at]}
+        return information, split_info, float(candidates[best_at]), histogram
 
     # -- prediction -------------------------------------------------------------------
 
-    def predict(self, dataset: MLDataset) -> np.ndarray:
-        self._check_fitted()
-        if dataset.attributes != self._attributes:
-            raise DatasetError("dataset schema differs from the one used to fit")
-        return np.asarray(
-            [self._predict_row(row) for row in dataset.X], dtype=np.int64
-        )
+    def _route(
+        self,
+        node: _Node,
+        X: np.ndarray,
+        idx: np.ndarray,
+        visit: Callable[[_Node, np.ndarray], None],
+    ) -> None:
+        """Push the rows ``idx`` down the tree, calling ``visit`` per leaf.
 
-    def predict_proba(self, dataset: MLDataset) -> np.ndarray:
-        """Leaf class distributions normalised to probabilities."""
-        self._check_fitted()
-        out = np.zeros((len(dataset), self._n_classes), dtype=np.float64)
-        for i, row in enumerate(dataset.X):
-            distribution = self._leaf_for_row(row).class_distribution.astype(np.float64)
-            total = distribution.sum()
-            out[i] = distribution / total if total else 1.0 / self._n_classes
-        return out
+        Rows whose branch has no child (an unseen category) stop at the
+        current node, exactly like a per-row walk would.
+        """
+        if idx.size == 0:
+            return
+        if node.is_leaf:
+            visit(node, idx)
+            return
+        attribute = self._attributes[node.attribute_index]
+        column = X[idx, node.attribute_index]
+        if attribute.is_nominal:
+            branches = column.astype(np.int64)
+        else:
+            # `~(v <= t)` (not `v > t`) so NaN rows take branch 1, agreeing
+            # with the per-row walk and the fit-time partitioning.
+            branches = (~(column <= node.threshold)).astype(np.int64)
+        unrouted = np.ones(idx.size, dtype=bool)
+        for branch, child in node.children.items():
+            mask = branches == branch
+            if mask.any():
+                self._route(child, X, idx[mask], visit)
+                unrouted &= ~mask
+        if unrouted.any():
+            visit(node, idx[unrouted])
+
+    # Below this many rows a plain per-row walk beats the mask-based routing
+    # (the numpy calls cost more than the dict lookups).  Either path stops at
+    # the same node per row, so the outputs are identical.
+    _SMALL_BATCH = 32
 
     def _leaf_for_row(self, row: np.ndarray) -> _Node:
         node = self._root
         assert node is not None
         while not node.is_leaf:
             column = node.attribute_index
-            attribute = self._attributes[column]
-            if attribute.is_nominal:
+            if self._attributes[column].is_nominal:
                 branch = int(row[column])
             else:
                 branch = 0 if row[column] <= node.threshold else 1
@@ -261,8 +584,48 @@ class DecisionTreeClassifier(Classifier):
             node = child
         return node
 
-    def _predict_row(self, row: np.ndarray) -> int:
-        return self._leaf_for_row(row).majority_class
+    def predict(self, dataset: MLDataset) -> np.ndarray:
+        self._check_fitted()
+        if (
+            dataset.attributes is not self._attributes
+            and dataset.attributes != self._attributes
+        ):
+            raise DatasetError("dataset schema differs from the one used to fit")
+        assert self._root is not None
+        n = len(dataset)
+        out = np.empty(n, dtype=np.int64)
+        if n <= self._SMALL_BATCH:
+            for i, row in enumerate(dataset.X):
+                out[i] = self._leaf_for_row(row).majority_class
+            return out
+
+        def visit(node: _Node, idx: np.ndarray) -> None:
+            out[idx] = node.majority_class
+
+        self._route(self._root, dataset.X, np.arange(n), visit)
+        return out
+
+    def predict_proba(self, dataset: MLDataset) -> np.ndarray:
+        """Leaf class distributions normalised to probabilities."""
+        self._check_fitted()
+        assert self._root is not None
+        n = len(dataset)
+        out = np.zeros((n, self._n_classes), dtype=np.float64)
+        if n <= self._SMALL_BATCH:
+            for i, row in enumerate(dataset.X):
+                node = self._leaf_for_row(row)
+                distribution = node.class_distribution.astype(np.float64)
+                total = distribution.sum()
+                out[i] = distribution / total if total else 1.0 / self._n_classes
+            return out
+
+        def visit(node: _Node, idx: np.ndarray) -> None:
+            distribution = node.class_distribution.astype(np.float64)
+            total = distribution.sum()
+            out[idx] = distribution / total if total else 1.0 / self._n_classes
+
+        self._route(self._root, dataset.X, np.arange(n), visit)
+        return out
 
     # -- introspection -------------------------------------------------------------------
 

@@ -1,0 +1,159 @@
+"""Regenerate the ML parity golden files.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/ml/_generate_goldens.py
+
+The checked-in goldens were produced by the **pre-vectorization**
+implementations (PR 1 state of ``repro.ml`` / ``repro.analytics``); the
+vectorized engine must reproduce them exactly.  Only regenerate if the
+*intended semantics* of a learner change, and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+import numpy as np
+
+from repro.analytics.forecasting import raw_forecast, symbolic_forecast
+from repro.analytics.segmentation import KMeans
+from repro.ml import (
+    DecisionTreeClassifier,
+    LogisticRegressionClassifier,
+    NaiveBayesClassifier,
+    RandomForestClassifier,
+)
+from repro.ml.crossval import cross_validate, stratified_folds
+from repro.ml.svr import KernelSVR, LinearSVR
+
+try:
+    from ._parity_cases import (
+        GOLDEN_DIR,
+        blob_matrix,
+        classification_cases,
+        hourly_series,
+        regression_data,
+    )
+except ImportError:  # executed directly as a script
+    from _parity_cases import (
+        GOLDEN_DIR,
+        blob_matrix,
+        classification_cases,
+        hourly_series,
+        regression_data,
+    )
+
+CLASSIFIER_BUILDERS = {
+    "tree_default": lambda: DecisionTreeClassifier(),
+    "tree_limited": lambda: DecisionTreeClassifier(max_depth=4, min_samples_split=4),
+    "tree_subspace": lambda: DecisionTreeClassifier(max_features=3, random_state=7),
+    "forest": lambda: RandomForestClassifier(n_trees=10, random_state=3),
+    "naive_bayes": lambda: NaiveBayesClassifier(),
+    "logistic": lambda: LogisticRegressionClassifier(n_iterations=150),
+}
+
+CROSSVAL_BUILDERS = {
+    "naive_bayes": lambda: NaiveBayesClassifier(),
+    "j48": lambda: DecisionTreeClassifier(),
+    "random_forest": lambda: RandomForestClassifier(n_trees=8, random_state=1),
+}
+
+
+def classifier_goldens() -> Dict:
+    out: Dict = {}
+    for case_name, dataset in classification_cases().items():
+        case: Dict = {}
+        for model_name, build in CLASSIFIER_BUILDERS.items():
+            model = build().fit(dataset)
+            entry: Dict = {"predictions": model.predict(dataset).tolist()}
+            if hasattr(model, "depth"):
+                entry["depth"] = int(model.depth)
+                entry["n_nodes"] = int(model.n_nodes)
+            case[model_name] = entry
+        out[case_name] = case
+    return out
+
+
+def crossval_goldens() -> Dict:
+    out: Dict = {}
+    for case_name in ("day_vectors", "lag_symbols"):
+        dataset = classification_cases()[case_name]
+        folds = stratified_folds(dataset, 10, np.random.default_rng(0))
+        entry: Dict = {"folds": [fold.tolist() for fold in folds], "models": {}}
+        for model_name, build in CROSSVAL_BUILDERS.items():
+            result = cross_validate(build, dataset, n_folds=10, seed=0)
+            entry["models"][model_name] = {
+                "f_measure": result.f_measure,
+                "accuracy": result.accuracy,
+                "fold_f_measures": result.fold_f_measures,
+            }
+        out[case_name] = entry
+    return out
+
+
+def svr_goldens() -> Dict:
+    X_train, y_train = regression_data(seed=10)
+    X_test, _ = regression_data(seed=11)
+    out: Dict = {}
+    for name, model in (
+        ("linear", LinearSVR()),
+        ("rbf", KernelSVR(kernel="rbf")),
+        ("kernel_linear", KernelSVR(kernel="linear")),
+    ):
+        model.fit(X_train, y_train)
+        out[name] = {
+            "train_predictions": model.predict(X_train).tolist(),
+            "test_predictions": model.predict(X_test).tolist(),
+        }
+    return out
+
+
+def kmeans_goldens() -> Dict:
+    X = blob_matrix(seed=12)
+    model = KMeans(n_clusters=3, seed=0)
+    assignments = model.fit_predict(X)
+    return {
+        "assignments": assignments.tolist(),
+        "inertia": model.inertia_,
+        "centroids": model.centroids.tolist(),
+    }
+
+
+def forecast_goldens() -> Dict:
+    series = hourly_series(seed=20)
+    out: Dict = {}
+    for classifier in ("naive_bayes", "random_forest"):
+        result = symbolic_forecast(series, method="median", classifier=classifier)
+        out[f"symbolic_{classifier}"] = {
+            "mae": result.mae,
+            "rmse": result.rmse,
+            "predictions": list(result.predictions),
+        }
+    raw = raw_forecast(series)
+    out["raw_svr"] = {
+        "mae": raw.mae,
+        "rmse": raw.rmse,
+        "predictions": list(raw.predictions),
+    }
+    return out
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    groups = {
+        "classifiers": classifier_goldens(),
+        "crossval": crossval_goldens(),
+        "svr": svr_goldens(),
+        "kmeans": kmeans_goldens(),
+        "forecast": forecast_goldens(),
+    }
+    for name, payload in groups.items():
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=1) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()
