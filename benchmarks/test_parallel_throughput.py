@@ -1,0 +1,100 @@
+"""Multi-core throughput benchmarks (``BENCH_parallel.json``).
+
+PR 1 benchmarked the encoding engine (``BENCH_encoding.json``), PR 2 the ML
+engine (``BENCH_ml.json``); this module extends the perf trajectory across
+cores: the same Table 1 grid, cross-validation and fleet-encoding workloads
+are timed serially and through ``repro.parallel`` at 2 and 4 workers.  CI
+runs it with ``--benchmark-json=BENCH_parallel.json`` and uploads the file
+next to the other two artifacts; diff ``.benchmarks[].stats.mean`` between
+the ``_serial`` and ``_workersN`` entries to read the speedup on the runner's
+core count.
+
+Every parallel benchmark also asserts bit-parity against the serial result,
+so the numbers can never drift apart from correctness.  On a single-core
+machine the parallel entries measure pure orchestration overhead (process
+startup + task pickling) rather than speedup — the README's performance
+section records which machine produced the published numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentGrid, reproduce_table1
+from repro.ml import RandomForestClassifier, make_random_forest
+from repro.ml.crossval import cross_validate
+from repro.pipeline import FleetEncoder
+
+from .conftest import write_result
+from .test_ml_throughput import _day_vector_table
+
+#: A reduced Table 1 grid: 5 configurations x 4 classifiers x 2 table scopes
+#: = 40 cross-validated cells, heavy enough to amortise pool startup.
+_GRID = ExperimentGrid(
+    methods=("median", "uniform"),
+    aggregations=(3600.0,),
+    alphabet_sizes=(8, 16),
+)
+
+
+def _table1_scores(report):
+    return [
+        (result.config.label(), result.classifier, result.f_measure)
+        for result in report.per_house + report.global_table
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_table1(bench_dataset):
+    """Reference run every parallel benchmark is compared against."""
+    return reproduce_table1(bench_dataset, grid=_GRID, n_folds=10)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_table1_grid_workers(benchmark, bench_dataset, serial_table1,
+                             results_dir, workers):
+    """The Table 1 grid sharded one cell per task over N processes."""
+    report = benchmark.pedantic(
+        reproduce_table1,
+        args=(bench_dataset,),
+        kwargs={"grid": _GRID, "n_folds": 10, "workers": workers},
+        rounds=1,
+        iterations=1,
+    )
+    assert _table1_scores(report) == _table1_scores(serial_table1)
+    if workers == 4:
+        write_result(results_dir, "parallel_table1", report.render())
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_crossval_folds_workers(benchmark, workers):
+    """10-fold Random Forest cross-validation, one fold per task."""
+    table = _day_vector_table(n_days=120)
+    serial = cross_validate(make_random_forest, table, n_folds=10, seed=0)
+
+    result = benchmark.pedantic(
+        cross_validate,
+        args=(make_random_forest, table),
+        kwargs={"n_folds": 10, "seed": 0, "workers": workers},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.f_measure == serial.f_measure
+    assert result.fold_f_measures == serial.fold_f_measures
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_fleet_fit_encode_workers(benchmark, workers):
+    """600 meters x 4320 samples, per-meter tables, sharded by meter block."""
+    rng = np.random.default_rng(2)
+    fleet = np.abs(rng.normal(300.0, 120.0, size=(600, 4320)))
+    serial = FleetEncoder(alphabet_size=16, window=15, shared_table=False)
+    serial_indices = serial.fit_encode(fleet)
+
+    def run():
+        encoder = FleetEncoder(alphabet_size=16, window=15, shared_table=False)
+        return encoder.fit_encode(fleet, workers=workers)
+
+    indices = benchmark.pedantic(run, rounds=1, iterations=1)
+    np.testing.assert_array_equal(serial_indices, indices)

@@ -27,11 +27,15 @@ The package is organised as:
     batch/streaming :class:`Pipeline` and the fleet-scale
     :class:`FleetEncoder` that batch and online encoders delegate to.
 
+``repro.parallel``
+    Deterministic multi-core execution: grid cells, cross-validation folds
+    and fleet meter shards over a process pool with bit-identical outputs.
+
 ``repro.experiments``
     Reproduction harness for every table and figure of the evaluation.
 """
 
-from . import analytics, baselines, core, datasets, experiments, ml, pipeline
+from . import analytics, baselines, core, datasets, experiments, ml, parallel, pipeline
 from .core import (
     BinaryAlphabet,
     LookupTable,
@@ -61,5 +65,6 @@ __all__ = [
     "datasets",
     "experiments",
     "ml",
+    "parallel",
     "pipeline",
 ]

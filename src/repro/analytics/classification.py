@@ -75,12 +75,14 @@ def classify_households(
     n_folds: int = 10,
     seed: int = 0,
     vectors: Optional[MLDataset] = None,
+    workers: int = 1,
 ) -> ClassificationResult:
     """Run one classification experiment cell.
 
     ``vectors`` can be passed to reuse pre-built day vectors (the experiment
     grids build them once per configuration and evaluate several classifiers
-    on them, like the paper does).
+    on them, like the paper does).  ``workers > 1`` evaluates the
+    cross-validation folds in a process pool with bit-identical scores.
     """
     table = vectors if vectors is not None else build_day_vectors(dataset, config)
     folds = min(n_folds, len(table))
@@ -89,7 +91,8 @@ def classify_households(
             f"not enough day vectors ({len(table)}) for cross-validation"
         )
     result: CrossValidationResult = cross_validate(
-        classifier_factory(classifier), table, n_folds=folds, seed=seed
+        classifier_factory(classifier), table, n_folds=folds, seed=seed,
+        workers=workers,
     )
     return ClassificationResult(
         config=config,

@@ -42,6 +42,14 @@ def _load_dataset(args: argparse.Namespace):
     )
 
 
+def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial, 0 = one per CPU); outputs are "
+             "bit-identical for every worker count",
+    )
+
+
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--data", type=str, default="",
                         help="directory written by 'repro generate' (default: regenerate)")
@@ -93,11 +101,13 @@ def _encode_fleet(dataset, args: argparse.Namespace) -> int:
     matrix = np.vstack([house.mains.values[:n_samples] for house in houses])
     # Window width in samples from the dataset's own sampling interval
     # (``--interval`` only parameterises generation and is stale for --data).
+    # The fleet-wide *median* interval sets the window so one odd meter that
+    # happens to be ordered first cannot skew every house's window width.
     intervals = [
         float(np.median(np.diff(house.mains.timestamps)))
         for house in houses if len(house.mains) > 1
     ]
-    sampling = intervals[0] if intervals else 1.0
+    sampling = float(np.median(intervals)) if intervals else 1.0
     if intervals and max(intervals) > 1.5 * min(intervals):
         print(f"note: per-house sampling intervals differ "
               f"({min(intervals):g}-{max(intervals):g} s); count-based windows "
@@ -109,7 +119,7 @@ def _encode_fleet(dataset, args: argparse.Namespace) -> int:
         window=window,
         shared_table=args.global_table,
     )
-    indices = fleet.fit_encode(matrix)
+    indices = fleet.fit_encode(matrix, workers=args.workers)
     rows = []
     for house, house_indices in zip(houses, indices):
         counts = np.bincount(house_indices, minlength=args.alphabet)
@@ -135,7 +145,10 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         alphabet_size=args.alphabet,
         global_table=args.global_table,
     )
-    result = classify_households(dataset, config, args.classifier, n_folds=args.folds)
+    result = classify_households(
+        dataset, config, args.classifier, n_folds=args.folds,
+        workers=args.workers,
+    )
     print(render_table([result.as_dict()], float_digits=3))
     return 0
 
@@ -163,6 +176,7 @@ def _cmd_compression(args: argparse.Namespace) -> int:
         alphabet_sizes=(args.alphabet,),
         aggregation_seconds=(args.window,),
         sampling_interval=args.sampling,
+        workers=args.workers,
     )
     print(render_table(sweep.rows(), float_digits=1))
     return 0
@@ -205,6 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="encode every house in one vectorized fleet call")
     encode.add_argument("--global-table", action="store_true",
                         help="with --all: one shared table instead of per-meter")
+    _add_workers_argument(encode)
     encode.set_defaults(handler=_cmd_encode)
 
     classify = subparsers.add_parser("classify", help="household classification")
@@ -215,6 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("--classifier", type=str, default="naive_bayes")
     classify.add_argument("--folds", type=int, default=10)
     classify.add_argument("--global-table", action="store_true")
+    _add_workers_argument(classify)
     classify.set_defaults(handler=_cmd_classify)
 
     forecast = subparsers.add_parser("forecast", help="next-day hourly forecasting")
@@ -229,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
     compression.add_argument("--alphabet", type=int, default=16)
     compression.add_argument("--window", type=float, default=900.0)
     compression.add_argument("--sampling", type=float, default=1.0)
+    _add_workers_argument(compression)
     compression.set_defaults(handler=_cmd_compression)
 
     export = subparsers.add_parser("export-arff", help="export day vectors as ARFF (Weka)")

@@ -16,6 +16,8 @@ This module provides the sensor-side state machines:
 
 from __future__ import annotations
 
+import heapq
+import struct
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
@@ -32,39 +34,99 @@ from .vertical import Aggregator, get_aggregator
 __all__ = ["RunningStatistics", "OnlineEncoder", "EncodedWindow", "TableUpdate"]
 
 
-class RunningStatistics:
-    """Incremental mean / median / distinct-median estimates.
+def _hash_doubles(values: np.ndarray) -> np.ndarray:
+    """Deterministic 64-bit mix of float64 bit patterns (splitmix64 finaliser).
 
-    A bounded reservoir of raw values (and a set of distinct values) is kept
-    so that quantile-based statistics remain exact up to ``max_samples``
-    values and become reservoir-sampled estimates beyond that.  The REDD
-    bootstrap window (two days at 1 Hz, 172 800 samples) fits comfortably.
+    Used by the bounded distinct-value sketch: keeping the ``k`` values with
+    the *smallest* hashes is a uniform random sample of the distinct values
+    seen so far, independent of arrival order and of how the stream was
+    chunked — which is what makes ``update`` and ``update_many`` agree
+    exactly.
+    """
+    bits = np.ascontiguousarray(values, dtype=np.float64).view(np.uint64)
+    with np.errstate(over="ignore"):
+        z = bits + np.uint64(0x9E3779B97F4A7C15)
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        return z ^ (z >> np.uint64(31))
+
+
+_U64 = (1 << 64) - 1
+
+
+def _hash_double(value: float) -> int:
+    """Scalar twin of :func:`_hash_doubles` for the per-sample hot path.
+
+    Plain-int splitmix64 over the native float64 bit pattern — bit-identical
+    to the vectorized version (the update/update_many parity tests depend on
+    that) without paying a numpy array round-trip per pushed measurement.
+    """
+    z = (struct.unpack("=Q", struct.pack("=d", value))[0] + 0x9E3779B97F4A7C15) & _U64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _U64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _U64
+    return z ^ (z >> 31)
+
+
+class RunningStatistics:
+    """Incremental mean / median / distinct-median / maximum estimates.
+
+    Memory is O(``max_samples`` + ``max_distinct``) however long the stream:
+
+    * a bounded reservoir of raw values keeps quantile statistics exact up to
+      ``max_samples`` values and reservoir-sampled beyond (the REDD bootstrap
+      window — two days at 1 Hz, 172 800 samples — fits comfortably);
+    * distinct values are tracked with a bounded bottom-k hash sketch (the
+      ``max_distinct`` values with the smallest hashes), so high-cardinality
+      streams no longer grow an unbounded set — the sketch is exact while the
+      stream has at most ``max_distinct`` distinct values and an unbiased
+      uniform sample of them beyond that;
+    * the maximum is a dedicated running scalar, never subject to reservoir
+      eviction, so ``uniform``-method separator rebuilds always see the true
+      ``[0, max]`` range.
     """
 
-    def __init__(self, max_samples: int = 500_000, seed: int = 7) -> None:
+    def __init__(
+        self,
+        max_samples: int = 500_000,
+        seed: int = 7,
+        max_distinct: int = 100_000,
+    ) -> None:
         if max_samples < 1:
             raise SegmentationError("max_samples must be >= 1")
+        if max_distinct < 1:
+            raise SegmentationError("max_distinct must be >= 1")
         self._max_samples = max_samples
+        self._max_distinct = max_distinct
         self._rng = np.random.default_rng(seed)
         self._count = 0
         self._sum = 0.0
+        self._maximum = float("-inf")
         self._reservoir: List[float] = []
-        self._distinct: set = set()
+        # Bottom-k distinct sketch: max-heap of (-hash, value) plus a
+        # membership set of the values currently sampled.
+        self._distinct_heap: List[Tuple[int, float]] = []
+        self._distinct_members: set = set()
+
+    # -- distinct sketch ---------------------------------------------------------
+
+    def _update_distinct(self, value: float, mixed: int) -> None:
+        if value in self._distinct_members:
+            return
+        if len(self._distinct_heap) < self._max_distinct:
+            heapq.heappush(self._distinct_heap, (-mixed, value))
+            self._distinct_members.add(value)
+        elif -self._distinct_heap[0][0] > mixed:
+            _, evicted = heapq.heappushpop(self._distinct_heap, (-mixed, value))
+            self._distinct_members.discard(evicted)
+            self._distinct_members.add(value)
 
     def update(self, value: float) -> None:
         """Feed one measurement."""
         if np.isnan(value):
             return
-        self._count += 1
-        self._sum += value
-        self._distinct.add(float(value))
-        if len(self._reservoir) < self._max_samples:
-            self._reservoir.append(float(value))
-        else:
-            # Standard reservoir sampling keeps a uniform sample of the stream.
-            j = int(self._rng.integers(0, self._count))
-            if j < self._max_samples:
-                self._reservoir[j] = float(value)
+        value = float(value)
+        self._update_distinct(value, _hash_double(value))
+        self._update_scalar_only(value)
 
     def update_many(self, values: Union[Sequence[float], np.ndarray]) -> None:
         """Feed a batch of measurements (vectorized while under capacity).
@@ -72,7 +134,9 @@ class RunningStatistics:
         While the reservoir is below ``max_samples`` this is a bulk extend —
         identical contents and order to feeding values one by one.  Once the
         reservoir is full it falls back to the per-value reservoir sampling
-        so the random replacement sequence stays exactly reproducible.
+        so the random replacement sequence stays exactly reproducible.  The
+        distinct sketch and the running maximum are order-independent, so
+        they are always updated in bulk.
         """
         arr = np.asarray(values, dtype=np.float64).ravel()
         arr = arr[~np.isnan(arr)]
@@ -80,14 +144,43 @@ class RunningStatistics:
             return
         room = self._max_samples - len(self._reservoir)
         if arr.size <= room:
-            floats = arr.tolist()
             self._count += arr.size
             self._sum += float(arr.sum())
-            self._distinct.update(floats)
-            self._reservoir.extend(floats)
+            self._maximum = max(self._maximum, float(arr.max()))
+            self._update_distinct_many(arr)
+            self._reservoir.extend(arr.tolist())
             return
+        # Full reservoir: distinct/maximum stay bulk (order-independent),
+        # while the value reservoir replays per-value to keep the random
+        # replacement sequence identical to repeated update() calls.
+        self._update_distinct_many(arr)
         for value in arr:
-            self.update(float(value))
+            self._update_scalar_only(float(value))
+
+    def _update_scalar_only(self, value: float) -> None:
+        """Count/sum/maximum/reservoir update for one value (no distinct)."""
+        self._count += 1
+        self._sum += value
+        if value > self._maximum:
+            self._maximum = value
+        if len(self._reservoir) < self._max_samples:
+            self._reservoir.append(value)
+        else:
+            # Standard reservoir sampling keeps a uniform sample of the stream.
+            j = int(self._rng.integers(0, self._count))
+            if j < self._max_samples:
+                self._reservoir[j] = value
+
+    def _update_distinct_many(self, arr: np.ndarray) -> None:
+        distinct = np.unique(arr)
+        hashes = _hash_doubles(distinct)
+        if len(self._distinct_heap) >= self._max_distinct:
+            # Steady state: only candidates below the sketch threshold can
+            # enter, so the (rare) survivors are filtered vectorized first.
+            keep = hashes < np.uint64(-self._distinct_heap[0][0])
+            distinct, hashes = distinct[keep], hashes[keep]
+        for value, mixed in zip(distinct.tolist(), hashes.tolist()):
+            self._update_distinct(value, int(mixed))
 
     @property
     def count(self) -> int:
@@ -108,19 +201,46 @@ class RunningStatistics:
 
     @property
     def distinct_median(self) -> float:
-        """Accumulative median of distinct values."""
-        if not self._distinct:
+        """Accumulative median of distinct values (sketch-sampled past the cap)."""
+        if not self._distinct_members:
             return 0.0
-        return float(np.median(np.fromiter(self._distinct, dtype=np.float64)))
+        return float(
+            np.median(np.fromiter(self._distinct_members, dtype=np.float64))
+        )
+
+    @property
+    def distinct_count(self) -> int:
+        """Number of distinct values currently retained (capped at ``max_distinct``)."""
+        return len(self._distinct_members)
 
     @property
     def maximum(self) -> float:
-        """Largest value seen (0.0 before any data)."""
-        return max(self._reservoir) if self._reservoir else 0.0
+        """Largest value seen over the whole stream (0.0 before any data).
+
+        A dedicated running scalar — *not* the reservoir maximum, which can
+        lose the true peak to sampling eviction once the stream exceeds
+        ``max_samples`` values.
+        """
+        return self._maximum if self._count else 0.0
 
     def values(self) -> np.ndarray:
         """Snapshot of the retained sample (for separator learning)."""
         return np.asarray(self._reservoir, dtype=np.float64)
+
+    def learning_values(self) -> np.ndarray:
+        """Reservoir snapshot guaranteed to contain the true stream maximum.
+
+        Separator learning is quantile- or range-based; appending the running
+        maximum when reservoir sampling has evicted it keeps the
+        ``uniform`` method's ``[0, max]`` range exact while perturbing the
+        quantile methods by at most one sample out of ``max_samples``.
+        While the reservoir is below capacity this is exactly
+        :meth:`values` — bit-identical learning, nothing appended.
+        """
+        arr = self.values()
+        if arr.size and self._maximum > float(arr.max()):
+            arr = np.append(arr, self._maximum)
+        return arr
 
     def snapshot(self) -> dict:
         """All three accumulative statistics at once (Figure 4 series)."""
@@ -191,6 +311,10 @@ class OnlineEncoder:
         self._drift_threshold = float(drift_threshold)
 
         self._stats = RunningStatistics()
+        # Aggregated (per-window) values, the distribution the lookup table
+        # actually quantises: drift rebuilds learn from this accumulator so
+        # they stay consistent with the bootstrap fit (see _maybe_rebuild).
+        self._window_stats = RunningStatistics()
         self._bootstrap_values: List[float] = []
         self._bootstrap_aggregates: List[float] = []
         self._bootstrap_start: Optional[float] = None
@@ -428,6 +552,7 @@ class OnlineEncoder:
             else:
                 aggregated = self._aggregator(np.asarray(segment, dtype=np.float64))
                 assert self._table is not None
+                self._window_stats.update(aggregated)
                 window = EncodedWindow(
                     timestamp=origin + bucket * width,
                     symbol=self._table.symbol_for_value(aggregated),
@@ -453,6 +578,7 @@ class OnlineEncoder:
     def _close_window(self) -> EncodedWindow:
         assert self._table is not None and self._window_start is not None
         aggregated = self._aggregator(np.asarray(self._window_values, dtype=np.float64))
+        self._window_stats.update(aggregated)
         symbol = self._table.symbol_for_value(aggregated)
         window = EncodedWindow(
             timestamp=self._window_start,
@@ -465,14 +591,30 @@ class OnlineEncoder:
         return window
 
     def _maybe_rebuild(self, timestamp: float) -> None:
+        """Rebuild the lookup table when the raw-value median drifts too far.
+
+        Drift is *detected* on the raw running median (the paper's Figure 4
+        monitor), but the replacement separators are *learned* from the
+        accumulated window-aggregated values — the same distribution
+        :meth:`_finish_bootstrap` (and a fresh ``SymbolicEncoder.fit()`` on
+        the same history) learns from, since aggregated values are what the
+        table quantises.  Learning from the raw reservoir instead would
+        systematically disagree with every batch fit (raw readings repeat at
+        standby levels; hourly averages almost never do).  When fewer than
+        ``alphabet_size`` windows have closed, the raw sample is used as a
+        fallback, mirroring the bootstrap fit.  Both samples come through
+        :meth:`RunningStatistics.learning_values`, so ``uniform`` rebuilds
+        keep the exact stream maximum even after reservoir eviction.
+        """
         if self._table is None or self._table_median == 0:
             return
         current = self._stats.median
         drift = abs(current - self._table_median) / abs(self._table_median)
         if drift > self._drift_threshold:
-            separators = self._method.separators(
-                self._stats.values(), self.alphabet_size
-            )
+            source = self._window_stats.learning_values()
+            if source.size < self.alphabet_size:
+                source = self._stats.learning_values()
+            separators = self._method.separators(source, self.alphabet_size)
             self._table = LookupTable(self._table.alphabet, separators)
             self._table_median = current
             self._updates.append(

@@ -17,6 +17,7 @@ from .appliances import (
 )
 from .base import House, MeterDataset
 from .cer import CERGenerator, generate_cer
+from .descriptors import DatasetDescriptor
 from .gaps import day_coverage_hours, filter_days, inject_gaps
 from .io import read_dataset, read_series_csv, write_dataset, write_series_csv
 from .redd import HouseConfig, REDDGenerator, default_house_configs, generate_redd
@@ -27,6 +28,7 @@ __all__ = [
     "Appliance",
     "CERGenerator",
     "CyclicAppliance",
+    "DatasetDescriptor",
     "House",
     "HouseConfig",
     "MeterDataset",

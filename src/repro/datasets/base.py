@@ -46,13 +46,22 @@ class House:
 
 
 class MeterDataset:
-    """A named collection of :class:`House` objects."""
+    """A named collection of :class:`House` objects.
+
+    ``descriptor`` optionally records how the dataset was produced (see
+    :mod:`repro.datasets.descriptors`); the deterministic parallel layer uses
+    it to rebuild bit-identical copies inside worker processes instead of
+    pickling raw arrays.  It is attached by the seeded factories
+    (``generate_redd``, ``read_dataset``) and propagates through
+    :meth:`subset`.
+    """
 
     def __init__(self, name: str, houses: Mapping[int, House]) -> None:
         if not houses:
             raise DatasetError("a dataset needs at least one house")
         self.name = name
         self._houses: Dict[int, House] = dict(sorted(houses.items()))
+        self.descriptor = None  # Optional[DatasetDescriptor]
 
     # -- protocol ---------------------------------------------------------------
 
@@ -99,8 +108,12 @@ class MeterDataset:
 
     def subset(self, house_ids) -> "MeterDataset":
         """Dataset restricted to ``house_ids`` (order preserved, must exist)."""
+        house_ids = list(house_ids)
         picked = {hid: self[hid] for hid in house_ids}
-        return MeterDataset(self.name, picked)
+        child = MeterDataset(self.name, picked)
+        if self.descriptor is not None:
+            child.descriptor = self.descriptor.restrict(house_ids)
+        return child
 
     def summary(self) -> Dict[int, Dict[str, float]]:
         """Per-house sample count, duration and mean power (for reports)."""

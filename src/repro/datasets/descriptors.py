@@ -1,0 +1,94 @@
+"""Reconstructible dataset provenance for multi-process execution.
+
+The deterministic parallel layer (:mod:`repro.parallel`) ships *descriptors*
+to worker processes instead of pickling raw sample arrays: a descriptor is a
+small frozen value object recording how a dataset was obtained (generator
+seed and parameters, or a directory written by ``repro generate``), and
+``build()`` reconstructs a bit-identical :class:`~repro.datasets.base.MeterDataset`
+inside the worker.  Because every generator in this package is deterministic
+in its seed, a rebuilt dataset is sample-for-sample equal to the original —
+the property the parallel parity tests assert.
+
+Descriptors are attached to datasets at creation time (``generate_redd``,
+``read_dataset``) under the ``descriptor`` attribute and propagate through
+:meth:`MeterDataset.subset`.  Datasets constructed by hand simply have no
+descriptor; parallel callers then fall back to pickling the dataset itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+__all__ = ["DatasetDescriptor"]
+
+
+@dataclass(frozen=True)
+class DatasetDescriptor:
+    """How to rebuild a :class:`MeterDataset` from scratch in another process.
+
+    ``kind`` selects the reconstruction recipe (``"redd"`` regenerates from
+    the synthetic generator, ``"directory"`` re-reads a persisted dataset);
+    ``params`` is a sorted tuple of ``(name, value)`` pairs so descriptors
+    are hashable and usable as worker-side cache keys; ``house_ids``
+    optionally restricts the rebuilt dataset to a subset of houses.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, object], ...]
+    house_ids: Optional[Tuple[int, ...]] = None
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def redd(
+        cls,
+        days: int,
+        sampling_interval: float,
+        seed: int,
+        with_gaps: bool,
+    ) -> "DatasetDescriptor":
+        """Descriptor for :func:`repro.datasets.redd.generate_redd`."""
+        return cls(
+            kind="redd",
+            params=(
+                ("days", int(days)),
+                ("sampling_interval", float(sampling_interval)),
+                ("seed", int(seed)),
+                ("with_gaps", bool(with_gaps)),
+            ),
+        )
+
+    @classmethod
+    def directory(cls, path: str, name: str = "") -> "DatasetDescriptor":
+        """Descriptor for a dataset persisted with ``write_dataset``."""
+        return cls(kind="directory", params=(("name", name), ("path", str(path))))
+
+    # -- reconstruction ---------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """The parameters as a plain dict."""
+        return dict(self.params)
+
+    def restrict(self, house_ids) -> "DatasetDescriptor":
+        """Descriptor for the same source narrowed to ``house_ids``."""
+        return replace(self, house_ids=tuple(int(h) for h in house_ids))
+
+    def build(self):
+        """Reconstruct the dataset (bit-identical: all sources are seeded)."""
+        from ..errors import DatasetError
+
+        params = self.as_dict()
+        if self.kind == "redd":
+            from .redd import generate_redd
+
+            dataset = generate_redd(**params)
+        elif self.kind == "directory":
+            from .io import read_dataset
+
+            dataset = read_dataset(params["path"], name=params["name"])
+        else:
+            raise DatasetError(f"unknown dataset descriptor kind {self.kind!r}")
+        if self.house_ids is not None:
+            dataset = dataset.subset(list(self.house_ids))
+        return dataset

@@ -15,6 +15,7 @@ from typing import Dict, Union
 from ..core.timeseries import TimeSeries
 from ..errors import DatasetError
 from .base import House, MeterDataset
+from .descriptors import DatasetDescriptor
 
 __all__ = [
     "write_series_csv",
@@ -87,4 +88,8 @@ def read_dataset(directory: Union[str, Path], name: str = "") -> MeterDataset:
             house_id = int(row[0])
             series = read_series_csv(directory / row[1], name=f"house_{house_id}")
             houses[house_id] = House(house_id=house_id, mains=series)
-    return MeterDataset(name or directory.name, houses)
+    dataset = MeterDataset(name or directory.name, houses)
+    dataset.descriptor = DatasetDescriptor.directory(
+        str(directory.resolve()), name=name
+    )
+    return dataset

@@ -37,6 +37,7 @@ from .appliances import (
     default_profile,
 )
 from .base import House, MeterDataset
+from .descriptors import DatasetDescriptor
 from .gaps import inject_gaps
 
 __all__ = ["HouseConfig", "REDDGenerator", "generate_redd", "default_house_configs"]
@@ -312,10 +313,19 @@ def generate_redd(
     seed: int = 42,
     with_gaps: bool = True,
 ) -> MeterDataset:
-    """Convenience wrapper around :class:`REDDGenerator`."""
-    return REDDGenerator(
+    """Convenience wrapper around :class:`REDDGenerator`.
+
+    The returned dataset carries a :class:`DatasetDescriptor` so the parallel
+    execution layer can regenerate it bit-identically in worker processes.
+    """
+    dataset = REDDGenerator(
         days=days,
         sampling_interval=sampling_interval,
         seed=seed,
         with_gaps=with_gaps,
     ).generate()
+    dataset.descriptor = DatasetDescriptor.redd(
+        days=days, sampling_interval=sampling_interval, seed=seed,
+        with_gaps=with_gaps,
+    )
+    return dataset

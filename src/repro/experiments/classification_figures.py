@@ -65,6 +65,7 @@ def _run_figure(
     global_table: bool,
     n_folds: int,
     seed: int,
+    workers: int = 1,
 ) -> FigureReport:
     grid = grid or ExperimentGrid.paper()
     if grid.global_table != global_table:
@@ -79,8 +80,11 @@ def _run_figure(
             bootstrap_days=grid.bootstrap_days,
             min_hours=grid.min_hours,
         )
-    runner = GridRunner(dataset, n_folds=n_folds, seed=seed)
-    results = runner.run_grid(grid, [classifier])
+    runner = GridRunner(dataset, n_folds=n_folds, seed=seed, workers=workers)
+    try:
+        results = runner.run_grid(grid, [classifier])
+    finally:
+        runner.close()
     return FigureReport(figure=figure, classifier=classifier, results=results)
 
 
@@ -89,9 +93,12 @@ def figure5_naive_bayes(
     grid: Optional[ExperimentGrid] = None,
     n_folds: int = 10,
     seed: int = 0,
+    workers: int = 1,
 ) -> FigureReport:
     """Figure 5: Naive Bayes, per-house lookup tables."""
-    return _run_figure("figure5", dataset, "naive_bayes", grid, False, n_folds, seed)
+    return _run_figure(
+        "figure5", dataset, "naive_bayes", grid, False, n_folds, seed, workers
+    )
 
 
 def figure6_random_forest(
@@ -99,9 +106,12 @@ def figure6_random_forest(
     grid: Optional[ExperimentGrid] = None,
     n_folds: int = 10,
     seed: int = 0,
+    workers: int = 1,
 ) -> FigureReport:
     """Figure 6: Random Forest, per-house lookup tables."""
-    return _run_figure("figure6", dataset, "random_forest", grid, False, n_folds, seed)
+    return _run_figure(
+        "figure6", dataset, "random_forest", grid, False, n_folds, seed, workers
+    )
 
 
 def figure7_global_table(
@@ -109,6 +119,9 @@ def figure7_global_table(
     grid: Optional[ExperimentGrid] = None,
     n_folds: int = 10,
     seed: int = 0,
+    workers: int = 1,
 ) -> FigureReport:
     """Figure 7: Random Forest, one global lookup table for all houses."""
-    return _run_figure("figure7", dataset, "random_forest", grid, True, n_folds, seed)
+    return _run_figure(
+        "figure7", dataset, "random_forest", grid, True, n_folds, seed, workers
+    )

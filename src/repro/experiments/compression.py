@@ -50,18 +50,41 @@ class CompressionSweep:
             ) from None
 
 
+def _compression_cell(task) -> CompressionReport:
+    """One (alphabet, window) report (module-level for process-pool pickling)."""
+    alphabet, window, sampling_interval, value_bits = task
+    model = CompressionModel(sampling_interval=sampling_interval, value_bits=value_bits)
+    return model.report(alphabet, window)
+
+
 def compression_sweep(
     alphabet_sizes: Sequence[int] = (2, 4, 8, 16),
     aggregation_seconds: Sequence[float] = (60.0, 900.0, 3600.0),
     sampling_interval: float = 1.0,
     value_bits: int = 64,
+    workers: int = 1,
 ) -> CompressionSweep:
-    """Compression reports over the full grid."""
-    model = CompressionModel(sampling_interval=sampling_interval, value_bits=value_bits)
-    reports = {
-        (int(alphabet), float(window)): model.report(int(alphabet), float(window))
+    """Compression reports over the full grid.
+
+    ``workers > 1`` shards the grid one cell per process-pool task (the cells
+    are closed-form arithmetic, so this mainly exercises the shared
+    ``--workers`` plumbing; outputs are identical for every worker count).
+    """
+    cells = [
+        (int(alphabet), float(window), sampling_interval, value_bits)
         for alphabet in alphabet_sizes
         for window in aggregation_seconds
+    ]
+    if workers == 1:
+        cell_reports = [_compression_cell(cell) for cell in cells]
+    else:
+        from ..parallel.executor import ParallelExecutor
+
+        with ParallelExecutor(workers) as executor:
+            cell_reports = executor.map(_compression_cell, cells)
+    reports = {
+        (alphabet, window): report
+        for (alphabet, window, _, _), report in zip(cells, cell_reports)
     }
     return CompressionSweep(sampling_interval=sampling_interval, reports=reports)
 

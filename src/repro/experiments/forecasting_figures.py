@@ -78,6 +78,7 @@ def _run_forecast_figure(
     train_days: int,
     test_days: int,
     house_ids: Optional[Sequence[int]],
+    workers: int = 1,
 ) -> ForecastFigureReport:
     results = forecast_dataset(
         dataset,
@@ -87,6 +88,7 @@ def _run_forecast_figure(
         train_days=train_days,
         test_days=test_days,
         house_ids=house_ids,
+        workers=workers,
     )
     return ForecastFigureReport(figure=figure, classifier=classifier, results=results)
 
@@ -98,11 +100,12 @@ def figure8_naive_bayes(
     train_days: int = 7,
     test_days: int = 1,
     house_ids: Optional[Sequence[int]] = None,
+    workers: int = 1,
 ) -> ForecastFigureReport:
     """Figure 8: symbolic forecasting with Naive Bayes vs raw SVR."""
     return _run_forecast_figure(
         "figure8", dataset, "naive_bayes", methods, alphabet_size,
-        train_days, test_days, house_ids,
+        train_days, test_days, house_ids, workers,
     )
 
 
@@ -113,9 +116,10 @@ def figure9_random_forest(
     train_days: int = 7,
     test_days: int = 1,
     house_ids: Optional[Sequence[int]] = None,
+    workers: int = 1,
 ) -> ForecastFigureReport:
     """Figure 9: symbolic forecasting with Random Forest vs raw SVR."""
     return _run_forecast_figure(
         "figure9", dataset, "random_forest", methods, alphabet_size,
-        train_days, test_days, house_ids,
+        train_days, test_days, house_ids, workers,
     )

@@ -23,6 +23,7 @@ from ..analytics.vectors import DayVectorConfig, build_day_vectors
 from ..datasets.base import MeterDataset
 from ..errors import ExperimentError
 from ..ml.dataset import MLDataset
+from ..parallel.executor import ParallelExecutor
 from .config import ExperimentGrid
 
 __all__ = ["render_table", "GridRunner", "format_float"]
@@ -77,12 +78,23 @@ class GridRunner:
         Cross-validation folds (10 in the paper).
     seed:
         Seed shared by fold shuffling across cells, so cells are comparable.
+    workers:
+        Process count for :meth:`run_grid`.  ``1`` (default) is the plain
+        serial loop; ``> 1`` shards the grid one configuration row (all its
+        classifiers) per task through
+        :class:`~repro.parallel.ParallelExecutor` — results are returned in
+        the same stable order and are bit-identical to the serial run (the
+        ``tests/parallel`` parity suite pins this).  Workers rebuild the
+        dataset from its :class:`~repro.datasets.DatasetDescriptor` when it
+        has one, so no raw sample arrays are pickled.
     """
 
     dataset: MeterDataset
     n_folds: int = 10
     seed: int = 0
+    workers: int = 1
     _vector_cache: Dict[str, MLDataset] = field(default_factory=dict, repr=False)
+    _executor: Optional[ParallelExecutor] = field(default=None, repr=False)
 
     def vectors_for(self, config: DayVectorConfig) -> MLDataset:
         """Day vectors for ``config`` (cached by configuration label)."""
@@ -105,14 +117,53 @@ class GridRunner:
     def run_grid(
         self, grid: ExperimentGrid, classifiers: Sequence[str]
     ) -> List[ClassificationResult]:
-        """Every cell of ``grid`` for every classifier, in a stable order."""
+        """Every cell of ``grid`` for every classifier, in a stable order.
+
+        With ``workers > 1`` the cells are distributed over a process pool,
+        chunked so one configuration's classifiers land on one worker (its
+        day vectors are built once there, mirroring the serial cache); the
+        result list order and every score are identical to the serial run.
+        """
         if not classifiers:
             raise ExperimentError("at least one classifier is required")
-        results: List[ClassificationResult] = []
-        for config in grid:
-            for classifier in classifiers:
-                results.append(self.run_cell(config, classifier))
-        return results
+        cells = [
+            (config, classifier) for config in grid for classifier in classifiers
+        ]
+        # A single-configuration grid has only one chunk, which the executor
+        # would run in-process anyway — take the serial path outright so the
+        # dataset is never rebuilt from its descriptor in the parent.
+        if self.workers == 1 or len(cells) <= len(classifiers):
+            return [self.run_cell(config, classifier) for config, classifier in cells]
+
+        from ..parallel.worker import GridChunkTask, run_grid_chunk
+
+        source = self.dataset.descriptor or self.dataset
+        # One chunk per configuration (its full classifier row): day vectors
+        # are built once per chunk wherever it lands, and a descriptor-less
+        # dataset is pickled once per chunk instead of once per cell.
+        width = len(classifiers)
+        tasks = [
+            GridChunkTask(
+                source, tuple(cells[lo:lo + width]), self.n_folds, self.seed
+            )
+            for lo in range(0, len(cells), width)
+        ]
+        if self._executor is None:
+            self._executor = ParallelExecutor(self.workers)
+        chunks = self._executor.map(run_grid_chunk, tasks)
+        return [result for chunk in chunks for result in chunk]
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was started."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "GridRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @staticmethod
     def results_as_rows(results: Iterable[ClassificationResult]) -> List[Dict[str, object]]:

@@ -1,0 +1,76 @@
+"""Worker-side task functions for the deterministic parallel layer.
+
+These module-level functions are what :class:`~repro.parallel.ParallelExecutor`
+pickles by reference into worker processes.  The heavy grain lives here: one
+*chunk* of Table 1 grid cells per task — all classifiers of one
+configuration — so each configuration's day vectors are built exactly once
+no matter where the chunk lands.  Workers never receive raw sample arrays
+for grid work when the dataset has a
+:class:`~repro.datasets.descriptors.DatasetDescriptor`: they rebuild the
+dataset from its seed and keep a small per-process cache of
+(descriptor, folds, seed) → :class:`GridRunner`, so day vectors are also
+shared *across* chunks of the same grid, exactly like the serial runner's
+cache.
+
+A task whose dataset has no descriptor (hand-built datasets) carries the
+pickled dataset instead; it still computes the identical result — one
+runner per chunk, so vectors are still built only once per configuration —
+just without the cross-chunk cache.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Tuple, Union
+
+from ..analytics.classification import ClassificationResult
+from ..analytics.vectors import DayVectorConfig
+from ..datasets.base import MeterDataset
+from ..datasets.descriptors import DatasetDescriptor
+
+__all__ = ["GridChunkTask", "run_grid_chunk"]
+
+#: Worker-local cache of grid runners, keyed by (descriptor, n_folds, seed).
+#: Bounded: a worker sees at most a handful of distinct grids per run.
+_RUNNER_CACHE: dict = {}
+_RUNNER_CACHE_LIMIT = 4
+
+
+class GridChunkTask(NamedTuple):
+    """A run of consecutive grid cells (typically one configuration's row)."""
+
+    source: Union[DatasetDescriptor, MeterDataset]
+    cells: Tuple[Tuple[DayVectorConfig, str], ...]
+    n_folds: int
+    seed: int
+
+
+def _runner_for(task: GridChunkTask):
+    from ..experiments.runner import GridRunner
+
+    if isinstance(task.source, DatasetDescriptor):
+        key = (task.source, task.n_folds, task.seed)
+        runner = _RUNNER_CACHE.get(key)
+        if runner is None:
+            if len(_RUNNER_CACHE) >= _RUNNER_CACHE_LIMIT:
+                _RUNNER_CACHE.clear()
+            runner = GridRunner(
+                task.source.build(), n_folds=task.n_folds, seed=task.seed
+            )
+            _RUNNER_CACHE[key] = runner
+        return runner
+    return GridRunner(task.source, n_folds=task.n_folds, seed=task.seed)
+
+
+def run_grid_chunk(task: GridChunkTask) -> List[ClassificationResult]:
+    """Evaluate one chunk of grid cells inside a worker process.
+
+    Reconstructs the dataset from the task's descriptor (cached per worker),
+    builds each configuration's day vectors once and runs the serial
+    cross-validation path per cell — so the returned scores are
+    bit-identical to what :meth:`GridRunner.run_cell` produces in the parent
+    process, in the chunk's cell order.
+    """
+    runner = _runner_for(task)
+    return [
+        runner.run_cell(config, classifier) for config, classifier in task.cells
+    ]

@@ -21,7 +21,7 @@ running each row through ``Pipeline([VerticalStage(n), LookupStage(table)])``
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, List, NamedTuple, Optional, Sequence, Union
 
 import numpy as np
 
@@ -35,6 +35,37 @@ __all__ = ["FleetEncoder"]
 
 #: Upper bound on the elements materialised by one per-meter lookup block.
 _BLOCK_ELEMENTS = 8_000_000
+
+
+class _FleetSpec(NamedTuple):
+    """Picklable constructor arguments for rebuilding a FleetEncoder shard-side."""
+
+    alphabet_size: int
+    method: Union[str, SeparatorMethod]
+    window: int
+    aggregator: Union[str, Callable[[np.ndarray], float]]
+    reconstruction: str
+
+    def encoder(self, shared_table: bool) -> "FleetEncoder":
+        return FleetEncoder(
+            alphabet_size=self.alphabet_size, method=self.method,
+            window=self.window, aggregator=self.aggregator,
+            shared_table=shared_table, reconstruction=self.reconstruction,
+        )
+
+
+def _aggregate_fleet_shard(task) -> np.ndarray:
+    """Vertical aggregation of one contiguous meter shard (worker side)."""
+    shard, spec = task
+    return spec.encoder(shared_table=True).aggregate(shard)
+
+
+def _fit_encode_fleet_shard(task) -> tuple:
+    """Fit per-meter tables for one shard and encode it (worker side)."""
+    shard, spec = task
+    encoder = spec.encoder(shared_table=False)
+    indices = encoder.fit_encode(shard)
+    return encoder.tables, indices
 
 
 class FleetEncoder:
@@ -166,9 +197,63 @@ class FleetEncoder:
             self._shared = None
         return self
 
-    def fit_encode(self, values: np.ndarray) -> np.ndarray:
-        """Convenience: fit on ``values`` then encode them."""
-        return self.fit(values).encode(values)
+    def fit_encode(self, values: np.ndarray, workers: int = 1) -> np.ndarray:
+        """Convenience: fit on ``values`` then encode them.
+
+        ``workers > 1`` shards the meter axis into contiguous row blocks and
+        fits/encodes them in a process pool.  Per-row work is independent, so
+        the merged tables and index matrix are bit-identical to the serial
+        call; in shared-table mode the workers aggregate their shards, then
+        the parent learns the single global table on the pooled aggregates
+        (row order preserved) and quantises in place.  The separator
+        ``method`` and ``aggregator`` must be picklable (string names are).
+        """
+        if workers == 1:
+            return self.fit(values).encode(values)
+        return self._fit_encode_sharded(values, workers)
+
+    def _fit_encode_sharded(self, values: np.ndarray, workers: int) -> np.ndarray:
+        from ..parallel.executor import ParallelExecutor, resolve_workers
+
+        workers = resolve_workers(workers)  # 0 = one per CPU, like the CLI
+        values = self._check_2d(values)
+        self._separator_matrix = None
+        self._reconstruction_matrix = None
+        n_meters = values.shape[0]
+        bounds = np.array_split(np.arange(n_meters), min(workers, max(1, n_meters)))
+        shards = [values[idx[0]: idx[-1] + 1] for idx in bounds if idx.size]
+        spec = _FleetSpec(
+            alphabet_size=self.alphabet_size,
+            method=self.method,
+            window=self.window,
+            aggregator=self.aggregator,
+            reconstruction=self.reconstruction,
+        )
+        with ParallelExecutor(workers) as executor:
+            if self.shared_table:
+                aggregated_shards = executor.map(
+                    _aggregate_fleet_shard, [(shard, spec) for shard in shards]
+                )
+                aggregated = np.vstack(aggregated_shards)
+                self._shared = LookupTable.fit(
+                    aggregated.ravel(), self.alphabet_size, method=self.method,
+                    reconstruction=self.reconstruction,
+                )
+                self._tables = None
+                # The quantisation itself is a memory-bound searchsorted the
+                # parent already holds the aggregates for — cheaper in place
+                # than round-tripping the matrix through the pool again.
+                if np.any(np.isnan(aggregated)):
+                    raise LookupTableError(
+                        "cannot encode NaN; drop missing values first"
+                    )
+                return self._shared.indices_for_values(aggregated)
+            outcomes = executor.map(
+                _fit_encode_fleet_shard, [(shard, spec) for shard in shards]
+            )
+            self._tables = [table for tables, _ in outcomes for table in tables]
+            self._shared = None
+            return np.vstack([shard_indices for _, shard_indices in outcomes])
 
     # -- encoding ---------------------------------------------------------------
 

@@ -50,6 +50,60 @@ class TestRunningStatistics:
     def test_invalid_max_samples(self):
         with pytest.raises(SegmentationError):
             RunningStatistics(max_samples=0)
+        with pytest.raises(SegmentationError):
+            RunningStatistics(max_distinct=0)
+
+    def test_maximum_survives_reservoir_eviction(self):
+        # The peak arrives first; by the time 10k more values have streamed
+        # through a 50-slot reservoir it has almost surely been evicted.
+        stats = RunningStatistics(max_samples=50, seed=5)
+        stats.update(9999.0)
+        stats.update_many(np.linspace(0.0, 100.0, 10_000))
+        assert 9999.0 not in stats.values()  # the reservoir lost the peak
+        assert stats.maximum == 9999.0       # the running maximum did not
+
+    def test_learning_values_contains_true_maximum(self):
+        stats = RunningStatistics(max_samples=50, seed=5)
+        stats.update(9999.0)
+        stats.update_many(np.linspace(0.0, 100.0, 10_000))
+        learning = stats.learning_values()
+        assert learning.max() == 9999.0
+        # Under capacity nothing is appended: learning == raw snapshot.
+        small = RunningStatistics(max_samples=100)
+        small.update_many([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(small.learning_values(), small.values())
+
+    def test_distinct_values_bounded_memory(self):
+        stats = RunningStatistics(max_distinct=64)
+        stats.update_many(np.arange(50_000, dtype=float))
+        assert stats.distinct_count == 64
+        # The bottom-k hash sketch is a uniform sample of the distinct
+        # values, so its median approximates the true distinct median.
+        assert abs(stats.distinct_median - 25_000.0) < 10_000.0
+
+    def test_distinct_sketch_exact_under_cap(self):
+        stats = RunningStatistics(max_distinct=64)
+        stats.update_many([60.0] * 100 + [100.0, 200.0, 300.0])
+        assert stats.distinct_count == 4
+        assert stats.distinct_median == pytest.approx(np.median([60, 100, 200, 300]))
+
+    def test_update_vs_update_many_parity_past_caps(self):
+        values = np.concatenate([
+            np.arange(3000, dtype=float),          # all distinct
+            np.arange(500, dtype=float),           # repeats
+            np.linspace(-50.0, 4000.0, 1500),
+        ])
+        one = RunningStatistics(max_samples=256, seed=9, max_distinct=128)
+        many = RunningStatistics(max_samples=256, seed=9, max_distinct=128)
+        for v in values:
+            one.update(float(v))
+        for chunk in np.array_split(values, 7):
+            many.update_many(chunk)
+        assert one.count == many.count
+        assert one.mean == many.mean
+        assert one.maximum == many.maximum
+        assert one._distinct_members == many._distinct_members
+        np.testing.assert_array_equal(one.values(), many.values())
 
     def test_snapshot_keys(self):
         stats = RunningStatistics()
@@ -155,3 +209,72 @@ class TestOnlineEncoder:
             OnlineEncoder(window_seconds=0.0)
         with pytest.raises(SegmentationError):
             OnlineEncoder(bootstrap_seconds=0.0)
+
+    def _drift_series(self) -> TimeSeries:
+        # A low bootstrap regime followed by a sharp level shift, with some
+        # in-regime variation so quantiles are non-degenerate.
+        low = TimeSeries.regular(
+            np.full(240, 100.0) + np.arange(240) % 7, interval=60.0
+        )
+        high = TimeSeries.regular(
+            np.full(2000, 1000.0) + np.arange(2000) % 13,
+            start=240 * 60.0, interval=60.0,
+        )
+        return low.concat(high)
+
+    @pytest.mark.parametrize("method", ["median", "distinctmedian", "uniform"])
+    def test_drift_rebuild_matches_fresh_fit(self, method):
+        # Regression: the rebuilt table must equal what a fresh fit on the
+        # same aggregated history produces.  Before the fix the rebuild
+        # learned from the *raw* reservoir while the bootstrap fit learned
+        # from *window-aggregated* values, so the two disagreed.
+        from repro.core.separators import get_method
+        from repro.core.vertical import segment_by_duration
+
+        window = 900.0
+        series = self._drift_series()
+        encoder = OnlineEncoder(
+            alphabet_size=4, method=method, window_seconds=window,
+            bootstrap_seconds=3600.0, drift_threshold=0.5,
+        )
+        origin = float(series.timestamps[0])
+        for t, v in zip(series.timestamps, series.values):
+            encoder.push(float(t), float(v))
+            drift_updates = [
+                u for u in encoder.table_updates if u.reason.startswith("drift")
+            ]
+            if drift_updates:
+                break
+        assert drift_updates, "the level shift must trigger a rebuild"
+        update = drift_updates[0]
+        # Windows closed by the rebuild instant: everything strictly before
+        # the window containing the triggering sample.
+        closed_end = origin + np.floor((update.timestamp - origin) / window) * window
+        aggregated = segment_by_duration(
+            series.between(origin, float(closed_end)), window, "average"
+        )
+        expected = get_method(method).separators(aggregated.values, 4)
+        assert update.table.separators == expected
+
+    def test_push_chunk_parity_with_drift_monitoring(self):
+        series = self._drift_series()
+        kwargs = dict(
+            alphabet_size=4, method="median", window_seconds=900.0,
+            bootstrap_seconds=3600.0, drift_threshold=0.5,
+        )
+        per_sample = OnlineEncoder(**kwargs)
+        for t, v in zip(series.timestamps, series.values):
+            per_sample.push(float(t), float(v))
+        chunked = OnlineEncoder(**kwargs)
+        for lo in range(0, len(series), 311):
+            chunked.push_chunk(
+                series.timestamps[lo:lo + 311], series.values[lo:lo + 311]
+            )
+        assert [(w.timestamp, w.symbol.word, w.aggregated_value)
+                for w in per_sample.emitted] == \
+               [(w.timestamp, w.symbol.word, w.aggregated_value)
+                for w in chunked.emitted]
+        assert [(u.timestamp, u.reason, u.table.separators)
+                for u in per_sample.table_updates] == \
+               [(u.timestamp, u.reason, u.table.separators)
+                for u in chunked.table_updates]

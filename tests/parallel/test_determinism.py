@@ -1,0 +1,173 @@
+"""Bit-parity of the parallel execution layer against the serial code paths.
+
+Every grain of parallel work — grid cells, cross-validation folds, fleet
+meter shards, forecast cells — must produce outputs *bit-identical* to the
+serial run for every worker count.  The cross-validation checks replay the
+PR 2 golden cases (generated from the pre-vectorization implementations)
+through the fold-parallel path, so the whole chain serial-era code →
+vectorized engine → multi-core engine is pinned to one set of numbers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from functools import partial
+
+from repro.analytics.forecasting import forecast_dataset
+from repro.datasets import generate_redd
+from repro.experiments import ExperimentGrid
+from repro.experiments.runner import GridRunner
+from repro.ml import (
+    DecisionTreeClassifier,
+    NaiveBayesClassifier,
+    RandomForestClassifier,
+)
+from repro.ml.crossval import cross_validate
+from repro.pipeline import FleetEncoder
+
+from ..ml._parity_cases import GOLDEN_DIR, classification_cases
+
+WORKER_COUNTS = (1, 2, 4)
+
+#: Picklable versions of the golden generator's CROSSVAL_BUILDERS (which are
+#: lambdas): same classifiers, same hyperparameters, shippable to workers.
+GOLDEN_CROSSVAL_FACTORIES = {
+    "naive_bayes": NaiveBayesClassifier,
+    "j48": DecisionTreeClassifier,
+    "random_forest": partial(RandomForestClassifier, n_trees=8, random_state=1),
+}
+
+
+@pytest.fixture(scope="module")
+def grid_dataset():
+    """Small but real dataset with a descriptor (the parallel-grid source)."""
+    return generate_redd(days=5, sampling_interval=300.0, seed=3)
+
+
+@pytest.fixture(scope="module")
+def serial_grid_results(grid_dataset):
+    grid = ExperimentGrid.quick()
+    return GridRunner(grid_dataset, n_folds=5, seed=0).run_grid(
+        grid, ["naive_bayes", "j48"]
+    )
+
+
+def _assert_results_equal(serial, parallel):
+    assert len(serial) == len(parallel)
+    for a, b in zip(serial, parallel):
+        assert a.config == b.config
+        assert a.classifier == b.classifier
+        assert a.f_measure == b.f_measure
+        assert a.accuracy == b.accuracy
+        assert a.n_instances == b.n_instances
+        assert a.n_folds == b.n_folds
+
+
+class TestGridParity:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_grid_cells_bit_identical(self, grid_dataset, serial_grid_results, workers):
+        runner = GridRunner(grid_dataset, n_folds=5, seed=0, workers=workers)
+        try:
+            results = runner.run_grid(ExperimentGrid.quick(), ["naive_bayes", "j48"])
+        finally:
+            runner.close()
+        _assert_results_equal(serial_grid_results, results)
+
+    def test_grid_without_descriptor_falls_back_to_pickling(
+        self, grid_dataset, serial_grid_results
+    ):
+        # Hand-built datasets have no descriptor; the parallel grid then
+        # ships the dataset itself and must still match the serial run.
+        stripped = grid_dataset.subset(grid_dataset.house_ids)
+        stripped.descriptor = None
+        runner = GridRunner(stripped, n_folds=5, seed=0, workers=2)
+        try:
+            results = runner.run_grid(ExperimentGrid.quick(), ["naive_bayes", "j48"])
+        finally:
+            runner.close()
+        _assert_results_equal(serial_grid_results, results)
+
+
+class TestCrossValidationParity:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("model_name", sorted(GOLDEN_CROSSVAL_FACTORIES.keys()))
+    def test_folds_match_pr2_goldens(self, model_name, workers):
+        # The golden numbers were generated from the pre-vectorization code;
+        # the fold-parallel path must still reproduce them exactly.
+        golden_path = GOLDEN_DIR / "crossval.json"
+        golden = json.loads(golden_path.read_text())["day_vectors"]["models"][model_name]
+        dataset = classification_cases()["day_vectors"]
+        result = cross_validate(
+            GOLDEN_CROSSVAL_FACTORIES[model_name], dataset, n_folds=10, seed=0,
+            workers=workers,
+        )
+        assert result.f_measure == golden["f_measure"]
+        assert result.accuracy == golden["accuracy"]
+        assert result.fold_f_measures == golden["fold_f_measures"]
+
+
+class TestFleetShardParity:
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        rng = np.random.default_rng(0)
+        return np.abs(rng.normal(300.0, 120.0, size=(23, 960)))
+
+    @pytest.mark.parametrize("shared", [True, False])
+    @pytest.mark.parametrize("method", ["median", "uniform"])
+    def test_fit_encode_bit_identical(self, fleet, shared, method):
+        serial = FleetEncoder(
+            alphabet_size=8, method=method, window=4, shared_table=shared
+        )
+        serial_indices = serial.fit_encode(fleet)
+        for workers in (2, 4):
+            parallel = FleetEncoder(
+                alphabet_size=8, method=method, window=4, shared_table=shared
+            )
+            indices = parallel.fit_encode(fleet, workers=workers)
+            np.testing.assert_array_equal(serial_indices, indices)
+            assert [t.separators for t in parallel.tables] == [
+                t.separators for t in serial.tables
+            ]
+            np.testing.assert_array_equal(
+                serial.decode(serial_indices), parallel.decode(indices)
+            )
+
+    def test_more_workers_than_meters(self, fleet):
+        small = fleet[:3]
+        serial = FleetEncoder(alphabet_size=4, window=4).fit_encode(small)
+        parallel = FleetEncoder(alphabet_size=4, window=4)
+        np.testing.assert_array_equal(
+            serial, parallel.fit_encode(small, workers=8)
+        )
+
+    def test_workers_zero_means_cpu_count(self, fleet):
+        # Regression: workers=0 (the CLI's "one per CPU") used to reach
+        # np.array_split as zero sections and crash.
+        serial = FleetEncoder(alphabet_size=4, window=4).fit_encode(fleet)
+        parallel = FleetEncoder(alphabet_size=4, window=4)
+        np.testing.assert_array_equal(
+            serial, parallel.fit_encode(fleet, workers=0)
+        )
+
+
+class TestForecastParity:
+    def test_forecast_cells_bit_identical(self, gapless_redd):
+        kwargs = dict(
+            classifier="naive_bayes",
+            methods=("raw", "median"),
+            house_ids=[1, 2],
+        )
+        serial = forecast_dataset(gapless_redd, **kwargs)
+        parallel = forecast_dataset(gapless_redd, workers=2, **kwargs)
+        assert sorted(serial) == sorted(parallel)
+        for house_id, by_method in serial.items():
+            assert list(by_method) == list(parallel[house_id])
+            for method, result in by_method.items():
+                other = parallel[house_id][method]
+                assert result.mae == other.mae
+                assert result.rmse == other.rmse
+                assert result.predictions == other.predictions

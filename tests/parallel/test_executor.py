@@ -1,0 +1,73 @@
+"""Unit tests for the ParallelExecutor contract."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ReproError
+from repro.parallel import ParallelExecutor, resolve_workers
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _fail_on_seven(x: int) -> int:
+    if x == 7:
+        raise ValueError("task seven exploded")
+    return x
+
+
+class TestResolveWorkers:
+    def test_zero_means_cpu_count(self):
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            resolve_workers(-2)
+
+    def test_positive_passthrough(self):
+        assert resolve_workers(3) == 3
+
+
+class TestParallelExecutor:
+    def test_serial_mode_uses_no_pool(self):
+        executor = ParallelExecutor(workers=1)
+        assert executor.serial
+        assert executor.map(_square, range(10)) == [x * x for x in range(10)]
+        assert executor._pool is None  # never spun up a pool
+
+    def test_results_in_task_order(self):
+        tasks = list(range(23))
+        with ParallelExecutor(workers=4) as executor:
+            assert executor.map(_square, tasks) == [x * x for x in tasks]
+
+    def test_chunked_results_in_task_order(self):
+        tasks = list(range(17))
+        with ParallelExecutor(workers=3) as executor:
+            assert executor.map(_square, tasks, chunksize=5) == [
+                x * x for x in tasks
+            ]
+
+    def test_single_task_stays_in_process(self):
+        executor = ParallelExecutor(workers=4)
+        assert executor.map(_square, [6]) == [36]
+        assert executor._pool is None  # one task never pays pool startup
+        executor.close()
+
+    def test_worker_exception_propagates(self):
+        with ParallelExecutor(workers=2) as executor:
+            with pytest.raises(ValueError, match="task seven exploded"):
+                executor.map(_fail_on_seven, range(12))
+
+    def test_pool_reused_and_closed(self):
+        executor = ParallelExecutor(workers=2)
+        executor.map(_square, range(4))
+        pool = executor._pool
+        executor.map(_square, range(4))
+        assert executor._pool is pool  # same pool across map calls
+        executor.close()
+        assert executor._pool is None
+        executor.close()  # idempotent

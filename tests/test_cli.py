@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _encode_fleet, build_parser, main
+from repro.core import TimeSeries
+from repro.datasets import House, MeterDataset
 
 
 @pytest.fixture()
@@ -67,3 +70,42 @@ class TestCommands:
         # Reading a dataset directory that does not exist is a ReproError.
         assert main(["encode", "--data", "/nonexistent/path"]) == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_encode_fleet_window_uses_median_interval(self, capsys):
+        # Regression: the count-based window width came from the *first*
+        # house's sampling interval, so one odd meter ordered first skewed
+        # every window.  It must come from the fleet-wide median.
+        def house(house_id: int, interval: float) -> House:
+            n = int(4 * 3600 / interval)
+            values = 100.0 + 10.0 * np.sin(np.arange(n))
+            return House(
+                house_id=house_id,
+                mains=TimeSeries.regular(values, interval=interval),
+            )
+
+        # House 1 samples at 300 s; the rest of the fleet at 60 s.
+        dataset = MeterDataset(
+            "ragged", {1: house(1, 300.0), 2: house(2, 60.0), 3: house(3, 60.0)}
+        )
+        args = build_parser().parse_args(
+            ["encode", "--all", "--alphabet", "4", "--window", "900"]
+        )
+        assert _encode_fleet(dataset, args) == 0
+        output = capsys.readouterr().out
+        # median(300, 60, 60) = 60 s -> 15 samples per 900 s window (the
+        # buggy first-house interval would give 900 / 300 = 3 samples).
+        assert "window 15 samples" in output
+        assert "sampling intervals differ" in output
+
+    def test_classify_workers_matches_serial(self, capsys, fast_args):
+        base = ["classify", "--encoding", "median", "--alphabet", "4",
+                "--classifier", "naive_bayes", "--folds", "4"] + fast_args
+        assert main(base) == 0
+        serial_out = capsys.readouterr().out
+        assert main(base + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        # Identical scores; only the timing column may differ.
+        strip = lambda text: [
+            line.rsplit(None, 2)[0] for line in text.strip().splitlines()
+        ]
+        assert strip(serial_out) == strip(parallel_out)
