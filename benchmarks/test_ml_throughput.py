@@ -132,3 +132,53 @@ def test_kmeans_segmentation(benchmark):
     ])
     model = benchmark(lambda: KMeans(n_clusters=8, seed=0).fit(profiles))
     assert model.centroids.shape == (8, 16)
+
+
+#: One configuration evaluated by all four paper classifiers — the grain
+#: whose day vectors GridRunner memoizes per encoding.
+_GRID_CLASSIFIERS = ("random_forest", "j48", "naive_bayes", "logistic")
+
+
+def test_grid_cells_memoized_vectors(benchmark, bench_dataset):
+    """4 classifiers on one config through GridRunner: 1 encoding, 4 fits.
+
+    Diff against ``test_grid_cells_rebuilt_vectors`` to read the win of
+    memoizing day vectors per DayVectorConfig encoding: the rebuilt variant
+    re-aggregates and re-symbolises the fleet once *per cell*.
+    """
+    from repro.analytics import DayVectorConfig
+    from repro.experiments.runner import GridRunner
+
+    config = DayVectorConfig(encoding="median", alphabet_size=8)
+
+    def run():
+        runner = GridRunner(bench_dataset, n_folds=5, seed=0)
+        return [
+            runner.run_cell(config, classifier)
+            for classifier in _GRID_CLASSIFIERS
+        ]
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert [r.classifier for r in results] == list(_GRID_CLASSIFIERS)
+
+
+def test_grid_cells_rebuilt_vectors(benchmark, bench_dataset):
+    """The same 4 cells without the memo: day vectors rebuilt per cell."""
+    from repro.analytics import DayVectorConfig, classify_households
+    from repro.experiments.runner import GridRunner
+
+    config = DayVectorConfig(encoding="median", alphabet_size=8)
+
+    def run():
+        return [
+            classify_households(
+                bench_dataset, config, classifier, n_folds=5, seed=0
+            )
+            for classifier in _GRID_CLASSIFIERS
+        ]
+
+    rebuilt = benchmark.pedantic(run, rounds=3, iterations=1)
+    # The memo is a pure cache: scores are identical either way.
+    runner = GridRunner(bench_dataset, n_folds=5, seed=0)
+    memoized = [runner.run_cell(config, c) for c in _GRID_CLASSIFIERS]
+    assert [r.f_measure for r in rebuilt] == [r.f_measure for r in memoized]

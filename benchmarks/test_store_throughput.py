@@ -1,0 +1,143 @@
+"""Symbol-store throughput and size benchmarks (``BENCH_store.json``).
+
+Extends the perf trajectory (encoding → ML → multi-core) to the storage
+layer: vectorized pack/unpack throughput, cold memory-map decode latency,
+and the store-vs-CSV size comparison that turns the paper's Section 2.3
+compression argument into measured bytes.  CI runs this file with
+``--benchmark-json=BENCH_store.json`` and uploads it next to the other
+artifacts; each entry's ``extra_info`` carries the derived numbers
+(GB/s, byte counts, ratios) so regressions in size show up as loudly as
+regressions in speed.
+
+The size assertions double as acceptance checks: the packed store must be
+at least 20x smaller than the CSV dataset it was encoded from, and the
+4-bit / 15-minute configuration must land within 10% of the analytic
+384 bits per meter-day.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionModel
+from repro.datasets import dataset_csv_bytes, write_dataset
+from repro.store import (
+    SymbolStore,
+    bits_for_alphabet,
+    pack_indices,
+    unpack_indices,
+    write_fleet_store,
+)
+
+from .conftest import write_result
+
+#: 4 bits/symbol over ~4M symbols: enough to be memory-bound, quick enough
+#: for the tier-1 suite (which collects benchmarks too).
+N_SYMBOLS = 4_000_000
+ALPHABET = 16
+
+
+@pytest.fixture(scope="module")
+def symbol_block():
+    rng = np.random.default_rng(42)
+    return rng.integers(0, ALPHABET, size=N_SYMBOLS)
+
+
+@pytest.fixture(scope="module")
+def packed_block(symbol_block):
+    return pack_indices(symbol_block, bits_for_alphabet(ALPHABET))
+
+
+def _record_throughput(benchmark, n_symbols: int) -> None:
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["n_symbols"] = n_symbols
+    benchmark.extra_info["symbols_per_s"] = n_symbols / mean
+    # GB/s of the unpacked int64 side — the array the data plane actually
+    # holds in RAM on either side of the kernel.
+    benchmark.extra_info["gb_per_s"] = n_symbols * 8 / mean / 1e9
+
+
+def test_pack_throughput(benchmark, symbol_block):
+    """int64 indices -> packed bytes at 4 bits/symbol."""
+    bits = bits_for_alphabet(ALPHABET)
+    packed = benchmark(pack_indices, symbol_block, bits)
+    assert packed.size == N_SYMBOLS * bits // 8
+    _record_throughput(benchmark, N_SYMBOLS)
+
+
+def test_unpack_throughput(benchmark, symbol_block, packed_block):
+    """Packed bytes -> int64 indices (the store's bulk read path)."""
+    bits = bits_for_alphabet(ALPHABET)
+    unpacked = benchmark(unpack_indices, packed_block, bits, N_SYMBOLS)
+    np.testing.assert_array_equal(unpacked[:64], symbol_block[:64])
+    _record_throughput(benchmark, N_SYMBOLS)
+
+
+@pytest.fixture(scope="module")
+def fleet_store_path(tmp_path_factory):
+    """A 200-meter store on disk for the cold-open latency benchmark."""
+    rng = np.random.default_rng(7)
+    fleet = np.abs(rng.normal(300.0, 120.0, size=(200, 2880)))
+    path = tmp_path_factory.mktemp("bench_store") / "fleet.rsym"
+    write_fleet_store(
+        path, fleet, alphabet_size=ALPHABET, window=15, shared_table=False,
+        sampling_interval=60.0,
+    ).close()
+    return path
+
+
+def test_cold_mmap_decode_latency(benchmark, fleet_store_path):
+    """Open the file cold and decode one meter's first day — the fleet-query
+    hot path: no CSV parse, no re-encode, just mapped pages and one gather."""
+    def cold_decode():
+        with SymbolStore.open(fleet_store_path) as store:
+            return store.decode(meters=[137], day_range=(0, 1))
+    decoded = benchmark(cold_decode)
+    assert decoded.shape == (1, 96)
+    benchmark.extra_info["file_bytes"] = fleet_store_path.stat().st_size
+
+
+def test_store_vs_csv_size(benchmark, bench_dataset, tmp_path, results_dir):
+    """Measured bytes: CSV dataset vs packed store, paper's 4-bit/15-min cell."""
+    csv_dir = tmp_path / "csv"
+    write_dataset(bench_dataset, csv_dir)
+    csv_bytes = dataset_csv_bytes(csv_dir)
+
+    houses = list(bench_dataset)
+    n_samples = min(len(house.mains) for house in houses)
+    matrix = np.vstack([house.mains.values[:n_samples] for house in houses])
+
+    def write_store():
+        return write_fleet_store(
+            tmp_path / "fleet.rsym", matrix, alphabet_size=ALPHABET,
+            window=15, shared_table=False, sampling_interval=60.0,
+        )
+
+    store = benchmark.pedantic(write_store, rounds=1, iterations=1)
+    cell = CompressionModel(sampling_interval=60.0).measured_report(store)
+    ratio_file = csv_bytes / store.file_nbytes
+    ratio_payload = csv_bytes / store.payload_nbytes
+    benchmark.extra_info.update({
+        "csv_bytes": csv_bytes,
+        "store_file_bytes": store.file_nbytes,
+        "store_payload_bytes": store.payload_nbytes,
+        "csv_over_store_file": ratio_file,
+        "csv_over_store_payload": ratio_payload,
+        "measured_bits_per_day": cell.measured_bits_per_day,
+        "analytic_bits_per_day": cell.analytic_bits_per_day,
+        "divergence_pct": 100.0 * cell.divergence,
+    })
+    write_result(
+        results_dir, "store_size",
+        f"CSV dataset:      {csv_bytes} bytes\n"
+        f"packed store:     {store.file_nbytes} bytes on disk "
+        f"({store.payload_nbytes} payload)\n"
+        f"reduction:        {ratio_file:.1f}x (payload: {ratio_payload:.1f}x)\n"
+        f"bits/meter-day:   measured {cell.measured_bits_per_day:.1f} vs "
+        f"analytic {cell.analytic_bits_per_day:.1f} "
+        f"({100.0 * cell.divergence:+.2f}%)",
+    )
+    # Acceptance: >= 20x smaller than CSV; within 10% of the analytic model.
+    assert ratio_file >= 20.0
+    assert abs(cell.divergence) <= 0.10

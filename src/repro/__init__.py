@@ -31,11 +31,26 @@ The package is organised as:
     Deterministic multi-core execution: grid cells, cross-validation folds
     and fleet meter shards over a process pool with bit-identical outputs.
 
+``repro.store``
+    Out-of-core bit-packed symbol storage: the columnar, memory-mapped
+    ``.rsym`` store that persists encoded fleets and day-vector tables at
+    the paper's ``ceil(log2(k))`` bits per symbol, as real bytes.
+
 ``repro.experiments``
     Reproduction harness for every table and figure of the evaluation.
 """
 
-from . import analytics, baselines, core, datasets, experiments, ml, parallel, pipeline
+from . import (
+    analytics,
+    baselines,
+    core,
+    datasets,
+    experiments,
+    ml,
+    parallel,
+    pipeline,
+    store,
+)
 from .core import (
     BinaryAlphabet,
     LookupTable,
@@ -67,4 +82,5 @@ __all__ = [
     "ml",
     "parallel",
     "pipeline",
+    "store",
 ]

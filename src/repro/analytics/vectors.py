@@ -39,6 +39,7 @@ __all__ = [
     "build_day_vectors",
     "build_lookup_tables",
     "day_slot_values",
+    "day_vector_parts",
 ]
 
 RAW_ENCODING = "raw"
@@ -154,12 +155,21 @@ def build_lookup_tables(
     return tables
 
 
-def build_day_vectors(dataset: MeterDataset, config: DayVectorConfig) -> MLDataset:
-    """Build the classification table: one instance per (house, day).
+def day_vector_parts(
+    dataset: MeterDataset, config: DayVectorConfig
+) -> Tuple[np.ndarray, List[str], Dict[str, LookupTable]]:
+    """The raw material of the classification table, before any schema.
 
-    Returns an :class:`MLDataset` whose attributes are the day's slots —
-    numeric for ``raw`` encoding, nominal (symbol words) otherwise — and
-    whose class labels are the house names.
+    Returns ``(matrix, labels, tables_by_label)``: one row per kept
+    (house, day) — symbol *indices* (``int64``) for symbolic encodings,
+    aggregated slot values (``float64``) for ``raw`` — the house-name label
+    of every row, and each label's lookup table (empty for ``raw``; in
+    global-table mode every label maps to the single shared table).
+
+    This is the common substrate of :func:`build_day_vectors` and the
+    bit-packed day-vector stores (:mod:`repro.store`): both consume the
+    exact same encoded matrix, which is what makes a store round-trip
+    bit-identical to the in-memory path.
     """
     n_slots = config.slots_per_day
     symbolic = config.encoding != RAW_ENCODING
@@ -168,6 +178,7 @@ def build_day_vectors(dataset: MeterDataset, config: DayVectorConfig) -> MLDatas
     rows: List[np.ndarray] = []
     labels: List[str] = []
     row_tables: List[LookupTable] = []
+    tables_by_label: Dict[str, LookupTable] = {}
     for house in dataset:
         table = tables.get(house.house_id)
         days = filter_days(house.mains, min_hours=config.min_hours)
@@ -176,6 +187,8 @@ def build_day_vectors(dataset: MeterDataset, config: DayVectorConfig) -> MLDatas
             labels.append(house.name)
             if symbolic:
                 row_tables.append(table)
+        if symbolic and days:
+            tables_by_label[house.name] = table
 
     if not rows:
         raise ExperimentError(
@@ -189,15 +202,29 @@ def build_day_vectors(dataset: MeterDataset, config: DayVectorConfig) -> MLDatas
         # against the single global table (shared searchsorted fast path) or
         # each row against its own house's table.
         fleet_tables = row_tables[0] if config.global_table else row_tables
-        matrix = FleetEncoder.from_tables(fleet_tables).encode(matrix).astype(np.float64)
+        matrix = FleetEncoder.from_tables(fleet_tables).encode(matrix)
+    return matrix, labels, tables_by_label
+
+
+def build_day_vectors(dataset: MeterDataset, config: DayVectorConfig) -> MLDataset:
+    """Build the classification table: one instance per (house, day).
+
+    Returns an :class:`MLDataset` whose attributes are the day's slots —
+    numeric for ``raw`` encoding, nominal (symbol words) otherwise — and
+    whose class labels are the house names.
+    """
+    matrix, labels, tables_by_label = day_vector_parts(dataset, config)
+    n_slots = config.slots_per_day
+    if config.encoding != RAW_ENCODING:
         words = tuple(
             # Category names are the binary words of the alphabet; every house
             # shares the same alphabet even when tables differ.
-            word for word in next(iter(tables.values())).alphabet.words
+            next(iter(tables_by_label.values())).alphabet.words
         )
         attributes = [
             Attribute.nominal(f"slot_{i}", words) for i in range(n_slots)
         ]
+        matrix = matrix.astype(np.float64)
     else:
         attributes = [Attribute.numeric(f"slot_{i}") for i in range(n_slots)]
 

@@ -4,9 +4,12 @@ Usage (after ``pip install -e .``)::
 
     python -m repro generate --days 5 --out data/redd
     python -m repro encode --house 1 --data data/redd --alphabet 8 --method median
+    python -m repro encode --all --store fleet.rsym --alphabet 16 --window 900
     python -m repro classify --encoding median --alphabet 16 --classifier naive_bayes
+    python -m repro classify --store stores/ --encoding median --alphabet 16
     python -m repro forecast --classifier naive_bayes
-    python -m repro compression --alphabet 16 --window 900
+    python -m repro compression --alphabet 16 --window 900 --store fleet.rsym
+    python -m repro store-info fleet.rsym
     python -m repro export-arff --encoding median --alphabet 8 --out vectors.arff
 
 Every command works on the synthetic REDD substitute (regenerated from a seed
@@ -22,7 +25,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .analytics import DayVectorConfig, build_day_vectors, classify_households, forecast_dataset
-from .core import SymbolicEncoder
+from .core import CompressionModel, SymbolicEncoder
 from .datasets import generate_redd, read_dataset, write_dataset
 from .errors import ReproError
 from .experiments import compression_sweep, render_table
@@ -113,6 +116,8 @@ def _encode_fleet(dataset, args: argparse.Namespace) -> int:
               f"({min(intervals):g}-{max(intervals):g} s); count-based windows "
               f"use {sampling:g} s, so window durations vary across meters")
     window = max(1, int(round(args.window / sampling)))
+    if getattr(args, "store", ""):
+        return _encode_fleet_store(matrix, houses, window, sampling, args)
     fleet = FleetEncoder(
         alphabet_size=args.alphabet,
         method=args.method,
@@ -137,17 +142,67 @@ def _encode_fleet(dataset, args: argparse.Namespace) -> int:
     return 0
 
 
+def _encode_fleet_store(matrix, houses, window: int, sampling: float,
+                        args: argparse.Namespace) -> int:
+    """Encode the fleet straight into a bit-packed ``.rsym`` store."""
+    from .store import RLE, write_fleet_store
+
+    store = write_fleet_store(
+        args.store, matrix,
+        alphabet_size=args.alphabet, method=args.method, window=window,
+        shared_table=args.global_table,
+        layout=RLE if args.rle else "dense",
+        meter_ids=[house.house_id for house in houses],
+        workers=args.workers,
+        sampling_interval=sampling,
+    )
+    raw_bytes = matrix.size * matrix.itemsize
+    print(f"wrote {store.path}: {store.n_meters} meters x "
+          f"{int(store.counts[0])} symbols ({store.layout} layout, "
+          f"{store.payload_nbytes} payload bytes, {store.file_nbytes} on disk; "
+          f"raw float64 fleet is {raw_bytes} bytes, "
+          f"{raw_bytes / max(1, store.file_nbytes):.1f}x larger)")
+    _print_store_measurement(store)
+    return 0
+
+
+def _print_store_measurement(store) -> None:
+    """Measured vs analytic bits-per-day, when the store knows its window."""
+    if not store.metadata.get("aggregation_seconds"):
+        return
+    model = CompressionModel(
+        sampling_interval=store.metadata.get("sampling_interval", 1.0)
+    )
+    cell = model.measured_report(store)
+    status = "FLAGGED (>5% divergence)" if cell.flagged else "ok"
+    print(f"measured {cell.measured_bits_per_day:.1f} bits/meter-day vs "
+          f"analytic {cell.analytic_bits_per_day:.1f} "
+          f"({100.0 * cell.divergence:+.2f}%, {status})")
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
-    dataset = _load_dataset(args)
     config = DayVectorConfig(
         encoding=args.encoding,
         aggregation_seconds=args.window,
         alphabet_size=args.alphabet,
         global_table=args.global_table,
     )
+    vectors = None
+    if args.store and args.encoding != "raw":
+        from .store import day_vector_store_path, load_day_vectors, write_day_vector_store
+
+        path = day_vector_store_path(args.store, config)
+        if path.exists():
+            vectors = load_day_vectors(path, config=config)
+            print(f"read {len(vectors)} day vectors from {path}")
+        else:
+            vectors = write_day_vector_store(path, _load_dataset(args), config)
+            print(f"wrote {len(vectors)} day vectors to {path}")
+    if vectors is None:
+        vectors = build_day_vectors(_load_dataset(args), config)
     result = classify_households(
-        dataset, config, args.classifier, n_folds=args.folds,
-        workers=args.workers,
+        None, config, args.classifier, n_folds=args.folds,
+        workers=args.workers, vectors=vectors,
     )
     print(render_table([result.as_dict()], float_digits=3))
     return 0
@@ -177,8 +232,42 @@ def _cmd_compression(args: argparse.Namespace) -> int:
         aggregation_seconds=(args.window,),
         sampling_interval=args.sampling,
         workers=args.workers,
+        store=args.store or None,
     )
     print(render_table(sweep.rows(), float_digits=1))
+    if any(cell.flagged for cell in sweep.measured.values()):
+        print("warning: measured size diverges >5% from the analytic model")
+    return 0
+
+
+def _cmd_store_info(args: argparse.Namespace) -> int:
+    """Print a store's layout plus measured-vs-analytic compression."""
+    from .store import SymbolStore
+
+    with SymbolStore.open(args.path) as store:
+        tables = store.tables
+        if tables is None:
+            table_mode = "none"
+        elif isinstance(tables, list):
+            table_mode = f"{len(tables)} per-column"
+        elif isinstance(tables, dict):
+            table_mode = f"{len(tables)} by-label"
+        else:
+            table_mode = "1 shared"
+        print(f"store:    {store.path}")
+        print(f"layout:   {store.layout} ({store.bits_per_symbol} bits/symbol, "
+              f"alphabet {store.alphabet_size})")
+        print(f"columns:  {store.n_meters} ({store.n_symbols} symbols total)")
+        print(f"tables:   {table_mode}")
+        print(f"bytes:    {store.payload_nbytes} payload, "
+              f"{store.file_nbytes} on disk")
+        if store.metadata:
+            keys = ("kind", "method", "window", "aggregation_seconds",
+                    "windows_per_day", "sampling_interval")
+            summary = {k: store.metadata[k] for k in keys if k in store.metadata}
+            if summary:
+                print(f"metadata: {summary}")
+        _print_store_measurement(store)
     return 0
 
 
@@ -219,6 +308,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="encode every house in one vectorized fleet call")
     encode.add_argument("--global-table", action="store_true",
                         help="with --all: one shared table instead of per-meter")
+    encode.add_argument("--store", type=str, default="",
+                        help="with --all: write a bit-packed .rsym symbol store "
+                             "instead of printing per-house statistics")
+    encode.add_argument("--rle", action="store_true",
+                        help="with --store: run-length-encoded payload layout")
     _add_workers_argument(encode)
     encode.set_defaults(handler=_cmd_encode)
 
@@ -230,6 +324,10 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("--classifier", type=str, default="naive_bayes")
     classify.add_argument("--folds", type=int, default=10)
     classify.add_argument("--global-table", action="store_true")
+    classify.add_argument("--store", type=str, default="",
+                          help="directory of day-vector .rsym stores: read this "
+                               "configuration's vectors from it when present, "
+                               "write them there otherwise")
     _add_workers_argument(classify)
     classify.set_defaults(handler=_cmd_classify)
 
@@ -245,8 +343,17 @@ def build_parser() -> argparse.ArgumentParser:
     compression.add_argument("--alphabet", type=int, default=16)
     compression.add_argument("--window", type=float, default=900.0)
     compression.add_argument("--sampling", type=float, default=1.0)
+    compression.add_argument("--store", type=str, default="",
+                             help="an .rsym store whose measured bytes are "
+                                  "printed next to the analytic model")
     _add_workers_argument(compression)
     compression.set_defaults(handler=_cmd_compression)
+
+    store_info = subparsers.add_parser(
+        "store-info", help="inspect a bit-packed .rsym symbol store"
+    )
+    store_info.add_argument("path", type=str, help="path to the .rsym file")
+    store_info.set_defaults(handler=_cmd_store_info)
 
     export = subparsers.add_parser("export-arff", help="export day vectors as ARFF (Weka)")
     _add_dataset_arguments(export)

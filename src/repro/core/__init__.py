@@ -14,7 +14,7 @@ The public surface of this subpackage is:
 """
 
 from .alphabet import BinaryAlphabet, Symbol, is_power_of_two
-from .compression import CompressionModel, CompressionReport
+from .compression import CompressionModel, CompressionReport, MeasuredCompression
 from .encoder import SymbolicEncoder
 from .horizontal import SymbolicSeries, horizontal_segment
 from .lookup import LookupTable
@@ -55,6 +55,7 @@ __all__ = [
     "DistinctMedianSeparators",
     "EncodedWindow",
     "LookupTable",
+    "MeasuredCompression",
     "MedianSeparators",
     "OnlineEncoder",
     "RunningStatistics",

@@ -13,11 +13,47 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..errors import SegmentationError
+from ..errors import SegmentationError, StoreError
 from .lookup import LookupTable
 from .timeseries import SECONDS_PER_DAY
 
-__all__ = ["CompressionReport", "CompressionModel"]
+__all__ = ["CompressionReport", "CompressionModel", "MeasuredCompression"]
+
+
+@dataclass(frozen=True)
+class MeasuredCompression:
+    """Analytic bits-per-day next to the bytes a real store occupies.
+
+    The analytic number is :meth:`CompressionModel.symbolic_bits_per_day`;
+    the measured number is the store's packed payload (for RLE stores
+    including the run-length array) divided by the meter-days it covers.
+    The lookup tables and the file header are *amortised overhead* — they
+    are reported separately (as :class:`CompressionReport` already does for
+    table shipping) rather than folded into the per-day rate.
+    """
+
+    alphabet_size: int
+    aggregation_seconds: float
+    analytic_bits_per_day: float
+    measured_bits_per_day: float
+    payload_bytes: int
+    file_bytes: int
+    meter_days: float
+    tolerance: float = 0.05
+
+    @property
+    def divergence(self) -> float:
+        """Relative gap ``(measured - analytic) / analytic``."""
+        if self.analytic_bits_per_day == 0:
+            return math.inf
+        return (
+            self.measured_bits_per_day - self.analytic_bits_per_day
+        ) / self.analytic_bits_per_day
+
+    @property
+    def flagged(self) -> bool:
+        """True when the measured rate strays more than ``tolerance``."""
+        return abs(self.divergence) > self.tolerance
 
 
 @dataclass(frozen=True)
@@ -111,6 +147,45 @@ class CompressionModel:
             ),
             table_bits=table_bits,
             amortisation_days=amortisation_days,
+        )
+
+    def measured_report(
+        self,
+        store,
+        aggregation_seconds: float = 0.0,
+        tolerance: float = 0.05,
+    ) -> MeasuredCompression:
+        """Cross-check the analytic model against a real ``.rsym`` store.
+
+        ``store`` is a :class:`~repro.store.SymbolStore` (duck-typed: it
+        needs ``alphabet_size``, ``n_symbols``, ``payload_nbytes``,
+        ``file_nbytes`` and ``metadata``).  The aggregation window comes
+        from the store's metadata unless passed explicitly.  Any divergence
+        beyond ``tolerance`` (default 5%) sets :attr:`MeasuredCompression.flagged`.
+        """
+        aggregation = float(
+            aggregation_seconds or store.metadata.get("aggregation_seconds", 0.0)
+        )
+        if aggregation <= 0:
+            raise StoreError(
+                "store has no aggregation_seconds metadata; pass the window "
+                "explicitly to measured_report()"
+            )
+        symbols_per_day = SECONDS_PER_DAY / aggregation
+        meter_days = store.n_symbols / symbols_per_day
+        if meter_days <= 0:
+            raise StoreError("store holds no symbols; nothing to measure")
+        return MeasuredCompression(
+            alphabet_size=store.alphabet_size,
+            aggregation_seconds=aggregation,
+            analytic_bits_per_day=self.symbolic_bits_per_day(
+                store.alphabet_size, aggregation
+            ),
+            measured_bits_per_day=store.payload_nbytes * 8.0 / meter_days,
+            payload_bytes=int(store.payload_nbytes),
+            file_bytes=int(store.file_nbytes),
+            meter_days=float(meter_days),
+            tolerance=float(tolerance),
         )
 
     @staticmethod

@@ -31,7 +31,7 @@ from .alphabet import BinaryAlphabet, Symbol
 from .separators import SeparatorMethod, get_method
 from .timeseries import TimeSeries
 
-__all__ = ["LookupTable"]
+__all__ = ["LookupTable", "serialize_tables", "deserialize_tables"]
 
 _RECONSTRUCTION_MODES = ("center", "mean")
 
@@ -321,3 +321,46 @@ class LookupTable:
             f"LookupTable(size={self.size}, "
             f"separators={[round(s, 2) for s in self._separators]})"
         )
+
+
+def serialize_tables(
+    tables: Union["LookupTable", Sequence["LookupTable"], Dict[str, "LookupTable"], None],
+) -> Optional[Dict]:
+    """One JSON-able payload for the three table scopes a store can carry.
+
+    ``{"shared": ...}`` for a single global table, ``{"per_column": [...]}``
+    for one table per stored column, ``{"by_label": {...}}`` for one table
+    per class label (day-vector stores, where thousands of rows share a
+    handful of per-house tables), or ``None``.  Floats round-trip exactly:
+    ``json`` serialises via ``repr`` and :class:`LookupTable` stores plain
+    Python floats.
+    """
+    if tables is None:
+        return None
+    if isinstance(tables, LookupTable):
+        return {"shared": tables.to_dict()}
+    if isinstance(tables, dict):
+        return {
+            "by_label": {str(label): table.to_dict() for label, table in tables.items()}
+        }
+    return {"per_column": [table.to_dict() for table in tables]}
+
+
+def deserialize_tables(
+    payload: Optional[Dict],
+) -> Union["LookupTable", List["LookupTable"], Dict[str, "LookupTable"], None]:
+    """Inverse of :func:`serialize_tables` (same shape conventions)."""
+    if payload is None:
+        return None
+    if "shared" in payload:
+        return LookupTable.from_dict(payload["shared"])
+    if "per_column" in payload:
+        return [LookupTable.from_dict(entry) for entry in payload["per_column"]]
+    if "by_label" in payload:
+        return {
+            label: LookupTable.from_dict(entry)
+            for label, entry in payload["by_label"].items()
+        }
+    raise LookupTableError(
+        f"unknown table payload keys: {sorted(payload)}"
+    )

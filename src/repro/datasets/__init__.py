@@ -19,7 +19,13 @@ from .base import House, MeterDataset
 from .cer import CERGenerator, generate_cer
 from .descriptors import DatasetDescriptor
 from .gaps import day_coverage_hours, filter_days, inject_gaps
-from .io import read_dataset, read_series_csv, write_dataset, write_series_csv
+from .io import (
+    dataset_csv_bytes,
+    read_dataset,
+    read_series_csv,
+    write_dataset,
+    write_series_csv,
+)
 from .redd import HouseConfig, REDDGenerator, default_house_configs, generate_redd
 from .smartstar import SmartStarGenerator, generate_smartstar
 
@@ -43,6 +49,7 @@ __all__ = [
     "generate_redd",
     "generate_smartstar",
     "inject_gaps",
+    "dataset_csv_bytes",
     "read_dataset",
     "read_series_csv",
     "write_dataset",

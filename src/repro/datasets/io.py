@@ -22,6 +22,7 @@ __all__ = [
     "read_series_csv",
     "write_dataset",
     "read_dataset",
+    "dataset_csv_bytes",
 ]
 
 
@@ -70,6 +71,19 @@ def write_dataset(dataset: MeterDataset, directory: Union[str, Path]) -> Path:
             write_series_csv(house.mains, directory / filename)
             writer.writerow([house.house_id, filename, len(house.mains)])
     return directory
+
+
+def dataset_csv_bytes(directory: Union[str, Path]) -> int:
+    """Total on-disk size of a dataset directory written by :func:`write_dataset`.
+
+    The denominator of the store-vs-CSV size comparison
+    (``benchmarks/test_store_throughput.py`` and ``repro store-info``): the
+    manifest plus every house CSV, in bytes.
+    """
+    directory = Path(directory)
+    if not (directory / "manifest.csv").exists():
+        raise DatasetError(f"no manifest.csv in {directory}")
+    return sum(path.stat().st_size for path in directory.glob("*.csv"))
 
 
 def read_dataset(directory: Union[str, Path], name: str = "") -> MeterDataset:

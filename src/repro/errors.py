@@ -38,3 +38,7 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment configuration is invalid."""
+
+
+class StoreError(ReproError):
+    """Raised when a symbol store file is malformed or used inconsistently."""

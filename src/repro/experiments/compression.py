@@ -8,10 +8,10 @@ aggregation-window plane so the trade-off surface can be tabulated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
-from ..core.compression import CompressionModel, CompressionReport
+from ..core.compression import CompressionModel, CompressionReport, MeasuredCompression
 from ..errors import ExperimentError
 
 __all__ = ["CompressionSweep", "compression_sweep", "paper_example_report"]
@@ -19,25 +19,41 @@ __all__ = ["CompressionSweep", "compression_sweep", "paper_example_report"]
 
 @dataclass(frozen=True)
 class CompressionSweep:
-    """Compression reports over a grid of (alphabet size, aggregation window)."""
+    """Compression reports over a grid of (alphabet size, aggregation window).
+
+    ``measured`` holds the real on-disk rates of any
+    :class:`~repro.store.SymbolStore` passed to :func:`compression_sweep`,
+    keyed like ``reports`` — those cells render the analytic and measured
+    bits per day side by side, with a ``!`` flag past the 5% tolerance.
+    """
 
     sampling_interval: float
     reports: Dict[Tuple[int, float], CompressionReport]
+    measured: Dict[Tuple[int, float], MeasuredCompression] = field(default_factory=dict)
 
     def rows(self) -> List[Dict[str, object]]:
         """One row per configuration with sizes and ratios."""
         rows: List[Dict[str, object]] = []
         for (alphabet, window), report in sorted(self.reports.items()):
-            rows.append(
-                {
-                    "alphabet_size": alphabet,
-                    "aggregation_minutes": window / 60.0,
-                    "raw_kB_per_day": report.raw_bits_per_day / 8.0 / 1024.0,
-                    "symbolic_bits_per_day": report.symbolic_bits_per_day,
-                    "ratio": report.ratio,
-                    "orders_of_magnitude": report.orders_of_magnitude,
-                }
-            )
+            row: Dict[str, object] = {
+                "alphabet_size": alphabet,
+                "aggregation_minutes": window / 60.0,
+                "raw_kB_per_day": report.raw_bits_per_day / 8.0 / 1024.0,
+                "symbolic_bits_per_day": report.symbolic_bits_per_day,
+                "ratio": report.ratio,
+                "orders_of_magnitude": report.orders_of_magnitude,
+            }
+            if self.measured:
+                cell = self.measured.get((alphabet, window))
+                if cell is None:
+                    row["measured_bits_per_day"] = "-"
+                    row["divergence_pct"] = "-"
+                    row["check"] = "-"
+                else:
+                    row["measured_bits_per_day"] = cell.measured_bits_per_day
+                    row["divergence_pct"] = 100.0 * cell.divergence
+                    row["check"] = "!" if cell.flagged else "ok"
+            rows.append(row)
         return rows
 
     def report(self, alphabet_size: int, aggregation_seconds: float) -> CompressionReport:
@@ -63,13 +79,40 @@ def compression_sweep(
     sampling_interval: float = 1.0,
     value_bits: int = 64,
     workers: int = 1,
+    store=None,
 ) -> CompressionSweep:
     """Compression reports over the full grid.
 
     ``workers > 1`` shards the grid one cell per process-pool task (the cells
     are closed-form arithmetic, so this mainly exercises the shared
     ``--workers`` plumbing; outputs are identical for every worker count).
+
+    ``store`` — a :class:`~repro.store.SymbolStore` or a path to one — adds
+    the store's *measured* bits per day next to the analytic number for its
+    (alphabet, window) cell; the cell is added to the grid when missing so
+    the cross-check always appears.
     """
+    alphabet_sizes = [int(a) for a in alphabet_sizes]
+    aggregation_seconds = [float(w) for w in aggregation_seconds]
+    measured: Dict[Tuple[int, float], MeasuredCompression] = {}
+    if store is not None:
+        from ..store.format import SymbolStore
+
+        opened = store if isinstance(store, SymbolStore) else SymbolStore.open(store)
+        model = CompressionModel(
+            sampling_interval=sampling_interval, value_bits=value_bits
+        )
+        try:
+            cell = model.measured_report(opened)
+        finally:
+            if opened is not store:  # close only what this call opened
+                opened.close()
+        key = (opened.alphabet_size, cell.aggregation_seconds)
+        measured[key] = cell
+        if key[0] not in alphabet_sizes:
+            alphabet_sizes.append(key[0])
+        if key[1] not in aggregation_seconds:
+            aggregation_seconds.append(key[1])
     cells = [
         (int(alphabet), float(window), sampling_interval, value_bits)
         for alphabet in alphabet_sizes
@@ -86,7 +129,9 @@ def compression_sweep(
         (alphabet, window): report
         for (alphabet, window, _, _), report in zip(cells, cell_reports)
     }
-    return CompressionSweep(sampling_interval=sampling_interval, reports=reports)
+    return CompressionSweep(
+        sampling_interval=sampling_interval, reports=reports, measured=measured
+    )
 
 
 def paper_example_report() -> CompressionReport:

@@ -16,10 +16,11 @@ their time in the classifiers, not in per-value encoding loops.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from ..analytics.classification import ClassificationResult, classify_households
-from ..analytics.vectors import DayVectorConfig, build_day_vectors
+from ..analytics.vectors import RAW_ENCODING, DayVectorConfig, build_day_vectors
 from ..datasets.base import MeterDataset
 from ..errors import ExperimentError
 from ..ml.dataset import MLDataset
@@ -87,21 +88,53 @@ class GridRunner:
         ``tests/parallel`` parity suite pins this).  Workers rebuild the
         dataset from its :class:`~repro.datasets.DatasetDescriptor` when it
         has one, so no raw sample arrays are pickled.
+    store_dir:
+        Optional directory of bit-packed day-vector stores
+        (:mod:`repro.store`).  Symbolic configurations are then read from
+        ``<store_dir>/dayvec_<encoding>....rsym`` when the file exists and
+        written there the first time they are built — so grid cells sharing
+        an encoding share one store across runner instances *and* across
+        processes, instead of re-encoding the fleet per cell.
     """
 
     dataset: MeterDataset
     n_folds: int = 10
     seed: int = 0
     workers: int = 1
-    _vector_cache: Dict[str, MLDataset] = field(default_factory=dict, repr=False)
+    store_dir: Optional[Union[str, Path]] = None
+    _vector_cache: Dict[DayVectorConfig, MLDataset] = field(
+        default_factory=dict, repr=False
+    )
     _executor: Optional[ParallelExecutor] = field(default=None, repr=False)
 
     def vectors_for(self, config: DayVectorConfig) -> MLDataset:
-        """Day vectors for ``config`` (cached by configuration label)."""
-        key = config.label()
-        if key not in self._vector_cache:
-            self._vector_cache[key] = build_day_vectors(self.dataset, config)
-        return self._vector_cache[key]
+        """Day vectors for ``config``, memoized per encoding.
+
+        The cache key is the full (frozen) :class:`DayVectorConfig` — every
+        field that shapes the encoded matrix — so two configs share one
+        dataset exactly when their encodings agree, and configs that differ
+        only in fields the display label omits (``bootstrap_days``,
+        ``min_hours``) can never collide.
+        """
+        vectors = self._vector_cache.get(config)
+        if vectors is None:
+            vectors = self._load_or_build(config)
+            self._vector_cache[config] = vectors
+        return vectors
+
+    def _load_or_build(self, config: DayVectorConfig) -> MLDataset:
+        if self.store_dir is None or config.encoding == RAW_ENCODING:
+            return build_day_vectors(self.dataset, config)
+        from ..store.day_vectors import (
+            day_vector_store_path,
+            load_day_vectors,
+            write_day_vector_store,
+        )
+
+        path = day_vector_store_path(self.store_dir, config)
+        if path.exists():
+            return load_day_vectors(path, config=config)
+        return write_day_vector_store(path, self.dataset, config)
 
     def run_cell(self, config: DayVectorConfig, classifier: str) -> ClassificationResult:
         """One (configuration, classifier) cell."""
@@ -144,7 +177,8 @@ class GridRunner:
         width = len(classifiers)
         tasks = [
             GridChunkTask(
-                source, tuple(cells[lo:lo + width]), self.n_folds, self.seed
+                source, tuple(cells[lo:lo + width]), self.n_folds, self.seed,
+                str(self.store_dir) if self.store_dir is not None else None,
             )
             for lo in range(0, len(cells), width)
         ]

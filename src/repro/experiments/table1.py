@@ -111,11 +111,16 @@ def reproduce_table1(
     n_folds: int = 10,
     seed: int = 0,
     workers: int = 1,
+    store_dir=None,
 ) -> Table1Report:
     """Run the full Table 1 matrix (per-house and global-table scopes).
 
     ``workers > 1`` shards the 208 cells over a process pool (one pool reused
     for both table scopes); scores are bit-identical to the serial run.
+    ``store_dir`` reads/writes each configuration's day vectors as a
+    bit-packed :class:`~repro.store.SymbolStore` (workers included — one
+    configuration per chunk means one writer per store file), so replaying
+    the table from existing stores never re-encodes the fleet.
     """
     per_house_grid = grid or ExperimentGrid.paper(global_table=False)
     global_grid = ExperimentGrid(
@@ -127,7 +132,9 @@ def reproduce_table1(
         bootstrap_days=per_house_grid.bootstrap_days,
         min_hours=per_house_grid.min_hours,
     )
-    runner = GridRunner(dataset, n_folds=n_folds, seed=seed, workers=workers)
+    runner = GridRunner(
+        dataset, n_folds=n_folds, seed=seed, workers=workers, store_dir=store_dir
+    )
     try:
         per_house = runner.run_grid(per_house_grid, list(classifiers))
         global_results = runner.run_grid(global_grid, list(classifiers))

@@ -20,14 +20,19 @@ just without the cross-chunk cache.
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Tuple, Union
+from typing import List, NamedTuple, Optional, Tuple, Union
 
 from ..analytics.classification import ClassificationResult
 from ..analytics.vectors import DayVectorConfig
 from ..datasets.base import MeterDataset
 from ..datasets.descriptors import DatasetDescriptor
 
-__all__ = ["GridChunkTask", "run_grid_chunk"]
+__all__ = [
+    "GridChunkTask",
+    "run_grid_chunk",
+    "StoreShardTask",
+    "pack_store_shard",
+]
 
 #: Worker-local cache of grid runners, keyed by (descriptor, n_folds, seed).
 #: Bounded: a worker sees at most a handful of distinct grids per run.
@@ -36,29 +41,40 @@ _RUNNER_CACHE_LIMIT = 4
 
 
 class GridChunkTask(NamedTuple):
-    """A run of consecutive grid cells (typically one configuration's row)."""
+    """A run of consecutive grid cells (typically one configuration's row).
+
+    ``store_dir`` (optional) is the parent runner's day-vector store
+    directory.  Chunking is one *configuration* per task, so each store
+    file has exactly one writer — workers share the directory without
+    racing on a path.
+    """
 
     source: Union[DatasetDescriptor, MeterDataset]
     cells: Tuple[Tuple[DayVectorConfig, str], ...]
     n_folds: int
     seed: int
+    store_dir: Optional[str] = None
 
 
 def _runner_for(task: GridChunkTask):
     from ..experiments.runner import GridRunner
 
     if isinstance(task.source, DatasetDescriptor):
-        key = (task.source, task.n_folds, task.seed)
+        key = (task.source, task.n_folds, task.seed, task.store_dir)
         runner = _RUNNER_CACHE.get(key)
         if runner is None:
             if len(_RUNNER_CACHE) >= _RUNNER_CACHE_LIMIT:
                 _RUNNER_CACHE.clear()
             runner = GridRunner(
-                task.source.build(), n_folds=task.n_folds, seed=task.seed
+                task.source.build(), n_folds=task.n_folds, seed=task.seed,
+                store_dir=task.store_dir,
             )
             _RUNNER_CACHE[key] = runner
         return runner
-    return GridRunner(task.source, n_folds=task.n_folds, seed=task.seed)
+    return GridRunner(
+        task.source, n_folds=task.n_folds, seed=task.seed,
+        store_dir=task.store_dir,
+    )
 
 
 def run_grid_chunk(task: GridChunkTask) -> List[ClassificationResult]:
@@ -74,3 +90,64 @@ def run_grid_chunk(task: GridChunkTask) -> List[ClassificationResult]:
     return [
         runner.run_cell(config, classifier) for config, classifier in task.cells
     ]
+
+
+class StoreShardTask(NamedTuple):
+    """One contiguous meter shard to encode and bit-pack worker-side.
+
+    ``spec`` is a :class:`~repro.pipeline.fleet._FleetSpec`; ``shared_table``
+    is the already-fitted global table as a plain dict (``None`` means fit
+    one table per meter inside the worker — per-row work, so the merged
+    result is order-independent).
+    """
+
+    values: "object"                 # (meters, samples) float array
+    spec: "object"                   # _FleetSpec
+    shared_table: Optional[dict]
+    layout: str
+
+
+def pack_store_shard(task: StoreShardTask) -> Tuple[Optional[List[dict]], List[tuple]]:
+    """Encode one shard and return its packed store columns, in row order.
+
+    Returns ``(table_dicts, columns)`` where each column is
+    ``(payload_bytes, symbol_count, run_lengths_or_None)`` — exactly what
+    :class:`~repro.store.SymbolStoreWriter` appends.  Only the *packed*
+    bytes cross the process boundary, never the shard's index matrix.
+    """
+    from ..core.lookup import LookupTable
+    from ..pipeline.fleet import FleetEncoder
+    from ..pipeline.stages import RLERuns
+    from ..store.format import DENSE
+    from ..store.packing import bits_for_alphabet, pack_indices
+
+    spec = task.spec
+    if task.shared_table is not None:
+        encoder = FleetEncoder.from_tables(
+            LookupTable.from_dict(task.shared_table),
+            window=spec.window, aggregator=spec.aggregator,
+        )
+        indices = encoder.encode(task.values)
+        table_dicts: Optional[List[dict]] = None
+    else:
+        encoder = spec.encoder(shared_table=False)
+        indices = encoder.fit_encode(task.values)
+        table_dicts = [table.to_dict() for table in encoder.tables]
+
+    bits = bits_for_alphabet(spec.alphabet_size)
+    width = indices.shape[1]
+    columns: List[tuple] = []
+    if task.layout == DENSE:
+        packed = pack_indices(indices, bits)
+        for row in range(indices.shape[0]):
+            columns.append((packed[row].tobytes(), width, None))
+    else:
+        runs = RLERuns.from_matrix(indices)
+        for row in range(indices.shape[0]):
+            lo, hi = int(runs.offsets[row]), int(runs.offsets[row + 1])
+            columns.append((
+                pack_indices(runs.values[lo:hi], bits).tobytes(),
+                width,
+                runs.run_lengths[lo:hi],
+            ))
+    return table_dicts, columns

@@ -43,6 +43,7 @@ global-vs-local table comparison (Fig. 7 / the "+" columns of Table 1).
 
 from .stages import (
     LookupStage,
+    RLERuns,
     RLEStage,
     Stage,
     VerticalStage,
@@ -56,6 +57,7 @@ __all__ = [
     "Stage",
     "VerticalStage",
     "LookupStage",
+    "RLERuns",
     "RLEStage",
     "Pipeline",
     "FleetEncoder",

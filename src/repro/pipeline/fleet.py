@@ -29,7 +29,13 @@ from ..errors import LookupTableError, SegmentationError
 from ..core.lookup import LookupTable
 from ..core.separators import SeparatorMethod
 from .pipeline import Pipeline
-from .stages import LookupStage, RLEStage, VerticalStage, get_axis_aggregator
+from .stages import (
+    LookupStage,
+    RLERuns,
+    RLEStage,
+    VerticalStage,
+    get_axis_aggregator,
+)
 
 __all__ = ["FleetEncoder"]
 
@@ -290,11 +296,15 @@ class FleetEncoder:
             )
         return self._blocked_lookup(aggregated, self._separator_matrix)
 
-    def encode_rle(self, values: np.ndarray) -> List[np.ndarray]:
-        """Encode then run-length compress each meter (Definition 4)."""
-        indices = self.encode(values)
-        stage = RLEStage()
-        return [stage.run_batch(row) for row in indices]
+    def encode_rle(self, values: np.ndarray) -> RLERuns:
+        """Encode then run-length compress the whole fleet (Definition 4).
+
+        Returns the flat :class:`~repro.pipeline.stages.RLERuns` container —
+        three contiguous arrays instead of a ragged per-meter list — whose
+        row ``i`` equals ``RLEStage().run_batch(indices[i])`` (use
+        :meth:`RLERuns.pairs` for the legacy ``(runs, 2)`` view).
+        """
+        return RLERuns.from_matrix(self.encode(values))
 
     # -- decoding ---------------------------------------------------------------
 

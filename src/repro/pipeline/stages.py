@@ -20,7 +20,7 @@ instance can serve many concurrent streams.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -32,6 +32,7 @@ __all__ = [
     "VerticalStage",
     "LookupStage",
     "RLEStage",
+    "RLERuns",
     "rle_encode",
     "rle_decode",
 ]
@@ -270,3 +271,119 @@ def rle_decode(pairs: np.ndarray) -> np.ndarray:
     if pairs.ndim != 2 or pairs.shape[1] != 2:
         raise SegmentationError("RLE pairs must be an (runs, 2) array")
     return np.repeat(pairs[:, 0], pairs[:, 1])
+
+
+class RLERuns(NamedTuple):
+    """Run-length encoding of many rows as three flat arrays (no ragged lists).
+
+    ``values[offsets[i]:offsets[i + 1]]`` are row ``i``'s run symbols and
+    ``run_lengths`` the matching run counts, so a whole fleet's RLE lives in
+    three contiguous ``int64`` arrays — the layout
+    :class:`~repro.store.SymbolStore` persists as its RLE payload — instead
+    of a Python list of per-meter ``(runs, 2)`` arrays.
+    """
+
+    values: np.ndarray
+    run_lengths: np.ndarray
+    offsets: np.ndarray
+
+    @classmethod
+    def from_matrix(cls, indices: np.ndarray) -> "RLERuns":
+        """Run-length encode every row of an ``(N, windows)`` matrix at once.
+
+        One vectorized pass over the flattened matrix: a run boundary is any
+        element that differs from its predecessor *or* starts a new row, so
+        runs never leak across meters.  Per row the result equals
+        ``RLEStage().run_batch(row)``.
+        """
+        matrix = np.asarray(indices, dtype=np.int64)
+        if matrix.ndim != 2:
+            raise SegmentationError(
+                f"expected a 2-D index matrix, got shape {matrix.shape}"
+            )
+        n_rows, n_cols = matrix.shape
+        flat = matrix.ravel()
+        if flat.size == 0:
+            return cls(
+                values=np.empty(0, dtype=np.int64),
+                run_lengths=np.empty(0, dtype=np.int64),
+                offsets=np.zeros(n_rows + 1, dtype=np.int64),
+            )
+        change = np.empty(flat.size, dtype=bool)
+        change[0] = True
+        np.not_equal(flat[1:], flat[:-1], out=change[1:])
+        change[::n_cols] = True
+        run_starts = np.flatnonzero(change)
+        row_starts = np.arange(0, flat.size + 1, n_cols, dtype=np.int64)
+        return cls(
+            values=flat[run_starts],
+            run_lengths=np.diff(np.append(run_starts, flat.size)),
+            offsets=np.searchsorted(run_starts, row_starts).astype(np.int64),
+        )
+
+    @classmethod
+    def from_parts(
+        cls, values: np.ndarray, run_lengths: np.ndarray, offsets: np.ndarray
+    ) -> "RLERuns":
+        """Validated constructor from the three flat arrays."""
+        values = np.asarray(values, dtype=np.int64)
+        run_lengths = np.asarray(run_lengths, dtype=np.int64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if values.shape != run_lengths.shape or values.ndim != 1:
+            raise SegmentationError("values and run_lengths must be equal-length 1-D")
+        if offsets.ndim != 1 or offsets.size == 0 or offsets[0] != 0:
+            raise SegmentationError("offsets must be 1-D and start at 0")
+        if offsets[-1] != values.size or np.any(np.diff(offsets) < 0):
+            raise SegmentationError("offsets must be non-decreasing and end at len(values)")
+        return cls(values=values, run_lengths=run_lengths, offsets=offsets)
+
+    @property
+    def n_rows(self) -> int:
+        return self.offsets.size - 1
+
+    @property
+    def n_runs(self) -> int:
+        return int(self.values.size)
+
+    def run_counts(self) -> np.ndarray:
+        """Number of runs per row."""
+        return np.diff(self.offsets)
+
+    def row_lengths(self) -> np.ndarray:
+        """Expanded (symbol) length of every row.
+
+        Computed from the cumulative run lengths rather than
+        ``np.add.reduceat`` so rows with zero runs (legal via
+        :meth:`from_parts`) yield 0 instead of tripping reduceat's
+        equal-indices edge cases.
+        """
+        cumulative = np.concatenate(
+            [[0], np.cumsum(self.run_lengths, dtype=np.int64)]
+        )
+        return cumulative[self.offsets[1:]] - cumulative[self.offsets[:-1]]
+
+    def pairs(self, row: int) -> np.ndarray:
+        """Row ``row`` as the legacy ``(runs, 2)`` pair array."""
+        lo, hi = int(self.offsets[row]), int(self.offsets[row + 1])
+        return np.stack([self.values[lo:hi], self.run_lengths[lo:hi]], axis=1)
+
+    def expand_row(self, row: int) -> np.ndarray:
+        """Decode one row back to its flat symbol-index array."""
+        lo, hi = int(self.offsets[row]), int(self.offsets[row + 1])
+        return np.repeat(self.values[lo:hi], self.run_lengths[lo:hi])
+
+    def expand(self) -> np.ndarray:
+        """Decode all rows back into an ``(N, windows)`` matrix.
+
+        Requires every row to expand to the same width (always true for
+        :meth:`from_matrix` output).
+        """
+        widths = self.row_lengths()
+        if widths.size == 0:
+            return np.empty((0, 0), dtype=np.int64)
+        if np.any(widths != widths[0]):
+            raise SegmentationError(
+                "rows expand to different widths; use expand_row() instead"
+            )
+        flat = np.repeat(self.values, self.run_lengths)
+        return flat.reshape(self.n_rows, int(widths[0]))

@@ -1,0 +1,62 @@
+"""Out-of-core bit-packed symbol storage (the ``.rsym`` store).
+
+The paper's Section 2.3 argues a day of 1 Hz doubles (~680 kB) collapses to
+a few hundred bits once symbolised; until this subpackage, the repo only
+*computed* that ratio (:class:`~repro.core.compression.CompressionModel`)
+while the data plane still round-tripped float64 CSVs.  ``repro.store``
+stores the symbols themselves:
+
+:mod:`repro.store.packing`
+    Vectorized ``ceil(log2(k))``-bits-per-symbol pack/unpack kernels
+    (shift-mask broadcasts + ``np.packbits``; no Python loops), including
+    lazy slice decoding at arbitrary symbol offsets.
+
+:class:`SymbolStore` / :class:`SymbolStoreWriter` (:mod:`repro.store.format`)
+    The columnar on-disk format: streamed column writes with a zip-style
+    trailing header, memory-mapped reads, dense and RLE payloads
+    (:class:`~repro.pipeline.stages.RLERuns` persisted flat), serialized
+    lookup tables riding along so ``decode()`` is self-contained.
+
+:func:`write_fleet_store` (:mod:`repro.store.fleet`)
+    Shard-by-shard fleet persistence, ``ParallelExecutor``-compatible with
+    byte-identical files for every worker count.
+
+:mod:`repro.store.day_vectors`
+    Table 1's classification tables as packed stores —
+    ``SymbolStore.day_vectors()`` feeds :class:`~repro.ml.dataset.MLDataset`
+    straight from packed columns, so grid cells sharing an encoding read
+    one store instead of re-encoding the fleet.
+"""
+
+from .packing import (
+    bits_for_alphabet,
+    pack_indices,
+    packed_nbytes,
+    unpack_indices,
+    unpack_slice,
+)
+from .format import DENSE, RLE, SymbolStore, SymbolStoreWriter
+from .fleet import write_fleet_store
+from .day_vectors import (
+    day_vector_store_path,
+    load_day_vectors,
+    store_from_ml_dataset,
+    write_day_vector_store,
+)
+
+__all__ = [
+    "DENSE",
+    "RLE",
+    "SymbolStore",
+    "SymbolStoreWriter",
+    "bits_for_alphabet",
+    "day_vector_store_path",
+    "load_day_vectors",
+    "pack_indices",
+    "packed_nbytes",
+    "store_from_ml_dataset",
+    "unpack_indices",
+    "unpack_slice",
+    "write_day_vector_store",
+    "write_fleet_store",
+]

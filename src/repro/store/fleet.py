@@ -1,0 +1,189 @@
+"""Fleet-scale store writing: shard-by-shard, deterministic, pool-friendly.
+
+:func:`write_fleet_store` is the persistence half of
+:class:`~repro.pipeline.FleetEncoder`: it fits the same tables, encodes the
+fleet in contiguous meter shards and streams each shard's *packed* bytes
+into a :class:`~repro.store.SymbolStoreWriter` — the fleet's ``int64`` index
+matrix is never materialised in one piece.  With ``workers > 1`` the shards
+are encoded and packed inside a :class:`~repro.parallel.ParallelExecutor`
+(task-ordered merge, like every other parallel grain in this codebase), and
+because each meter's bytes depend only on that meter's rows, the resulting
+file is **byte-identical for every worker count** — pinned by
+``tests/store/test_determinism.py``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.lookup import LookupTable
+from ..core.separators import SeparatorMethod
+from ..core.timeseries import SECONDS_PER_DAY
+from ..errors import StoreError
+from ..pipeline.fleet import FleetEncoder, _FleetSpec, _aggregate_fleet_shard
+from .format import DENSE, SymbolStore, SymbolStoreWriter
+
+__all__ = ["write_fleet_store"]
+
+#: Default meters per shard (bounds peak memory on both write paths).
+_DEFAULT_SHARD_METERS = 4096
+
+
+def _meter_shards(n_meters: int, n_shards: int):
+    bounds = np.array_split(np.arange(n_meters), max(1, min(n_shards, n_meters)))
+    return [(int(idx[0]), int(idx[-1]) + 1) for idx in bounds if idx.size]
+
+
+def write_fleet_store(
+    path: Union[str, Path],
+    values: np.ndarray,
+    alphabet_size: int = 8,
+    method: Union[str, SeparatorMethod] = "median",
+    window: int = 1,
+    aggregator: Union[str, Callable[[np.ndarray], float]] = "average",
+    shared_table: bool = True,
+    reconstruction: str = "center",
+    layout: str = DENSE,
+    meter_ids: Optional[Sequence] = None,
+    workers: int = 1,
+    shard_meters: int = _DEFAULT_SHARD_METERS,
+    sampling_interval: Optional[float] = None,
+    metadata: Optional[Dict] = None,
+) -> SymbolStore:
+    """Fit, encode and persist a fleet array as a ``.rsym`` store.
+
+    The tables and index matrix match ``FleetEncoder.fit_encode`` exactly
+    (same separator fitting, same quantisation); the store just never holds
+    more than one shard of indices at a time.  Returns the opened store.
+
+    ``sampling_interval`` (seconds between raw samples) is recorded so the
+    store knows its ``aggregation_seconds`` and ``windows_per_day`` — the
+    metadata behind ``decode(day_range=...)`` and the measured-vs-analytic
+    compression cross-check.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise StoreError(f"expected a 2-D (meters, samples) array, got {values.shape}")
+    n_meters = values.shape[0]
+    if n_meters == 0:
+        raise StoreError("cannot write a store for an empty fleet")
+    ids = list(meter_ids) if meter_ids is not None else list(range(n_meters))
+    if len(ids) != n_meters:
+        raise StoreError(f"{len(ids)} meter ids for {n_meters} meters")
+    spec = _FleetSpec(
+        alphabet_size=int(alphabet_size), method=method, window=int(window),
+        aggregator=aggregator, reconstruction=reconstruction,
+    )
+
+    meta = {
+        "kind": "fleet",
+        "window": int(window),
+        "method": method if isinstance(method, str) else type(method).__name__,
+        "aggregator": aggregator if isinstance(aggregator, str) else "custom",
+        "shared_table": bool(shared_table),
+        "n_samples": int(values.shape[1]),
+    }
+    if sampling_interval is not None:
+        aggregation_seconds = float(sampling_interval) * int(window)
+        meta["sampling_interval"] = float(sampling_interval)
+        meta["aggregation_seconds"] = aggregation_seconds
+        per_day = SECONDS_PER_DAY / aggregation_seconds
+        if abs(per_day - round(per_day)) < 1e-9:
+            meta["windows_per_day"] = int(round(per_day))
+    meta.update(metadata or {})
+
+    if workers == 1:
+        return _write_serial(path, values, ids, spec, shared_table, layout,
+                             shard_meters, meta)
+    return _write_sharded(path, values, ids, spec, shared_table, layout,
+                          workers, shard_meters, meta)
+
+
+def _write_serial(path, values, ids, spec, shared_table, layout,
+                  shard_meters, meta) -> SymbolStore:
+    shards = _meter_shards(
+        values.shape[0], (values.shape[0] + shard_meters - 1) // shard_meters
+    )
+    if shared_table:
+        encoder = spec.encoder(shared_table=True).fit(values)
+        writer_tables = encoder.shared
+    else:
+        writer_tables = None
+    with SymbolStoreWriter(
+        path, spec.alphabet_size, layout=layout, tables=writer_tables,
+        metadata=meta,
+    ) as writer:
+        for start, stop in shards:
+            shard = values[start:stop]
+            if shared_table:
+                indices = encoder.encode(shard)
+                writer.append_matrix(ids[start:stop], indices)
+            else:
+                shard_encoder = spec.encoder(shared_table=False)
+                indices = shard_encoder.fit_encode(shard)
+                writer.append_matrix(
+                    ids[start:stop], indices, tables=shard_encoder.tables
+                )
+    return SymbolStore.open(Path(path))
+
+
+def _write_sharded(path, values, ids, spec, shared_table, layout,
+                   workers, shard_meters, meta) -> SymbolStore:
+    from ..parallel.executor import ParallelExecutor, resolve_workers
+    from ..parallel.worker import StoreShardTask, pack_store_shard
+
+    workers = resolve_workers(workers)
+    # At least one shard per worker, but never wider than shard_meters —
+    # the per-worker memory bound holds on the parallel path too.
+    n_shards = max(
+        workers, (values.shape[0] + shard_meters - 1) // shard_meters
+    )
+    shards = _meter_shards(values.shape[0], n_shards)
+    with ParallelExecutor(workers) as executor:
+        shared_dict = None
+        if shared_table:
+            # Same two-phase shape as FleetEncoder._fit_encode_sharded: the
+            # pooled shard aggregates (row order preserved) learn one global
+            # table, so the separators match the serial fit bit for bit.
+            aggregated = np.vstack(executor.map(
+                _aggregate_fleet_shard,
+                [(values[lo:hi], spec) for lo, hi in shards],
+            ))
+            table = LookupTable.fit(
+                aggregated.ravel(), spec.alphabet_size, method=spec.method,
+                reconstruction=spec.reconstruction,
+            )
+            shared_dict = table.to_dict()
+        outcomes = executor.map(
+            pack_store_shard,
+            [
+                StoreShardTask(
+                    values=values[lo:hi], spec=spec,
+                    shared_table=shared_dict, layout=layout,
+                )
+                for lo, hi in shards
+            ],
+        )
+    writer_tables = LookupTable.from_dict(shared_dict) if shared_dict else None
+    with SymbolStoreWriter(
+        path, spec.alphabet_size, layout=layout, tables=writer_tables,
+        metadata=meta,
+    ) as writer:
+        meter = 0
+        for table_dicts, columns in outcomes:
+            for row, (payload, count, run_lengths) in enumerate(columns):
+                table = (
+                    LookupTable.from_dict(table_dicts[row])
+                    if table_dicts is not None else None
+                )
+                if layout == DENSE:
+                    writer.append_packed(ids[meter], payload, count, table=table)
+                else:
+                    writer.append_runs(
+                        ids[meter], payload, run_lengths, count, table=table
+                    )
+                meter += 1
+    return SymbolStore.open(Path(path))

@@ -1,0 +1,612 @@
+"""The ``.rsym`` on-disk format: columnar, bit-packed, memory-mapped symbols.
+
+Layout (all integers little-endian)::
+
+    offset 0   magic  b"RSYMSTR1"
+    offset 8   payload — one bit-packed column per stored row/meter, each
+               starting on a byte boundary; RLE stores append one flat
+               ``uint32`` run-length array after the last column
+    ...        header — JSON (sorted keys), so the same appends always
+               produce the same bytes
+    ...        uint64 header length
+    end - 8    magic  b"RSYMEND1"
+
+The header lives at the *end* of the file (like a zip central directory) so
+a writer can stream columns shard by shard without knowing counts or table
+payloads up front — a million-meter fleet is encoded and persisted without
+ever materialising the fleet's index matrix, and finalised with one footer
+write.  Readers memory-map the file (``np.memmap``) and decode any
+meter/window slice lazily: a slice touches only the bytes covering its bit
+range (see :func:`~repro.store.packing.unpack_slice`).
+
+Two payload layouts:
+
+``dense``
+    Column ``i`` is ``counts[i]`` symbols packed at ``bits_per_symbol`` bits
+    starting at ``offsets[i]`` — exactly the paper's ``ceil(log2(k))`` bits
+    per symbol accounting, as real bytes.
+
+``rle``
+    Column ``i`` is its ``run_counts[i]`` run *values* packed the same way;
+    all columns' run lengths form one ``uint32`` array at ``lengths_offset``
+    (the flat :class:`~repro.pipeline.stages.RLERuns` container, persisted).
+
+Serialized :class:`~repro.core.lookup.LookupTable`\\ s ride along in the
+header (shared, per-column, or per-label), so a store is self-contained:
+``decode()`` reproduces the in-memory ``FleetEncoder.encode -> decode``
+reconstruction bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.lookup import LookupTable, deserialize_tables, serialize_tables
+from ..errors import StoreError
+from ..pipeline.stages import RLERuns
+from .packing import (
+    bits_for_alphabet,
+    pack_indices,
+    packed_nbytes,
+    unpack_indices,
+    unpack_slice,
+)
+
+__all__ = ["SymbolStore", "SymbolStoreWriter", "DENSE", "RLE"]
+
+MAGIC_HEAD = b"RSYMSTR1"
+MAGIC_TAIL = b"RSYMEND1"
+VERSION = 1
+
+DENSE = "dense"
+RLE = "rle"
+
+_LENGTH_DTYPE = np.dtype("<u4")
+
+
+class SymbolStoreWriter:
+    """Streaming writer for ``.rsym`` stores (one column per append).
+
+    Columns are packed and written immediately, so memory stays bounded by
+    one shard regardless of fleet size.  The header/footer is written by
+    :meth:`close` (or the context manager).
+
+    Parameters
+    ----------
+    path:
+        Output file.
+    alphabet_size:
+        Symbol count ``k``; symbols pack to ``ceil(log2(k))`` bits.
+    layout:
+        ``"dense"`` or ``"rle"``.
+    tables:
+        A single shared :class:`LookupTable`, a ``{label: table}`` dict
+        (day-vector stores), or ``None``; per-column tables are passed to
+        :meth:`append` instead.
+    metadata:
+        Free-form JSON-able dict (aggregation window, encoding config, ...).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        alphabet_size: int,
+        layout: str = DENSE,
+        tables: Union[LookupTable, Dict[str, LookupTable], None] = None,
+        metadata: Optional[Dict] = None,
+    ) -> None:
+        if layout not in (DENSE, RLE):
+            raise StoreError(f"layout must be {DENSE!r} or {RLE!r}, got {layout!r}")
+        if isinstance(tables, (list, tuple)):
+            raise StoreError(
+                "pass per-column tables to append(..., table=...), not the writer"
+            )
+        self.path = Path(path)
+        self.alphabet_size = int(alphabet_size)
+        self.bits_per_symbol = bits_for_alphabet(self.alphabet_size)
+        self.layout = layout
+        self.metadata = dict(metadata or {})
+        self._shared_or_label_tables = tables
+        self._column_tables: List[Dict] = []
+        self._ids: List = []
+        self._labels: List[Optional[str]] = []
+        self._counts: List[int] = []
+        self._offsets: List[int] = []
+        self._run_counts: List[int] = []
+        self._length_chunks: List[np.ndarray] = []
+        self._position = 0
+        self._closed = False
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Stream into a sibling temp file and os.replace() it into place at
+        # close: an interrupted write can never leave a truncated store at
+        # the final path (which would poison exists()-based store caches).
+        self._temp_path = self.path.with_name(self.path.name + ".tmp")
+        self._handle = self._temp_path.open("wb")
+        self._handle.write(MAGIC_HEAD)
+
+    # -- appending ---------------------------------------------------------------
+
+    def append(
+        self,
+        column_id,
+        indices: np.ndarray,
+        table: Optional[LookupTable] = None,
+        label: Optional[str] = None,
+    ) -> None:
+        """Pack and write one column of symbol indices."""
+        arr = np.asarray(indices, dtype=np.int64).ravel()
+        if arr.size and (arr.min() < 0 or arr.max() >= self.alphabet_size):
+            raise StoreError(
+                f"symbol indices out of range for alphabet of size "
+                f"{self.alphabet_size}"
+            )
+        if self.layout == DENSE:
+            self._append_payload(
+                column_id, pack_indices(arr, self.bits_per_symbol).tobytes(),
+                count=arr.size, table=table, label=label,
+            )
+        else:
+            runs = RLERuns.from_matrix(arr.reshape(1, arr.size))
+            self.append_runs(
+                column_id,
+                pack_indices(runs.values, self.bits_per_symbol).tobytes(),
+                run_lengths=runs.run_lengths,
+                count=arr.size, table=table, label=label,
+            )
+
+    def append_matrix(
+        self,
+        column_ids: Sequence,
+        indices: np.ndarray,
+        tables: Optional[Sequence[LookupTable]] = None,
+        labels: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Write a whole ``(rows, windows)`` shard with one vectorized pack.
+
+        Dense shards pack every row in a single ``np.packbits`` call; RLE
+        shards run-length encode the shard with one
+        :meth:`RLERuns.from_matrix` pass.
+        """
+        matrix = np.asarray(indices, dtype=np.int64)
+        if matrix.ndim != 2:
+            raise StoreError(f"expected a 2-D shard, got shape {matrix.shape}")
+        ids = list(column_ids)
+        if len(ids) != matrix.shape[0]:
+            raise StoreError(f"{len(ids)} ids for {matrix.shape[0]} rows")
+        if matrix.size and (matrix.min() < 0 or matrix.max() >= self.alphabet_size):
+            raise StoreError(
+                f"symbol indices out of range for alphabet of size "
+                f"{self.alphabet_size}"
+            )
+        table_list = list(tables) if tables is not None else [None] * len(ids)
+        label_list = list(labels) if labels is not None else [None] * len(ids)
+        if len(table_list) != len(ids) or len(label_list) != len(ids):
+            raise StoreError("tables/labels must match the number of rows")
+        if self.layout == DENSE:
+            packed = pack_indices(matrix, self.bits_per_symbol)
+            for row, column_id in enumerate(ids):
+                self._append_payload(
+                    column_id, packed[row].tobytes(), count=matrix.shape[1],
+                    table=table_list[row], label=label_list[row],
+                )
+        else:
+            runs = RLERuns.from_matrix(matrix)
+            for row, column_id in enumerate(ids):
+                lo, hi = int(runs.offsets[row]), int(runs.offsets[row + 1])
+                self.append_runs(
+                    column_id,
+                    pack_indices(
+                        runs.values[lo:hi], self.bits_per_symbol
+                    ).tobytes(),
+                    run_lengths=runs.run_lengths[lo:hi],
+                    count=matrix.shape[1],
+                    table=table_list[row], label=label_list[row],
+                )
+
+    def append_packed(
+        self,
+        column_id,
+        payload: bytes,
+        count: int,
+        table: Optional[LookupTable] = None,
+        label: Optional[str] = None,
+    ) -> None:
+        """Write an already-packed dense column (worker-side packing)."""
+        if self.layout != DENSE:
+            raise StoreError("append_packed is only valid for dense stores")
+        expected = packed_nbytes(count, self.bits_per_symbol)
+        if len(payload) != expected:
+            raise StoreError(
+                f"packed column of {count} symbols must be {expected} bytes, "
+                f"got {len(payload)}"
+            )
+        self._append_payload(column_id, payload, count=count, table=table, label=label)
+
+    def append_runs(
+        self,
+        column_id,
+        packed_values: bytes,
+        run_lengths: np.ndarray,
+        count: int,
+        table: Optional[LookupTable] = None,
+        label: Optional[str] = None,
+    ) -> None:
+        """Write one RLE column: packed run values now, lengths at close."""
+        if self.layout != RLE:
+            raise StoreError("append_runs is only valid for rle stores")
+        lengths = np.asarray(run_lengths, dtype=np.int64).ravel()
+        if int(lengths.sum()) != int(count):
+            raise StoreError(
+                f"run lengths sum to {int(lengths.sum())}, expected {count}"
+            )
+        if lengths.size and int(lengths.max()) > np.iinfo(_LENGTH_DTYPE).max:
+            raise StoreError("run length exceeds the uint32 on-disk range")
+        expected = packed_nbytes(lengths.size, self.bits_per_symbol)
+        if len(packed_values) != expected:
+            raise StoreError(
+                f"packed run values of {lengths.size} runs must be "
+                f"{expected} bytes, got {len(packed_values)}"
+            )
+        self._run_counts.append(int(lengths.size))
+        self._length_chunks.append(lengths.astype(_LENGTH_DTYPE))
+        self._append_payload(column_id, packed_values, count=count, table=table, label=label)
+
+    def _append_payload(
+        self, column_id, payload: bytes, count: int,
+        table: Optional[LookupTable], label: Optional[str],
+    ) -> None:
+        if self._closed:
+            raise StoreError("writer is closed")
+        if table is not None:
+            if self._shared_or_label_tables is not None:
+                raise StoreError("cannot mix per-column tables with shared tables")
+            if len(self._column_tables) != len(self._ids):
+                raise StoreError("either every column carries a table or none does")
+            self._column_tables.append(table.to_dict())
+        elif self._column_tables:
+            raise StoreError("either every column carries a table or none does")
+        self._ids.append(column_id)
+        self._labels.append(label)
+        self._counts.append(int(count))
+        self._offsets.append(self._position)
+        self._handle.write(payload)
+        self._position += len(payload)
+
+    # -- finalisation ------------------------------------------------------------
+
+    def close(self) -> Path:
+        """Write run lengths (RLE), header and footer; return the path."""
+        if self._closed:
+            return self.path
+        header = {
+            "version": VERSION,
+            "layout": self.layout,
+            "alphabet_size": self.alphabet_size,
+            "bits_per_symbol": self.bits_per_symbol,
+            "ids": self._ids,
+            "labels": self._labels if any(l is not None for l in self._labels) else None,
+            "counts": self._counts,
+            "offsets": self._offsets,
+            "tables": (
+                {"per_column": self._column_tables} if self._column_tables
+                else serialize_tables(self._shared_or_label_tables)
+            ),
+            "metadata": self.metadata,
+        }
+        if self.layout == RLE:
+            header["run_counts"] = self._run_counts
+            header["lengths_offset"] = self._position
+            lengths = (
+                np.concatenate(self._length_chunks)
+                if self._length_chunks else np.zeros(0, dtype=_LENGTH_DTYPE)
+            )
+            self._handle.write(lengths.tobytes())
+            self._position += lengths.nbytes
+        encoded = json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
+        self._handle.write(encoded)
+        self._handle.write(struct.pack("<Q", len(encoded)))
+        self._handle.write(MAGIC_TAIL)
+        self._handle.close()
+        os.replace(self._temp_path, self.path)
+        self._closed = True
+        return self.path
+
+    def __enter__(self) -> "SymbolStoreWriter":
+        return self
+
+    def __exit__(self, exc_type, *exc_info) -> None:
+        if exc_type is None:
+            self.close()
+        else:  # drop the partial temp file; the final path is never touched
+            self._handle.close()
+            self._closed = True
+            try:
+                self._temp_path.unlink()
+            except OSError:
+                pass
+
+
+class SymbolStore:
+    """Read-side of a ``.rsym`` store: lazy, memory-mapped symbol columns.
+
+    Open with :meth:`open` (``mmap=True`` by default — decoding a slice then
+    touches only that slice's pages) and read through :meth:`indices`,
+    :meth:`matrix`, :meth:`decode` or :meth:`day_vectors`.
+    """
+
+    def __init__(self, path: Path, header: Dict, payload: np.ndarray) -> None:
+        self.path = path
+        self._header = header
+        self._payload = payload
+        self.layout: str = header["layout"]
+        self.alphabet_size: int = int(header["alphabet_size"])
+        self.bits_per_symbol: int = int(header["bits_per_symbol"])
+        self.ids: List = list(header["ids"])
+        self.labels: Optional[List[str]] = header.get("labels")
+        self.counts = np.asarray(header["counts"], dtype=np.int64)
+        self.offsets = np.asarray(header["offsets"], dtype=np.int64)
+        self.metadata: Dict = header.get("metadata") or {}
+        self._tables = deserialize_tables(header.get("tables"))
+        self._id_index = {column_id: i for i, column_id in enumerate(self.ids)}
+        if self.layout == RLE:
+            self.run_counts = np.asarray(header["run_counts"], dtype=np.int64)
+            self._run_offsets = np.concatenate(
+                [[0], np.cumsum(self.run_counts)]
+            ).astype(np.int64)
+            lengths_offset = int(header["lengths_offset"])
+            lengths_end = lengths_offset + int(self._run_offsets[-1]) * _LENGTH_DTYPE.itemsize
+            self._lengths = self._payload[lengths_offset:lengths_end].view(_LENGTH_DTYPE)
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: Union[str, Path], mmap: bool = True) -> "SymbolStore":
+        """Open a store, memory-mapped (default) or fully read into memory.
+
+        Both modes decode to bit-identical arrays — the parity tests pin it.
+        """
+        path = Path(path)
+        if not path.exists():
+            raise StoreError(f"no such store: {path}")
+        size = path.stat().st_size
+        if size < len(MAGIC_HEAD) + 8 + len(MAGIC_TAIL):
+            raise StoreError(f"{path} is too short to be a symbol store")
+        if mmap:
+            raw = np.memmap(path, dtype=np.uint8, mode="r")
+        else:
+            raw = np.fromfile(path, dtype=np.uint8)
+        if raw[: len(MAGIC_HEAD)].tobytes() != MAGIC_HEAD:
+            raise StoreError(f"{path} is not a symbol store (bad magic)")
+        if raw[-len(MAGIC_TAIL):].tobytes() != MAGIC_TAIL:
+            raise StoreError(f"{path} is truncated (bad tail magic)")
+        (header_len,) = struct.unpack(
+            "<Q", raw[-len(MAGIC_TAIL) - 8: -len(MAGIC_TAIL)].tobytes()
+        )
+        header_start = size - len(MAGIC_TAIL) - 8 - header_len
+        if header_start < len(MAGIC_HEAD):
+            raise StoreError(f"{path} has an inconsistent header length")
+        try:
+            header = json.loads(raw[header_start: size - len(MAGIC_TAIL) - 8].tobytes())
+        except ValueError as exc:
+            raise StoreError(f"{path} has a corrupt header: {exc}") from None
+        if header.get("version") != VERSION:
+            raise StoreError(
+                f"{path} has store version {header.get('version')}, "
+                f"expected {VERSION}"
+            )
+        payload = raw[len(MAGIC_HEAD): header_start]
+        return cls(path, header, payload)
+
+    def close(self) -> None:
+        """Drop the payload reference (releases the memory map)."""
+        self._payload = np.zeros(0, dtype=np.uint8)
+
+    def __enter__(self) -> "SymbolStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- sizes -------------------------------------------------------------------
+
+    @property
+    def n_meters(self) -> int:
+        """Number of stored columns (meters, or day-vector rows)."""
+        return len(self.ids)
+
+    @property
+    def n_symbols(self) -> int:
+        """Total symbol count across all columns."""
+        return int(self.counts.sum())
+
+    @property
+    def payload_nbytes(self) -> int:
+        """Bytes of packed symbol payload (incl. RLE run lengths)."""
+        return int(self._payload.size)
+
+    @property
+    def file_nbytes(self) -> int:
+        """Total file size (payload + header + magics)."""
+        return int(self.path.stat().st_size)
+
+    @property
+    def tables(self) -> Union[LookupTable, List[LookupTable], Dict[str, LookupTable], None]:
+        """The deserialized lookup tables (shared / per-column / by-label)."""
+        return self._tables
+
+    @property
+    def shared_table(self) -> Optional[LookupTable]:
+        """The single global table, if this store has one."""
+        return self._tables if isinstance(self._tables, LookupTable) else None
+
+    # -- reading -----------------------------------------------------------------
+
+    def _column(self, meter) -> int:
+        try:
+            return self._id_index[meter]
+        except KeyError:
+            raise StoreError(f"no column {meter!r} in {self.path.name}") from None
+
+    def _column_bytes(self, index: int) -> np.ndarray:
+        start = int(self.offsets[index])
+        if self.layout == DENSE:
+            stop = start + packed_nbytes(int(self.counts[index]), self.bits_per_symbol)
+        else:
+            stop = start + packed_nbytes(
+                int(self.run_counts[index]), self.bits_per_symbol
+            )
+        return self._payload[start:stop]
+
+    def indices(self, meter, start: int = 0, stop: Optional[int] = None) -> np.ndarray:
+        """Symbol indices ``[start, stop)`` of one column (lazy for dense)."""
+        column = self._column(meter)
+        count = int(self.counts[column])
+        stop = count if stop is None else min(int(stop), count)
+        start = max(0, int(start))
+        if self.layout == DENSE:
+            return unpack_slice(
+                self._column_bytes(column), self.bits_per_symbol, start, stop
+            )
+        return self._expand_rle(column)[start:stop]
+
+    def _expand_rle(self, column: int) -> np.ndarray:
+        values = unpack_indices(
+            np.ascontiguousarray(self._column_bytes(column)),
+            self.bits_per_symbol,
+            int(self.run_counts[column]),
+        )
+        lo, hi = int(self._run_offsets[column]), int(self._run_offsets[column + 1])
+        return np.repeat(values, self._lengths[lo:hi].astype(np.int64))
+
+    def _resolve_meters(self, meters) -> List[int]:
+        if meters is None:
+            return list(range(self.n_meters))
+        return [self._column(meter) for meter in meters]
+
+    def matrix(
+        self,
+        meters: Optional[Sequence] = None,
+        window_range: Optional[tuple] = None,
+    ) -> np.ndarray:
+        """Index matrix ``(len(meters), windows)`` for equal-length columns."""
+        columns = self._resolve_meters(meters)
+        if not columns:
+            return np.empty((0, 0), dtype=np.int64)
+        counts = self.counts[columns]
+        if np.any(counts != counts[0]):
+            raise StoreError(
+                "columns have different symbol counts; read them one by one "
+                "with indices()"
+            )
+        width = int(counts[0])
+        start, stop = (0, width) if window_range is None else window_range
+        start = max(0, int(start))
+        stop = width if stop is None else min(int(stop), width)
+        if self.layout == DENSE and len(columns) == self.n_meters and meters is None:
+            bytes_per_row = packed_nbytes(width, self.bits_per_symbol)
+            if bytes_per_row * self.n_meters == int(self._payload.size):
+                # Contiguous dense store: one reshape + one vectorized unpack.
+                packed = np.ascontiguousarray(self._payload).reshape(
+                    self.n_meters, bytes_per_row
+                )
+                return unpack_indices(packed, self.bits_per_symbol, width)[
+                    :, start:stop
+                ]
+        rows = [
+            unpack_slice(
+                self._column_bytes(column), self.bits_per_symbol, start, stop
+            )
+            if self.layout == DENSE else self._expand_rle(column)[start:stop]
+            for column in columns
+        ]
+        return np.vstack(rows) if rows else np.empty((0, 0), dtype=np.int64)
+
+    def decode(
+        self,
+        meters: Optional[Sequence] = None,
+        day_range: Optional[tuple] = None,
+        window_range: Optional[tuple] = None,
+    ) -> np.ndarray:
+        """Reconstruction values for a meter/day slice, straight off the file.
+
+        ``day_range=(d0, d1)`` selects whole days via the store's
+        ``windows_per_day`` metadata; ``window_range`` selects raw window
+        columns.  Bit-identical to ``FleetEncoder.decode`` on the same
+        indices (pinned by the parity tests).
+        """
+        if day_range is not None:
+            if window_range is not None:
+                raise StoreError("pass day_range or window_range, not both")
+            per_day = self.metadata.get("windows_per_day")
+            if not per_day:
+                raise StoreError(
+                    "store has no windows_per_day metadata; use window_range"
+                )
+            day_start, day_stop = day_range
+            window_range = (int(day_start) * int(per_day), int(day_stop) * int(per_day))
+        columns = self._resolve_meters(meters)
+        matrix = self.matrix(
+            meters=[self.ids[c] for c in columns] if meters is not None else None,
+            window_range=window_range,
+        )
+        tables = self._tables
+        if tables is None:
+            raise StoreError(f"{self.path.name} carries no lookup tables")
+        if isinstance(tables, LookupTable):
+            return tables.values_for_indices(matrix)
+        if isinstance(tables, dict):
+            if self.labels is None:
+                raise StoreError("by-label tables require stored labels")
+            recon = np.stack(
+                [tables[self.labels[c]].reconstruction_array for c in columns]
+            )
+        else:
+            recon = np.stack([tables[c].reconstruction_array for c in columns])
+        if matrix.size and (
+            matrix.min() < 0 or matrix.max() >= self.alphabet_size
+        ):
+            raise StoreError(
+                f"symbol indices out of range for alphabet of size "
+                f"{self.alphabet_size}"
+            )
+        return np.take_along_axis(recon, matrix, axis=1)
+
+    def day_vectors(self):
+        """Rebuild the classification :class:`~repro.ml.dataset.MLDataset`.
+
+        Only valid for stores written from day vectors (``metadata["kind"]
+        == "day_vectors"``); the result is bit-identical to the
+        ``build_day_vectors`` output the store was written from.
+        """
+        from ..ml.dataset import Attribute, MLDataset
+
+        if self.metadata.get("kind") != "day_vectors":
+            raise StoreError(
+                f"{self.path.name} is not a day-vector store "
+                f"(kind={self.metadata.get('kind')!r})"
+            )
+        if self.labels is None:
+            raise StoreError("day-vector store has no labels")
+        words = tuple(self.metadata["categories"])
+        attributes = [
+            Attribute.nominal(name, words)
+            for name in self.metadata["attribute_names"]
+        ]
+        matrix = self.matrix().astype(np.float64)
+        return MLDataset(
+            attributes, matrix, list(self.labels),
+            class_names=self.metadata.get("class_names"),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SymbolStore({self.path.name!r}, layout={self.layout}, "
+            f"k={self.alphabet_size}, meters={self.n_meters}, "
+            f"symbols={self.n_symbols}, bytes={self.payload_nbytes})"
+        )

@@ -1,0 +1,145 @@
+"""Vectorized bit-pack/unpack kernels for symbol indices.
+
+The paper's compression arithmetic (Section 2.3) charges ``ceil(log2(k))``
+bits per symbol; these kernels make that real bytes.  Packing builds the
+bit planes of every index with one shift-and-mask broadcast and collapses
+them with ``np.packbits`` (MSB-first within the stream); unpacking is the
+mirror image — ``np.unpackbits`` followed by one matrix product against the
+bit weights.  No Python-level loops anywhere, so throughput is memory-bound
+(see ``benchmarks/test_store_throughput.py``).
+
+Symbols are packed back to back with **no per-symbol padding**: a column of
+``n`` symbols at ``b`` bits occupies exactly ``ceil(n * b / 8)`` bytes, and
+:func:`unpack_slice` can start decoding at any symbol offset without
+touching the bytes before it — which is what makes memory-mapped stores
+sliceable without reading whole columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import StoreError
+
+__all__ = [
+    "bits_for_alphabet",
+    "packed_nbytes",
+    "pack_indices",
+    "unpack_indices",
+    "unpack_slice",
+]
+
+#: Widest supported symbol (an alphabet of 4 billion symbols is not a
+#: compression format any more).
+MAX_BITS = 32
+
+
+def bits_for_alphabet(alphabet_size: int) -> int:
+    """``ceil(log2(k))`` bits per symbol (at least 1)."""
+    k = int(alphabet_size)
+    if k < 2:
+        raise StoreError(f"alphabet_size must be >= 2, got {alphabet_size}")
+    return max(1, int(k - 1).bit_length())
+
+
+def packed_nbytes(count: int, bits: int) -> int:
+    """Bytes occupied by ``count`` symbols packed at ``bits`` bits each."""
+    return (int(count) * int(bits) + 7) // 8
+
+
+def _check_bits(bits: int) -> int:
+    bits = int(bits)
+    if not 1 <= bits <= MAX_BITS:
+        raise StoreError(f"bits per symbol must be in [1, {MAX_BITS}], got {bits}")
+    return bits
+
+
+def _bit_weights(bits: int) -> np.ndarray:
+    return np.left_shift(
+        np.int64(1), np.arange(bits - 1, -1, -1, dtype=np.int64)
+    )
+
+
+def pack_indices(indices: np.ndarray, bits: int) -> np.ndarray:
+    """Pack an index array into a ``uint8`` byte stream, ``bits`` per symbol.
+
+    A 1-D input returns the flat packed bytes; a 2-D ``(rows, count)`` input
+    packs each row independently into ``packed_nbytes(count, bits)`` bytes
+    (rows start on byte boundaries, which is how the store lays out meter
+    columns).  Trailing pad bits are zero, so equal inputs always produce
+    equal bytes.
+    """
+    bits = _check_bits(bits)
+    arr = np.asarray(indices, dtype=np.int64)
+    if arr.ndim not in (1, 2):
+        raise StoreError(f"expected a 1-D or 2-D index array, got shape {arr.shape}")
+    if arr.size and (arr.min() < 0 or arr.max() >> bits):
+        raise StoreError(
+            f"symbol indices out of range for {bits}-bit packing "
+            f"(valid range [0, {(1 << bits) - 1}])"
+        )
+    if arr.size == 0:
+        shape = (0,) if arr.ndim == 1 else (arr.shape[0], 0)
+        return np.zeros(shape, dtype=np.uint8)
+    planes = (
+        (arr[..., None] >> np.arange(bits - 1, -1, -1, dtype=np.int64)) & 1
+    ).astype(np.uint8)
+    flat_bits = planes.reshape(arr.shape[:-1] + (arr.shape[-1] * bits,))
+    return np.packbits(flat_bits, axis=-1)
+
+
+def unpack_indices(packed: np.ndarray, bits: int, count: int) -> np.ndarray:
+    """Unpack ``count`` symbols per row from a packed byte stream.
+
+    The inverse of :func:`pack_indices`: accepts the flat 1-D bytes (returns
+    a 1-D ``int64`` array) or the 2-D per-row byte matrix (returns
+    ``(rows, count)``).
+    """
+    bits = _check_bits(bits)
+    count = int(count)
+    if count < 0:
+        raise StoreError(f"count must be >= 0, got {count}")
+    packed = np.ascontiguousarray(packed, dtype=np.uint8)
+    needed = packed_nbytes(count, bits)
+    if packed.shape[-1] < needed:
+        raise StoreError(
+            f"packed payload too short: {packed.shape[-1]} bytes for "
+            f"{count} symbols at {bits} bits ({needed} needed)"
+        )
+    if count == 0:
+        shape = (0,) if packed.ndim == 1 else (packed.shape[0], 0)
+        return np.zeros(shape, dtype=np.int64)
+    bit_planes = np.unpackbits(packed[..., :needed], axis=-1)[..., : count * bits]
+    planes = bit_planes.reshape(packed.shape[:-1] + (count, bits))
+    return planes.astype(np.int64) @ _bit_weights(bits)
+
+
+def unpack_slice(packed: np.ndarray, bits: int, start: int, stop: int) -> np.ndarray:
+    """Decode symbols ``[start, stop)`` from a flat packed column.
+
+    Only the bytes covering the requested bit range are touched — the lazy
+    read path for memory-mapped columns.
+    """
+    bits = _check_bits(bits)
+    start, stop = int(start), int(stop)
+    if start < 0 or stop < start:
+        raise StoreError(f"invalid symbol slice [{start}, {stop})")
+    packed = np.asarray(packed, dtype=np.uint8)
+    if packed.ndim != 1:
+        raise StoreError("unpack_slice expects a flat packed column")
+    if stop == start:
+        return np.zeros(0, dtype=np.int64)
+    first_bit = start * bits
+    last_bit = stop * bits
+    first_byte = first_bit // 8
+    last_byte = (last_bit + 7) // 8
+    if last_byte > packed.size:
+        raise StoreError(
+            f"slice [{start}, {stop}) reads past the packed column "
+            f"({packed.size} bytes at {bits} bits/symbol)"
+        )
+    window = np.ascontiguousarray(packed[first_byte:last_byte])
+    bit_planes = np.unpackbits(window)
+    head = first_bit - first_byte * 8
+    planes = bit_planes[head: head + (stop - start) * bits]
+    return planes.reshape(stop - start, bits).astype(np.int64) @ _bit_weights(bits)

@@ -67,12 +67,31 @@ class TestFleetEncoding:
             )
             np.testing.assert_array_equal(fleet2.encode(decoded), indices)
 
+    def test_rle_runs_with_empty_rows(self):
+        # Regression: rows with zero runs (legal via from_parts) used to
+        # break row_lengths()/expand() through np.add.reduceat edge cases.
+        from repro.pipeline import RLERuns
+
+        runs = RLERuns.from_parts(
+            values=np.array([5, 2]), run_lengths=np.array([3, 1]),
+            offsets=np.array([0, 0, 2, 2]),
+        )
+        np.testing.assert_array_equal(runs.row_lengths(), [0, 4, 0])
+        np.testing.assert_array_equal(runs.expand_row(0), [])
+        np.testing.assert_array_equal(runs.expand_row(1), [5, 5, 5, 2])
+        with pytest.raises(SegmentationError):
+            runs.expand()  # ragged widths must fail loudly, not reshape-crash
+
     def test_rle_roundtrip(self, fleet_values):
         fleet = FleetEncoder(alphabet_size=4, window=8, shared_table=True)
         fleet.fit(fleet_values)
         indices = fleet.encode(fleet_values)
-        for row, pairs in zip(indices, fleet.encode_rle(fleet_values)):
-            np.testing.assert_array_equal(rle_decode(pairs), row)
+        runs = fleet.encode_rle(fleet_values)
+        # The flat container expands back to the whole index matrix...
+        np.testing.assert_array_equal(runs.expand(), indices)
+        # ...and its per-row pairs view still round-trips like the old list.
+        for row_index, row in enumerate(indices):
+            np.testing.assert_array_equal(rle_decode(runs.pairs(row_index)), row)
 
     def test_window_one_is_identity_aggregation(self, fleet_values):
         fleet = FleetEncoder(alphabet_size=4, window=1, shared_table=True)

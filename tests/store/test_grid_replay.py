@@ -1,0 +1,181 @@
+"""Replaying experiments from packed stores reproduces the in-memory numbers.
+
+Two chains are pinned here:
+
+* the Table 1 grid run through :class:`GridRunner` with ``store_dir`` set —
+  first writing the day-vector stores, then replaying from them cold — must
+  produce results bit-identical to the plain in-memory run;
+* the PR 2 cross-validation goldens (generated from the *pre-vectorization*
+  code) must survive a store round-trip: symbols → packed bytes on disk →
+  ``MLDataset`` → fold-stratified cross-validation, same numbers to the bit.
+"""
+
+from __future__ import annotations
+
+import json
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.analytics.vectors import DayVectorConfig, build_day_vectors
+from repro.experiments import ExperimentGrid, reproduce_table1
+from repro.experiments.runner import GridRunner
+from repro.ml import (
+    DecisionTreeClassifier,
+    NaiveBayesClassifier,
+    RandomForestClassifier,
+)
+from repro.ml.crossval import cross_validate
+from repro.store import SymbolStore, day_vector_store_path, store_from_ml_dataset
+from repro.datasets import generate_redd
+from repro.errors import StoreError
+
+from ..ml._parity_cases import GOLDEN_DIR, classification_cases
+
+GOLDEN_CROSSVAL_FACTORIES = {
+    "naive_bayes": NaiveBayesClassifier,
+    "j48": DecisionTreeClassifier,
+    "random_forest": partial(RandomForestClassifier, n_trees=8, random_state=1),
+}
+
+
+@pytest.fixture(scope="module")
+def grid_dataset():
+    return generate_redd(days=5, sampling_interval=300.0, seed=3)
+
+
+@pytest.fixture(scope="module")
+def serial_results(grid_dataset):
+    grid = ExperimentGrid.quick()
+    return GridRunner(grid_dataset, n_folds=5, seed=0).run_grid(
+        grid, ["naive_bayes", "j48"]
+    )
+
+
+def _assert_results_equal(expected, actual):
+    assert len(expected) == len(actual)
+    for a, b in zip(expected, actual):
+        assert a.config == b.config
+        assert a.classifier == b.classifier
+        assert a.f_measure == b.f_measure
+        assert a.accuracy == b.accuracy
+        assert a.n_instances == b.n_instances
+
+
+class TestGridFromStores:
+    def test_grid_writes_then_replays_from_stores(
+        self, tmp_path, grid_dataset, serial_results
+    ):
+        grid = ExperimentGrid.quick()
+        # First run: cold store directory — every symbolic config is written.
+        writer_runner = GridRunner(grid_dataset, n_folds=5, seed=0,
+                                   store_dir=tmp_path)
+        _assert_results_equal(
+            serial_results, writer_runner.run_grid(grid, ["naive_bayes", "j48"])
+        )
+        written = sorted(tmp_path.glob("dayvec_*.rsym"))
+        assert len(written) == len(grid.symbolic_configs())
+        # Second run: a fresh runner replays the grid entirely from disk.
+        reader_runner = GridRunner(grid_dataset, n_folds=5, seed=0,
+                                   store_dir=tmp_path)
+        _assert_results_equal(
+            serial_results, reader_runner.run_grid(grid, ["naive_bayes", "j48"])
+        )
+
+    def test_reproduce_table1_from_store_dir(self, tmp_path, grid_dataset):
+        grid = ExperimentGrid(
+            methods=("median",), aggregations=(3600.0,), alphabet_sizes=(4,)
+        )
+        plain = reproduce_table1(
+            grid_dataset, grid=grid, classifiers=("naive_bayes",), n_folds=5
+        )
+        stored = reproduce_table1(
+            grid_dataset, grid=grid, classifiers=("naive_bayes",), n_folds=5,
+            store_dir=tmp_path,
+        )
+        replayed = reproduce_table1(
+            grid_dataset, grid=grid, classifiers=("naive_bayes",), n_folds=5,
+            store_dir=tmp_path,
+        )
+        assert plain.matrix() == stored.matrix() == replayed.matrix()
+
+    def test_parallel_grid_honours_store_dir(
+        self, tmp_path, grid_dataset, serial_results
+    ):
+        # Chunking is one configuration per task, so each store file has
+        # exactly one writer even with a process pool.
+        grid = ExperimentGrid.quick()
+        runner = GridRunner(grid_dataset, n_folds=5, seed=0, workers=2,
+                            store_dir=tmp_path)
+        try:
+            _assert_results_equal(
+                serial_results, runner.run_grid(grid, ["naive_bayes", "j48"])
+            )
+        finally:
+            runner.close()
+        written = sorted(tmp_path.glob("dayvec_*.rsym"))
+        assert len(written) == len(grid.symbolic_configs())
+        # A fresh serial runner replays the worker-written stores exactly.
+        reader = GridRunner(grid_dataset, n_folds=5, seed=0, store_dir=tmp_path)
+        _assert_results_equal(
+            serial_results, reader.run_grid(grid, ["naive_bayes", "j48"])
+        )
+
+    def test_store_matches_build_day_vectors_exactly(self, tmp_path, grid_dataset):
+        config = DayVectorConfig(encoding="median", alphabet_size=4)
+        runner = GridRunner(grid_dataset, n_folds=5, seed=0, store_dir=tmp_path)
+        from_store = runner.vectors_for(config)
+        in_memory = build_day_vectors(grid_dataset, config)
+        assert from_store.attributes == in_memory.attributes
+        assert from_store.class_names == in_memory.class_names
+        np.testing.assert_array_equal(from_store.X, in_memory.X)
+        np.testing.assert_array_equal(from_store.y, in_memory.y)
+
+    def test_mismatched_config_fails_loudly(self, tmp_path, grid_dataset):
+        from repro.store import load_day_vectors, write_day_vector_store
+
+        config = DayVectorConfig(encoding="median", alphabet_size=4)
+        other = DayVectorConfig(encoding="median", alphabet_size=4, min_hours=1.0)
+        path = day_vector_store_path(tmp_path, config)
+        write_day_vector_store(path, grid_dataset, config)
+        with pytest.raises(StoreError):
+            load_day_vectors(path, config=other)
+
+
+class TestVectorMemoization:
+    def test_cache_key_is_the_full_config(self, grid_dataset):
+        # Regression: the cache used to key on config.label(), which omits
+        # min_hours/bootstrap_days — two different encodings could collide.
+        runner = GridRunner(grid_dataset, n_folds=5, seed=0)
+        strict = DayVectorConfig(encoding="median", alphabet_size=4)
+        lenient = DayVectorConfig(
+            encoding="median", alphabet_size=4, min_hours=1.0
+        )
+        assert strict.label() == lenient.label()
+        first = runner.vectors_for(strict)
+        second = runner.vectors_for(lenient)
+        assert len(second) > len(first)  # lenient keeps more days
+
+    def test_equal_configs_share_one_dataset(self, grid_dataset):
+        runner = GridRunner(grid_dataset, n_folds=5, seed=0)
+        config = DayVectorConfig(encoding="median", alphabet_size=4)
+        same = DayVectorConfig(encoding="median", alphabet_size=4)
+        assert runner.vectors_for(config) is runner.vectors_for(same)
+
+
+class TestGoldenReplay:
+    @pytest.mark.parametrize("model_name", sorted(GOLDEN_CROSSVAL_FACTORIES))
+    def test_crossval_goldens_survive_store_roundtrip(self, tmp_path, model_name):
+        golden = json.loads((GOLDEN_DIR / "crossval.json").read_text())
+        golden = golden["day_vectors"]["models"][model_name]
+        dataset = classification_cases()["day_vectors"]
+        path = store_from_ml_dataset(tmp_path / "day_vectors.rsym", dataset)
+        with SymbolStore.open(path) as store:
+            replayed = store.day_vectors()
+        result = cross_validate(
+            GOLDEN_CROSSVAL_FACTORIES[model_name], replayed, n_folds=10, seed=0
+        )
+        assert result.f_measure == golden["f_measure"]
+        assert result.accuracy == golden["accuracy"]
+        assert result.fold_f_measures == golden["fold_f_measures"]

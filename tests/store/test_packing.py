@@ -1,0 +1,119 @@
+"""Property-style round-trip tests for the bit-pack/unpack kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.store import (
+    bits_for_alphabet,
+    pack_indices,
+    packed_nbytes,
+    unpack_indices,
+    unpack_slice,
+)
+
+#: Alphabet sizes from the issue spec: powers of two the paper uses, plus
+#: awkward non-powers whose top code does not fill the bit width.
+ALPHABETS = (2, 3, 4, 8, 16, 27, 32)
+
+
+@pytest.mark.parametrize("alphabet", ALPHABETS)
+class TestRoundTrip:
+    def test_flat_roundtrip_many_lengths(self, alphabet):
+        bits = bits_for_alphabet(alphabet)
+        rng = np.random.default_rng(alphabet)
+        # Lengths around byte boundaries: 8/bits multiples plus off-by-ones.
+        for n in (0, 1, 2, 7, 8, 9, 63, 64, 65, 997):
+            indices = rng.integers(0, alphabet, size=n)
+            packed = pack_indices(indices, bits)
+            assert packed.dtype == np.uint8
+            assert packed.size == packed_nbytes(n, bits)
+            np.testing.assert_array_equal(
+                unpack_indices(packed, bits, n), indices
+            )
+
+    def test_matrix_roundtrip(self, alphabet):
+        bits = bits_for_alphabet(alphabet)
+        rng = np.random.default_rng(100 + alphabet)
+        matrix = rng.integers(0, alphabet, size=(13, 97))
+        packed = pack_indices(matrix, bits)
+        assert packed.shape == (13, packed_nbytes(97, bits))
+        np.testing.assert_array_equal(
+            unpack_indices(packed, bits, 97), matrix
+        )
+        # Row packing is independent: row i's bytes equal the flat packing.
+        for row in range(13):
+            np.testing.assert_array_equal(
+                packed[row], pack_indices(matrix[row], bits)
+            )
+
+    def test_slice_decoding_at_every_offset(self, alphabet):
+        bits = bits_for_alphabet(alphabet)
+        rng = np.random.default_rng(200 + alphabet)
+        indices = rng.integers(0, alphabet, size=131)
+        packed = pack_indices(indices, bits)
+        for start in range(0, 131, 17):
+            for stop in (start, start + 1, min(start + 29, 131), 131):
+                np.testing.assert_array_equal(
+                    unpack_slice(packed, bits, start, stop),
+                    indices[start:stop],
+                )
+
+    def test_extreme_values_roundtrip(self, alphabet):
+        bits = bits_for_alphabet(alphabet)
+        edge = np.array([0, alphabet - 1] * 11)
+        np.testing.assert_array_equal(
+            unpack_indices(pack_indices(edge, bits), bits, edge.size), edge
+        )
+
+    def test_packing_is_deterministic(self, alphabet):
+        bits = bits_for_alphabet(alphabet)
+        rng = np.random.default_rng(300 + alphabet)
+        indices = rng.integers(0, alphabet, size=500)
+        first = pack_indices(indices, bits).tobytes()
+        assert pack_indices(indices, bits).tobytes() == first
+
+
+class TestBitsForAlphabet:
+    @pytest.mark.parametrize(
+        "alphabet,expected",
+        [(2, 1), (3, 2), (4, 2), (8, 3), (16, 4), (27, 5), (32, 5)],
+    )
+    def test_ceil_log2(self, alphabet, expected):
+        assert bits_for_alphabet(alphabet) == expected
+
+    def test_rejects_degenerate_alphabets(self):
+        with pytest.raises(StoreError):
+            bits_for_alphabet(1)
+
+
+class TestValidation:
+    def test_out_of_range_indices_rejected(self):
+        with pytest.raises(StoreError):
+            pack_indices(np.array([0, 4]), bits=2)
+        with pytest.raises(StoreError):
+            pack_indices(np.array([-1, 0]), bits=2)
+
+    def test_bad_bit_widths_rejected(self):
+        for bits in (0, -1, 33):
+            with pytest.raises(StoreError):
+                pack_indices(np.array([0]), bits)
+
+    def test_short_payload_rejected(self):
+        packed = pack_indices(np.arange(8), bits=3)
+        with pytest.raises(StoreError):
+            unpack_indices(packed[:-1], bits=3, count=8)
+
+    def test_slice_past_end_rejected(self):
+        packed = pack_indices(np.arange(8), bits=3)
+        with pytest.raises(StoreError):
+            unpack_slice(packed, bits=3, start=0, stop=9)
+
+    def test_negative_slice_rejected(self):
+        packed = pack_indices(np.arange(8), bits=3)
+        with pytest.raises(StoreError):
+            unpack_slice(packed, bits=3, start=-1, stop=4)
+        with pytest.raises(StoreError):
+            unpack_slice(packed, bits=3, start=5, stop=4)

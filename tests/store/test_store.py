@@ -1,0 +1,261 @@
+"""SymbolStore round-trips: bit-identical to the in-memory fleet path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionModel, LookupTable
+from repro.errors import StoreError
+from repro.pipeline import FleetEncoder
+from repro.store import (
+    RLE,
+    SymbolStore,
+    SymbolStoreWriter,
+    store_from_ml_dataset,
+    write_fleet_store,
+)
+
+from ..ml._parity_cases import day_vector_dataset
+
+
+@pytest.fixture(scope="module")
+def fleet_values():
+    rng = np.random.default_rng(17)
+    # Standby plateaus interleaved with noisy activity, so RLE has real runs.
+    base = np.abs(rng.normal(300.0, 120.0, size=(19, 960)))
+    base[:, 100:400] = 80.0
+    return base
+
+
+@pytest.fixture(scope="module", params=["dense", "rle"])
+def layout(request):
+    return request.param
+
+
+@pytest.fixture(scope="module", params=[True, False], ids=["shared", "per-meter"])
+def shared(request):
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def reference(fleet_values, shared):
+    encoder = FleetEncoder(alphabet_size=8, window=4, shared_table=shared)
+    indices = encoder.fit_encode(fleet_values)
+    return encoder, indices
+
+
+@pytest.fixture(scope="module")
+def store_path(tmp_path_factory, fleet_values, layout, shared):
+    path = tmp_path_factory.mktemp("stores") / f"{layout}_{shared}.rsym"
+    write_fleet_store(
+        path, fleet_values, alphabet_size=8, window=4, shared_table=shared,
+        layout=layout, sampling_interval=60.0,
+    ).close()
+    return path
+
+
+class TestFleetParity:
+    def test_matrix_bit_identical_to_fleet_encoder(self, store_path, reference):
+        _, indices = reference
+        with SymbolStore.open(store_path) as store:
+            np.testing.assert_array_equal(store.matrix(), indices)
+
+    def test_decode_bit_identical_to_fleet_encoder(self, store_path, reference):
+        encoder, indices = reference
+        with SymbolStore.open(store_path) as store:
+            np.testing.assert_array_equal(store.decode(), encoder.decode(indices))
+
+    def test_any_meter_slice_matches(self, store_path, reference):
+        _, indices = reference
+        with SymbolStore.open(store_path) as store:
+            for meter in (0, 7, 18):
+                np.testing.assert_array_equal(
+                    store.indices(meter), indices[meter]
+                )
+                np.testing.assert_array_equal(
+                    store.indices(meter, 13, 101), indices[meter, 13:101]
+                )
+
+    def test_meter_day_slice_decodes_identically(self, store_path, reference):
+        encoder, indices = reference
+        with SymbolStore.open(store_path) as store:
+            per_day = store.metadata["windows_per_day"]  # 60 s * 4 = 240 s windows
+            decoded = store.decode(meters=[3, 11], day_range=(0, 1))
+            full = encoder.decode(indices)
+            np.testing.assert_array_equal(decoded, full[[3, 11], :per_day])
+
+    def test_mmap_and_in_memory_reads_agree(self, store_path):
+        with SymbolStore.open(store_path, mmap=True) as mapped, \
+                SymbolStore.open(store_path, mmap=False) as in_memory:
+            np.testing.assert_array_equal(mapped.matrix(), in_memory.matrix())
+            np.testing.assert_array_equal(mapped.decode(), in_memory.decode())
+            np.testing.assert_array_equal(
+                mapped.indices(5, 20, 200), in_memory.indices(5, 20, 200)
+            )
+
+    def test_tables_roundtrip_exactly(self, store_path, reference):
+        encoder, _ = reference
+        with SymbolStore.open(store_path) as store:
+            tables = store.tables
+            if isinstance(tables, LookupTable):
+                assert tables == encoder.shared
+            else:
+                assert tables == encoder.tables
+
+
+class TestMeasuredCompression:
+    def test_paper_config_within_ten_percent_of_analytic(self, tmp_path):
+        # The acceptance bar: 4 bits (k=16) at 15-minute windows must land
+        # within 10% of the analytic 384 bits/meter-day, as real bytes.
+        rng = np.random.default_rng(5)
+        fleet = np.abs(rng.normal(300.0, 100.0, size=(12, 4 * 1440)))  # 4 days, 1-min
+        store = write_fleet_store(
+            tmp_path / "paper.rsym", fleet, alphabet_size=16, window=15,
+            sampling_interval=60.0,
+        )
+        cell = CompressionModel(sampling_interval=60.0).measured_report(store)
+        assert cell.analytic_bits_per_day == 384.0
+        assert abs(cell.divergence) <= 0.10
+        assert not cell.flagged
+
+    def test_rle_beats_dense_on_standby_heavy_data(self, tmp_path):
+        rng = np.random.default_rng(8)
+        fleet = np.full((6, 2880), 75.0)
+        active = rng.integers(0, 2880 - 60, size=(6, 4))
+        for row, starts in enumerate(active):
+            for start in starts:
+                fleet[row, start: start + 30] = rng.normal(400.0, 80.0, 30)
+        dense = write_fleet_store(
+            tmp_path / "d.rsym", fleet, alphabet_size=16, window=1,
+        )
+        rle = write_fleet_store(
+            tmp_path / "r.rsym", fleet, alphabet_size=16, window=1, layout=RLE,
+        )
+        assert rle.payload_nbytes < dense.payload_nbytes
+
+    def test_sweep_shows_measured_next_to_analytic(self, tmp_path):
+        from repro.experiments import compression_sweep
+
+        rng = np.random.default_rng(3)
+        fleet = np.abs(rng.normal(300.0, 100.0, size=(4, 1440)))
+        store = write_fleet_store(
+            tmp_path / "s.rsym", fleet, alphabet_size=16, window=15,
+            sampling_interval=60.0,
+        )
+        sweep = compression_sweep(
+            alphabet_sizes=(4, 16), aggregation_seconds=(900.0,),
+            sampling_interval=60.0, store=store,
+        )
+        rows = {row["alphabet_size"]: row for row in sweep.rows()}
+        assert rows[4]["measured_bits_per_day"] == "-"
+        assert isinstance(rows[16]["measured_bits_per_day"], float)
+        assert rows[16]["check"] in ("ok", "!")
+
+    def test_missing_aggregation_metadata_raises(self, tmp_path):
+        rng = np.random.default_rng(4)
+        fleet = np.abs(rng.normal(300.0, 100.0, size=(3, 200)))
+        store = write_fleet_store(tmp_path / "m.rsym", fleet, alphabet_size=4)
+        with pytest.raises(StoreError):
+            CompressionModel().measured_report(store)
+        cell = CompressionModel().measured_report(store, aggregation_seconds=900.0)
+        assert cell.meter_days > 0
+
+
+class TestDayVectorRoundTrip:
+    def test_ml_dataset_roundtrips_bit_identically(self, tmp_path):
+        dataset = day_vector_dataset(seed=6)
+        path = store_from_ml_dataset(tmp_path / "dv.rsym", dataset)
+        with SymbolStore.open(path) as store:
+            rebuilt = store.day_vectors()
+        assert rebuilt.attributes == dataset.attributes
+        assert rebuilt.class_names == dataset.class_names
+        np.testing.assert_array_equal(rebuilt.X, dataset.X)
+        np.testing.assert_array_equal(rebuilt.y, dataset.y)
+
+    def test_numeric_dataset_rejected(self, tmp_path):
+        from repro.ml import Attribute, MLDataset
+
+        numeric = MLDataset(
+            [Attribute.numeric("x")], np.zeros((3, 1)), ["a", "b", "a"]
+        )
+        with pytest.raises(StoreError):
+            store_from_ml_dataset(tmp_path / "bad.rsym", numeric)
+
+    def test_non_day_vector_store_rejects_day_vectors(self, tmp_path):
+        rng = np.random.default_rng(2)
+        fleet = np.abs(rng.normal(300.0, 100.0, size=(3, 200)))
+        store = write_fleet_store(tmp_path / "f.rsym", fleet, alphabet_size=4)
+        with pytest.raises(StoreError):
+            store.day_vectors()
+
+
+class TestFormatValidation:
+    def test_open_missing_file(self, tmp_path):
+        with pytest.raises(StoreError):
+            SymbolStore.open(tmp_path / "nope.rsym")
+
+    def test_open_rejects_non_store(self, tmp_path):
+        path = tmp_path / "junk.rsym"
+        path.write_bytes(b"this is not a symbol store, not even close")
+        with pytest.raises(StoreError):
+            SymbolStore.open(path)
+
+    def test_open_rejects_truncated_store(self, tmp_path, fleet_values):
+        path = tmp_path / "trunc.rsym"
+        write_fleet_store(path, fleet_values, alphabet_size=8, window=4)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 5])
+        with pytest.raises(StoreError):
+            SymbolStore.open(path)
+
+    def test_writer_rejects_out_of_range_symbols(self, tmp_path):
+        with SymbolStoreWriter(tmp_path / "w.rsym", alphabet_size=4) as writer:
+            with pytest.raises(StoreError):
+                writer.append("m0", np.array([0, 4]))
+            writer.append("m0", np.array([0, 3]))
+
+    def test_writer_rejects_mixed_table_scopes(self, tmp_path):
+        table = LookupTable.fit(np.arange(100.0), 4)
+        with SymbolStoreWriter(
+            tmp_path / "w.rsym", alphabet_size=4, tables=table
+        ) as writer:
+            writer.append("m0", np.array([0, 1]))
+            with pytest.raises(StoreError):
+                writer.append("m1", np.array([0, 1]), table=table)
+
+    def test_writer_rejects_partial_per_column_tables(self, tmp_path):
+        table = LookupTable.fit(np.arange(100.0), 4)
+        with SymbolStoreWriter(tmp_path / "w.rsym", alphabet_size=4) as writer:
+            writer.append("m0", np.array([0, 1]), table=table)
+            with pytest.raises(StoreError):
+                writer.append("m1", np.array([0, 1]))
+            writer.append("m1", np.array([0, 1]), table=table)
+
+    def test_unknown_meter_rejected(self, tmp_path, fleet_values):
+        store = write_fleet_store(
+            tmp_path / "f.rsym", fleet_values, alphabet_size=8, window=4
+        )
+        with pytest.raises(StoreError):
+            store.indices("no-such-meter")
+
+    def test_interrupted_write_leaves_no_file_behind(self, tmp_path):
+        # Regression: a crash mid-write must not leave a truncated store at
+        # the final path (it would poison exists()-based store caches).
+        path = tmp_path / "partial.rsym"
+        with pytest.raises(RuntimeError):
+            with SymbolStoreWriter(path, alphabet_size=4) as writer:
+                writer.append("m0", np.array([0, 1, 2]))
+                raise RuntimeError("simulated crash")
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []  # temp file cleaned up too
+
+    def test_store_without_tables_cannot_decode(self, tmp_path):
+        with SymbolStoreWriter(tmp_path / "w.rsym", alphabet_size=4) as writer:
+            writer.append("m0", np.array([0, 1, 2, 3]))
+        with SymbolStore.open(tmp_path / "w.rsym") as store:
+            np.testing.assert_array_equal(
+                store.indices("m0"), np.array([0, 1, 2, 3])
+            )
+            with pytest.raises(StoreError):
+                store.decode()

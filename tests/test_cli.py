@@ -97,6 +97,56 @@ class TestCommands:
         assert "window 15 samples" in output
         assert "sampling intervals differ" in output
 
+    def test_encode_store_and_store_info(self, tmp_path, capsys, fast_args):
+        store = tmp_path / "fleet.rsym"
+        assert main(["encode", "--all", "--alphabet", "16", "--window", "900",
+                     "--store", str(store)] + fast_args) == 0
+        output = capsys.readouterr().out
+        assert "wrote" in output and "payload bytes" in output
+        assert "measured" in output and "analytic" in output
+        assert store.exists()
+        assert main(["store-info", str(store)]) == 0
+        info = capsys.readouterr().out
+        assert "layout:   dense (4 bits/symbol, alphabet 16)" in info
+        assert "bits/meter-day" in info
+
+    def test_encode_store_rle_layout(self, tmp_path, capsys, fast_args):
+        store = tmp_path / "fleet.rsym"
+        assert main(["encode", "--all", "--alphabet", "8", "--rle",
+                     "--store", str(store)] + fast_args) == 0
+        assert main(["store-info", str(store)]) == 0
+        assert "layout:   rle" in capsys.readouterr().out
+
+    def test_classify_store_writes_then_reads(self, tmp_path, capsys, fast_args):
+        base = ["classify", "--encoding", "median", "--alphabet", "4",
+                "--classifier", "naive_bayes", "--folds", "4",
+                "--store", str(tmp_path)] + fast_args
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert "wrote" in first
+        assert main(base) == 0
+        second = capsys.readouterr().out
+        assert "read" in second
+        # Identical result tables apart from the wrote/read line and timing.
+        strip = lambda text: [
+            line.rsplit(None, 2)[0] for line in text.strip().splitlines()[1:]
+        ]
+        assert strip(first) == strip(second)
+
+    def test_compression_store_column(self, tmp_path, capsys, fast_args):
+        store = tmp_path / "fleet.rsym"
+        assert main(["encode", "--all", "--alphabet", "16", "--window", "900",
+                     "--store", str(store)] + fast_args) == 0
+        capsys.readouterr()
+        assert main(["compression", "--alphabet", "16", "--window", "900",
+                     "--sampling", "300", "--store", str(store)]) == 0
+        output = capsys.readouterr().out
+        assert "measured_bits_per_day" in output and "check" in output
+
+    def test_store_info_missing_file_errors(self, capsys):
+        assert main(["store-info", "/nonexistent/fleet.rsym"]) == 1
+        assert "error:" in capsys.readouterr().err
+
     def test_classify_workers_matches_serial(self, capsys, fast_args):
         base = ["classify", "--encoding", "median", "--alphabet", "4",
                 "--classifier", "naive_bayes", "--folds", "4"] + fast_args
