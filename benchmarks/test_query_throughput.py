@@ -1,0 +1,115 @@
+"""Query-engine throughput benchmarks (``BENCH_query.json``).
+
+Extends the perf trajectory (encoding → ML → multi-core → storage) to the
+query layer: batched kNN throughput with lower-bound pruning, run-level
+pattern matching, and sidecar index builds.  CI runs this file with
+``--benchmark-json=BENCH_query.json`` and uploads it next to the other
+artifacts; each entry's ``extra_info`` carries the derived numbers
+(queries/sec, pruning ratio, candidates decoded per query, runs-vs-windows
+scan fraction).
+
+The assertions double as acceptance checks: pruned kNN must return
+bit-identical neighbour sets to brute force while decoding **< 25 %** of
+candidate columns per query on this benchmark fleet, and pattern matching
+must scan fewer elements than the expanded windows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.query import QueryConfig, QueryEngine, build_query_index
+from repro.store import write_fleet_store
+
+#: Benchmark fleet: a week of 15-minute windows for 192 meters whose
+#: consumption levels span ~3 orders of magnitude (the paper's Figure 3
+#: argument — level separates households — is what the banded histogram
+#: bound exploits).
+N_METERS = 192
+WINDOWS = 672
+ALPHABET = 16
+N_QUERIES = 64
+K = 5
+
+
+@pytest.fixture(scope="module")
+def query_store(tmp_path_factory):
+    rng = np.random.default_rng(42)
+    levels = np.exp(rng.normal(5.5, 1.2, size=N_METERS))[:, None]
+    day = 1.0 + 0.6 * np.sin(np.linspace(0, 7 * 2 * np.pi, WINDOWS))[None, :]
+    noise = rng.normal(0, 0.08, size=(N_METERS, WINDOWS))
+    values = np.abs(levels * day + noise * levels)
+    path = tmp_path_factory.mktemp("bench_query") / "fleet.rsym"
+    return write_fleet_store(
+        path, values, alphabet_size=ALPHABET, method="median", window=1,
+        shared_table=True, sampling_interval=900.0, query_index=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def query_batch(query_store):
+    """Perturbed copies of stored days — realistic near-neighbour queries."""
+    rng = np.random.default_rng(7)
+    picks = rng.choice(N_METERS, size=N_QUERIES, replace=False)
+    decoded = query_store.decode(meters=[query_store.ids[p] for p in picks])
+    return decoded * (1.0 + rng.normal(0.0, 0.02, size=decoded.shape))
+
+
+def test_knn_pruned_throughput(benchmark, query_store, query_batch):
+    """Batched kNN with the banded-histogram bound and lazy refinement."""
+    engine = QueryEngine.open(query_store.path)
+    config = QueryConfig(k=K, refine_chunk=16)
+    result = benchmark(engine.knn, query_batch, config)
+    brute = engine.brute_force_knn(query_batch, k=K)
+    np.testing.assert_array_equal(result.positions, brute.positions)
+    np.testing.assert_array_equal(result.distances, brute.distances)
+    stats = result.stats
+    assert stats.index_used
+    # Acceptance: < 25 % of candidate columns decoded per query.
+    assert stats.decoded_fraction < 0.25, (
+        f"pruning too weak: {100 * stats.decoded_fraction:.1f}% of "
+        f"candidates decoded per query"
+    )
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["n_queries"] = N_QUERIES
+    benchmark.extra_info["n_candidates"] = stats.n_candidates
+    benchmark.extra_info["queries_per_s"] = N_QUERIES / mean
+    benchmark.extra_info["candidates_decoded_per_query"] = stats.refined_per_query
+    benchmark.extra_info["decoded_fraction"] = stats.decoded_fraction
+    benchmark.extra_info["pruning_ratio"] = stats.pruned_fraction
+
+
+def test_knn_brute_force_throughput(benchmark, query_store, query_batch):
+    """The unpruned baseline the pruned entry is compared against."""
+    engine = QueryEngine.open(query_store.path)
+    result = benchmark(engine.brute_force_knn, query_batch, K)
+    assert result.stats.decoded_fraction == 1.0
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["n_queries"] = N_QUERIES
+    benchmark.extra_info["queries_per_s"] = N_QUERIES / mean
+    benchmark.extra_info["decoded_fraction"] = 1.0
+
+
+def test_pattern_match_throughput(benchmark, query_store):
+    """Run-level matching: ≥ 4 hours at the top quartile, then a low dip."""
+    engine = QueryEngine.open(query_store.path)
+    pattern = f"{ALPHABET - 4}{{4,}} * 2"
+    result = benchmark(engine.match, pattern)
+    assert result.windows_total == query_store.n_symbols
+    assert result.runs_scanned < result.windows_total
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["columns_per_s"] = N_METERS / mean
+    benchmark.extra_info["matches"] = result.total_matches
+    benchmark.extra_info["runs_scanned"] = result.runs_scanned
+    benchmark.extra_info["windows_total"] = result.windows_total
+    benchmark.extra_info["scan_fraction"] = result.scan_fraction
+
+
+def test_index_build_throughput(benchmark, query_store):
+    """One-pass sidecar construction over the whole store."""
+    index = benchmark(build_query_index, query_store)
+    assert index.n_meters == N_METERS
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["columns_per_s"] = N_METERS / mean
+    benchmark.extra_info["symbols_per_s"] = query_store.n_symbols / mean

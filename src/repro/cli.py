@@ -10,6 +10,10 @@ Usage (after ``pip install -e .``)::
     python -m repro forecast --classifier naive_bayes
     python -m repro compression --alphabet 16 --window 900 --store fleet.rsym
     python -m repro store-info fleet.rsym
+    python -m repro query index fleet.rsym
+    python -m repro query knn fleet.rsym --query-id 1 --k 5
+    python -m repro query match fleet.rsym --pattern "h{4,} * a"
+    python -m repro query agg fleet.rsym --level 8
     python -m repro export-arff --encoding median --alphabet 8 --out vectors.arff
 
 Every command works on the synthetic REDD substitute (regenerated from a seed
@@ -155,7 +159,12 @@ def _encode_fleet_store(matrix, houses, window: int, sampling: float,
         meter_ids=[house.house_id for house in houses],
         workers=args.workers,
         sampling_interval=sampling,
+        query_index=getattr(args, "query_index", False),
     )
+    if getattr(args, "query_index", False):
+        from .query import query_index_path
+
+        print(f"wrote query index {query_index_path(store.path)}")
     raw_bytes = matrix.size * matrix.itemsize
     print(f"wrote {store.path}: {store.n_meters} meters x "
           f"{int(store.counts[0])} symbols ({store.layout} layout, "
@@ -261,6 +270,7 @@ def _cmd_store_info(args: argparse.Namespace) -> int:
         print(f"tables:   {table_mode}")
         print(f"bytes:    {store.payload_nbytes} payload, "
               f"{store.file_nbytes} on disk")
+        _print_run_stats(store)
         if store.metadata:
             keys = ("kind", "method", "window", "aggregation_seconds",
                     "windows_per_day", "sampling_interval")
@@ -268,6 +278,129 @@ def _cmd_store_info(args: argparse.Namespace) -> int:
             if summary:
                 print(f"metadata: {summary}")
         _print_store_measurement(store)
+    return 0
+
+
+def _print_run_stats(store) -> None:
+    """Per-column RLE run counts and pattern-pushdown selectivity.
+
+    The mean run length is the factor by which run-level pattern matching
+    (``repro query match``) scans fewer elements than the expanded windows —
+    printed so users can predict the pushdown benefit before querying.
+    """
+    import numpy as np
+
+    run_counts = store.run_count_per_column()
+    if run_counts.size == 0 or store.n_symbols == 0:
+        return
+    total_runs = int(run_counts.sum())
+    mean_run = store.n_symbols / max(1, total_runs)
+    source = "stored" if store.layout == "rle" else "computed"
+    print(f"runs:     {total_runs} total ({source}; "
+          f"min {int(run_counts.min())} / median {int(np.median(run_counts))} / "
+          f"max {int(run_counts.max())} per column)")
+    print(f"selectivity: mean run length {mean_run:.1f} windows -> pattern "
+          f"pushdown scans {100.0 * total_runs / store.n_symbols:.1f}% of "
+          f"expanded windows ({mean_run:.1f}x fewer elements)")
+
+
+def _store_column_id(store, text: str):
+    """Resolve a CLI column-id string against a store's (possibly int) ids."""
+    if text in store._id_index:
+        return text
+    try:
+        as_int = int(text)
+    except ValueError:
+        return text
+    return as_int if as_int in store._id_index else text
+
+
+def _cmd_query_index(args: argparse.Namespace) -> int:
+    from .query import write_query_index
+    from .store import SymbolStore
+
+    with SymbolStore.open(args.path) as store:
+        path = write_query_index(store, workers=args.workers)
+        print(f"wrote {path}: {store.n_meters} columns x "
+              f"{store.alphabet_size} symbol histogram "
+              f"({path.stat().st_size} bytes)")
+    return 0
+
+
+def _cmd_query_knn(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .query import QueryConfig, QueryEngine
+
+    from .errors import QueryError
+
+    if args.query_id is None and not args.query_csv:
+        raise QueryError("pass --query-id or --query-csv to choose the query")
+    with QueryEngine.open(args.path) as engine:
+        store = engine.store
+        exclude = []
+        if args.query_id is not None:
+            query_id = _store_column_id(store, args.query_id)
+            query = store.decode(meters=[query_id])[0]
+            if not args.include_self:
+                exclude = [query_id]
+        else:
+            query = np.loadtxt(args.query_csv, delimiter=",", dtype=np.float64)
+        config = QueryConfig(
+            k=args.k, use_index=not args.no_index,
+            refine_chunk=args.refine_chunk, workers=args.workers,
+        )
+        result = engine.knn(query, config, exclude_ids=exclude)
+        many = len(result.ids) > 1  # multi-row --query-csv: label each query
+        rows = []
+        for query_row, (neighbour_ids, row_distances) in enumerate(
+            zip(result.ids, result.distances)
+        ):
+            for rank, (neighbour_id, distance) in enumerate(
+                zip(neighbour_ids, row_distances)
+            ):
+                row = {"query": query_row} if many else {}
+                row.update({"rank": rank + 1, "meter": neighbour_id,
+                            "distance": distance})
+                rows.append(row)
+        print(render_table(rows, float_digits=3))
+        stats = result.stats
+        mode = "index-pruned" if stats.index_used else "full scan"
+        print(f"{config.label()}: refined {stats.refined_per_query:.1f} of "
+              f"{stats.n_candidates} candidates/query "
+              f"({100.0 * stats.decoded_fraction:.1f}% decoded, {mode})")
+    return 0
+
+
+def _cmd_query_match(args: argparse.Namespace) -> int:
+    from .query import QueryEngine
+
+    with QueryEngine.open(args.path) as engine:
+        result = engine.match(args.pattern, workers=args.workers)
+        rows = []
+        for meter_id, spans in result.spans.items():
+            first = ", ".join(f"[{a}, {b})" for a, b in spans[:3])
+            if len(spans) > 3:
+                first += ", ..."
+            rows.append({"meter": meter_id, "matches": len(spans),
+                         "windows": first})
+        if rows:
+            print(render_table(rows))
+        print(f"pattern {args.pattern!r}: {result.total_matches} matches in "
+              f"{len(result.spans)} of {result.columns_scanned} scanned "
+              f"columns ({result.columns_skipped} skipped by index)")
+        print(f"pushdown: scanned {result.runs_scanned} runs vs "
+              f"{result.windows_total} windows "
+              f"({100.0 * result.scan_fraction:.1f}% of expanded size)")
+    return 0
+
+
+def _cmd_query_agg(args: argparse.Namespace) -> int:
+    from .query import QueryEngine
+
+    with QueryEngine.open(args.path) as engine:
+        report = engine.aggregate(level=args.level, per_day=args.per_day)
+        print(render_table(report.rows(), float_digits=2))
     return 0
 
 
@@ -313,6 +446,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "instead of printing per-house statistics")
     encode.add_argument("--rle", action="store_true",
                         help="with --store: run-length-encoded payload layout")
+    encode.add_argument("--query-index", action="store_true",
+                        help="with --store: also write the .rsymx sidecar "
+                             "used by 'repro query knn' for pruning")
     _add_workers_argument(encode)
     encode.set_defaults(handler=_cmd_encode)
 
@@ -354,6 +490,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     store_info.add_argument("path", type=str, help="path to the .rsym file")
     store_info.set_defaults(handler=_cmd_store_info)
+
+    query = subparsers.add_parser(
+        "query", help="similarity / pattern / aggregation queries over a store"
+    )
+    query_commands = query.add_subparsers(dest="query_command", required=True)
+
+    query_index = query_commands.add_parser(
+        "index", help="build the .rsymx pruning sidecar for a store"
+    )
+    query_index.add_argument("path", type=str, help="path to the .rsym file")
+    _add_workers_argument(query_index)
+    query_index.set_defaults(handler=_cmd_query_index)
+
+    knn = query_commands.add_parser(
+        "knn", help="exact k-nearest-columns with lower-bound pruning"
+    )
+    knn.add_argument("path", type=str, help="path to the .rsym file")
+    knn.add_argument("--query-id", type=str, default=None,
+                     help="use this stored column's decoded values as the query")
+    knn.add_argument("--query-csv", type=str, default="",
+                     help="comma-separated query values (one per window)")
+    knn.add_argument("--k", type=int, default=5)
+    knn.add_argument("--no-index", action="store_true",
+                     help="skip histogram pruning (decode every candidate)")
+    knn.add_argument("--refine-chunk", type=int, default=16,
+                     help="candidates unpacked per refine round")
+    knn.add_argument("--include-self", action="store_true",
+                     help="with --query-id: keep the query column itself "
+                          "in the candidate set")
+    _add_workers_argument(knn)
+    knn.set_defaults(handler=_cmd_query_knn)
+
+    match = query_commands.add_parser(
+        "match", help="run-level symbol pattern matching (e.g. \"h{4,} * a\")"
+    )
+    match.add_argument("path", type=str, help="path to the .rsym file")
+    match.add_argument("--pattern", type=str, required=True,
+                       help="pattern tokens: letter/index with optional "
+                            "{min}/{min,}/{min,max} run bounds, '*' for gaps")
+    _add_workers_argument(match)
+    match.set_defaults(handler=_cmd_query_match)
+
+    agg = query_commands.add_parser(
+        "agg", help="per-meter symbol statistics pushed down to the store"
+    )
+    agg.add_argument("path", type=str, help="path to the .rsym file")
+    agg.add_argument("--level", type=int, default=None,
+                     help="duty-cycle threshold symbol (default: k/2)")
+    agg.add_argument("--per-day", action="store_true",
+                     help="add per-day peak levels (needs windows_per_day)")
+    agg.set_defaults(handler=_cmd_query_agg)
 
     export = subparsers.add_parser("export-arff", help="export day vectors as ARFF (Weka)")
     _add_dataset_arguments(export)

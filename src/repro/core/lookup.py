@@ -116,6 +116,35 @@ class LookupTable:
             table = table.with_mean_reconstruction(data)
         return table
 
+    @classmethod
+    def from_breakpoints(
+        cls, breakpoints: Union[Sequence[float], np.ndarray]
+    ) -> "LookupTable":
+        """Build a table straight from a breakpoint (separator) vector.
+
+        This is the bridge between the SAX lineage and the paper's tables:
+        ``from_breakpoints(gaussian_breakpoints(k))`` yields a table whose
+        :meth:`breakpoints` equal the SAX breakpoint table, so the query
+        engine's MINDIST kernels treat both encoders identically.  Unlike the
+        default constructor — whose range centres assume the paper's
+        non-negative power values — reconstruction values here are the true
+        interval centres even for negative breakpoints (outer ranges mirror
+        the adjacent interval width), so every reconstruction value lies
+        inside its symbol's range and MINDIST stays a valid lower bound.
+        The alphabet size ``len(breakpoints) + 1`` must be a power of two.
+        """
+        beta = [float(b) for b in breakpoints]
+        if not beta:
+            raise LookupTableError("at least one breakpoint is required")
+        inner = beta[1] - beta[0] if len(beta) >= 2 else 1.0
+        width = inner if inner > 0.0 else 1.0
+        last = beta[-1] - beta[-2] if len(beta) >= 2 else 1.0
+        last = last if last > 0.0 else 1.0
+        lows = [beta[0] - width] + beta
+        highs = beta + [beta[-1] + last]
+        recon = [(lo + hi) / 2.0 for lo, hi in zip(lows, highs)]
+        return cls(BinaryAlphabet(len(beta) + 1), beta, recon)
+
     def with_mean_reconstruction(
         self, data: Union[TimeSeries, Sequence[float], np.ndarray]
     ) -> "LookupTable":
@@ -163,6 +192,18 @@ class LookupTable:
     @property
     def separator_array(self) -> np.ndarray:
         """The separators as a cached read-only ``float64`` array."""
+        return self._separator_array
+
+    def breakpoints(self) -> np.ndarray:
+        """The separator vector as a MINDIST breakpoint table.
+
+        The ``k - 1`` separators ``B`` are exactly the breakpoints the
+        SAX/iSAX lower-bounding distance is defined over (symbol ``j`` covers
+        ``(beta[j-1], beta[j]]``), so the query kernels consume this vector
+        for the paper's encoder and :func:`repro.baselines.sax.gaussian_breakpoints`
+        for the baselines through one interface.  Returns the cached
+        read-only ``float64`` array — do not mutate.
+        """
         return self._separator_array
 
     @property

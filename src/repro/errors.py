@@ -42,3 +42,7 @@ class ExperimentError(ReproError):
 
 class StoreError(ReproError):
     """Raised when a symbol store file is malformed or used inconsistently."""
+
+
+class QueryError(ReproError):
+    """Raised when a store query is invalid (mismatched tables, bad pattern...)."""

@@ -1,0 +1,70 @@
+"""Indexed similarity search and symbolic queries over ``.rsym`` stores.
+
+The paper's case for symbolic smart-meter data is that the symbols stay
+*useful*: classification, forecasting and — via the SAX/iSAX lineage it
+builds on — similarity search all run on the compressed representation.
+``repro.query`` closes that loop for the on-disk stores of PR 4: a
+:class:`QueryEngine` answers kNN, pattern and aggregation queries over a
+store without decoding it wholesale.
+
+:mod:`repro.query.distance`
+    Vectorized MINDIST-style lower-bound kernels over any breakpoint table
+    (:meth:`LookupTable.breakpoints` or the SAX Gaussian breakpoints).
+
+:mod:`repro.query.index`
+    The ``.rsymx`` sidecar (:class:`QueryIndex`): per-column symbol
+    histograms + first/min/max symbols, the pruning tier that rejects
+    candidates before any payload bytes are read.
+
+:mod:`repro.query.engine`
+    :class:`QueryEngine` / :class:`QueryConfig`: exact kNN with lower-bound
+    pruning and lazy refinement (bit-identical to brute force, for every
+    worker count), plus the pattern/aggregation entry points.
+
+:mod:`repro.query.patterns`
+    Run-level symbol pattern matching (``"c{4,} * a"``) pushed down to RLE
+    payloads without expanding runs.
+
+:mod:`repro.query.aggregate`
+    Per-meter / per-day aggregation pushdown (symbol counts, peak levels,
+    duty cycles) from packed or run-encoded columns.
+"""
+
+from .aggregate import AggregateReport, aggregate_store
+from .distance import breakpoints_of, cell_bounds, mindist, value_cell_bounds
+from .engine import (
+    KNNResult,
+    KNNStats,
+    QueryConfig,
+    QueryEngine,
+    resolve_shared_table,
+)
+from .index import (
+    QueryIndex,
+    build_query_index,
+    query_index_path,
+    write_query_index,
+)
+from .patterns import PatternMatches, PatternToken, SymbolPattern, match_runs
+
+__all__ = [
+    "AggregateReport",
+    "KNNResult",
+    "KNNStats",
+    "PatternMatches",
+    "PatternToken",
+    "QueryConfig",
+    "QueryEngine",
+    "QueryIndex",
+    "SymbolPattern",
+    "aggregate_store",
+    "breakpoints_of",
+    "build_query_index",
+    "cell_bounds",
+    "match_runs",
+    "mindist",
+    "query_index_path",
+    "resolve_shared_table",
+    "value_cell_bounds",
+    "write_query_index",
+]

@@ -1,0 +1,134 @@
+"""Aggregation pushdown: per-meter / per-day statistics from symbols.
+
+These aggregates never decode symbols back to watts: symbol counts, peak
+levels and duty cycles are computed from the packed index matrix or — for
+RLE columns — straight from run values weighted by run lengths, the same
+arrays the store keeps on disk.  Per-day variants reshape by the store's
+``windows_per_day`` metadata, answering "which meters ran >= 6 hours at the
+top level on day 3?" without rebuilding a :class:`FleetEncoder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import QueryError
+from ..store.format import SymbolStore
+from .index import QueryIndex, _shard_stats
+
+__all__ = ["AggregateReport", "aggregate_store"]
+
+
+@dataclass
+class AggregateReport:
+    """Per-column symbol statistics (optionally per day).
+
+    ``duty_cycle`` is the fraction of windows at or above ``level``;
+    ``mean_run_length`` is the pushdown-selectivity figure — how many
+    windows one run covers on average.
+    """
+
+    ids: List
+    level: int
+    symbol_counts: np.ndarray          # (N, k)
+    peak_level: np.ndarray             # (N,)
+    duty_cycle: np.ndarray             # (N,)
+    run_count: np.ndarray              # (N,)
+    mean_run_length: np.ndarray        # (N,)
+    daily_peak: Optional[np.ndarray] = None   # (N, days)
+    daily_duty: Optional[np.ndarray] = None   # (N, days)
+
+    def rows(self) -> List[Dict]:
+        """Rows for :func:`repro.experiments.render_table`."""
+        out = []
+        for i, column_id in enumerate(self.ids):
+            row = {
+                "meter": column_id,
+                "windows": int(self.symbol_counts[i].sum()),
+                "runs": int(self.run_count[i]),
+                "mean_run": float(self.mean_run_length[i]),
+                "peak_level": int(self.peak_level[i]),
+                f"duty>={self.level}": float(self.duty_cycle[i]),
+            }
+            if self.daily_peak is not None:
+                row["max_daily_peak"] = int(self.daily_peak[i].max(initial=0))
+            out.append(row)
+        return out
+
+
+def aggregate_store(
+    store: SymbolStore,
+    meters: Optional[Sequence] = None,
+    level: Optional[int] = None,
+    per_day: bool = False,
+    index: Optional[QueryIndex] = None,
+) -> AggregateReport:
+    """Compute the pushdown aggregates for ``meters`` (default: all).
+
+    A matching :class:`QueryIndex` supplies histograms and peaks without a
+    payload pass; otherwise one shard scan computes them (runs-weighted for
+    RLE columns, vectorized unpack for dense).  ``per_day`` requires the
+    store's ``windows_per_day`` metadata and equal column lengths.
+    """
+    k = store.alphabet_size
+    level = k // 2 if level is None else int(level)
+    if not 0 <= level < k:
+        raise QueryError(f"level must be in [0, {k}), got {level}")
+    ids = list(store.ids) if meters is None else list(meters)
+    columns = store._resolve_meters(meters)
+    if index is not None:
+        index.check_store(store)
+        hist = index.histograms[columns]
+        peaks = index.max_symbols[columns]
+    elif meters is None:
+        banded, _, _, peaks = _shard_stats(store, 0, store.n_meters, 1)
+        hist = banded[:, 0, :]
+    else:
+        parts = [_shard_stats(store, c, c + 1, 1) for c in columns]
+        hist = np.vstack([p[0][:, 0, :] for p in parts])
+        peaks = np.concatenate([p[3] for p in parts])
+    windows = hist.sum(axis=1)
+    with np.errstate(invalid="ignore"):
+        duty = np.where(windows > 0, hist[:, level:].sum(axis=1) / np.maximum(windows, 1), 0.0)
+    if meters is None:
+        run_count = store.run_count_per_column()
+    elif store.layout == "rle":
+        run_count = store.run_counts[columns]
+    else:
+        run_count = np.asarray(
+            [store.runs(store.ids[c])[0].size for c in columns],
+            dtype=np.int64,
+        )
+    mean_run = np.where(run_count > 0, windows / np.maximum(run_count, 1), 0.0)
+    report = AggregateReport(
+        ids=ids,
+        level=level,
+        symbol_counts=hist,
+        peak_level=peaks,
+        duty_cycle=duty,
+        run_count=np.asarray(run_count, dtype=np.int64),
+        mean_run_length=mean_run,
+    )
+    if per_day:
+        per = store.metadata.get("windows_per_day")
+        if not per:
+            raise QueryError(
+                f"{store.path.name} has no windows_per_day metadata; "
+                "per-day aggregation needs it (write the store with "
+                "sampling_interval set)"
+            )
+        matrix = store.matrix(meters=None if meters is None else ids)
+        width = matrix.shape[1]
+        days = width // int(per)
+        if days == 0:
+            raise QueryError(
+                f"columns hold {width} windows, fewer than one "
+                f"{per}-window day"
+            )
+        trimmed = matrix[:, : days * int(per)].reshape(len(columns), days, int(per))
+        report.daily_peak = trimmed.max(axis=2)
+        report.daily_duty = (trimmed >= level).mean(axis=2)
+    return report

@@ -1,0 +1,139 @@
+"""Vectorized MINDIST-style lower-bound distance kernels (Lin et al. 2007).
+
+The SAX lineage prunes similarity searches with a *lower-bounding* distance
+computed on symbols alone: symbol ``j`` covers the value range
+``(beta[j-1], beta[j]]`` of its breakpoint table, so the distance between two
+symbols is at least the gap between their ranges — zero for adjacent or
+equal symbols.  The same construction applies verbatim to the paper's
+:class:`~repro.core.lookup.LookupTable`, whose separators *are* a breakpoint
+table (:meth:`LookupTable.breakpoints`), and to the SAX/iSAX Gaussian
+breakpoints — one kernel serves every encoder in this repo.
+
+All kernels are pure array transforms over a breakpoint vector:
+
+:func:`cell_bounds`
+    The ``(k, k)`` matrix of per-symbol-pair lower bounds (the "cell"
+    function of the SAX MINDIST definition), built with one broadcast.
+
+:func:`mindist`
+    The lower-bounding distance between symbol words, vectorized over any
+    batch of candidate words — equal to :func:`repro.baselines.sax.mindist`
+    for Gaussian breakpoints (pinned by ``tests/query/test_distance.py``).
+
+:func:`value_cell_bounds`
+    Per-(position, symbol) lower bounds for a *raw-valued* query against
+    symbol ranges — valid even when reconstruction values are unknown
+    (e.g. a store shipped without them).  The kNN engine itself bounds
+    against the *known* reconstruction values instead (tighter), so this
+    kernel is the range-only fallback of the same family.
+
+The bounds hold against the decoded reconstruction values whenever each
+symbol's reconstruction value lies inside its range, which is true for
+tables fit on the paper's non-negative power data and for
+:meth:`LookupTable.from_breakpoints` tables (property-tested across alphabet
+sizes in ``tests/query/``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.lookup import LookupTable
+from ..errors import QueryError
+
+__all__ = [
+    "breakpoints_of",
+    "cell_bounds",
+    "mindist",
+    "value_cell_bounds",
+]
+
+
+def breakpoints_of(
+    table_or_breakpoints: Union[LookupTable, Sequence[float], np.ndarray],
+) -> np.ndarray:
+    """Normalise a table or raw vector into a ``float64`` breakpoint array."""
+    if isinstance(table_or_breakpoints, LookupTable):
+        return table_or_breakpoints.breakpoints()
+    beta = np.asarray(table_or_breakpoints, dtype=np.float64).ravel()
+    if beta.size == 0:
+        raise QueryError("a breakpoint table needs at least one breakpoint")
+    if np.any(np.diff(beta) < 0):
+        raise QueryError("breakpoints must be non-decreasing")
+    return beta
+
+
+def cell_bounds(
+    table_or_breakpoints: Union[LookupTable, Sequence[float], np.ndarray],
+) -> np.ndarray:
+    """``(k, k)`` lower-bound matrix between symbol pairs.
+
+    ``cell[i, j] = beta[max(i,j) - 1] - beta[min(i,j)]`` when ``|i - j| > 1``
+    and ``0`` otherwise — the SAX MINDIST cell function, computed for every
+    pair with one broadcast.  Entry ``(i, j)`` lower-bounds ``|x - y|`` for
+    any values ``x`` in symbol ``i``'s range and ``y`` in symbol ``j``'s.
+    """
+    beta = breakpoints_of(table_or_breakpoints)
+    # Range edges: symbol s covers (low[s], high[s]] with unbounded ends.
+    low = np.concatenate([[-np.inf], beta])
+    high = np.concatenate([beta, [np.inf]])
+    gap = low[None, :] - high[:, None]  # gap[i, j] = low[j] - high[i]
+    return np.maximum(0.0, np.maximum(gap, gap.T))
+
+
+def mindist(
+    a: np.ndarray,
+    b: np.ndarray,
+    table_or_breakpoints: Union[LookupTable, Sequence[float], np.ndarray],
+    original_length: Optional[int] = None,
+) -> np.ndarray:
+    """Lower-bounding distance between symbol-index words, vectorized.
+
+    ``a`` and ``b`` are index arrays whose trailing axis is the word; leading
+    axes broadcast, so one query word against ``(C, T)`` candidates is a
+    single call.  ``original_length`` applies the SAX PAA compensation factor
+    ``sqrt(n / w)`` (leave ``None`` for words at full resolution, e.g. the
+    store's window columns).  Returns a scalar for two 1-D words.
+    """
+    cells = cell_bounds(table_or_breakpoints)
+    k = cells.shape[0]
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if a.shape[-1] != b.shape[-1]:
+        raise QueryError(
+            f"words must have equal length, got {a.shape[-1]} and {b.shape[-1]}"
+        )
+    for word in (a, b):
+        if word.size and (word.min() < 0 or word.max() >= k):
+            raise QueryError(
+                f"symbol indices out of range for alphabet of size {k}"
+            )
+    squared = np.sum(cells[a, b] ** 2, axis=-1)
+    length = a.shape[-1]
+    scale = 1.0 if original_length is None else np.sqrt(original_length / length)
+    out = scale * np.sqrt(squared)
+    return float(out) if np.ndim(out) == 0 else out
+
+
+def value_cell_bounds(
+    values: np.ndarray,
+    table_or_breakpoints: Union[LookupTable, Sequence[float], np.ndarray],
+) -> np.ndarray:
+    """Per-(position, symbol) lower bounds for raw query values.
+
+    For each query value ``v`` and symbol ``s``, the returned entry
+    lower-bounds ``|v - y|`` for any ``y`` in ``s``'s range: the distance
+    from ``v`` to the range, zero when ``v`` falls inside it.  Shape is
+    ``values.shape + (k,)``.  This bounds without knowing reconstruction
+    values; the kNN engine, which does know them, uses the exact
+    ``(v - reconstruction)^2`` cells instead.
+    """
+    beta = breakpoints_of(table_or_breakpoints)
+    arr = np.asarray(values, dtype=np.float64)
+    low = np.concatenate([[-np.inf], beta])
+    high = np.concatenate([beta, [np.inf]])
+    below = low - arr[..., None]   # positive when v is below the range
+    above = arr[..., None] - high  # positive when v is above the range
+    return np.maximum(0.0, np.maximum(below, above))

@@ -1,0 +1,523 @@
+"""The query engine: exact kNN with lower-bound pruning over ``.rsym`` stores.
+
+:class:`QueryEngine` treats a store as a servable database of symbol columns
+(meters of a fleet store, (house, day) rows of a day-vector store).  Its
+kNN search is *exact* — results are bit-identical to brute force, pinned by
+``tests/query/test_knn.py`` — but it touches as few payload bytes as it can:
+
+1. **Index tier** — the :class:`~repro.query.index.QueryIndex` histograms
+   give a position-free lower bound on every candidate's distance with one
+   matrix product per query batch (``minpos @ hist.T``): each window with
+   symbol ``s`` contributes at least ``min_t bound(q_t, s)^2``.  No payload
+   bytes are read.
+2. **Refine tier** — candidates are visited in lower-bound order in small
+   chunks; each chunk's columns are lazily unpacked and their exact
+   distances (query vs. decoded reconstruction values) computed with one
+   gather.  The scan stops when the best unseen lower bound exceeds the
+   current k-th distance — with a one-sided ``1 + 1e-9`` safety margin so
+   float rounding in the bound can only cause extra refinement, never a
+   missed neighbour.
+
+Distances are Euclidean between the raw query vector and each column's
+*reconstruction* (what ``SymbolStore.decode`` returns) — the only real-valued
+ground truth a symbolised fleet has.  Stores carrying genuinely different
+per-meter tables are refused with :class:`~repro.errors.QueryError`: symbol
+``3`` of meter A and symbol ``3`` of meter B then denote different watt
+ranges, and any single-table distance would be nonsense.  Stores whose
+per-column/by-label tables are all *equal* (e.g. day-vector stores written
+with ``global_table=True``) are transparently re-normalised to that one
+shared table.
+
+``workers > 1`` shards the query axis through
+:class:`~repro.parallel.ParallelExecutor` (task-ordered merge); per-query
+work is independent, so results are bit-identical for every worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.lookup import LookupTable
+from ..errors import QueryError
+from ..store.format import SymbolStore
+from .aggregate import AggregateReport, aggregate_store
+from .index import QueryIndex, build_query_index, query_index_path
+from .patterns import PatternMatches, SymbolPattern, match_runs
+
+__all__ = [
+    "QueryConfig",
+    "KNNStats",
+    "KNNResult",
+    "QueryEngine",
+    "resolve_shared_table",
+]
+
+#: One-sided slack on the pruning bound: float rounding in the histogram
+#: matrix product may lift a lower bound a few ulps above the true distance
+#: on exact ties; the margin turns that into (at most) extra refinement.
+_PRUNE_SLACK = 1e-9
+
+
+@dataclass(frozen=True)
+class QueryConfig:
+    """Tunables of one kNN workload (the query analogue of DayVectorConfig).
+
+    ``refine_chunk`` is the number of candidates unpacked per refine round —
+    small enough that the k-th-distance cutoff engages early, large enough
+    that each round is one vectorized gather.
+    """
+
+    k: int = 5
+    use_index: bool = True
+    refine_chunk: int = 16
+    workers: int = 1
+
+    def label(self) -> str:
+        """Readable label such as ``"knn k=5 indexed w2"``."""
+        mode = "indexed" if self.use_index else "scan"
+        return f"knn k={self.k} {mode} w{self.workers}"
+
+
+@dataclass
+class KNNStats:
+    """Work accounting for one kNN batch (the pruning-ratio evidence)."""
+
+    n_queries: int
+    n_candidates: int
+    refined: int
+    index_used: bool
+
+    @property
+    def refined_per_query(self) -> float:
+        """Mean candidates exact-refined (columns decoded) per query."""
+        return self.refined / self.n_queries if self.n_queries else 0.0
+
+    @property
+    def decoded_fraction(self) -> float:
+        """Fraction of candidate columns decoded per query (1.0 = brute force)."""
+        total = self.n_queries * self.n_candidates
+        return self.refined / total if total else 0.0
+
+    @property
+    def pruned_fraction(self) -> float:
+        return 1.0 - self.decoded_fraction
+
+
+class KNNResult(NamedTuple):
+    """``ids[q][j]`` / ``distances[q, j]`` are query ``q``'s j-th neighbour."""
+
+    positions: np.ndarray      # (Q, k) column positions in the store
+    ids: List[List]            # (Q, k) store column ids
+    distances: np.ndarray      # (Q, k) Euclidean distances, ascending
+    stats: KNNStats
+
+
+def resolve_shared_table(store: SymbolStore) -> LookupTable:
+    """The one table all of ``store``'s columns share, or a loud refusal.
+
+    Per-column and by-label table sets collapse to a single table when all
+    entries are equal (the re-normalisation path); genuinely distinct tables
+    raise :class:`QueryError` because cross-column symbol distances would be
+    meaningless.
+    """
+    tables = store.tables
+    if tables is None:
+        raise QueryError(
+            f"{store.path.name} carries no lookup tables; distance queries "
+            "need the serialized table to derive breakpoints"
+        )
+    if isinstance(tables, LookupTable):
+        return tables
+    pool = list(tables.values()) if isinstance(tables, dict) else list(tables)
+    if not pool:
+        raise QueryError(f"{store.path.name} has an empty table payload")
+    head = pool[0]
+    if all(table == head for table in pool[1:]):
+        return head
+    raise QueryError(
+        f"{store.path.name} carries {len(pool)} distinct per-meter lookup "
+        "tables: the same symbol index maps to different watt ranges on "
+        "different columns, so cross-column distances would be nonsense. "
+        "Re-encode the fleet with a shared table "
+        "(write_fleet_store(..., shared_table=True) or encode --all "
+        "--global-table) to make it searchable."
+    )
+
+
+def _exact_d2(cells: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Row-wise squared distances by gathering per-(position, symbol) cells.
+
+    ``cells`` is ``(T, k)`` squared distances from the query to every
+    symbol's reconstruction value; ``matrix`` is ``(C, T)`` candidate symbol
+    indices.  Both the pruned and the brute-force path call this exact
+    expression on row-contiguous chunks, which is what makes their float
+    results identical bit for bit.
+    """
+    T = cells.shape[0]
+    return cells[np.arange(T)[None, :], matrix].sum(axis=1)
+
+
+def _knn_block(
+    store: SymbolStore,
+    table: LookupTable,
+    index: "Optional[QueryIndex]",
+    queries: np.ndarray,
+    k: int,
+    refine_chunk: int,
+    exclude: np.ndarray,
+) -> tuple:
+    """Serial kNN for one block of queries; the unit workers execute.
+
+    Returns ``(positions, distances, refined)`` with ``positions`` of shape
+    ``(len(queries), kk)`` where ``kk = min(k, candidates)``.
+    """
+    counts = store.counts
+    if counts.size == 0:
+        raise QueryError(f"{store.path.name} is empty")
+    if np.any(counts != counts[0]):
+        raise QueryError(
+            "kNN needs equal-length columns; this store's columns hold "
+            "different symbol counts"
+        )
+    T = int(counts[0])
+    if T == 0:
+        raise QueryError("cannot search zero-length columns")
+    recon = table.reconstruction_array
+    candidates = np.setdiff1d(
+        np.arange(store.n_meters, dtype=np.int64), exclude
+    )
+    if candidates.size == 0:
+        raise QueryError("every column was excluded; nothing to search")
+    kk = min(int(k), candidates.size)
+    refine_chunk = max(1, int(refine_chunk))
+    positions = np.empty((queries.shape[0], kk), dtype=np.int64)
+    distances = np.empty((queries.shape[0], kk), dtype=np.float64)
+    refined_total = 0
+    cache: Dict[int, np.ndarray] = {}
+
+    def column_row(position: int) -> np.ndarray:
+        row = cache.get(position)
+        if row is None:
+            row = store.indices(store.ids[position])
+            cache[position] = row
+        return row
+
+    if index is not None:
+        bands = index.bands_for(T)
+        n_bands = index.n_bands
+        # Candidates' banded histograms, flattened once for the whole block:
+        # the per-query bound is then a single matrix-vector product.
+        banded = index.band_histograms[candidates].reshape(
+            candidates.size, n_bands * recon.size
+        ).astype(np.float64)
+    for qi, query in enumerate(queries):
+        cells = (query[:, None] - recon[None, :]) ** 2  # (T, k)
+        if index is not None:
+            # min of each (band, symbol) cell over the band's positions: a
+            # window holding symbol s in band b contributes at least this.
+            band_min = np.full((n_bands, recon.size), np.inf)
+            np.minimum.at(band_min, bands, cells)
+            band_min[~np.isfinite(band_min)] = 0.0  # empty bands count 0
+            lb2 = banded @ band_min.ravel()
+        else:
+            lb2 = np.zeros(candidates.size, dtype=np.float64)
+        order = np.argsort(lb2, kind="stable")
+        refined_cols = np.zeros(0, dtype=np.int64)
+        refined_d2 = np.zeros(0, dtype=np.float64)
+        kth2 = np.inf
+        at = 0
+        while at < order.size:
+            if refined_cols.size >= kk and lb2[order[at]] > kth2 * (1.0 + _PRUNE_SLACK):
+                break
+            chunk = order[at: at + refine_chunk]
+            at += refine_chunk
+            cols = candidates[chunk]
+            matrix = np.vstack([column_row(int(c)) for c in cols])
+            d2 = _exact_d2(cells, matrix)
+            refined_cols = np.concatenate([refined_cols, cols])
+            refined_d2 = np.concatenate([refined_d2, d2])
+            if refined_cols.size >= kk:
+                kth2 = np.partition(refined_d2, kk - 1)[kk - 1]
+        refined_total += refined_cols.size
+        best = np.lexsort((refined_cols, refined_d2))[:kk]
+        positions[qi] = refined_cols[best]
+        distances[qi] = np.sqrt(refined_d2[best])
+    return positions, distances, refined_total
+
+
+class QueryEngine:
+    """Similarity search, pattern matching and aggregation over one store."""
+
+    def __init__(
+        self,
+        store: SymbolStore,
+        index: Optional[QueryIndex] = None,
+    ) -> None:
+        self.store = store
+        if index is not None:
+            index.check_store(store)
+        self._index = index
+        self._table: Optional[LookupTable] = None
+
+    @classmethod
+    def open(
+        cls, path: Union[str, Path], mmap: bool = True
+    ) -> "QueryEngine":
+        """Open a store and its ``.rsymx`` sidecar when one is present."""
+        store = SymbolStore.open(path, mmap=mmap)
+        sidecar = query_index_path(store.path)
+        index = QueryIndex.open(sidecar) if sidecar.exists() else None
+        if index is not None:
+            index.check_store(store)
+        return cls(store, index=index)
+
+    @property
+    def table(self) -> LookupTable:
+        """The shared lookup table (resolved once, refusal cached)."""
+        if self._table is None:
+            self._table = resolve_shared_table(self.store)
+        return self._table
+
+    def index(self, build: bool = True) -> Optional[QueryIndex]:
+        """The query index: the sidecar's, or one built in memory."""
+        if self._index is None and build:
+            self._index = build_query_index(self.store)
+        return self._index
+
+    # -- kNN ---------------------------------------------------------------------
+
+    def knn(
+        self,
+        queries: np.ndarray,
+        config: QueryConfig = QueryConfig(),
+        exclude_ids: Sequence = (),
+    ) -> KNNResult:
+        """Exact k-nearest-columns for a batch of raw-valued query vectors.
+
+        ``queries`` is ``(Q, T)`` (or one ``(T,)`` vector) of real values at
+        the store's window resolution.  Neighbours are ordered by
+        ``(distance, column position)``, so ties break deterministically and
+        the result is identical to :meth:`brute_force_knn` for every
+        ``workers``/pruning configuration.
+        """
+        table = self.table
+        queries = self._check_queries(queries)
+        exclude = self._exclude_positions(exclude_ids)
+        index = None
+        if config.use_index:
+            index = self.index(build=True)
+            index.check_store(self.store)
+        n_candidates = self.store.n_meters - exclude.size
+        if config.workers == 1 or queries.shape[0] <= 1:
+            positions, distances, refined = _knn_block(
+                self.store, table, index, queries,
+                config.k, config.refine_chunk, exclude,
+            )
+        else:
+            positions, distances, refined = self._knn_sharded(
+                queries, config, index, exclude
+            )
+        ids = [[self.store.ids[p] for p in row] for row in positions]
+        stats = KNNStats(
+            n_queries=queries.shape[0],
+            n_candidates=n_candidates,
+            refined=refined,
+            index_used=index is not None,
+        )
+        return KNNResult(positions, ids, distances, stats)
+
+    def brute_force_knn(
+        self,
+        queries: np.ndarray,
+        k: int = 5,
+        exclude_ids: Sequence = (),
+    ) -> KNNResult:
+        """Reference exact search: decode every candidate, no pruning."""
+        result = self.knn(
+            queries,
+            QueryConfig(
+                k=k, use_index=False,
+                refine_chunk=max(1, self.store.n_meters),
+            ),
+            exclude_ids=exclude_ids,
+        )
+        return result
+
+    def _knn_sharded(self, queries, config: QueryConfig, index, exclude):
+        from ..parallel.executor import ParallelExecutor, resolve_workers
+        from ..parallel.worker import KNNShardTask, run_knn_shard
+
+        workers = resolve_workers(config.workers)
+        bounds = np.array_split(
+            np.arange(queries.shape[0]), min(workers, queries.shape[0])
+        )
+        tasks = [
+            KNNShardTask(
+                store_path=str(self.store.path),
+                queries=queries[idx[0]: idx[-1] + 1],
+                k=config.k,
+                refine_chunk=config.refine_chunk,
+                index=index,
+                exclude=exclude,
+            )
+            for idx in bounds if idx.size
+        ]
+        with ParallelExecutor(workers) as executor:
+            outcomes = executor.map(run_knn_shard, tasks)
+        positions = np.vstack([o[0] for o in outcomes])
+        distances = np.vstack([o[1] for o in outcomes])
+        refined = sum(o[2] for o in outcomes)
+        return positions, distances, refined
+
+    def _check_queries(self, queries) -> np.ndarray:
+        arr = np.asarray(queries, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.ndim != 2:
+            raise QueryError(
+                f"queries must be (Q, windows) or (windows,), got {arr.shape}"
+            )
+        counts = self.store.counts
+        if counts.size and arr.shape[1] != int(counts[0]):
+            raise QueryError(
+                f"query length {arr.shape[1]} != column length {int(counts[0])}"
+            )
+        if np.any(np.isnan(arr)):
+            raise QueryError("queries must not contain NaN")
+        return arr
+
+    def _exclude_positions(self, exclude_ids: Sequence) -> np.ndarray:
+        return np.unique(
+            np.asarray(
+                [self.store._column(i) for i in exclude_ids], dtype=np.int64
+            )
+        )
+
+    # -- symbolic lower bounds ----------------------------------------------------
+
+    def mindist_columns(self, id_a, id_b) -> float:
+        """Symbol-level MINDIST between two stored columns.
+
+        A lower bound on the Euclidean distance between their decoded
+        reconstructions — computable from packed symbols and the shared
+        table's breakpoints alone (the property
+        ``mindist <= exact`` is pinned in ``tests/query/``).
+        """
+        from .distance import mindist
+
+        return float(mindist(
+            self.store.indices(id_a), self.store.indices(id_b),
+            self.table,
+        ))
+
+    # -- pattern matching ---------------------------------------------------------
+
+    def match(
+        self,
+        pattern: Union[str, SymbolPattern],
+        meters: Optional[Sequence] = None,
+        workers: int = 1,
+        use_index: bool = True,
+    ) -> PatternMatches:
+        """Match a symbol pattern against columns at run granularity.
+
+        The histogram prefilter (when an index is available) skips columns
+        that lack the pattern's symbols before touching payload bytes;
+        matching itself runs on RLE run arrays without expansion.
+        """
+        if isinstance(pattern, str):
+            pattern = SymbolPattern.parse(pattern, self.store.alphabet_size)
+        needed = pattern.min_symbol_counts(self.store.alphabet_size)
+        columns = self.store._resolve_meters(meters)
+        skip = np.zeros(len(columns), dtype=bool)
+        if use_index and self._index is not None:
+            self._index.check_store(self.store)
+            hist = self._index.histograms[columns]
+            skip = np.any(hist < needed[None, :], axis=1)
+        result = PatternMatches(pattern=pattern.text or repr(pattern))
+        result.windows_total = int(self.store.counts[columns].sum())
+        result.columns_skipped = int(skip.sum())
+        survivors = [c for c, skipped in zip(columns, skip) if not skipped]
+        if workers == 1 or len(survivors) <= 1:
+            blocks = [self._match_block(pattern, survivors)]
+        else:
+            blocks = self._match_sharded(pattern, survivors, workers)
+        for spans, runs_scanned, scanned in blocks:
+            result.spans.update(spans)
+            result.runs_scanned += runs_scanned
+            result.columns_scanned += scanned
+        return result
+
+    def _match_block(self, pattern: SymbolPattern, columns: List[int]) -> tuple:
+        return _match_columns(self.store, pattern, columns)
+
+    def _match_sharded(self, pattern: SymbolPattern, columns: List[int], workers: int):
+        from ..parallel.executor import ParallelExecutor, resolve_workers
+        from ..parallel.worker import MatchShardTask, run_match_shard
+
+        workers = resolve_workers(workers)
+        bounds = np.array_split(
+            np.arange(len(columns)), min(workers, len(columns))
+        )
+        tasks = [
+            MatchShardTask(
+                store_path=str(self.store.path),
+                tokens=pattern.tokens,
+                columns=tuple(columns[int(idx[0]): int(idx[-1]) + 1]),
+            )
+            for idx in bounds if idx.size
+        ]
+        with ParallelExecutor(workers) as executor:
+            return executor.map(run_match_shard, tasks)
+
+    # -- aggregation --------------------------------------------------------------
+
+    def aggregate(
+        self,
+        meters: Optional[Sequence] = None,
+        level: Optional[int] = None,
+        per_day: bool = False,
+    ) -> AggregateReport:
+        """Aggregation pushdown (see :func:`repro.query.aggregate_store`)."""
+        return aggregate_store(
+            self.store, meters=meters, level=level, per_day=per_day,
+            index=self._index,
+        )
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        self.store.close()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        indexed = "indexed" if self._index is not None else "no index"
+        return (
+            f"QueryEngine({self.store.path.name!r}, "
+            f"columns={self.store.n_meters}, {indexed})"
+        )
+
+
+def _match_columns(
+    store: SymbolStore, pattern: SymbolPattern, columns: Sequence[int]
+) -> tuple:
+    """Match one block of columns; shared by the serial and worker paths."""
+    spans: Dict = {}
+    runs_scanned = 0
+    for column in columns:
+        column_id = store.ids[column]
+        values, lengths = store.runs(column_id)
+        runs_scanned += int(values.size)
+        found = match_runs(values, lengths, pattern)
+        if found:
+            spans[column_id] = found
+    return spans, runs_scanned, len(columns)

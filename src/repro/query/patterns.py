@@ -1,0 +1,247 @@
+"""Symbolic pattern matching pushed down to RLE runs (no expansion).
+
+The paper's Section 4 argues symbol sequences stay queryable after
+compression; this module makes that concrete: patterns over symbols are
+matched against the *run-length* representation of a column — the exact
+arrays an RLE store keeps on disk — so a day that compresses to 9 runs is
+scanned in 9 steps, not 96.  Dense columns are run-length encoded on the
+fly through :meth:`SymbolStore.runs`, so both layouts serve one interface.
+
+Pattern syntax (whitespace-separated tokens)::
+
+    a           one maximal run of symbol 0 (letters a..z = indices 0..25)
+    7           one maximal run of symbol 7 (explicit index)
+    c{4,}       a run of symbol 2 lasting >= 4 windows ("at least 4 hours
+                at level c" when windows are hours)
+    c{2,6}      a run lasting between 2 and 6 windows
+    c{3}        a run lasting exactly 3 windows
+    *           any gap (zero or more windows of anything)
+
+A symbol token matches a whole *maximal* run — ``c{3}`` means "exactly three
+consecutive windows at level c, bounded by other levels on both sides",
+which is the natural reading for duty-cycle questions.  Patterns float:
+matches may start and end anywhere (implicit ``*`` at both ends).  Matches
+are found leftmost-first and non-overlapping.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import QueryError
+
+__all__ = ["PatternToken", "SymbolPattern", "PatternMatches", "match_runs"]
+
+_TOKEN_RE = re.compile(
+    r"^(?P<sym>[a-z]|\d+)(?:\{(?P<lo>\d+)(?P<comma>,)?(?P<hi>\d+)?\})?$"
+)
+
+
+@dataclass(frozen=True)
+class PatternToken:
+    """One pattern element: a run of ``symbol`` or a gap (``symbol is None``)."""
+
+    symbol: Optional[int]
+    min_len: int = 1
+    max_len: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class _Group:
+    """A maximal stretch of consecutive symbol tokens (between gaps)."""
+
+    symbols: np.ndarray
+    min_lens: np.ndarray
+    max_lens: np.ndarray  # np.iinfo(int64).max encodes "unbounded"
+
+
+_UNBOUNDED = np.iinfo(np.int64).max
+
+
+class SymbolPattern:
+    """A parsed pattern: symbol-run tokens separated by gaps."""
+
+    def __init__(self, tokens: Sequence[PatternToken], text: str = "") -> None:
+        runs = [t for t in tokens if t.symbol is not None]
+        if not runs:
+            raise QueryError("a pattern needs at least one symbol token")
+        self.tokens = tuple(tokens)
+        self.text = text
+        self._groups = self._build_groups(tokens)
+
+    @staticmethod
+    def _build_groups(tokens: Sequence[PatternToken]) -> List[_Group]:
+        groups: List[_Group] = []
+        current: List[PatternToken] = []
+        for token in tokens:
+            if token.symbol is None:
+                if current:
+                    groups.append(SymbolPattern._pack_group(current))
+                    current = []
+                continue
+            if current and current[-1].symbol == token.symbol:
+                raise QueryError(
+                    "adjacent tokens with the same symbol can never match: "
+                    "runs are maximal (merge them into one token)"
+                )
+            current.append(token)
+        if current:
+            groups.append(SymbolPattern._pack_group(current))
+        return groups
+
+    @staticmethod
+    def _pack_group(tokens: List[PatternToken]) -> _Group:
+        return _Group(
+            symbols=np.asarray([t.symbol for t in tokens], dtype=np.int64),
+            min_lens=np.asarray([t.min_len for t in tokens], dtype=np.int64),
+            max_lens=np.asarray(
+                [_UNBOUNDED if t.max_len is None else t.max_len for t in tokens],
+                dtype=np.int64,
+            ),
+        )
+
+    @classmethod
+    def parse(cls, text: str, alphabet_size: Optional[int] = None) -> "SymbolPattern":
+        """Parse the textual syntax (see the module docstring)."""
+        tokens: List[PatternToken] = []
+        for raw in text.split():
+            if raw == "*":
+                if tokens and tokens[-1].symbol is None:
+                    continue  # collapse consecutive gaps
+                tokens.append(PatternToken(symbol=None, min_len=0, max_len=None))
+                continue
+            found = _TOKEN_RE.match(raw)
+            if not found:
+                raise QueryError(
+                    f"bad pattern token {raw!r}; expected a symbol letter/index "
+                    "with optional {min}, {min,} or {min,max} run bounds, or '*'"
+                )
+            spec = found.group("sym")
+            symbol = ord(spec) - ord("a") if spec.isalpha() else int(spec)
+            lo = int(found.group("lo")) if found.group("lo") else 1
+            if found.group("hi"):
+                hi: Optional[int] = int(found.group("hi"))
+            else:
+                hi = None if found.group("comma") else (lo if found.group("lo") else None)
+            if lo < 1:
+                raise QueryError(f"run bounds must be >= 1 in {raw!r}")
+            if hi is not None and hi < lo:
+                raise QueryError(f"empty run bound range in {raw!r}")
+            if alphabet_size is not None and symbol >= alphabet_size:
+                raise QueryError(
+                    f"symbol {symbol} in token {raw!r} is out of range for "
+                    f"alphabet of size {alphabet_size}"
+                )
+            tokens.append(PatternToken(symbol=symbol, min_len=lo, max_len=hi))
+        return cls(tokens, text=text)
+
+    # -- histogram prefilter -----------------------------------------------------
+
+    def min_symbol_counts(self, alphabet_size: int) -> np.ndarray:
+        """Minimum total windows per symbol any match needs (length ``k``).
+
+        A column whose histogram falls below this anywhere cannot match —
+        the index prefilter that skips columns without touching payload.
+        """
+        needed = np.zeros(alphabet_size, dtype=np.int64)
+        for token in self.tokens:
+            if token.symbol is not None:
+                if token.symbol >= alphabet_size:
+                    raise QueryError(
+                        f"pattern symbol {token.symbol} out of range for "
+                        f"alphabet of size {alphabet_size}"
+                    )
+                needed[token.symbol] += token.min_len
+        return needed
+
+    def __repr__(self) -> str:
+        return f"SymbolPattern({self.text or self.tokens!r})"
+
+
+def _group_positions(
+    values: np.ndarray, lengths: np.ndarray, group: _Group
+) -> np.ndarray:
+    """Run indices where ``group`` matches consecutive maximal runs."""
+    m = group.symbols.size
+    n = values.size - m + 1
+    if n <= 0:
+        return np.zeros(0, dtype=np.int64)
+    ok = np.ones(n, dtype=bool)
+    for j in range(m):
+        window_v = values[j: j + n]
+        window_l = lengths[j: j + n]
+        ok &= (window_v == group.symbols[j])
+        ok &= (window_l >= group.min_lens[j]) & (window_l <= group.max_lens[j])
+    return np.flatnonzero(ok)
+
+
+def match_runs(
+    values: np.ndarray, lengths: np.ndarray, pattern: SymbolPattern
+) -> List[Tuple[int, int]]:
+    """All leftmost non-overlapping matches in one run-encoded column.
+
+    Returns ``(start_window, stop_window)`` half-open spans in expanded
+    window coordinates, computed from run boundaries alone.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if values.size == 0:
+        return []
+    starts = np.concatenate([[0], np.cumsum(lengths)])
+    positions = [_group_positions(values, lengths, g) for g in pattern._groups]
+    if any(p.size == 0 for p in positions):
+        return []
+    matches: List[Tuple[int, int]] = []
+    run_cursor = 0
+    while True:
+        cursor = run_cursor
+        chain_end = -1
+        failed = False
+        first_run = -1
+        for group, group_positions_ in zip(pattern._groups, positions):
+            at = np.searchsorted(group_positions_, cursor)
+            if at == group_positions_.size:
+                failed = True
+                break
+            run = int(group_positions_[at])
+            if first_run < 0:
+                first_run = run
+            cursor = run + group.symbols.size
+            chain_end = cursor
+        if failed:
+            break
+        matches.append((int(starts[first_run]), int(starts[chain_end])))
+        run_cursor = chain_end
+    return matches
+
+
+@dataclass
+class PatternMatches:
+    """Result of matching one pattern over a store's columns.
+
+    ``spans`` maps each matching column id to its window spans;
+    ``runs_scanned`` vs ``windows_total`` quantifies the pushdown: the
+    matcher looked at run boundaries only, never the expanded windows.
+    """
+
+    pattern: str
+    spans: Dict = field(default_factory=dict)
+    columns_scanned: int = 0
+    columns_skipped: int = 0
+    runs_scanned: int = 0
+    windows_total: int = 0
+
+    @property
+    def total_matches(self) -> int:
+        return sum(len(s) for s in self.spans.values())
+
+    @property
+    def scan_fraction(self) -> float:
+        """Elements touched as a fraction of the expanded window count."""
+        if self.windows_total == 0:
+            return 0.0
+        return self.runs_scanned / self.windows_total

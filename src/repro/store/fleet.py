@@ -52,6 +52,7 @@ def write_fleet_store(
     shard_meters: int = _DEFAULT_SHARD_METERS,
     sampling_interval: Optional[float] = None,
     metadata: Optional[Dict] = None,
+    query_index: bool = False,
 ) -> SymbolStore:
     """Fit, encode and persist a fleet array as a ``.rsym`` store.
 
@@ -63,6 +64,11 @@ def write_fleet_store(
     store knows its ``aggregation_seconds`` and ``windows_per_day`` — the
     metadata behind ``decode(day_range=...)`` and the measured-vs-analytic
     compression cross-check.
+
+    ``query_index=True`` additionally writes the ``.rsymx`` sidecar
+    (:func:`repro.query.write_query_index`) so the query engine can prune
+    kNN candidates without a separate indexing pass; like the store itself,
+    the sidecar bytes are identical for every ``workers`` count.
     """
     values = np.asarray(values, dtype=np.float64)
     if values.ndim != 2:
@@ -96,10 +102,16 @@ def write_fleet_store(
     meta.update(metadata or {})
 
     if workers == 1:
-        return _write_serial(path, values, ids, spec, shared_table, layout,
-                             shard_meters, meta)
-    return _write_sharded(path, values, ids, spec, shared_table, layout,
-                          workers, shard_meters, meta)
+        store = _write_serial(path, values, ids, spec, shared_table, layout,
+                              shard_meters, meta)
+    else:
+        store = _write_sharded(path, values, ids, spec, shared_table, layout,
+                               workers, shard_meters, meta)
+    if query_index:
+        from ..query.index import write_query_index
+
+        write_query_index(store, workers=workers)
+    return store
 
 
 def _write_serial(path, values, ids, spec, shared_table, layout,

@@ -484,6 +484,59 @@ class SymbolStore:
         lo, hi = int(self._run_offsets[column]), int(self._run_offsets[column + 1])
         return np.repeat(values, self._lengths[lo:hi].astype(np.int64))
 
+    def runs(self, meter) -> tuple:
+        """``(run_values, run_lengths)`` of one column, without expansion.
+
+        RLE columns return their stored runs directly — the pattern-matching
+        and aggregation pushdown operate on these arrays instead of the
+        expanded windows.  Dense columns are unpacked and run-length encoded
+        on the fly, so both layouts serve the same run-level interface.
+        """
+        column = self._column(meter)
+        if self.layout == RLE:
+            values = unpack_indices(
+                np.ascontiguousarray(self._column_bytes(column)),
+                self.bits_per_symbol,
+                int(self.run_counts[column]),
+            )
+            lo, hi = int(self._run_offsets[column]), int(self._run_offsets[column + 1])
+            return values, self._lengths[lo:hi].astype(np.int64)
+        indices = unpack_slice(
+            self._column_bytes(column), self.bits_per_symbol,
+            0, int(self.counts[column]),
+        )
+        encoded = RLERuns.from_matrix(indices.reshape(1, indices.size))
+        return encoded.values, encoded.run_lengths
+
+    #: Columns per block when a dense store computes run counts — bounds the
+    #: decoded matrix to one block, keeping the read path out-of-core.
+    _RUN_SCAN_BLOCK = 4096
+
+    def run_count_per_column(self) -> np.ndarray:
+        """Number of RLE runs in every column (computed for dense stores).
+
+        RLE stores read this off the header; dense stores pay one vectorized
+        pass over the unpacked symbols, decoded in bounded column blocks so
+        memory never holds more than one block regardless of fleet size.
+        ``n_symbols / run_count.sum()`` is the mean run length — the factor
+        by which run-level pattern matching scans fewer elements than the
+        expanded windows.
+        """
+        if self.layout == RLE:
+            return self.run_counts.copy()
+        if self.n_meters == 0:
+            return np.zeros(0, dtype=np.int64)
+        if np.all(self.counts == self.counts[0]):
+            blocks = []
+            for start in range(0, self.n_meters, self._RUN_SCAN_BLOCK):
+                stop = min(start + self._RUN_SCAN_BLOCK, self.n_meters)
+                block = self.matrix(meters=[self.ids[c] for c in range(start, stop)])
+                blocks.append(RLERuns.from_matrix(block).run_counts())
+            return np.concatenate(blocks)
+        return np.asarray(
+            [self.runs(meter)[0].size for meter in self.ids], dtype=np.int64
+        )
+
     def _resolve_meters(self, meters) -> List[int]:
         if meters is None:
             return list(range(self.n_meters))

@@ -133,3 +133,52 @@ class TestSerialisation:
         different = LookupTable(BinaryAlphabet(4), [100.0, 200.0, 301.0])
         assert table4 == same
         assert table4 != different
+
+
+class TestBreakpoints:
+    """The public separator-vector accessor the query kernels consume."""
+
+    def test_breakpoints_equal_separators(self, table4):
+        beta = table4.breakpoints()
+        assert isinstance(beta, np.ndarray)
+        assert beta.dtype == np.float64
+        np.testing.assert_array_equal(beta, np.asarray(table4.separators))
+
+    def test_breakpoints_are_read_only(self, table4):
+        with pytest.raises(ValueError):
+            table4.breakpoints()[0] = -1.0
+
+    @pytest.mark.parametrize("alphabet_size", [2, 4, 8, 16, 32])
+    def test_from_breakpoints_pins_sax_table(self, alphabet_size):
+        """A table built from SAX breakpoints exposes them unchanged."""
+        from repro.baselines.sax import gaussian_breakpoints
+
+        beta = gaussian_breakpoints(alphabet_size)
+        table = LookupTable.from_breakpoints(beta)
+        assert table.size == alphabet_size
+        np.testing.assert_allclose(table.breakpoints(), beta, rtol=0, atol=0)
+
+    @pytest.mark.parametrize("alphabet_size", [4, 8, 16])
+    def test_from_breakpoints_reconstruction_inside_ranges(self, alphabet_size):
+        """Every reconstruction value lies inside its symbol's range —
+        the premise that makes MINDIST a valid lower bound (negative SAX
+        breakpoints break the default power-data centres, so
+        ``from_breakpoints`` derives true interval centres instead)."""
+        from repro.baselines.sax import gaussian_breakpoints
+
+        beta = np.asarray(gaussian_breakpoints(alphabet_size))
+        table = LookupTable.from_breakpoints(beta)
+        recon = table.reconstruction_array
+        lows = np.concatenate([[-np.inf], beta])
+        highs = np.concatenate([beta, [np.inf]])
+        assert np.all(recon >= lows) and np.all(recon <= highs)
+
+    def test_from_breakpoints_round_trips_encoding(self):
+        table = LookupTable.from_breakpoints([-0.67, 0.0, 0.67])
+        np.testing.assert_array_equal(
+            table.indices_for_values([-1.0, -0.5, 0.5, 1.0]), [0, 1, 2, 3]
+        )
+
+    def test_from_breakpoints_rejects_empty(self):
+        with pytest.raises(LookupTableError):
+            LookupTable.from_breakpoints([])

@@ -1,0 +1,115 @@
+"""Aggregation-pushdown tests: symbol stats equal the decoded ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.query import QueryEngine, aggregate_store, build_query_index
+from repro.store import RLE, write_fleet_store
+
+
+@pytest.fixture(scope="module")
+def agg_store(tmp_path_factory):
+    rng = np.random.default_rng(17)
+    values = np.abs(rng.lognormal(4.5, 1.0, size=(8, 192)))
+    path = tmp_path_factory.mktemp("agg") / "fleet.rsym"
+    return write_fleet_store(
+        path, values, alphabet_size=8, method="median", window=1,
+        shared_table=True, sampling_interval=900.0,
+    )
+
+
+class TestAggregates:
+    def test_counts_peak_duty_match_matrix(self, agg_store):
+        report = aggregate_store(agg_store, level=4)
+        matrix = agg_store.matrix()
+        for row in range(agg_store.n_meters):
+            np.testing.assert_array_equal(
+                report.symbol_counts[row],
+                np.bincount(matrix[row], minlength=8),
+            )
+        np.testing.assert_array_equal(report.peak_level, matrix.max(axis=1))
+        np.testing.assert_allclose(report.duty_cycle, (matrix >= 4).mean(axis=1))
+
+    def test_run_stats(self, agg_store):
+        report = aggregate_store(agg_store)
+        assert np.all(report.run_count >= 1)
+        np.testing.assert_allclose(
+            report.mean_run_length,
+            agg_store.counts / report.run_count,
+        )
+
+    def test_rle_layout_matches_dense(self, agg_store, tmp_path):
+        rng = np.random.default_rng(17)
+        values = np.abs(rng.lognormal(4.5, 1.0, size=(8, 192)))
+        rle = write_fleet_store(
+            tmp_path / "rle.rsym", values, alphabet_size=8, method="median",
+            window=1, shared_table=True, sampling_interval=900.0, layout=RLE,
+        )
+        dense_report = aggregate_store(agg_store, level=5)
+        rle_report = aggregate_store(rle, level=5)
+        np.testing.assert_array_equal(
+            dense_report.symbol_counts, rle_report.symbol_counts
+        )
+        np.testing.assert_array_equal(dense_report.run_count, rle_report.run_count)
+        np.testing.assert_array_equal(dense_report.peak_level, rle_report.peak_level)
+
+    def test_index_backed_aggregation(self, agg_store):
+        index = build_query_index(agg_store)
+        engine = QueryEngine(agg_store, index=index)
+        with_index = engine.aggregate(level=4)
+        without = aggregate_store(agg_store, level=4)
+        np.testing.assert_array_equal(
+            with_index.symbol_counts, without.symbol_counts
+        )
+        np.testing.assert_array_equal(with_index.peak_level, without.peak_level)
+
+    def test_meter_subset(self, agg_store):
+        picked = [agg_store.ids[1], agg_store.ids[4]]
+        report = aggregate_store(agg_store, meters=picked)
+        full = aggregate_store(agg_store)
+        assert report.ids == picked
+        np.testing.assert_array_equal(
+            report.symbol_counts, full.symbol_counts[[1, 4]]
+        )
+        np.testing.assert_array_equal(report.run_count, full.run_count[[1, 4]])
+
+    def test_meter_subset_with_index(self, agg_store):
+        # Regression: a supplied index was ignored for meter subsets.
+        index = build_query_index(agg_store)
+        picked = [agg_store.ids[2], agg_store.ids[5]]
+        with_index = aggregate_store(agg_store, meters=picked, index=index)
+        without = aggregate_store(agg_store, meters=picked)
+        np.testing.assert_array_equal(
+            with_index.symbol_counts, without.symbol_counts
+        )
+        np.testing.assert_array_equal(with_index.peak_level, without.peak_level)
+
+    def test_per_day(self, agg_store):
+        report = aggregate_store(agg_store, level=4, per_day=True)
+        per = int(agg_store.metadata["windows_per_day"])
+        matrix = agg_store.matrix()
+        days = matrix.shape[1] // per
+        shaped = matrix[:, : days * per].reshape(agg_store.n_meters, days, per)
+        np.testing.assert_array_equal(report.daily_peak, shaped.max(axis=2))
+        np.testing.assert_allclose(report.daily_duty, (shaped >= 4).mean(axis=2))
+
+    def test_per_day_requires_metadata(self, tmp_path, rng):
+        store = write_fleet_store(
+            tmp_path / "bare.rsym",
+            np.abs(rng.lognormal(4.0, 1.0, size=(3, 64))),
+            alphabet_size=4, method="median", window=1, shared_table=True,
+        )
+        with pytest.raises(QueryError, match="windows_per_day"):
+            aggregate_store(store, per_day=True)
+
+    def test_level_validation(self, agg_store):
+        with pytest.raises(QueryError, match="level"):
+            aggregate_store(agg_store, level=99)
+
+    def test_rows_render(self, agg_store):
+        rows = aggregate_store(agg_store, level=4).rows()
+        assert len(rows) == agg_store.n_meters
+        assert {"meter", "windows", "runs", "mean_run", "peak_level"} <= set(rows[0])

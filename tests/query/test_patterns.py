@@ -1,0 +1,210 @@
+"""Pattern-matching tests: parsing, run-level semantics, store integration.
+
+The regex oracle cross-checks :func:`match_runs` against Python's ``re`` on
+the expanded letter string: a symbol token is a *maximal* run
+(``(?<!c)c{lo,hi}(?!c)``), a gap is a lazy ``.*?`` — leftmost
+non-overlapping matches must agree span for span.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.query import QueryEngine, SymbolPattern, build_query_index, match_runs
+from repro.store import RLE, write_fleet_store
+
+
+def _runs_of(symbols) -> tuple:
+    """Reference run-length encoding of a symbol list."""
+    arr = np.asarray(symbols, dtype=np.int64)
+    if arr.size == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    change = np.flatnonzero(np.concatenate([[True], arr[1:] != arr[:-1]]))
+    lengths = np.diff(np.append(change, arr.size))
+    return arr[change], lengths
+
+
+def _oracle_spans(symbols, pattern_text: str):
+    """Leftmost non-overlapping spans via a regex over the letter string."""
+    text = "".join(chr(ord("a") + s) for s in symbols)
+    parts = []
+    for raw in pattern_text.split():
+        if raw == "*":
+            parts.append(".*?")
+            continue
+        token = SymbolPattern.parse(raw).tokens[0]
+        letter = chr(ord("a") + token.symbol)
+        hi = "" if token.max_len is None else token.max_len
+        parts.append(
+            f"(?<!{letter}){letter}{{{token.min_len},{hi}}}(?!{letter})"
+        )
+    return [m.span() for m in re.finditer("".join(parts), text)]
+
+
+class TestParsing:
+    def test_letters_and_indices(self):
+        pattern = SymbolPattern.parse("a 10{2,} * c{3}")
+        symbols = [t.symbol for t in pattern.tokens]
+        assert symbols == [0, 10, None, 2]
+        assert pattern.tokens[1].min_len == 2 and pattern.tokens[1].max_len is None
+        assert pattern.tokens[3].min_len == 3 and pattern.tokens[3].max_len == 3
+
+    def test_range_bounds(self):
+        token = SymbolPattern.parse("b{2,6}").tokens[0]
+        assert (token.min_len, token.max_len) == (2, 6)
+
+    def test_consecutive_gaps_collapse(self):
+        pattern = SymbolPattern.parse("a * * b")
+        assert sum(t.symbol is None for t in pattern.tokens) == 1
+
+    @pytest.mark.parametrize("bad", ["a{0,}", "a{3,2}", "c{", "A", "-1", "a b{x}"])
+    def test_bad_tokens(self, bad):
+        with pytest.raises(QueryError):
+            SymbolPattern.parse(f"a * {bad}" if bad != "a b{x}" else bad)
+
+    def test_gap_only_pattern_rejected(self):
+        with pytest.raises(QueryError, match="at least one symbol"):
+            SymbolPattern.parse("* *")
+
+    def test_adjacent_same_symbol_rejected(self):
+        with pytest.raises(QueryError, match="maximal"):
+            SymbolPattern.parse("a a")
+
+    def test_alphabet_range_checked(self):
+        with pytest.raises(QueryError, match="out of range"):
+            SymbolPattern.parse("h", alphabet_size=4)
+
+    def test_min_symbol_counts(self):
+        pattern = SymbolPattern.parse("a{3,} * b a{2}")
+        np.testing.assert_array_equal(
+            pattern.min_symbol_counts(4), [5, 1, 0, 0]
+        )
+
+
+class TestMatchRuns:
+    def test_simple_run_threshold(self):
+        # "at least 3 windows at level 2"
+        values, lengths = _runs_of([0, 2, 2, 2, 2, 1, 2, 2, 0])
+        spans = match_runs(values, lengths, SymbolPattern.parse("c{3,}"))
+        assert spans == [(1, 5)]
+
+    def test_exact_run_is_maximal(self):
+        values, lengths = _runs_of([2, 2, 2, 2, 0, 2, 2, 0])
+        pattern = SymbolPattern.parse("c{2}")
+        # The 4-run is not an exact-2 run; only the maximal run of 2 matches.
+        assert match_runs(values, lengths, pattern) == [(5, 7)]
+
+    def test_gap_chaining(self):
+        values, lengths = _runs_of([3, 3, 0, 0, 1, 1, 1, 0, 2])
+        pattern = SymbolPattern.parse("d{2} * c")
+        assert match_runs(values, lengths, pattern) == [(0, 9)]
+
+    def test_adjacent_groups_without_gap(self):
+        values, lengths = _runs_of([1, 1, 2, 2, 2, 1])
+        pattern = SymbolPattern.parse("b{2} c{3,}")
+        assert match_runs(values, lengths, pattern) == [(0, 5)]
+
+    def test_multiple_non_overlapping(self):
+        values, lengths = _runs_of([1, 0, 1, 0, 1])
+        spans = match_runs(values, lengths, SymbolPattern.parse("b"))
+        assert spans == [(0, 1), (2, 3), (4, 5)]
+
+    def test_no_match(self):
+        values, lengths = _runs_of([0, 1, 0, 1])
+        assert match_runs(values, lengths, SymbolPattern.parse("c")) == []
+        assert match_runs(
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
+            SymbolPattern.parse("a"),
+        ) == []
+
+    @pytest.mark.parametrize("pattern_text", [
+        "a", "b{2,}", "c{2,3}", "a * b", "b{2} * a{1,2}", "a b", "c{1,} * c{2,}",
+    ])
+    def test_regex_oracle_agreement(self, pattern_text, rng):
+        for _ in range(25):
+            symbols = rng.integers(0, 3, size=40)
+            values, lengths = _runs_of(symbols)
+            ours = match_runs(values, lengths, SymbolPattern.parse(pattern_text))
+            assert ours == _oracle_spans(symbols, pattern_text), (
+                pattern_text, symbols.tolist()
+            )
+
+
+@pytest.fixture(scope="module")
+def pattern_store(tmp_path_factory):
+    rng = np.random.default_rng(21)
+    values = np.abs(rng.lognormal(4.0, 0.8, size=(10, 240)))
+    path = tmp_path_factory.mktemp("match") / "fleet.rsym"
+    return write_fleet_store(
+        path, values, alphabet_size=8, method="median", window=1,
+        shared_table=True, sampling_interval=900.0, query_index=True,
+    )
+
+
+class TestStoreMatching:
+    def test_spans_equal_per_column_match_runs(self, pattern_store):
+        engine = QueryEngine.open(pattern_store.path)
+        pattern = SymbolPattern.parse("h{1,} * a")
+        result = engine.match(pattern)
+        for meter_id in pattern_store.ids:
+            values, lengths = pattern_store.runs(meter_id)
+            expected = match_runs(values, lengths, pattern)
+            assert result.spans.get(meter_id, []) == expected
+
+    def test_dense_and_rle_agree(self, pattern_store, tmp_path):
+        rng = np.random.default_rng(21)
+        values = np.abs(rng.lognormal(4.0, 0.8, size=(10, 240)))
+        rle = write_fleet_store(
+            tmp_path / "rle.rsym", values, alphabet_size=8, method="median",
+            window=1, shared_table=True, sampling_interval=900.0, layout=RLE,
+        )
+        a = QueryEngine.open(pattern_store.path).match("e{2,} * b")
+        b = QueryEngine(rle).match("e{2,} * b")
+        assert a.spans == b.spans
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_workers_identical(self, pattern_store, workers):
+        engine = QueryEngine.open(pattern_store.path)
+        serial = engine.match("e{2,} * b", workers=1)
+        sharded = engine.match("e{2,} * b", workers=workers)
+        assert serial.spans == sharded.spans
+        assert serial.runs_scanned == sharded.runs_scanned
+
+    def test_constructed_pattern_survives_sharding(self, pattern_store):
+        # Regression: a SymbolPattern built from tokens (no text) used to
+        # crash worker-side, where the pattern was re-parsed from its text.
+        from repro.query import PatternToken
+
+        pattern = SymbolPattern(
+            (PatternToken(4, 2, None), PatternToken(None, 0, None),
+             PatternToken(1, 1, None))
+        )
+        engine = QueryEngine.open(pattern_store.path)
+        serial = engine.match(pattern, workers=1)
+        sharded = engine.match(pattern, workers=2)
+        assert serial.spans == sharded.spans
+
+    def test_index_prefilter_only_skips_impossible(self, pattern_store):
+        engine = QueryEngine.open(pattern_store.path)
+        with_index = engine.match("h{200,}")
+        without = QueryEngine(pattern_store, index=None).match("h{200,}")
+        assert with_index.spans == without.spans
+        # 200 windows of the top symbol can never fit a 240-window column
+        # with other symbols present: the prefilter rejects without scanning.
+        assert with_index.columns_skipped > 0
+
+    def test_pushdown_scans_fewer_elements(self, pattern_store):
+        engine = QueryEngine.open(pattern_store.path)
+        result = engine.match("e * b")
+        assert 0 < result.runs_scanned
+        assert result.windows_total == pattern_store.n_symbols
+        assert result.scan_fraction < 1.0
+
+    def test_pattern_symbol_out_of_alphabet(self, pattern_store):
+        engine = QueryEngine.open(pattern_store.path)
+        with pytest.raises(QueryError, match="out of range"):
+            engine.match("9")

@@ -147,6 +147,99 @@ class TestCommands:
         assert main(["store-info", "/nonexistent/fleet.rsym"]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_store_info_reports_run_selectivity(self, tmp_path, capsys, fast_args):
+        """Satellite: store-info predicts the pattern-pushdown benefit from
+        per-column run counts — stored for RLE layouts, computed for dense."""
+        store = tmp_path / "fleet.rsym"
+        assert main(["encode", "--all", "--alphabet", "8", "--rle",
+                     "--store", str(store)] + fast_args) == 0
+        capsys.readouterr()
+        assert main(["store-info", str(store)]) == 0
+        info = capsys.readouterr().out
+        assert "runs:" in info and "(stored;" in info
+        assert "selectivity:" in info and "mean run length" in info
+        dense = tmp_path / "dense.rsym"
+        assert main(["encode", "--all", "--alphabet", "8",
+                     "--store", str(dense)] + fast_args) == 0
+        capsys.readouterr()
+        assert main(["store-info", str(dense)]) == 0
+        assert "(computed;" in capsys.readouterr().out
+
+
+class TestQueryCommands:
+    @pytest.fixture()
+    def store_path(self, tmp_path, capsys, fast_args):
+        path = tmp_path / "fleet.rsym"
+        assert main(["encode", "--all", "--alphabet", "8", "--window", "900",
+                     "--global-table", "--store", str(path),
+                     "--query-index"] + fast_args) == 0
+        out = capsys.readouterr().out
+        assert "wrote query index" in out
+        assert path.with_suffix(".rsymx").exists()
+        return path
+
+    def test_query_knn(self, store_path, capsys):
+        assert main(["query", "knn", str(store_path),
+                     "--query-id", "1", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "rank" in out and "distance" in out
+        assert "index-pruned" in out
+        # The query column itself is excluded by default.
+        assert main(["query", "knn", str(store_path), "--query-id", "1",
+                     "--k", "1", "--include-self"]) == 0
+        self_out = capsys.readouterr().out
+        assert "1     1" in self_out  # rank 1 is the query meter itself
+
+    def test_query_knn_requires_a_query(self, store_path, capsys):
+        assert main(["query", "knn", str(store_path)]) == 1
+        assert "query-id or --query-csv" in capsys.readouterr().err
+
+    def test_query_knn_csv_batch_prints_every_query(self, store_path, tmp_path, capsys):
+        # Regression: a multi-row --query-csv used to print only query 0.
+        from repro.store import SymbolStore
+
+        with SymbolStore.open(store_path) as store:
+            decoded = store.decode(meters=[store.ids[0], store.ids[2]])
+        csv = tmp_path / "queries.csv"
+        csv.write_text("\n".join(",".join(map(str, row)) for row in decoded))
+        assert main(["query", "knn", str(store_path),
+                     "--query-csv", str(csv), "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "query" in out
+        ranks = [line.split()[:2] for line in out.splitlines()
+                 if line and line[0].isdigit()]
+        assert ["0", "1"] in ranks and ["1", "1"] in ranks
+
+    def test_query_knn_refuses_per_meter_tables(self, tmp_path, capsys, fast_args):
+        """Bugfix satellite: mismatched per-meter tables refuse loudly."""
+        path = tmp_path / "local.rsym"
+        assert main(["encode", "--all", "--alphabet", "8", "--window", "900",
+                     "--store", str(path)] + fast_args) == 0
+        capsys.readouterr()
+        assert main(["query", "knn", str(path), "--query-id", "1"]) == 1
+        err = capsys.readouterr().err
+        assert "distinct per-meter lookup" in err
+
+    def test_query_match(self, store_path, capsys):
+        assert main(["query", "match", str(store_path),
+                     "--pattern", "a{2,}"]) == 0
+        out = capsys.readouterr().out
+        assert "pushdown: scanned" in out and "runs vs" in out
+
+    def test_query_agg(self, store_path, capsys):
+        assert main(["query", "agg", str(store_path), "--level", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "peak_level" in out and "duty>=4" in out
+
+    def test_query_index_builds_sidecar(self, tmp_path, capsys, fast_args):
+        path = tmp_path / "fleet.rsym"
+        assert main(["encode", "--all", "--alphabet", "8", "--window", "900",
+                     "--global-table", "--store", str(path)] + fast_args) == 0
+        capsys.readouterr()
+        assert main(["query", "index", str(path)]) == 0
+        assert "symbol histogram" in capsys.readouterr().out
+        assert path.with_suffix(".rsymx").exists()
+
     def test_classify_workers_matches_serial(self, capsys, fast_args):
         base = ["classify", "--encoding", "median", "--alphabet", "4",
                 "--classifier", "naive_bayes", "--folds", "4"] + fast_args
