@@ -1,0 +1,88 @@
+"""Assert benchmark throughputs stay above the checked-in floors.
+
+Usage::
+
+    python benchmarks/check_perf_floors.py BENCH_kernels.json [BENCH_query.json ...]
+
+Each argument is a pytest-benchmark ``--benchmark-json`` output file whose
+basename has an entry in ``benchmarks/perf_floors.json``.  For every rule
+under that entry, each benchmark whose test name starts with the rule's
+``prefix`` must report ``extra_info[key] >= floor``.  The floors are
+deliberately generous (see the ``_comment`` in the floors file): this is a
+smoke check against order-of-magnitude regressions, not a precision gate.
+
+Exits non-zero, listing every violation, if any floor is breached.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+FLOORS_PATH = Path(__file__).resolve().parent / "perf_floors.json"
+
+
+def check_file(report_path: Path, rules: list) -> list:
+    report = json.loads(report_path.read_text())
+    failures = []
+    matched = set()
+    for bench in report.get("benchmarks", []):
+        name = bench["name"]
+        extra = bench.get("extra_info", {})
+        for rule in rules:
+            if not name.startswith(rule["prefix"]):
+                continue
+            matched.add(rule["prefix"])
+            value = extra.get(rule["key"])
+            if value is None:
+                failures.append(
+                    f"{report_path.name}::{name}: extra_info has no "
+                    f"'{rule['key']}' (keys: {sorted(extra)})"
+                )
+            elif value < rule["floor"]:
+                failures.append(
+                    f"{report_path.name}::{name}: {rule['key']} = "
+                    f"{value:,.0f} < floor {rule['floor']:,.0f}"
+                )
+            else:
+                print(
+                    f"ok  {report_path.name}::{name}: {rule['key']} = "
+                    f"{value:,.0f} (floor {rule['floor']:,.0f})"
+                )
+    for rule in rules:
+        if rule["prefix"] not in matched:
+            failures.append(
+                f"{report_path.name}: no benchmark matched prefix "
+                f"'{rule['prefix']}' — was the test renamed?"
+            )
+    return failures
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    floors = json.loads(FLOORS_PATH.read_text())
+    failures = []
+    for arg in argv:
+        path = Path(arg)
+        rules = floors.get(path.name)
+        if rules is None:
+            print(f"note: no floors registered for {path.name}, skipping")
+            continue
+        if not path.exists():
+            failures.append(f"{path}: report file not found")
+            continue
+        failures.extend(check_file(path, rules))
+    if failures:
+        print(f"\n{len(failures)} perf floor violation(s):", file=sys.stderr)
+        for line in failures:
+            print(f"  FAIL {line}", file=sys.stderr)
+        return 1
+    print("all perf floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

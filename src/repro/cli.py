@@ -369,6 +369,15 @@ def _cmd_query_knn(args: argparse.Namespace) -> int:
         print(f"{config.label()}: refined {stats.refined_per_query:.1f} of "
               f"{stats.n_candidates} candidates/query "
               f"({100.0 * stats.decoded_fraction:.1f}% decoded, {mode})")
+        if args.stats:
+            print("query stats:")
+            print(f"  queries:            {stats.n_queries}")
+            print(f"  candidates:         {stats.n_candidates}")
+            print(f"  refined (total):    {stats.refined}")
+            print(f"  refined/query:      {stats.refined_per_query:.2f}")
+            print(f"  decoded fraction:   {stats.decoded_fraction:.3f}")
+            print(f"  pruned fraction:    {stats.pruned_fraction:.3f}")
+            print(f"  index used:         {stats.index_used}")
     return 0
 
 
@@ -519,6 +528,9 @@ def build_parser() -> argparse.ArgumentParser:
     knn.add_argument("--include-self", action="store_true",
                      help="with --query-id: keep the query column itself "
                           "in the candidate set")
+    knn.add_argument("--stats", action="store_true",
+                     help="print the QueryStats work accounting (candidates, "
+                          "refined/query, decoded fraction)")
     _add_workers_argument(knn)
     knn.set_defaults(handler=_cmd_query_knn)
 

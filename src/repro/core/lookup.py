@@ -271,7 +271,20 @@ class LookupTable:
         return self._symbol_array[self._checked_indices(indices)].tolist()
 
     def _checked_indices(self, indices: Union[Sequence[int], np.ndarray]) -> np.ndarray:
-        """Range-check an index array (rejects NumPy negative wraparound)."""
+        """Range-check an index array (rejects NumPy negative wraparound).
+
+        Unsigned inputs (the store's dtype-narrowed symbol arrays) skip the
+        ``int64`` widening copy — they cannot be negative, and NumPy takes
+        gathers directly off ``uint8``/``uint16`` indices.
+        """
+        arr = np.asarray(indices)
+        if arr.dtype.kind == "u":
+            if arr.size and int(arr.max()) >= len(self._alphabet):
+                raise LookupTableError(
+                    f"symbol indices out of range for alphabet of size "
+                    f"{len(self._alphabet)}"
+                )
+            return arr
         arr = np.asarray(indices, dtype=np.int64)
         if arr.size and (arr.min() < 0 or arr.max() >= len(self._alphabet)):
             raise LookupTableError(

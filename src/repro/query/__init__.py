@@ -31,7 +31,16 @@ store without decoding it wholesale.
 """
 
 from .aggregate import AggregateReport, aggregate_store
-from .distance import breakpoints_of, cell_bounds, mindist, value_cell_bounds
+from .distance import (
+    banded_min_cells,
+    breakpoints_of,
+    cell_bounds,
+    gathered_squared_distances,
+    histogram_bound,
+    mindist,
+    rle_squared_distances,
+    value_cell_bounds,
+)
 from .engine import (
     KNNResult,
     KNNStats,
@@ -39,6 +48,10 @@ from .engine import (
     QueryEngine,
     resolve_shared_table,
 )
+
+#: The work-accounting record of one kNN batch (``result.stats``), under
+#: the name the CLI's ``--stats`` output refers to.
+QueryStats = KNNStats
 from .index import (
     QueryIndex,
     build_query_index,
@@ -56,15 +69,20 @@ __all__ = [
     "QueryConfig",
     "QueryEngine",
     "QueryIndex",
+    "QueryStats",
     "SymbolPattern",
     "aggregate_store",
+    "banded_min_cells",
     "breakpoints_of",
     "build_query_index",
     "cell_bounds",
+    "gathered_squared_distances",
+    "histogram_bound",
     "match_runs",
     "mindist",
     "query_index_path",
     "resolve_shared_table",
+    "rle_squared_distances",
     "value_cell_bounds",
     "write_query_index",
 ]

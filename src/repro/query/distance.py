@@ -48,6 +48,10 @@ __all__ = [
     "cell_bounds",
     "mindist",
     "value_cell_bounds",
+    "banded_min_cells",
+    "histogram_bound",
+    "gathered_squared_distances",
+    "rle_squared_distances",
 ]
 
 
@@ -137,3 +141,199 @@ def value_cell_bounds(
     below = low - arr[..., None]   # positive when v is below the range
     above = arr[..., None] - high  # positive when v is above the range
     return np.maximum(0.0, np.maximum(below, above))
+
+
+# -- batched kNN kernels -----------------------------------------------------------
+#
+# The kNN engine's hot loop is built from the three kernels below: per-band
+# minima of the query's squared cells (the index-tier bound), one matrix
+# product bounding every (query, candidate) pair at once, and the exact
+# refinement distances — gathered off decoded symbols, or scored run by run
+# straight off an RLE payload.
+
+
+def banded_min_cells(
+    cells: np.ndarray, bands: np.ndarray, n_bands: int
+) -> np.ndarray:
+    """Per-(band, symbol) minima of squared distance cells, batched.
+
+    ``cells`` is ``(T, k)`` for one query or ``(Q, T, k)`` for a batch;
+    ``bands`` assigns each of the ``T`` positions to one of ``n_bands``
+    bands (any order — bands need not be contiguous).  Returns
+    ``(..., n_bands, k)`` where entry ``(b, s)`` is the smallest
+    ``cells[t, s]`` over the band's positions — the least any window
+    holding symbol ``s`` in band ``b`` can contribute to a squared
+    distance.  Empty bands contribute ``0``.
+
+    One stable argsort of ``bands`` plus ``np.minimum.reduceat`` over the
+    sorted positions replaces a Python-level ``np.minimum.at`` per query —
+    the batched form is what makes multi-query bounds one call.
+    """
+    arr = np.asarray(cells, dtype=np.float64)
+    squeeze = arr.ndim == 2
+    if squeeze:
+        arr = arr[None]
+    if arr.ndim != 3:
+        raise QueryError(f"cells must be (T, k) or (Q, T, k), got {cells.shape}")
+    n_bands = int(n_bands)
+    if n_bands < 1:
+        raise QueryError(f"n_bands must be >= 1, got {n_bands}")
+    bands = np.asarray(bands, dtype=np.int64)
+    if bands.shape != (arr.shape[1],):
+        raise QueryError(
+            f"bands must have one entry per position, got {bands.shape} "
+            f"for {arr.shape[1]} positions"
+        )
+    if bands.size == 0:
+        return np.zeros(
+            (arr.shape[0], n_bands, arr.shape[2]) if not squeeze
+            else (n_bands, arr.shape[2])
+        )
+    if bands.min() < 0 or bands.max() >= n_bands:
+        raise QueryError(f"band labels out of range [0, {n_bands})")
+    # Time-of-day bands tile a fixed period of equal contiguous segments
+    # (band = (t % per_day) * n_bands // per_day); recognising that shape
+    # turns the kernel into one strided ``min`` over a reshape — no
+    # position gather, no reduceat.  ``min`` is exact, so both paths
+    # return bit-identical cells.
+    runs = np.flatnonzero(bands != bands[0])
+    seg = int(runs[0]) if runs.size else bands.size
+    period = n_bands * seg
+    if bands[0] == 0 and bands.size % period == 0:
+        pattern = np.repeat(np.arange(n_bands), seg)
+        reps = bands.size // period
+        if np.array_equal(bands, np.tile(pattern, reps)):
+            out = arr.reshape(
+                arr.shape[0], reps, n_bands, seg, arr.shape[2]
+            ).min(axis=(1, 3))
+            return out[0] if squeeze else out
+    order = np.argsort(bands, kind="stable")
+    present, starts = np.unique(bands[order], return_index=True)
+    # reduceat over the segment start of each *present* band only: feeding
+    # it empty segments would return stray elements and shift neighbours'
+    # boundaries.  Absent bands stay at the zero they contribute.
+    reduced = np.minimum.reduceat(arr[:, order, :], starts, axis=1)
+    out = np.zeros((arr.shape[0], n_bands, arr.shape[2]))
+    out[:, present, :] = reduced
+    return out[0] if squeeze else out
+
+
+def histogram_bound(
+    min_cells: np.ndarray, band_histograms: np.ndarray
+) -> np.ndarray:
+    """Squared lower bounds for every (query, candidate) pair in one matmul.
+
+    ``min_cells`` is the :func:`banded_min_cells` output for ``Q`` queries
+    (``(Q, n_bands, k)`` or ``(n_bands, k)``); ``band_histograms`` the
+    candidates' ``(C, n_bands, k)`` symbol counts.  A candidate whose band
+    ``b`` holds ``h`` windows of symbol ``s`` is at squared distance at
+    least ``h * min_cells[b, s]`` from those windows, so the full bound is
+    one ``(Q, n_bands * k) @ (n_bands * k, C)`` product — all queries
+    against all candidates at once, no payload bytes touched.
+    """
+    mins = np.asarray(min_cells, dtype=np.float64)
+    hist = np.asarray(band_histograms, dtype=np.float64)
+    squeeze = mins.ndim == 2
+    if squeeze:
+        mins = mins[None]
+    if mins.ndim != 3 or hist.ndim != 3:
+        raise QueryError(
+            f"expected (Q, bands, k) minima and (C, bands, k) histograms, "
+            f"got {min_cells.shape} and {band_histograms.shape}"
+        )
+    if mins.shape[1:] != hist.shape[1:]:
+        raise QueryError(
+            f"minima and histograms disagree on (bands, k): "
+            f"{mins.shape[1:]} vs {hist.shape[1:]}"
+        )
+    out = mins.reshape(mins.shape[0], -1) @ hist.reshape(hist.shape[0], -1).T
+    return out[0] if squeeze else out
+
+
+def gathered_squared_distances(
+    cells: np.ndarray, matrix: np.ndarray
+) -> np.ndarray:
+    """Exact squared distances by gathering per-(position, symbol) cells.
+
+    ``cells`` is ``(T, k)`` squared distances from one query to every
+    symbol's reconstruction value; ``matrix`` is ``(C, T)`` candidate
+    symbol indices (any integer dtype — the store's narrowed ``uint8``
+    gathers directly).  Both the pruned and the brute-force kNN paths call
+    this exact expression on row-contiguous chunks, which is what makes
+    their float results identical bit for bit.
+
+    The gather runs as one flat ``take`` — ``cells[t, s]`` lives at flat
+    offset ``t * k + s`` — which skips the broadcast machinery of a 2-D
+    fancy index; the gathered ``(C, T)`` block and its ``axis=1`` pairwise
+    sum are element-for-element the ones the 2-D form produces.
+    """
+    cells = np.ascontiguousarray(cells)
+    T, k = cells.shape
+    flat = np.arange(T, dtype=np.intp) * k + matrix
+    return cells.take(flat.ravel()).reshape(matrix.shape).sum(axis=1)
+
+
+def rle_squared_distances(
+    cells: np.ndarray,
+    run_values: np.ndarray,
+    run_lengths: np.ndarray,
+    offsets: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Exact squared distances scored run by run — symbols never expanded.
+
+    ``cells`` is the query's ``(T, k)`` squared cells; ``run_values`` /
+    ``run_lengths`` are flat RLE arrays, split per candidate by ``offsets``
+    (``None`` scores one candidate).  A run of symbol ``s`` covering
+    windows ``[t0, t0 + len)`` contributes ``sum_t cells[t, s]`` — read as
+    a difference of the per-symbol prefix sums, so the work per candidate
+    is proportional to its *run count*, not its window count (a day that
+    compresses to 9 runs is scored in 9 lookups, not 96).
+
+    Mathematically equal to :func:`gathered_squared_distances` on the
+    expanded symbols; float rounding may differ in the last ulps because
+    runs sum in a different association order (the engine's bit-exact
+    paths keep using the gather form).
+    """
+    arr = np.asarray(cells, dtype=np.float64)
+    if arr.ndim != 2:
+        raise QueryError(f"cells must be (T, k), got {cells.shape}")
+    values = np.asarray(run_values, dtype=np.int64).ravel()
+    lengths = np.asarray(run_lengths, dtype=np.int64).ravel()
+    if values.shape != lengths.shape:
+        raise QueryError("run_values and run_lengths must be equal length")
+    if offsets is None:
+        offsets = np.array([0, values.size], dtype=np.int64)
+    else:
+        offsets = np.asarray(offsets, dtype=np.int64).ravel()
+        if offsets.size == 0 or offsets[0] != 0 or offsets[-1] != values.size:
+            raise QueryError(
+                "offsets must start at 0 and end at the total run count"
+            )
+    T = arr.shape[0]
+    n_cols = offsets.size - 1
+    if n_cols == 0:
+        return np.zeros(0, dtype=np.float64)
+    if values.size == 0:
+        return np.zeros(n_cols, dtype=np.float64)
+    if values.min() < 0 or values.max() >= arr.shape[1]:
+        raise QueryError(
+            f"run values out of range for alphabet of size {arr.shape[1]}"
+        )
+    runs_per_col = np.diff(offsets)
+    if np.any(runs_per_col < 0):
+        raise QueryError("offsets must be non-decreasing")
+    if T > 0 and np.any(runs_per_col == 0):
+        raise QueryError(
+            f"every candidate needs runs summing to the query length {T}"
+        )
+    run_col = np.repeat(np.arange(n_cols), runs_per_col)
+    ends = np.cumsum(lengths) - T * run_col
+    starts = ends - lengths
+    if np.any(ends[offsets[1:] - 1] != T) or starts.min() < 0:
+        raise QueryError(
+            f"run lengths must sum to the query length {T} per candidate"
+        )
+    prefix = np.zeros((T + 1, arr.shape[1]), dtype=np.float64)
+    np.cumsum(arr, axis=0, out=prefix[1:])
+    contrib = prefix[ends, values] - prefix[starts, values]
+    return np.add.reduceat(contrib, offsets[:-1])

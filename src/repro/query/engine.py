@@ -45,6 +45,7 @@ from ..core.lookup import LookupTable
 from ..errors import QueryError
 from ..store.format import SymbolStore
 from .aggregate import AggregateReport, aggregate_store
+from .distance import banded_min_cells, histogram_bound
 from .index import QueryIndex, build_query_index, query_index_path
 from .patterns import PatternMatches, SymbolPattern, match_runs
 
@@ -61,6 +62,16 @@ __all__ = [
 #: on exact ties; the margin turns that into (at most) extra refinement.
 _PRUNE_SLACK = 1e-9
 
+#: Queries bounded per matmul: cells are ``(block, T, k)`` float64, so 64
+#: queries of a week-long 16-symbol column stay ~5 MB while one
+#: :func:`histogram_bound` product covers the whole block.
+_QUERY_BLOCK = 64
+
+#: Cap on elements per refinement gather (~8 MB of intp indices): one
+#: refine round scores ``active * chunk * T`` cells, which brute force
+#: (chunk = all candidates) would otherwise let grow with the fleet.
+_GATHER_ELEMENTS = 1 << 20
+
 
 @dataclass(frozen=True)
 class QueryConfig:
@@ -75,6 +86,18 @@ class QueryConfig:
     use_index: bool = True
     refine_chunk: int = 16
     workers: int = 1
+
+    def __post_init__(self) -> None:
+        if int(self.k) < 1:
+            raise QueryError(f"k must be >= 1, got {self.k}")
+        if int(self.refine_chunk) < 1:
+            raise QueryError(
+                f"refine_chunk must be >= 1, got {self.refine_chunk}"
+            )
+        if int(self.workers) < 0:
+            raise QueryError(
+                f"workers must be >= 0 (0 = one per CPU), got {self.workers}"
+            )
 
     def label(self) -> str:
         """Readable label such as ``"knn k=5 indexed w2"``."""
@@ -148,19 +171,6 @@ def resolve_shared_table(store: SymbolStore) -> LookupTable:
     )
 
 
-def _exact_d2(cells: np.ndarray, matrix: np.ndarray) -> np.ndarray:
-    """Row-wise squared distances by gathering per-(position, symbol) cells.
-
-    ``cells`` is ``(T, k)`` squared distances from the query to every
-    symbol's reconstruction value; ``matrix`` is ``(C, T)`` candidate symbol
-    indices.  Both the pruned and the brute-force path call this exact
-    expression on row-contiguous chunks, which is what makes their float
-    results identical bit for bit.
-    """
-    T = cells.shape[0]
-    return cells[np.arange(T)[None, :], matrix].sum(axis=1)
-
-
 def _knn_block(
     store: SymbolStore,
     table: LookupTable,
@@ -174,6 +184,14 @@ def _knn_block(
 
     Returns ``(positions, distances, refined)`` with ``positions`` of shape
     ``(len(queries), kk)`` where ``kk = min(k, candidates)``.
+
+    Queries are processed ``_QUERY_BLOCK`` at a time: the squared cells of
+    the whole sub-block are built with one broadcast, their lower bounds
+    with one :func:`banded_min_cells` + :func:`histogram_bound` matmul, and
+    each refine round decodes its chunk's missing columns with a single
+    ``store.matrix`` call.  Neighbours and distances are bit-identical for
+    every block split — the bound's last-ulp rounding can only move work
+    between the pruned and refined sets, never change an exact distance.
     """
     counts = store.counts
     if counts.size == 0:
@@ -197,55 +215,98 @@ def _knn_block(
     positions = np.empty((queries.shape[0], kk), dtype=np.int64)
     distances = np.empty((queries.shape[0], kk), dtype=np.float64)
     refined_total = 0
-    cache: Dict[int, np.ndarray] = {}
+    C = candidates.size
+    # Decoded candidate rows, by candidate rank, shared by every query of
+    # the batch.  ``np.empty`` commits pages lazily, so untouched (pruned)
+    # rows cost no physical memory; ``intp`` rows gather without a per-round
+    # cast of the store's narrowed decode dtype.
+    decoded = np.empty((C, T), dtype=np.intp)
+    have = np.zeros(C, dtype=bool)
+    t_base = np.arange(T, dtype=np.intp) * recon.size
 
-    def column_row(position: int) -> np.ndarray:
-        row = cache.get(position)
-        if row is None:
-            row = store.indices(store.ids[position])
-            cache[position] = row
-        return row
+    def decoded_rows(ranks: np.ndarray) -> np.ndarray:
+        """``(len(ranks), T)`` symbol rows; missing columns in one read."""
+        missing = np.unique(ranks[~have[ranks]])
+        if missing.size:
+            decoded[missing] = store.matrix(
+                meters=[store.ids[int(candidates[m])] for m in missing]
+            )
+            have[missing] = True
+        return decoded[ranks]
 
     if index is not None:
         bands = index.bands_for(T)
-        n_bands = index.n_bands
-        # Candidates' banded histograms, flattened once for the whole block:
-        # the per-query bound is then a single matrix-vector product.
-        banded = index.band_histograms[candidates].reshape(
-            candidates.size, n_bands * recon.size
-        ).astype(np.float64)
-    for qi, query in enumerate(queries):
-        cells = (query[:, None] - recon[None, :]) ** 2  # (T, k)
+        banded = (
+            index.float_histograms if candidates.size == index.n_meters
+            else index.band_histograms[candidates]
+        )
+    for b0 in range(0, queries.shape[0], _QUERY_BLOCK):
+        block = queries[b0: b0 + _QUERY_BLOCK]
+        n_block = block.shape[0]
+        # Shared query-reconstruction precompute: every query's (T, k)
+        # squared cells in one broadcast, bounds for the whole sub-block
+        # against every candidate in one matmul.
+        block_cells = (block[:, :, None] - recon[None, None, :]) ** 2
         if index is not None:
-            # min of each (band, symbol) cell over the band's positions: a
-            # window holding symbol s in band b contributes at least this.
-            band_min = np.full((n_bands, recon.size), np.inf)
-            np.minimum.at(band_min, bands, cells)
-            band_min[~np.isfinite(band_min)] = 0.0  # empty bands count 0
-            lb2 = banded @ band_min.ravel()
+            lb_block = histogram_bound(
+                banded_min_cells(block_cells, bands, index.n_bands), banded
+            )
         else:
-            lb2 = np.zeros(candidates.size, dtype=np.float64)
-        order = np.argsort(lb2, kind="stable")
-        refined_cols = np.zeros(0, dtype=np.int64)
-        refined_d2 = np.zeros(0, dtype=np.float64)
-        kth2 = np.inf
+            lb_block = np.zeros((n_block, C))
+        order = np.argsort(lb_block, axis=1, kind="stable")
+        lb_sorted = np.take_along_axis(lb_block, order, axis=1)
+        # Refine rounds run for all still-active queries at once.  Every
+        # active query has refined exactly ``at`` candidates (its first
+        # ``at`` in lower-bound order), so one decode + one flat gather +
+        # one batched partition advance the whole sub-block a round.
+        d2_sorted = np.empty((n_block, C), dtype=np.float64)
+        kth2 = np.full(n_block, np.inf)
+        n_refined = np.zeros(n_block, dtype=np.int64)
+        active = np.arange(n_block)
         at = 0
-        while at < order.size:
-            if refined_cols.size >= kk and lb2[order[at]] > kth2 * (1.0 + _PRUNE_SLACK):
-                break
-            chunk = order[at: at + refine_chunk]
-            at += refine_chunk
-            cols = candidates[chunk]
-            matrix = np.vstack([column_row(int(c)) for c in cols])
-            d2 = _exact_d2(cells, matrix)
-            refined_cols = np.concatenate([refined_cols, cols])
-            refined_d2 = np.concatenate([refined_d2, d2])
-            if refined_cols.size >= kk:
-                kth2 = np.partition(refined_d2, kk - 1)[kk - 1]
-        refined_total += refined_cols.size
-        best = np.lexsort((refined_cols, refined_d2))[:kk]
-        positions[qi] = refined_cols[best]
-        distances[qi] = np.sqrt(refined_d2[best])
+        while active.size and at < C:
+            if at >= kk:
+                still = lb_sorted[active, at] <= kth2[active] * (1.0 + _PRUNE_SLACK)
+                active = active[still]
+                if not active.size:
+                    break
+            hi = min(at + refine_chunk, C)
+            ranks = order[active, at:hi]                      # (A, chunk)
+            # One flat gather scores every (query, candidate) of the round:
+            # cells[q, t, s] lives at offset q*T*k + t*k + s, and the
+            # per-(candidate, T) pairwise sum matches the serial form bit
+            # for bit.  Large rounds (brute force refines every candidate
+            # at once) run in query segments so the gather temporaries stay
+            # a few MB instead of scaling with queries * candidates.
+            d2 = np.empty(ranks.shape, dtype=np.float64)
+            segment = max(1, _GATHER_ELEMENTS // max(1, ranks.shape[1] * T))
+            for s0 in range(0, active.size, segment):
+                sub = active[s0: s0 + segment]
+                sub_ranks = ranks[s0: s0 + segment]
+                matrix = decoded_rows(sub_ranks.ravel())
+                flat = (
+                    sub[:, None, None] * (T * recon.size)
+                    + t_base[None, None, :]
+                    + matrix.reshape(sub_ranks.shape + (T,))
+                )
+                d2[s0: s0 + segment] = block_cells.take(
+                    flat.ravel()
+                ).reshape(flat.shape).sum(axis=2)
+            d2_sorted[active, at:hi] = d2
+            n_refined[active] = hi
+            if hi >= kk:
+                kth2[active] = np.partition(
+                    d2_sorted[active, :hi], kk - 1, axis=1
+                )[:, kk - 1]
+            at = hi
+        refined_total += int(n_refined.sum())
+        for bi in range(n_block):
+            n = int(n_refined[bi])
+            refined_cols = candidates[order[bi, :n]]
+            refined_d2 = d2_sorted[bi, :n]
+            best = np.lexsort((refined_cols, refined_d2))[:kk]
+            positions[b0 + bi] = refined_cols[best]
+            distances[b0 + bi] = np.sqrt(refined_d2[best])
     return positions, distances, refined_total
 
 

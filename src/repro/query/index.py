@@ -168,6 +168,7 @@ class QueryIndex:
                 f"{self.band_histograms.shape}"
             )
         self._histograms: Optional[np.ndarray] = None
+        self._float_histograms: Optional[np.ndarray] = None
 
     @property
     def n_meters(self) -> int:
@@ -187,6 +188,18 @@ class QueryIndex:
         if self._histograms is None:
             self._histograms = self.band_histograms.sum(axis=1)
         return self._histograms
+
+    @property
+    def float_histograms(self) -> np.ndarray:
+        """``(n_meters, n_bands, k)`` histograms as float64 (cached).
+
+        The right-hand operand of the kNN engine's
+        :func:`~repro.query.distance.histogram_bound` matmul, materialised
+        once per index instead of once per query batch.
+        """
+        if self._float_histograms is None:
+            self._float_histograms = self.band_histograms.astype(np.float64)
+        return self._float_histograms
 
     def bands_for(self, count: int) -> np.ndarray:
         """Band of every window of a ``count``-long column (query side)."""

@@ -32,6 +32,8 @@ from .packing import (
     bits_for_alphabet,
     pack_indices,
     packed_nbytes,
+    slice_byte_window,
+    symbol_dtype,
     unpack_indices,
     unpack_slice,
 )
@@ -54,7 +56,9 @@ __all__ = [
     "load_day_vectors",
     "pack_indices",
     "packed_nbytes",
+    "slice_byte_window",
     "store_from_ml_dataset",
+    "symbol_dtype",
     "unpack_indices",
     "unpack_slice",
     "write_day_vector_store",

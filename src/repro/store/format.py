@@ -40,6 +40,7 @@ reconstruction bit for bit.
 from __future__ import annotations
 
 import json
+import mmap as _mmap
 import os
 import struct
 from pathlib import Path
@@ -54,6 +55,7 @@ from .packing import (
     bits_for_alphabet,
     pack_indices,
     packed_nbytes,
+    slice_byte_window,
     unpack_indices,
     unpack_slice,
 )
@@ -68,6 +70,31 @@ DENSE = "dense"
 RLE = "rle"
 
 _LENGTH_DTYPE = np.dtype("<u4")
+
+#: madvise flags by name, resolved lazily (absent on some platforms).
+_MADVISE_FLAGS = {
+    "willneed": "MADV_WILLNEED",
+    "sequential": "MADV_SEQUENTIAL",
+    "random": "MADV_RANDOM",
+}
+
+
+def _advise_mmap(raw: np.ndarray, advice: str) -> bool:
+    """Best-effort ``madvise`` hint on a ``np.memmap``'s underlying mapping.
+
+    Returns whether the hint was actually issued — callers never depend on
+    it (page-cache advice cannot change decoded bytes), so every failure
+    path degrades to "no hint".
+    """
+    flag = getattr(_mmap, _MADVISE_FLAGS.get(advice, ""), None)
+    mapping = getattr(raw, "_mmap", None)
+    if flag is None or mapping is None:
+        return False
+    try:
+        mapping.madvise(flag)
+    except (AttributeError, OSError, ValueError):
+        return False
+    return True
 
 
 class SymbolStoreWriter:
@@ -366,10 +393,16 @@ class SymbolStore:
     # -- construction ------------------------------------------------------------
 
     @classmethod
-    def open(cls, path: Union[str, Path], mmap: bool = True) -> "SymbolStore":
+    def open(
+        cls, path: Union[str, Path], mmap: bool = True, prefetch: bool = True
+    ) -> "SymbolStore":
         """Open a store, memory-mapped (default) or fully read into memory.
 
         Both modes decode to bit-identical arrays — the parity tests pin it.
+        ``prefetch`` issues ``madvise(MADV_WILLNEED)`` on the mapping so a
+        cold store's pages stream in ahead of the first decode instead of
+        faulting one 4 KiB page per read; it is a hint only and a no-op on
+        platforms without ``madvise``.
         """
         path = Path(path)
         if not path.exists():
@@ -379,6 +412,8 @@ class SymbolStore:
             raise StoreError(f"{path} is too short to be a symbol store")
         if mmap:
             raw = np.memmap(path, dtype=np.uint8, mode="r")
+            if prefetch:
+                _advise_mmap(raw, "willneed")
         else:
             raw = np.fromfile(path, dtype=np.uint8)
         if raw[: len(MAGIC_HEAD)].tobytes() != MAGIC_HEAD:
@@ -571,6 +606,22 @@ class SymbolStore:
                 return unpack_indices(packed, self.bits_per_symbol, width)[
                     :, start:stop
                 ]
+        if self.layout == DENSE and self.bits_per_symbol <= 8 and stop > start:
+            # Any dense subset: gather each column's byte window with one
+            # fancy-index off the mmap, then decode the whole block with a
+            # single kernel call — the refinement read path never unpacks
+            # columns one at a time.
+            first_byte, last_byte, lead = slice_byte_window(
+                self.bits_per_symbol, start, stop
+            )
+            base = self.offsets[np.asarray(columns, dtype=np.int64)] + first_byte
+            window = self._payload[
+                base[:, None]
+                + np.arange(last_byte - first_byte, dtype=np.int64)[None, :]
+            ]
+            return unpack_slice(
+                window, self.bits_per_symbol, lead, lead + stop - start
+            )
         rows = [
             unpack_slice(
                 self._column_bytes(column), self.bits_per_symbol, start, stop

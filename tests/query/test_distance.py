@@ -18,7 +18,15 @@ from repro.baselines.sax import SAXWord, gaussian_breakpoints
 from repro.baselines.sax import mindist as sax_mindist
 from repro.core import LookupTable
 from repro.errors import QueryError
-from repro.query import cell_bounds, mindist, value_cell_bounds
+from repro.query import (
+    banded_min_cells,
+    cell_bounds,
+    gathered_squared_distances,
+    histogram_bound,
+    mindist,
+    rle_squared_distances,
+    value_cell_bounds,
+)
 
 ALPHABETS = [2, 4, 8, 16, 27, 32]
 POWER_ALPHABETS = [2, 4, 8, 16, 32]
@@ -154,3 +162,147 @@ class TestLowerBoundProperty:
         assert bounds[0, 0] == 0.0 and bounds[1, 1] == 0.0 and bounds[2, 2] == 0.0
         assert bounds[0, 2] == pytest.approx(15.0)  # 5 is 15 below (20, inf)
         assert bounds[2, 0] == pytest.approx(15.0)  # 25 is 15 above (-inf, 10]
+
+
+class TestBandedMinCells:
+    """The batched per-(band, symbol) minima match the serial reduction."""
+
+    @staticmethod
+    def _serial(cells: np.ndarray, bands: np.ndarray, n_bands: int):
+        band_min = np.full((n_bands, cells.shape[1]), np.inf)
+        np.minimum.at(band_min, bands, cells)
+        band_min[~np.isfinite(band_min)] = 0.0
+        return band_min
+
+    @pytest.mark.parametrize(
+        "layout", ["folded", "contiguous", "shuffled", "one_band"]
+    )
+    def test_matches_serial_minimum(self, layout, rng):
+        T, k, n_bands = 96, 16, 8
+        t = np.arange(T)
+        bands = {
+            "folded": (t % 24) * n_bands // 24,       # periodic fast path
+            "contiguous": t * n_bands // T,
+            "shuffled": rng.permutation(t * n_bands // T),
+            "one_band": np.full(T, 5),                # 7 empty bands
+        }[layout]
+        cells = rng.random((T, k))
+        got = banded_min_cells(cells, bands, n_bands)
+        np.testing.assert_array_equal(got, self._serial(cells, bands, n_bands))
+        batch = rng.random((6, T, k))
+        got_batch = banded_min_cells(batch, bands, n_bands)
+        for q in range(6):
+            np.testing.assert_array_equal(
+                got_batch[q], self._serial(batch[q], bands, n_bands)
+            )
+
+    def test_trailing_empty_bands_keep_last_position(self, rng):
+        # Regression: clipped reduceat boundaries once dropped the final
+        # position's cells from the last *non-empty* band.
+        T, k, n_bands = 50, 4, 8
+        bands = np.full(T, 3)
+        cells = rng.random((T, k))
+        got = banded_min_cells(cells, bands, n_bands)
+        np.testing.assert_array_equal(got[3], cells.min(axis=0))
+        assert np.all(got[[0, 1, 2, 4, 5, 6, 7]] == 0.0)
+
+    def test_rejects_bad_shapes_and_labels(self):
+        with pytest.raises(QueryError, match="one entry per position"):
+            banded_min_cells(np.zeros((4, 2)), np.zeros(3, dtype=int), 2)
+        with pytest.raises(QueryError, match="out of range"):
+            banded_min_cells(np.zeros((4, 2)), np.array([0, 1, 2, 5]), 3)
+        with pytest.raises(QueryError, match="n_bands"):
+            banded_min_cells(np.zeros((4, 2)), np.zeros(4, dtype=int), 0)
+
+
+class TestHistogramBound:
+    def test_batched_equals_per_query_matvec_values(self, rng):
+        Q, C, B, k = 5, 17, 8, 16
+        mins = rng.random((Q, B, k))
+        hist = rng.integers(0, 9, size=(C, B, k))
+        lb = histogram_bound(mins, hist)
+        assert lb.shape == (Q, C)
+        expect = np.einsum("qbk,cbk->qc", mins, hist.astype(np.float64))
+        np.testing.assert_allclose(lb, expect, rtol=1e-12)
+        one = histogram_bound(mins[2], hist)
+        assert one.shape == (C,)
+        np.testing.assert_allclose(one, expect[2], rtol=1e-12)
+
+    def test_is_a_lower_bound_on_gathered_distance(self, rng):
+        """hist @ band-min never exceeds the exact gathered distance."""
+        T, k, n_bands, C = 48, 8, 6, 25
+        bands = np.arange(T) * n_bands // T
+        cells = rng.random((T, k))
+        matrix = rng.integers(0, k, size=(C, T))
+        hist = np.zeros((C, n_bands, k), dtype=np.int64)
+        for c in range(C):
+            np.add.at(hist[c], (bands, matrix[c]), 1)
+        lb = histogram_bound(banded_min_cells(cells, bands, n_bands), hist)
+        exact = gathered_squared_distances(cells, matrix)
+        assert np.all(lb <= exact + 1e-9)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(QueryError, match="disagree"):
+            histogram_bound(np.zeros((2, 3, 4)), np.zeros((5, 3, 5)))
+
+
+class TestRunAwareDistances:
+    def test_rle_matches_gathered_on_expanded_runs(self, rng):
+        T, k, C = 96, 16, 30
+        cells = rng.random((T, k))
+        values, lengths, offsets, rows = [], [], [0], []
+        for _ in range(C):
+            cuts = np.sort(rng.choice(
+                np.arange(1, T), size=int(rng.integers(0, 12)), replace=False
+            ))
+            seg = np.diff(np.concatenate([[0], cuts, [T]]))
+            v = rng.integers(0, k, size=seg.size)
+            values.append(v)
+            lengths.append(seg)
+            offsets.append(offsets[-1] + seg.size)
+            rows.append(np.repeat(v, seg))
+        values = np.concatenate(values)
+        lengths = np.concatenate(lengths)
+        offsets = np.asarray(offsets)
+        d_runs = rle_squared_distances(cells, values, lengths, offsets)
+        d_gather = gathered_squared_distances(cells, np.vstack(rows))
+        np.testing.assert_allclose(d_runs, d_gather, rtol=1e-12, atol=1e-12)
+
+    def test_single_candidate_without_offsets(self, rng):
+        cells = rng.random((20, 4))
+        values = np.array([1, 3, 0])
+        lengths = np.array([5, 10, 5])
+        expect = gathered_squared_distances(
+            cells, np.repeat(values, lengths)[None, :]
+        )[0]
+        got = rle_squared_distances(cells, values, lengths)
+        np.testing.assert_allclose(got, expect, rtol=1e-12)
+
+    def test_work_is_run_proportional(self, rng):
+        # A constant column scores exactly via one run.
+        cells = rng.random((500, 8))
+        got = rle_squared_distances(cells, np.array([5]), np.array([500]))
+        np.testing.assert_allclose(got[0], cells[:, 5].sum(), rtol=1e-12)
+
+    def test_bad_run_sums_rejected(self, rng):
+        cells = rng.random((10, 4))
+        with pytest.raises(QueryError, match="query length"):
+            rle_squared_distances(cells, np.array([1]), np.array([9]))
+        with pytest.raises(QueryError, match="query length"):
+            rle_squared_distances(
+                cells, np.array([1, 2, 3]), np.array([10, 3, 6]),
+                np.array([0, 1, 3]),
+            )
+        with pytest.raises(QueryError, match="offsets"):
+            rle_squared_distances(
+                cells, np.array([1, 2]), np.array([5, 5]), np.array([0, 1]),
+            )
+        with pytest.raises(QueryError, match="out of range"):
+            rle_squared_distances(cells, np.array([4]), np.array([10]))
+
+    def test_gathered_accepts_narrow_dtypes(self, rng):
+        cells = rng.random((30, 16))
+        matrix = rng.integers(0, 16, size=(7, 30))
+        wide = gathered_squared_distances(cells, matrix.astype(np.int64))
+        narrow = gathered_squared_distances(cells, matrix.astype(np.uint8))
+        np.testing.assert_array_equal(wide, narrow)

@@ -167,6 +167,26 @@ class TestValidation:
         with pytest.raises(Exception):
             engine.knn(query, QueryConfig(k=1), exclude_ids=["nope"])
 
+    def test_nonpositive_refine_chunk_rejected_at_construction(self):
+        # Regression: refine_chunk <= 0 used to surface as a confusing
+        # downstream failure; now it's a QueryError before any query runs.
+        with pytest.raises(QueryError, match="refine_chunk"):
+            QueryConfig(k=1, refine_chunk=0)
+        with pytest.raises(QueryError, match="refine_chunk"):
+            QueryConfig(k=1, refine_chunk=-4)
+
+    def test_nonpositive_k_rejected_at_construction(self):
+        with pytest.raises(QueryError, match="k must be"):
+            QueryConfig(k=0)
+        with pytest.raises(QueryError, match="k must be"):
+            QueryConfig(k=-1)
+
+    def test_negative_workers_rejected_at_construction(self):
+        with pytest.raises(QueryError, match="workers"):
+            QueryConfig(k=1, workers=-1)
+        # 0 stays legal: the CLI convention for "one worker per CPU".
+        assert QueryConfig(k=1, workers=0).workers == 0
+
 
 class TestPerMeterTableRefusal:
     """Bugfix satellite: mismatched per-meter tables must refuse loudly."""

@@ -4,12 +4,16 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import StoreError
 from repro.store import (
     bits_for_alphabet,
     pack_indices,
     packed_nbytes,
+    slice_byte_window,
+    symbol_dtype,
     unpack_indices,
     unpack_slice,
 )
@@ -87,6 +91,126 @@ class TestBitsForAlphabet:
     def test_rejects_degenerate_alphabets(self):
         with pytest.raises(StoreError):
             bits_for_alphabet(1)
+
+
+def _reference_pack(indices: np.ndarray, bits: int) -> np.ndarray:
+    """The seed bit-plane packer: expand to bits, ``np.packbits`` MSB-first.
+
+    Deliberately independent of ``repro.store.packing`` internals — it pins
+    the *byte layout* the fast paths must reproduce exactly.
+    """
+    arr = np.asarray(indices, dtype=np.int64)
+    shifts = np.arange(bits - 1, -1, -1)
+    planes = ((arr[..., None] >> shifts) & 1).astype(np.uint8)
+    flat = planes.reshape(arr.shape[:-1] + (arr.shape[-1] * bits,))
+    return np.packbits(flat, axis=-1)
+
+
+def _reference_unpack(packed: np.ndarray, bits: int, count: int) -> np.ndarray:
+    expanded = np.unpackbits(
+        np.asarray(packed, dtype=np.uint8), axis=-1
+    )[..., : count * bits]
+    planes = expanded.reshape(expanded.shape[:-1] + (count, bits))
+    weights = (1 << np.arange(bits - 1, -1, -1)).astype(np.int64)
+    return planes.astype(np.int64) @ weights
+
+
+@pytest.mark.parametrize("bits", range(1, 9))
+class TestFastPathsMatchReferenceKernels:
+    """The LUT / strided / odd-phase paths are bit-identical to bit-planes."""
+
+    def test_pack_bytes_identical(self, bits):
+        rng = np.random.default_rng(bits)
+        for n in (0, 1, 5, 8, 9, 24, 63, 64, 65, 255, 1000, 8191, 8192, 8193):
+            indices = rng.integers(0, 1 << bits, size=n)
+            assert pack_indices(indices, bits).tobytes() == \
+                _reference_pack(indices, bits).tobytes()
+
+    def test_unpack_values_identical(self, bits):
+        rng = np.random.default_rng(100 + bits)
+        # 8193 symbols crosses the LUT -> strided dispatch threshold for
+        # every aligned width; odd counts exercise partial trailing bytes.
+        for n in (1, 7, 8, 9, 97, 8191, 8193):
+            indices = rng.integers(0, 1 << bits, size=n)
+            packed = _reference_pack(indices, bits)
+            out = unpack_indices(packed, bits, n)
+            np.testing.assert_array_equal(
+                out.astype(np.int64), _reference_unpack(packed, bits, n)
+            )
+            assert out.dtype == symbol_dtype(bits)
+
+    def test_unpack_slice_every_phase(self, bits):
+        rng = np.random.default_rng(200 + bits)
+        n = 259  # odd length: trailing partial byte for every width
+        indices = rng.integers(0, 1 << bits, size=n)
+        packed = pack_indices(indices, bits)
+        reference = _reference_unpack(packed, bits, n)
+        # Every start % 8 phase (and then some), misaligned stops included.
+        for start in list(range(0, 17)) + [100, 128, 250, 258, 259]:
+            for stop in (start, start + 1, start + 13, min(start + 64, n), n):
+                stop = min(stop, n)
+                np.testing.assert_array_equal(
+                    unpack_slice(packed, bits, start, stop).astype(np.int64),
+                    reference[start:stop],
+                )
+
+    def test_matrix_rows_identical(self, bits):
+        rng = np.random.default_rng(300 + bits)
+        matrix = rng.integers(0, 1 << bits, size=(7, 131))
+        packed = pack_indices(matrix, bits)
+        assert packed.tobytes() == _reference_pack(matrix, bits).tobytes()
+        np.testing.assert_array_equal(
+            unpack_indices(packed, bits, 131).astype(np.int64),
+            _reference_unpack(packed, bits, 131),
+        )
+
+
+@given(
+    bits=st.integers(min_value=1, max_value=8),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_property(bits, data):
+    n = data.draw(st.integers(min_value=0, max_value=700))
+    symbols = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << bits) - 1),
+            min_size=n, max_size=n,
+        )
+    )
+    indices = np.asarray(symbols, dtype=np.int64)
+    packed = pack_indices(indices, bits)
+    assert packed.tobytes() == _reference_pack(indices, bits).tobytes()
+    np.testing.assert_array_equal(
+        unpack_indices(packed, bits, n).astype(np.int64), indices
+    )
+    if n:
+        start = data.draw(st.integers(min_value=0, max_value=n))
+        stop = data.draw(st.integers(min_value=start, max_value=n))
+        np.testing.assert_array_equal(
+            unpack_slice(packed, bits, start, stop).astype(np.int64),
+            indices[start:stop],
+        )
+
+
+class TestSymbolDtype:
+    def test_narrow_widths(self):
+        for bits in range(1, 9):
+            assert symbol_dtype(bits) == np.uint8
+        for bits in range(9, 17):
+            assert symbol_dtype(bits) == np.uint16
+        assert symbol_dtype(17) == np.int64
+
+    def test_slice_byte_window_bounds(self):
+        # The window always covers [start, stop) and starts on a
+        # symbol-aligned byte: lead symbols precede start inside it.
+        for bits in range(1, 9):
+            for start in range(0, 40):
+                first, last, lead = slice_byte_window(bits, start, start + 11)
+                assert 0 <= lead < 8
+                assert first * 8 <= start * bits
+                assert last * 8 >= (start + 11) * bits
+                assert (start - lead) * bits == first * 8
 
 
 class TestValidation:

@@ -194,6 +194,20 @@ class TestQueryCommands:
         assert main(["query", "knn", str(store_path)]) == 1
         assert "query-id or --query-csv" in capsys.readouterr().err
 
+    def test_query_knn_stats_prints_work_accounting(self, store_path, capsys):
+        assert main(["query", "knn", str(store_path),
+                     "--query-id", "1", "--k", "3", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "query stats:" in out
+        assert "candidates:" in out
+        assert "refined/query:" in out
+        assert "decoded fraction:" in out
+        assert "index used:         True" in out
+        # Without the flag the accounting block stays off.
+        assert main(["query", "knn", str(store_path),
+                     "--query-id", "1", "--k", "3"]) == 0
+        assert "query stats:" not in capsys.readouterr().out
+
     def test_query_knn_csv_batch_prints_every_query(self, store_path, tmp_path, capsys):
         # Regression: a multi-row --query-csv used to print only query 0.
         from repro.store import SymbolStore
