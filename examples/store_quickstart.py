@@ -20,7 +20,16 @@ from pathlib import Path
 import numpy as np
 
 from repro.core import CompressionModel
-from repro.store import RLE, SymbolStore, write_fleet_store
+from repro.pipeline.fleet import FleetEncoder
+from repro.store import (
+    RLE,
+    SymbolStore,
+    append_segment,
+    open_store,
+    scrub_store,
+    write_fleet_store,
+    write_segmented_fleet,
+)
 
 N_METERS = 1_000
 SAMPLES_PER_DAY = 1_440          # minutely sampling
@@ -85,6 +94,37 @@ def main() -> None:
     )
     print(f"standby-heavy subfleet: dense {dense_store.payload_nbytes} B, "
           f"rle {rle_store.payload_nbytes} B")
+
+    # -- crash-safe growth: a segmented store, one appended day at a time -----
+    # A .rsyms directory holds immutable day segments plus a versioned
+    # manifest; each append commits via write-temp -> fsync -> atomic rename,
+    # so a crash at any byte leaves the previous snapshot intact.
+    seg_dir = workdir / "fleet.rsyms"
+    first_days = fleet[:, : 2 * SAMPLES_PER_DAY]
+    seg = write_segmented_fleet(
+        seg_dir, first_days, alphabet_size=ALPHABET, window=WINDOW,
+        sampling_interval=60.0, segment_windows=SAMPLES_PER_DAY // WINDOW,
+    )
+    table = seg.shared_table
+    seg.close()
+
+    # Append day 3 with the same lookup table: one new segment, one new
+    # manifest generation, previous generations kept for rollback.
+    day3 = FleetEncoder.from_tables(table, window=WINDOW).encode(
+        fleet[:, 2 * SAMPLES_PER_DAY:]
+    )
+    append_segment(seg_dir, day3, tables=table, reason="day-3")
+    with open_store(seg_dir) as grown:
+        print(f"segmented store: {grown.n_segments} segments "
+              f"(generation {grown.generation}), "
+              f"{grown.matrix().shape[1]} windows/meter")
+
+    # Scrub re-checksums every live byte (CRC32C per column and per file)
+    # and mops up debris; on a healthy store it reports clean.
+    report = scrub_store(seg_dir, repair=True)
+    print(f"scrub: {report.segments_checked} segments, "
+          f"{report.bytes_checked} bytes checksummed -> "
+          f"{'clean' if report.ok else 'damage found'}")
 
 
 if __name__ == "__main__":

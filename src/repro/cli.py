@@ -151,6 +151,10 @@ def _encode_fleet_store(matrix, houses, window: int, sampling: float,
     """Encode the fleet straight into a bit-packed ``.rsym`` store."""
     from .store import RLE, write_fleet_store
 
+    segment_days = getattr(args, "segment_days", 0)
+    if segment_days:
+        return _encode_segmented_store(matrix, houses, window, sampling,
+                                       segment_days, args)
     store = write_fleet_store(
         args.store, matrix,
         alphabet_size=args.alphabet, method=args.method, window=window,
@@ -172,6 +176,46 @@ def _encode_fleet_store(matrix, houses, window: int, sampling: float,
           f"raw float64 fleet is {raw_bytes} bytes, "
           f"{raw_bytes / max(1, store.file_nbytes):.1f}x larger)")
     _print_store_measurement(store)
+    return 0
+
+
+def _encode_segmented_store(matrix, houses, window: int, sampling: float,
+                            segment_days: int, args: argparse.Namespace) -> int:
+    """Encode the fleet into a crash-safe segmented store, one span per N days."""
+    from .core.timeseries import SECONDS_PER_DAY
+    from .errors import StoreError
+    from .store import RLE, write_segmented_fleet
+
+    aggregation_seconds = sampling * window
+    per_day = SECONDS_PER_DAY / aggregation_seconds
+    if abs(per_day - round(per_day)) >= 1e-9:
+        raise StoreError(
+            f"--segment-days needs a window that divides a day evenly "
+            f"({aggregation_seconds:g} s windows give {per_day:.2f} windows/day)"
+        )
+    segment_windows = int(round(per_day)) * int(segment_days)
+    store = write_segmented_fleet(
+        args.store, matrix,
+        alphabet_size=args.alphabet, method=args.method, window=window,
+        layout=RLE if args.rle else "dense",
+        meter_ids=[house.house_id for house in houses],
+        segment_windows=segment_windows,
+        workers=args.workers,
+        sampling_interval=sampling,
+    )
+    if getattr(args, "query_index", False):
+        from .query import write_query_index
+
+        path = write_query_index(store, workers=args.workers)
+        print(f"wrote query index {path}")
+    raw_bytes = matrix.size * matrix.itemsize
+    print(f"wrote {store.path}: {store.n_segments} segments "
+          f"(generation {store.generation}), {store.n_meters} meters x "
+          f"{int(store.counts[0])} symbols ({store.layout} layout, "
+          f"{store.payload_nbytes} payload bytes; raw float64 fleet is "
+          f"{raw_bytes} bytes)")
+    _print_store_measurement(store)
+    store.close()
     return 0
 
 
@@ -251,9 +295,20 @@ def _cmd_compression(args: argparse.Namespace) -> int:
 
 def _cmd_store_info(args: argparse.Namespace) -> int:
     """Print a store's layout plus measured-vs-analytic compression."""
-    from .store import SymbolStore
+    from .errors import CorruptStoreError
+    from .store import SegmentedStore, open_store
 
-    with SymbolStore.open(args.path) as store:
+    verify = getattr(args, "verify", False)
+    try:
+        store = open_store(args.path, verify="eager" if verify else "lazy")
+    except CorruptStoreError as exc:
+        print(f"corrupt store: {exc}")
+        if exc.check:
+            print(f"  failed check: {exc.check}")
+        if exc.hint:
+            print(f"  hint: {exc.hint}")
+        return 1
+    with store:
         tables = store.tables
         if tables is None:
             table_mode = "none"
@@ -264,6 +319,10 @@ def _cmd_store_info(args: argparse.Namespace) -> int:
         else:
             table_mode = "1 shared"
         print(f"store:    {store.path}")
+        if isinstance(store, SegmentedStore):
+            print(f"segments: {store.n_segments} (generation {store.generation}"
+                  + (f", {len(store.quarantined)} quarantined"
+                     if store.quarantined else "") + ")")
         print(f"layout:   {store.layout} ({store.bits_per_symbol} bits/symbol, "
               f"alphabet {store.alphabet_size})")
         print(f"columns:  {store.n_meters} ({store.n_symbols} symbols total)")
@@ -278,7 +337,35 @@ def _cmd_store_info(args: argparse.Namespace) -> int:
             if summary:
                 print(f"metadata: {summary}")
         _print_store_measurement(store)
+        if verify:
+            report = store.verify(strict=False)
+            quarantined = report.get("quarantined", [])
+            if not store.checksummed:
+                print("checksums: none (format v1 store; rewrite to add them)")
+            elif report["ok"] and not quarantined:
+                checked = report.get("columns_checked", store.n_meters)
+                print(f"checksums: ok (crc32c, {checked} columns verified)")
+            else:
+                failures = len(report["errors"]) + len(quarantined)
+                print(f"checksums: {failures} FAILURE(S)")
+                for error in report["errors"]:
+                    print(f"  {error}")
+                for name, error in quarantined:
+                    print(f"  quarantined {name}: {error}")
+                return 1
     return 0
+
+
+def _cmd_store_scrub(args: argparse.Namespace) -> int:
+    """Verify checksums and garbage-collect crash residue."""
+    from .store import scrub_store
+
+    report = scrub_store(
+        args.path, repair=args.repair, keep_generations=args.keep,
+    )
+    for line in report.lines():
+        print(line)
+    return 0 if report.ok or args.repair else 1
 
 
 def _print_run_stats(store) -> None:
@@ -317,9 +404,9 @@ def _store_column_id(store, text: str):
 
 def _cmd_query_index(args: argparse.Namespace) -> int:
     from .query import write_query_index
-    from .store import SymbolStore
+    from .store import open_store
 
-    with SymbolStore.open(args.path) as store:
+    with open_store(args.path) as store:
         path = write_query_index(store, workers=args.workers)
         print(f"wrote {path}: {store.n_meters} columns x "
               f"{store.alphabet_size} symbol histogram "
@@ -455,6 +542,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "instead of printing per-house statistics")
     encode.add_argument("--rle", action="store_true",
                         help="with --store: run-length-encoded payload layout")
+    encode.add_argument("--segment-days", type=int, default=0, metavar="N",
+                        help="with --store: write a crash-safe segmented store "
+                             "directory, one immutable segment per N days")
     encode.add_argument("--query-index", action="store_true",
                         help="with --store: also write the .rsymx sidecar "
                              "used by 'repro query knn' for pruning")
@@ -495,10 +585,31 @@ def build_parser() -> argparse.ArgumentParser:
     compression.set_defaults(handler=_cmd_compression)
 
     store_info = subparsers.add_parser(
-        "store-info", help="inspect a bit-packed .rsym symbol store"
+        "store-info", help="inspect a .rsym store or segmented store directory"
     )
-    store_info.add_argument("path", type=str, help="path to the .rsym file")
+    store_info.add_argument("path", type=str,
+                            help="path to the .rsym file or segment directory")
+    store_info.add_argument("--verify", action="store_true",
+                            help="checksum-verify every column and report "
+                                 "damage (exit 1 on failures)")
     store_info.set_defaults(handler=_cmd_store_info)
+
+    store_group = subparsers.add_parser(
+        "store", help="store maintenance (scrub, garbage collection)"
+    )
+    store_commands = store_group.add_subparsers(dest="store_command", required=True)
+    scrub = store_commands.add_parser(
+        "scrub", help="verify checksums, report or repair crash residue"
+    )
+    scrub.add_argument("path", type=str,
+                       help="path to the .rsym file or segment directory")
+    scrub.add_argument("--repair", action="store_true",
+                       help="remove stale temps/orphans, quarantine corrupt "
+                            "segments and commit a clean generation")
+    scrub.add_argument("--keep", type=int, default=None, metavar="N",
+                       help="with --repair: prune old manifest generations "
+                            "beyond the newest N")
+    scrub.set_defaults(handler=_cmd_store_scrub)
 
     query = subparsers.add_parser(
         "query", help="similarity / pattern / aggregation queries over a store"

@@ -44,5 +44,69 @@ class StoreError(ReproError):
     """Raised when a symbol store file is malformed or used inconsistently."""
 
 
+class CorruptStoreError(StoreError):
+    """A store file failed an integrity check (magic, length or checksum).
+
+    Beyond the message, carries structured diagnostics so callers (and the
+    fault-injection tests) can see *which* check failed and whether the file
+    looks truncated or bit-rotted:
+
+    ``path``
+        The offending file.
+    ``check``
+        Which integrity check failed: ``"head_magic"``, ``"tail_magic"``,
+        ``"header_length"``, ``"header_json"``, ``"header_crc"``,
+        ``"column_crc"``, ``"lengths_crc"``, ``"file_size"`` or
+        ``"version"``.
+    ``expected`` / ``actual``
+        The value the check wanted vs. what the file holds (magic bytes,
+        checksum hex, sizes), both rendered into the message.
+    ``hint``
+        ``"truncated"`` when the damage pattern looks like an interrupted
+        write (missing tail, short file), ``"bit-rot"`` when bytes are
+        present but wrong, ``"not-a-store"`` when the head magic is foreign.
+    ``detail``
+        Free-form dict with the remaining specifics (file sizes, offsets,
+        column ids).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path=None,
+        check: str = "",
+        expected=None,
+        actual=None,
+        hint: str = "",
+        detail=None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.check = check
+        self.expected = expected
+        self.actual = actual
+        self.hint = hint
+        self.detail = dict(detail or {})
+
+
+class StoreIntegrityWarning(UserWarning):
+    """A damaged piece of a store was quarantined instead of failing the read.
+
+    Emitted (via :mod:`warnings`) when a segmented store skips a corrupt
+    segment, rolls back to an older manifest generation, or ignores an
+    unreadable manifest file — the degrade-and-continue half of the
+    durability contract.  Carries the same structured fields the scrub
+    report prints: ``path``, ``kind`` (``"segment"``, ``"manifest"``,
+    ``"temp"``), and ``reason``.
+    """
+
+    def __init__(self, message: str, *, path=None, kind: str = "", reason: str = "") -> None:
+        super().__init__(message)
+        self.path = path
+        self.kind = kind
+        self.reason = reason
+
+
 class QueryError(ReproError):
     """Raised when a store query is invalid (mismatched tables, bad pattern...)."""

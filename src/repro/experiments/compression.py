@@ -97,8 +97,10 @@ def compression_sweep(
     measured: Dict[Tuple[int, float], MeasuredCompression] = {}
     if store is not None:
         from ..store.format import SymbolStore
+        from ..store.segments import SegmentedStore, open_store
 
-        opened = store if isinstance(store, SymbolStore) else SymbolStore.open(store)
+        already_open = isinstance(store, (SymbolStore, SegmentedStore))
+        opened = store if already_open else open_store(store)
         model = CompressionModel(
             sampling_interval=sampling_interval, value_bits=value_bits
         )

@@ -32,6 +32,8 @@ __all__ = [
     "run_grid_chunk",
     "StoreShardTask",
     "pack_store_shard",
+    "SegmentShardTask",
+    "pack_segment_shard",
     "IndexShardTask",
     "build_index_shard",
     "KNNShardTask",
@@ -159,6 +161,52 @@ def pack_store_shard(task: StoreShardTask) -> Tuple[Optional[List[dict]], List[t
     return table_dicts, columns
 
 
+class SegmentShardTask(NamedTuple):
+    """One contiguous row block of an already-encoded segment to bit-pack.
+
+    Unlike :class:`StoreShardTask` the symbols are already quantised (the
+    segmented store's append path encodes before packing, so drift-epoch
+    tables stay with the ingest layer); the worker only packs.  Per-row work
+    merged in task order keeps appended segments byte-identical for every
+    worker count.
+    """
+
+    indices: "object"                # (rows, windows) int index matrix
+    bits: int
+    layout: str
+
+
+def pack_segment_shard(task: SegmentShardTask) -> List[tuple]:
+    """Pack one row block into store columns, in row order.
+
+    Returns ``(payload_bytes, symbol_count, run_lengths_or_None)`` per row —
+    the same column tuples :func:`pack_store_shard` produces.
+    """
+    import numpy as np
+
+    from ..pipeline.stages import RLERuns
+    from ..store.format import DENSE
+    from ..store.packing import pack_indices
+
+    indices = np.asarray(task.indices, dtype=np.int64)
+    width = indices.shape[1]
+    columns: List[tuple] = []
+    if task.layout == DENSE:
+        packed = pack_indices(indices, task.bits)
+        for row in range(indices.shape[0]):
+            columns.append((packed[row].tobytes(), width, None))
+    else:
+        runs = RLERuns.from_matrix(indices)
+        for row in range(indices.shape[0]):
+            lo, hi = int(runs.offsets[row]), int(runs.offsets[row + 1])
+            columns.append((
+                pack_indices(runs.values[lo:hi], task.bits).tobytes(),
+                width,
+                runs.run_lengths[lo:hi],
+            ))
+    return columns
+
+
 class IndexShardTask(NamedTuple):
     """One contiguous column range whose ``.rsymx`` statistics a worker builds.
 
@@ -177,9 +225,9 @@ class IndexShardTask(NamedTuple):
 def build_index_shard(task: IndexShardTask) -> tuple:
     """Histogram/first/min/max arrays for one column shard (worker side)."""
     from ..query.index import _shard_stats
-    from ..store.format import SymbolStore
+    from ..store.segments import open_store
 
-    with SymbolStore.open(task.store_path) as store:
+    with open_store(task.store_path) as store:
         return _shard_stats(store, task.start, task.stop, task.n_bands)
 
 
@@ -202,9 +250,9 @@ class KNNShardTask(NamedTuple):
 def run_knn_shard(task: KNNShardTask) -> tuple:
     """Run one query block worker-side; returns (positions, distances, refined)."""
     from ..query.engine import _knn_block, resolve_shared_table
-    from ..store.format import SymbolStore
+    from ..store.segments import open_store
 
-    with SymbolStore.open(task.store_path) as store:
+    with open_store(task.store_path) as store:
         table = resolve_shared_table(store)
         return _knn_block(
             store, table, task.index, task.queries,
@@ -229,9 +277,9 @@ def run_match_shard(task: MatchShardTask) -> tuple:
     """Match one column block worker-side; returns (spans, runs_scanned, n)."""
     from ..query.engine import _match_columns
     from ..query.patterns import SymbolPattern
-    from ..store.format import SymbolStore
+    from ..store.segments import open_store
 
-    with SymbolStore.open(task.store_path) as store:
+    with open_store(task.store_path) as store:
         return _match_columns(
             store, SymbolPattern(task.tokens), list(task.columns)
         )

@@ -328,12 +328,38 @@ class QueryEngine:
     def open(
         cls, path: Union[str, Path], mmap: bool = True
     ) -> "QueryEngine":
-        """Open a store and its ``.rsymx`` sidecar when one is present."""
-        store = SymbolStore.open(path, mmap=mmap)
+        """Open a store and its ``.rsymx`` sidecar when one is present.
+
+        ``path`` may be a single ``.rsym`` file or a segmented-store
+        directory (:func:`~repro.store.segments.open_store` dispatches); a
+        segmented store keeps its sidecar inside the directory.  A sidecar
+        whose fingerprint no longer matches — a segment was appended or
+        quarantined since it was built — is dropped with a warning instead
+        of failing the open, and queries rebuild in memory.
+        """
+        from ..store.segments import SegmentedStore, open_store
+
+        store = open_store(path, mmap=mmap)
         sidecar = query_index_path(store.path)
         index = QueryIndex.open(sidecar) if sidecar.exists() else None
         if index is not None:
-            index.check_store(store)
+            try:
+                index.check_store(store)
+            except QueryError as exc:
+                if not isinstance(store, SegmentedStore):
+                    raise
+                import warnings
+
+                from ..errors import StoreIntegrityWarning
+
+                warnings.warn(
+                    StoreIntegrityWarning(
+                        f"ignoring stale query index {sidecar.name}: {exc} — "
+                        f"rebuild it with write_query_index after appending",
+                        path=sidecar, kind="segment", reason="stale-index",
+                    )
+                )
+                index = None
         return cls(store, index=index)
 
     @property

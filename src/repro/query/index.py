@@ -75,8 +75,15 @@ def _count_dtype_for(max_count: int) -> np.dtype:
 
 
 def query_index_path(store_path: Union[str, Path]) -> Path:
-    """Canonical sidecar path: ``fleet.rsym`` -> ``fleet.rsymx``."""
+    """Canonical sidecar path: ``fleet.rsym`` -> ``fleet.rsymx``.
+
+    A segmented store is a *directory*; its sidecar lives inside it
+    (``<dir>/index.rsymx``) so the index travels with the segments and the
+    scrub pass never mistakes it for a foreign file.
+    """
     path = Path(store_path)
+    if path.is_dir():
+        return path / "index.rsymx"
     if path.suffix:
         return path.with_suffix(path.suffix + "x")
     return path.with_name(path.name + ".rsymx")

@@ -26,6 +26,20 @@ stores the symbols themselves:
     ``SymbolStore.day_vectors()`` feeds :class:`~repro.ml.dataset.MLDataset`
     straight from packed columns, so grid cells sharing an encoding read
     one store instead of re-encoding the fleet.
+
+:mod:`repro.store.segments` / :mod:`repro.store.ingest`
+    Crash-safe append: a directory of immutable checksummed segments plus a
+    versioned manifest committed atomically (:class:`SegmentedStore`,
+    :func:`append_segment`, :func:`scrub_store`), and
+    :class:`FleetIngestor`, which streams
+    :class:`~repro.core.streaming.OnlineEncoder` fleets into it with
+    drift-triggered segment cuts.  :func:`open_store` dispatches on path
+    kind, so readers take either transparently.
+
+:mod:`repro.store.checksum` / :mod:`repro.store.faults`
+    CRC32C (pure numpy, lane-parallel) covering every payload byte, and the
+    fault-injection seam (torn writes, crashes, disk-full) the durability
+    tests drive the writers through.
 """
 
 from .packing import (
@@ -45,17 +59,40 @@ from .day_vectors import (
     store_from_ml_dataset,
     write_day_vector_store,
 )
+from .checksum import crc32c, crc32c_combine, crc32c_hex
+from .segments import (
+    ScrubReport,
+    SegmentRecord,
+    SegmentedStore,
+    append_segment,
+    create_segmented_store,
+    open_store,
+    scrub_store,
+    write_segmented_fleet,
+)
+from .ingest import FleetIngestor
 
 __all__ = [
     "DENSE",
     "RLE",
+    "FleetIngestor",
+    "ScrubReport",
+    "SegmentRecord",
+    "SegmentedStore",
     "SymbolStore",
     "SymbolStoreWriter",
+    "append_segment",
     "bits_for_alphabet",
+    "crc32c",
+    "crc32c_combine",
+    "crc32c_hex",
+    "create_segmented_store",
     "day_vector_store_path",
     "load_day_vectors",
+    "open_store",
     "pack_indices",
     "packed_nbytes",
+    "scrub_store",
     "slice_byte_window",
     "store_from_ml_dataset",
     "symbol_dtype",
@@ -63,4 +100,5 @@ __all__ = [
     "unpack_slice",
     "write_day_vector_store",
     "write_fleet_store",
+    "write_segmented_fleet",
 ]

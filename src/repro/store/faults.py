@@ -1,0 +1,245 @@
+"""Fault injection for the store writers: every failure mode, on demand.
+
+The durability tests need to interrupt a write *at a precise point* — after
+half a column, just before the atomic rename, between a segment landing and
+its manifest committing — and they need real process-crash semantics (no
+``finally`` cleanup) as well as recoverable-error semantics (``ENOSPC``).
+This module is the single seam: the writers route their file operations and
+commit checkpoints through it, and it costs one ``is None`` check per call
+when nothing is injected.
+
+Checkpoints the writers expose (the ``step`` names a :class:`FaultPlan`
+matches against):
+
+======================================  =========================================
+``store.write``                         every payload/header ``write()`` call
+``store.before_fsync``                  data written, not yet fsynced
+``store.before_rename``                 temp file durable, final path untouched
+``store.after_rename``                  store visible, directory not yet fsynced
+``segments.before_manifest``            segment committed, manifest not written
+``manifest.write``                      manifest body ``write()`` call
+``manifest.before_rename``              manifest temp durable, pointer not moved
+``manifest.after_rename``               new generation visible
+======================================  =========================================
+
+Two failure species:
+
+:class:`InjectedCrash`
+    Derives from ``BaseException`` so ``except Exception`` cleanup paths do
+    **not** run — exactly like the process dying at that instant (stale
+    ``.tmp`` files stay behind, exactly what ``scrub`` must mop up).
+
+:class:`InjectedIOError`
+    An ``OSError`` (``ENOSPC`` for ``disk_full``): the writer's error
+    handling *is supposed to* catch this, clean its temp files and re-raise.
+
+Post-hoc corruption helpers (:func:`flip_bit`, :func:`truncate_file`,
+:func:`corrupt_tail`) damage already-committed files the way real bit-rot
+and torn writes do — the read-side detection tests drive those.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, List, Optional, Union
+
+__all__ = [
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedIOError",
+    "inject",
+    "checkpoint",
+    "write",
+    "fsync",
+    "replace",
+    "flip_bit",
+    "truncate_file",
+    "corrupt_tail",
+]
+
+
+class InjectedCrash(BaseException):
+    """Simulated process death: bypasses ``except Exception`` cleanup."""
+
+    def __init__(self, step: str) -> None:
+        super().__init__(f"injected crash at {step}")
+        self.step = step
+
+
+class InjectedIOError(OSError):
+    """Simulated recoverable I/O failure (disk full, transient error)."""
+
+    def __init__(self, step: str, action: str) -> None:
+        code = errno.ENOSPC if action == "disk_full" else errno.EIO
+        super().__init__(code, f"injected {action} at {step}")
+        self.step = step
+        self.action = action
+
+
+@dataclass
+class FaultPlan:
+    """One fault to fire: at ``step``, perform ``action``.
+
+    ``action``:
+
+    ``"crash"``
+        Raise :class:`InjectedCrash` at the checkpoint (or before a write).
+    ``"torn_write"``
+        Write only ``after_bytes`` of the payload, then crash — the classic
+        torn page.
+    ``"disk_full"``
+        Write ``after_bytes``, then raise ``ENOSPC`` (recoverable: the
+        writer's cleanup runs).
+
+    ``skip`` checkpoints pass through before the fault arms (e.g. ``skip=2``
+    on ``store.write`` lets two columns land intact first).  Each plan fires
+    at most once.
+    """
+
+    step: str
+    action: str = "crash"
+    after_bytes: int = 0
+    skip: int = 0
+    fired: bool = field(default=False, init=False)
+
+    def matches(self, step: str) -> bool:
+        return not self.fired and self.step == step
+
+
+class _Injector:
+    def __init__(self, plans: List[FaultPlan]) -> None:
+        self.plans = plans
+        self.fired: List[FaultPlan] = []
+
+    def _arm(self, step: str) -> Optional[FaultPlan]:
+        for plan in self.plans:
+            if plan.matches(step):
+                if plan.skip > 0:
+                    plan.skip -= 1
+                    return None
+                plan.fired = True
+                self.fired.append(plan)
+                return plan
+        return None
+
+    def checkpoint(self, step: str) -> None:
+        plan = self._arm(step)
+        if plan is None:
+            return
+        if plan.action == "crash":
+            raise InjectedCrash(step)
+        raise InjectedIOError(step, plan.action)
+
+    def write(self, handle: IO[bytes], data: bytes, step: str) -> None:
+        plan = self._arm(step)
+        if plan is None:
+            handle.write(data)
+            return
+        cut = max(0, min(int(plan.after_bytes), len(data)))
+        handle.write(data[:cut])
+        if plan.action == "torn_write" or plan.action == "crash":
+            handle.flush()
+            raise InjectedCrash(step)
+        raise InjectedIOError(step, plan.action)
+
+
+_INJECTOR: Optional[_Injector] = None
+
+
+@contextmanager
+def inject(*plans: FaultPlan):
+    """Install fault plans for the duration of the ``with`` block.
+
+    Yields the injector so tests can assert which plans actually fired.
+    Not reentrant (the writers are not either); nesting raises.
+    """
+    global _INJECTOR
+    if _INJECTOR is not None:
+        raise RuntimeError("fault injection is already active")
+    injector = _Injector(list(plans))
+    _INJECTOR = injector
+    try:
+        yield injector
+    finally:
+        _INJECTOR = None
+
+
+# -- writer-side seams -----------------------------------------------------------
+
+
+def checkpoint(step: str) -> None:
+    """Fire any fault armed for ``step``; free when nothing is injected."""
+    if _INJECTOR is not None:
+        _INJECTOR.checkpoint(step)
+
+
+def write(handle: IO[bytes], data: bytes, step: str = "store.write") -> None:
+    """``handle.write(data)`` through the torn-write / disk-full seam."""
+    if _INJECTOR is None:
+        handle.write(data)
+    else:
+        _INJECTOR.write(handle, data, step)
+
+
+def fsync(handle: IO[bytes], step: str) -> None:
+    """Flush + fsync with a pre-checkpoint (crash-before-durable)."""
+    checkpoint(step)
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def replace(temp: Union[str, Path], final: Union[str, Path], step: str) -> None:
+    """Atomic rename bracketed by before/after checkpoints."""
+    checkpoint(f"{step}.before_rename")
+    os.replace(temp, final)
+    checkpoint(f"{step}.after_rename")
+
+
+def fsync_dir(directory: Union[str, Path]) -> None:
+    """Best-effort directory fsync so the rename itself is durable."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+# -- post-hoc corruption (read-side detection tests) -----------------------------
+
+
+def flip_bit(path: Union[str, Path], byte_offset: int, bit: int = 0) -> None:
+    """Flip one bit in place — silent media bit-rot."""
+    path = Path(path)
+    size = path.stat().st_size
+    if not 0 <= byte_offset < size:
+        raise ValueError(f"offset {byte_offset} outside file of {size} bytes")
+    with path.open("r+b") as handle:
+        handle.seek(byte_offset)
+        byte = handle.read(1)[0]
+        handle.seek(byte_offset)
+        handle.write(bytes([byte ^ (1 << (bit & 7))]))
+
+
+def truncate_file(path: Union[str, Path], keep_bytes: int) -> None:
+    """Cut a file short — an interrupted write that lost its tail."""
+    with Path(path).open("r+b") as handle:
+        handle.truncate(max(0, int(keep_bytes)))
+
+
+def corrupt_tail(path: Union[str, Path], nbytes: int = 16, value: int = 0) -> None:
+    """Overwrite the last ``nbytes`` with ``value`` — a torn final sector."""
+    path = Path(path)
+    size = path.stat().st_size
+    start = max(0, size - int(nbytes))
+    with path.open("r+b") as handle:
+        handle.seek(start)
+        handle.write(bytes([value & 0xFF]) * (size - start))

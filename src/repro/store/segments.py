@@ -1,0 +1,1131 @@
+"""Crash-safe segmented stores: append-only directories of ``.rsym`` segments.
+
+The write-once ``.rsym`` file serves a frozen fleet; production ingest needs
+*appends* — a new day of windows, a drift-triggered table epoch — without
+rewriting history and without a crash ever corrupting what was already
+committed.  A segmented store is a directory::
+
+    fleet.rsyms/
+        manifest-0000000003.json    <- newest valid generation wins
+        manifest-0000000002.json    <- previous snapshot, kept for rollback
+        seg-000000.rsym             <- immutable, individually checksummed
+        seg-000001.rsym
+        index.rsymx                 <- optional query-index sidecar
+        quarantine/                 <- scrub moves damaged segments here
+
+Each segment is a complete version-2 ``.rsym`` file holding the *same* meter
+ids with a contiguous span of windows (time-axis partitioning): appending a
+day writes exactly one new segment.  The manifest is the atom of visibility —
+compact JSON plus a ``crc32c=`` trailer, committed write-temp → fsync →
+``os.replace`` → directory fsync — so readers always load a consistent
+snapshot: a crash after the segment lands but before the manifest commits
+leaves an orphan file the old snapshot never references.
+
+Durability contract (driven fault by fault in ``tests/store/test_faults.py``):
+
+* **Torn write / disk full / crash before rename** — the final paths are
+  untouched; at worst a stale ``*.tmp`` remains for :func:`scrub_store`.
+* **Crash between segment and manifest** — previous generation intact; the
+  new segment is an orphan that scrub garbage-collects (or the next append
+  atomically overwrites, since sequence numbers come from the manifest).
+* **Bit-flip / truncation of a committed segment** — detected by CRC32C
+  (per column, per header, whole file); the reader quarantines the segment
+  with a :class:`~repro.errors.StoreIntegrityWarning` and serves every
+  healthy segment (``strict=True`` upgrades to a raise).
+* **Damaged manifest** — the newest *valid* generation wins; each skipped
+  generation is warned about (rollback), and scrub can prune the wreckage.
+
+:class:`SegmentedStore` duck-types :class:`~repro.store.format.SymbolStore`
+(ids, counts, ``matrix``/``indices``/``runs``/``decode``, tables, metadata),
+so :class:`~repro.query.QueryEngine`, the query index and the CLI operate on
+either transparently via :func:`open_store`.  Segments written through
+:func:`append_segment` are byte-identical for every worker count — packing
+is pure per-row work merged in task order, the same invariant
+:func:`~repro.store.fleet.write_fleet_store` pins.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.lookup import LookupTable
+from ..errors import CorruptStoreError, StoreError, StoreIntegrityWarning
+from . import faults
+from .checksum import crc32c, crc32c_hex
+from .format import DENSE, RLE, SymbolStore, SymbolStoreWriter
+from .packing import bits_for_alphabet
+
+__all__ = [
+    "SegmentedStore",
+    "SegmentRecord",
+    "ScrubReport",
+    "append_segment",
+    "create_segmented_store",
+    "open_store",
+    "scrub_store",
+    "write_segmented_fleet",
+]
+
+MANIFEST_VERSION = 1
+MANIFEST_FORMAT = "rsym-segments"
+_MANIFEST_RE = re.compile(r"^manifest-(\d{10})\.json$")
+_SEGMENT_RE = re.compile(r"^seg-(\d{6})\.rsym$")
+_QUARANTINE_DIR = "quarantine"
+
+#: Chunk size for whole-file CRC streaming (big enough for the lane path).
+_FILE_CRC_CHUNK = 4 << 20
+
+
+def _file_crc32c(path: Path) -> int:
+    value = 0
+    with path.open("rb") as handle:
+        while True:
+            chunk = handle.read(_FILE_CRC_CHUNK)
+            if not chunk:
+                return value
+            value = crc32c(chunk, value)
+
+
+def _segment_name(sequence: int) -> str:
+    return f"seg-{int(sequence):06d}.rsym"
+
+
+def _manifest_name(generation: int) -> str:
+    return f"manifest-{int(generation):010d}.json"
+
+
+@dataclass
+class SegmentRecord:
+    """One committed segment as the manifest describes it."""
+
+    name: str
+    file_nbytes: int
+    crc32c: str                 # whole-file CRC32C, hex
+    n_columns: int
+    windows: int                # symbols per column in this segment
+    start_window: int           # cumulative window offset at commit time
+    n_symbols: int
+    reason: str = "append"      # "append" | "drift" | "bootstrap" | ...
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "file_nbytes": int(self.file_nbytes),
+            "crc32c": self.crc32c,
+            "n_columns": int(self.n_columns),
+            "windows": int(self.windows),
+            "start_window": int(self.start_window),
+            "n_symbols": int(self.n_symbols),
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SegmentRecord":
+        return cls(
+            name=str(data["name"]),
+            file_nbytes=int(data["file_nbytes"]),
+            crc32c=str(data["crc32c"]),
+            n_columns=int(data["n_columns"]),
+            windows=int(data["windows"]),
+            start_window=int(data["start_window"]),
+            n_symbols=int(data["n_symbols"]),
+            reason=str(data.get("reason", "append")),
+        )
+
+
+# -- manifest persistence --------------------------------------------------------
+
+
+def _write_manifest(directory: Path, manifest: Dict) -> Path:
+    """Commit one manifest generation atomically (the visibility atom)."""
+    body = json.dumps(manifest, sort_keys=True, separators=(",", ":")).encode()
+    trailer = b"\ncrc32c=" + crc32c_hex(crc32c(body)).encode() + b"\n"
+    final = directory / _manifest_name(manifest["generation"])
+    temp = directory / (final.name + ".tmp")
+    try:
+        with temp.open("wb") as handle:
+            faults.write(handle, body + trailer, "manifest.write")
+            faults.fsync(handle, "manifest.before_fsync")
+    except faults.InjectedCrash:
+        raise
+    except BaseException:
+        try:
+            temp.unlink()
+        except OSError:
+            pass
+        raise
+    faults.replace(temp, final, "manifest")
+    faults.fsync_dir(directory)
+    return final
+
+
+def _load_manifest(path: Path) -> Dict:
+    """Parse and checksum-verify one manifest file; raise on any damage."""
+    raw = path.read_bytes()
+    body, sep, rest = raw.rpartition(b"\ncrc32c=")
+    if not sep:
+        raise CorruptStoreError(
+            f"{path} has no crc32c trailer — truncated or not a manifest",
+            path=path, check="manifest_trailer", hint="truncated",
+        )
+    try:
+        stored = int(rest.strip().decode("ascii"), 16)
+    except ValueError:
+        raise CorruptStoreError(
+            f"{path} has an unparsable crc32c trailer {rest[:32]!r}",
+            path=path, check="manifest_trailer", hint="bit-rot",
+        ) from None
+    actual = crc32c(body)
+    if actual != stored:
+        raise CorruptStoreError(
+            f"{path} checksum mismatch: stored {crc32c_hex(stored)}, computed "
+            f"{crc32c_hex(actual)} — the manifest bytes are damaged",
+            path=path, check="manifest_crc", expected=crc32c_hex(stored),
+            actual=crc32c_hex(actual), hint="bit-rot",
+        )
+    try:
+        manifest = json.loads(body)
+    except ValueError as exc:
+        raise CorruptStoreError(
+            f"{path} body is not valid JSON ({exc})",
+            path=path, check="manifest_json", hint="bit-rot",
+        ) from None
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise CorruptStoreError(
+            f"{path} is not a segmented-store manifest "
+            f"(format={manifest.get('format')!r})",
+            path=path, check="manifest_json", hint="not-a-store",
+        )
+    if manifest.get("version") != MANIFEST_VERSION:
+        raise CorruptStoreError(
+            f"{path} has manifest version {manifest.get('version')!r}, "
+            f"expected {MANIFEST_VERSION}",
+            path=path, check="version", expected=MANIFEST_VERSION,
+            actual=manifest.get("version"),
+        )
+    named = _MANIFEST_RE.match(path.name)
+    if named and int(named.group(1)) != int(manifest.get("generation", -1)):
+        raise CorruptStoreError(
+            f"{path} claims generation {manifest.get('generation')} but is "
+            f"named generation {int(named.group(1))}",
+            path=path, check="manifest_json", hint="bit-rot",
+        )
+    return manifest
+
+
+def _manifest_paths(directory: Path) -> List[Tuple[int, Path]]:
+    """``(generation, path)`` of every manifest file, newest first."""
+    found = []
+    for entry in directory.iterdir():
+        match = _MANIFEST_RE.match(entry.name)
+        if match:
+            found.append((int(match.group(1)), entry))
+    return sorted(found, reverse=True)
+
+
+def _select_manifest(
+    directory: Path, strict: bool = False
+) -> Tuple[Dict, Path, List[Tuple[Path, CorruptStoreError]]]:
+    """Newest valid manifest generation; invalid ones warned and skipped."""
+    candidates = _manifest_paths(directory)
+    if not candidates:
+        raise StoreError(f"{directory} holds no manifest: not a segmented store")
+    skipped: List[Tuple[Path, CorruptStoreError]] = []
+    for generation, path in candidates:
+        try:
+            return _load_manifest(path), path, skipped
+        except CorruptStoreError as exc:
+            if strict:
+                raise
+            skipped.append((path, exc))
+            warnings.warn(
+                StoreIntegrityWarning(
+                    f"skipping damaged manifest generation {generation} "
+                    f"({exc}); rolling back to an older snapshot",
+                    path=path, kind="manifest", reason=exc.check,
+                )
+            )
+    raise CorruptStoreError(
+        f"{directory} has {len(candidates)} manifest file(s), none valid — "
+        f"no snapshot can be served",
+        path=directory, check="manifest_crc", hint="bit-rot",
+        detail={"manifests": [str(p) for _, p in candidates]},
+    )
+
+
+# -- the reader ------------------------------------------------------------------
+
+
+class SegmentedStore:
+    """Read-side of a segmented store: a consistent snapshot of segments.
+
+    Duck-types the :class:`~repro.store.format.SymbolStore` read interface;
+    columns are the manifest's meter ids and each meter's windows are the
+    concatenation of its per-segment spans, in commit order.  Segments that
+    fail integrity checks are quarantined at open (skipped with a
+    :class:`StoreIntegrityWarning`) unless ``strict=True``.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        manifest: Dict,
+        segments: List[SymbolStore],
+        records: List[SegmentRecord],
+        quarantined: List[Tuple[str, str]],
+    ) -> None:
+        self.path = directory
+        self.manifest = manifest
+        self.generation: int = int(manifest["generation"])
+        self._segments = segments
+        self.records = records
+        self.quarantined = quarantined
+        self.layout: str = manifest["layout"]
+        self.alphabet_size: int = int(manifest["alphabet_size"])
+        self.bits_per_symbol: int = bits_for_alphabet(self.alphabet_size)
+        self.ids: List = list(manifest.get("ids") or [])
+        self.labels: Optional[List[str]] = None
+        self.metadata: Dict = manifest.get("metadata") or {}
+        self._id_index = {column_id: i for i, column_id in enumerate(self.ids)}
+        n = len(self.ids)
+        if segments:
+            self.counts = np.sum(
+                np.vstack([seg.counts for seg in segments]), axis=0
+            ).astype(np.int64)
+        else:
+            self.counts = np.zeros(n, dtype=np.int64)
+        self._run_counts: Optional[np.ndarray] = None
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        directory: Union[str, Path],
+        mmap: bool = True,
+        prefetch: bool = True,
+        verify: str = "lazy",
+        strict: bool = False,
+    ) -> "SegmentedStore":
+        """Open the newest valid snapshot, quarantining damaged segments.
+
+        ``verify`` is forwarded to every segment (``"eager"`` checks all
+        payload checksums before returning, so bit-rot quarantines *now*
+        instead of at first read).  ``strict=True`` turns every quarantine
+        or rollback into a raised :class:`CorruptStoreError`.
+        """
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise StoreError(f"no such segmented store: {directory}")
+        manifest, _, _ = _select_manifest(directory, strict=strict)
+        segments: List[SymbolStore] = []
+        records: List[SegmentRecord] = []
+        quarantined: List[Tuple[str, str]] = []
+
+        def _quarantine(record: SegmentRecord, exc: Exception, reason: str) -> None:
+            if strict:
+                raise exc
+            quarantined.append((record.name, str(exc)))
+            warnings.warn(
+                StoreIntegrityWarning(
+                    f"quarantining segment {record.name}: {exc} — its "
+                    f"{record.windows} windows are skipped; remaining "
+                    f"segments are served intact",
+                    path=directory / record.name, kind="segment", reason=reason,
+                )
+            )
+
+        for data in manifest.get("segments", []):
+            record = SegmentRecord.from_dict(data)
+            seg_path = directory / record.name
+            try:
+                actual_nbytes = seg_path.stat().st_size
+                if actual_nbytes != record.file_nbytes:
+                    raise CorruptStoreError(
+                        f"{seg_path} is {actual_nbytes} bytes, manifest "
+                        f"records {record.file_nbytes}",
+                        path=seg_path, check="file_size",
+                        expected=record.file_nbytes, actual=actual_nbytes,
+                        hint="truncated" if actual_nbytes < record.file_nbytes
+                        else "bit-rot",
+                    )
+                segment = SymbolStore.open(
+                    seg_path, mmap=mmap, prefetch=prefetch, verify=verify
+                )
+            except (StoreError, OSError) as exc:
+                reason = getattr(exc, "check", "") or "unreadable"
+                _quarantine(record, exc, reason)
+                continue
+            problem = cls._segment_mismatch(segment, manifest)
+            if problem is not None:
+                segment.close()
+                _quarantine(
+                    record,
+                    StoreError(f"{seg_path} does not match the manifest: {problem}"),
+                    "mismatch",
+                )
+                continue
+            segments.append(segment)
+            records.append(record)
+        return cls(directory, manifest, segments, records, quarantined)
+
+    @staticmethod
+    def _segment_mismatch(segment: SymbolStore, manifest: Dict) -> Optional[str]:
+        if segment.layout != manifest["layout"]:
+            return f"layout {segment.layout!r} != {manifest['layout']!r}"
+        if segment.alphabet_size != int(manifest["alphabet_size"]):
+            return (
+                f"alphabet {segment.alphabet_size} != {manifest['alphabet_size']}"
+            )
+        ids = list(manifest.get("ids") or [])
+        if ids and segment.ids != ids:
+            return "meter ids differ from the manifest's"
+        return None
+
+    def close(self) -> None:
+        for segment in self._segments:
+            segment.close()
+
+    def __enter__(self) -> "SegmentedStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- sizes -------------------------------------------------------------------
+
+    @property
+    def segments(self) -> List[SymbolStore]:
+        """The healthy segments of this snapshot, in commit order."""
+        return list(self._segments)
+
+    @property
+    def n_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def n_meters(self) -> int:
+        return len(self.ids)
+
+    @property
+    def n_symbols(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def payload_nbytes(self) -> int:
+        return sum(seg.payload_nbytes for seg in self._segments)
+
+    @property
+    def file_nbytes(self) -> int:
+        return sum(seg.file_nbytes for seg in self._segments)
+
+    @property
+    def checksummed(self) -> bool:
+        return all(seg.checksummed for seg in self._segments)
+
+    # -- tables ------------------------------------------------------------------
+
+    @property
+    def tables(self):
+        """First segment's tables if all agree, else the flattened pool.
+
+        A drifted store (different table epochs per segment) returns the
+        pool, which :func:`~repro.query.engine.resolve_shared_table` then
+        collapses when all entries are equal and loudly refuses otherwise —
+        exactly the single-file semantics.
+        """
+        pools = [seg.tables for seg in self._segments]
+        if not pools:
+            return None
+        if any(pool is None for pool in pools):
+            return None
+        head = pools[0]
+        if all(pool == head for pool in pools[1:]):
+            return head
+        flat: List[LookupTable] = []
+        for pool in pools:
+            if isinstance(pool, LookupTable):
+                flat.append(pool)
+            elif isinstance(pool, dict):
+                flat.extend(pool.values())
+            else:
+                flat.extend(pool)
+        return flat
+
+    @property
+    def shared_table(self) -> Optional[LookupTable]:
+        tables = self.tables
+        return tables if isinstance(tables, LookupTable) else None
+
+    # -- reading -----------------------------------------------------------------
+
+    def _column(self, meter) -> int:
+        try:
+            return self._id_index[meter]
+        except KeyError:
+            raise StoreError(f"no column {meter!r} in {self.path.name}") from None
+
+    def _resolve_meters(self, meters) -> List[int]:
+        if meters is None:
+            return list(range(self.n_meters))
+        return [self._column(meter) for meter in meters]
+
+    def _segment_widths(self) -> List[int]:
+        return [
+            int(seg.counts[0]) if seg.n_meters else 0 for seg in self._segments
+        ]
+
+    def indices(self, meter, start: int = 0, stop: Optional[int] = None) -> np.ndarray:
+        """Symbol indices ``[start, stop)`` across segment boundaries."""
+        column = self._column(meter)
+        count = int(self.counts[column])
+        stop = count if stop is None else min(int(stop), count)
+        start = max(0, int(start))
+        parts = []
+        offset = 0
+        for segment in self._segments:
+            width = int(segment.counts[column])
+            lo = max(start - offset, 0)
+            hi = min(stop - offset, width)
+            if hi > lo:
+                parts.append(segment.indices(meter, lo, hi))
+            offset += width
+        if not parts:
+            return np.zeros(0, dtype=np.int64)
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    def matrix(
+        self,
+        meters: Optional[Sequence] = None,
+        window_range: Optional[tuple] = None,
+    ) -> np.ndarray:
+        """Index matrix across all segments (``hstack`` of per-segment reads)."""
+        columns = self._resolve_meters(meters)
+        if not columns:
+            return np.empty((0, 0), dtype=np.int64)
+        counts = self.counts[columns]
+        if np.any(counts != counts[0]):
+            raise StoreError(
+                "columns have different symbol counts; read them one by one "
+                "with indices()"
+            )
+        width = int(counts[0])
+        start, stop = (0, width) if window_range is None else window_range
+        start = max(0, int(start))
+        stop = width if stop is None else min(int(stop), width)
+        ids = [self.ids[c] for c in columns] if meters is not None else None
+        parts = []
+        offset = 0
+        for segment in self._segments:
+            seg_width = int(segment.counts[0]) if segment.n_meters else 0
+            lo = max(start - offset, 0)
+            hi = min(stop - offset, seg_width)
+            if hi > lo:
+                parts.append(segment.matrix(meters=ids, window_range=(lo, hi)))
+            offset += seg_width
+        if not parts:
+            return np.empty((len(columns), max(0, stop - start)), dtype=np.int64)
+        return parts[0] if len(parts) == 1 else np.hstack(parts)
+
+    def runs(self, meter) -> tuple:
+        """``(run_values, run_lengths)`` with boundary runs merged.
+
+        A run that spans a segment boundary (same symbol on both sides) is
+        one logical run; merging here keeps run-level pattern matching
+        oblivious to where appends happened.
+        """
+        value_parts: List[np.ndarray] = []
+        length_parts: List[np.ndarray] = []
+        for segment in self._segments:
+            values, lengths = segment.runs(meter)
+            if values.size == 0:
+                continue
+            if value_parts and value_parts[-1].size and int(
+                value_parts[-1][-1]
+            ) == int(values[0]):
+                lengths = np.asarray(lengths, dtype=np.int64).copy()
+                lengths[0] += int(length_parts[-1][-1])
+                value_parts[-1] = value_parts[-1][:-1]
+                length_parts[-1] = length_parts[-1][:-1]
+            value_parts.append(np.asarray(values, dtype=np.int64))
+            length_parts.append(np.asarray(lengths, dtype=np.int64))
+        if not value_parts:
+            return (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        return np.concatenate(value_parts), np.concatenate(length_parts)
+
+    @property
+    def run_counts(self) -> np.ndarray:
+        """Logical run count per column (boundary-merged), computed once."""
+        if self._run_counts is None:
+            totals = np.zeros(self.n_meters, dtype=np.int64)
+            previous_last: Optional[np.ndarray] = None
+            for segment in self._segments:
+                seg_width = int(segment.counts[0]) if segment.n_meters else 0
+                if seg_width == 0:
+                    continue
+                if segment.layout == RLE:
+                    totals += segment.run_counts
+                else:
+                    totals += segment.run_count_per_column()
+                first = segment.matrix(window_range=(0, 1)).ravel()
+                last = segment.matrix(
+                    window_range=(seg_width - 1, seg_width)
+                ).ravel()
+                if previous_last is not None:
+                    totals -= (previous_last == first).astype(np.int64)
+                previous_last = last
+            self._run_counts = totals
+        return self._run_counts
+
+    def run_count_per_column(self) -> np.ndarray:
+        return self.run_counts.copy()
+
+    def decode(
+        self,
+        meters: Optional[Sequence] = None,
+        day_range: Optional[tuple] = None,
+        window_range: Optional[tuple] = None,
+    ) -> np.ndarray:
+        """Reconstruction values across segments, each with its own tables.
+
+        Drift semantics live here: a segment committed after a table rebuild
+        decodes with *its* epoch's table, so the reconstruction matches what
+        the online encoder produced at ingest time.
+        """
+        if day_range is not None:
+            if window_range is not None:
+                raise StoreError("pass day_range or window_range, not both")
+            per_day = self.metadata.get("windows_per_day")
+            if not per_day:
+                raise StoreError(
+                    "store has no windows_per_day metadata; use window_range"
+                )
+            day_start, day_stop = day_range
+            window_range = (
+                int(day_start) * int(per_day), int(day_stop) * int(per_day)
+            )
+        columns = self._resolve_meters(meters)
+        if not columns:
+            return np.empty((0, 0), dtype=np.float64)
+        counts = self.counts[columns]
+        if np.any(counts != counts[0]):
+            raise StoreError("decode needs equal-length columns")
+        width = int(counts[0])
+        start, stop = (0, width) if window_range is None else window_range
+        start = max(0, int(start))
+        stop = width if stop is None else min(int(stop), width)
+        ids = [self.ids[c] for c in columns] if meters is not None else None
+        parts = []
+        offset = 0
+        for segment in self._segments:
+            seg_width = int(segment.counts[0]) if segment.n_meters else 0
+            lo = max(start - offset, 0)
+            hi = min(stop - offset, seg_width)
+            if hi > lo:
+                parts.append(segment.decode(meters=ids, window_range=(lo, hi)))
+            offset += seg_width
+        if not parts:
+            return np.empty(
+                (len(columns), max(0, stop - start)), dtype=np.float64
+            )
+        return parts[0] if len(parts) == 1 else np.hstack(parts)
+
+    # -- verification ------------------------------------------------------------
+
+    def verify(self, strict: bool = True) -> Dict:
+        """Checksum-verify every segment; aggregate the per-segment reports."""
+        segment_reports = []
+        errors: List[CorruptStoreError] = []
+        for segment in self._segments:
+            report = segment.verify(strict=False)
+            segment_reports.append(report)
+            errors.extend(report["errors"])
+        report = {
+            "path": str(self.path),
+            "generation": self.generation,
+            "checksummed": self.checksummed,
+            "segments": segment_reports,
+            "quarantined": list(self.quarantined),
+            "errors": errors,
+            "ok": not errors,
+        }
+        if strict and errors:
+            raise errors[0]
+        return report
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentedStore({self.path.name!r}, gen={self.generation}, "
+            f"segments={self.n_segments}, layout={self.layout}, "
+            f"k={self.alphabet_size}, meters={self.n_meters}, "
+            f"symbols={self.n_symbols}, quarantined={len(self.quarantined)})"
+        )
+
+
+# -- writers ---------------------------------------------------------------------
+
+
+def create_segmented_store(
+    directory: Union[str, Path],
+    alphabet_size: int,
+    layout: str = DENSE,
+    metadata: Optional[Dict] = None,
+    ids: Optional[Sequence] = None,
+) -> SegmentedStore:
+    """Initialise an empty segmented store (manifest generation 1)."""
+    directory = Path(directory)
+    if layout not in (DENSE, RLE):
+        raise StoreError(f"layout must be {DENSE!r} or {RLE!r}, got {layout!r}")
+    directory.mkdir(parents=True, exist_ok=True)
+    if _manifest_paths(directory):
+        raise StoreError(
+            f"{directory} already holds a segmented store; open it or append "
+            f"instead of re-creating"
+        )
+    manifest = {
+        "format": MANIFEST_FORMAT,
+        "version": MANIFEST_VERSION,
+        "generation": 1,
+        "alphabet_size": int(alphabet_size),
+        "layout": layout,
+        "ids": list(ids) if ids is not None else None,
+        "metadata": dict(metadata or {}),
+        "segments": [],
+    }
+    _write_manifest(directory, manifest)
+    return SegmentedStore.open(directory)
+
+
+def _pack_columns(
+    matrix: np.ndarray, bits: int, layout: str, workers: int
+) -> List[tuple]:
+    """``(payload, count, run_lengths_or_None)`` per row, worker-invariant."""
+    if workers <= 1 or matrix.shape[0] <= 1:
+        from ..parallel.worker import SegmentShardTask, pack_segment_shard
+
+        return pack_segment_shard(SegmentShardTask(matrix, bits, layout))
+    from ..parallel.executor import ParallelExecutor, resolve_workers
+    from ..parallel.worker import SegmentShardTask, pack_segment_shard
+
+    workers = resolve_workers(workers)
+    bounds = np.array_split(
+        np.arange(matrix.shape[0]), min(workers, matrix.shape[0])
+    )
+    tasks = [
+        SegmentShardTask(matrix[idx[0]: idx[-1] + 1], bits, layout)
+        for idx in bounds if idx.size
+    ]
+    with ParallelExecutor(workers) as executor:
+        shards = executor.map(pack_segment_shard, tasks)
+    return [column for shard in shards for column in shard]
+
+
+def append_segment(
+    directory: Union[str, Path],
+    indices: np.ndarray,
+    tables: Union[LookupTable, Sequence[LookupTable], None] = None,
+    workers: int = 1,
+    reason: str = "append",
+) -> SegmentRecord:
+    """Append one immutable segment and commit a new manifest generation.
+
+    ``indices`` is the ``(n_meters, windows)`` symbol matrix of the appended
+    span, row order matching the manifest's meter ids (the first append on an
+    id-less store pins positional ids ``0..n-1``).  ``tables`` is the shared
+    :class:`LookupTable` of the span, one table per meter, or ``None``.
+
+    Commit protocol: the segment file lands first (its own temp → fsync →
+    rename), then the manifest; a crash between the two leaves an orphan
+    segment the previous snapshot never references.  Sequence numbers come
+    from the manifest, so a retry atomically overwrites the orphan.
+    Packed bytes are pure per-row work merged in task order —
+    the file is byte-identical for every ``workers`` count.
+    """
+    directory = Path(directory)
+    manifest, _, _ = _select_manifest(directory)
+    matrix = np.asarray(indices, dtype=np.int64)
+    if matrix.ndim != 2:
+        raise StoreError(f"expected a 2-D (meters, windows) matrix, got {matrix.shape}")
+    ids = manifest.get("ids")
+    if ids is None:
+        ids = list(range(matrix.shape[0]))
+    if matrix.shape[0] != len(ids):
+        raise StoreError(
+            f"segment has {matrix.shape[0]} rows for {len(ids)} manifest ids"
+        )
+    layout = manifest["layout"]
+    alphabet_size = int(manifest["alphabet_size"])
+    bits = bits_for_alphabet(alphabet_size)
+    known = [
+        int(_SEGMENT_RE.match(rec["name"]).group(1))
+        for rec in manifest.get("segments", [])
+        if _SEGMENT_RE.match(rec["name"])
+    ]
+    sequence = max(known) + 1 if known else 0
+    start_window = sum(int(rec["windows"]) for rec in manifest.get("segments", []))
+    name = _segment_name(sequence)
+
+    shared: Optional[LookupTable] = None
+    per_column: Optional[List[LookupTable]] = None
+    if isinstance(tables, LookupTable):
+        shared = tables
+    elif tables is not None:
+        per_column = list(tables)
+        if len(per_column) == 1:
+            shared = per_column[0]
+            per_column = None
+        elif len(per_column) != len(ids):
+            raise StoreError(
+                f"{len(per_column)} tables for {len(ids)} meters"
+            )
+
+    columns = _pack_columns(matrix, bits, layout, workers)
+    seg_meta = dict(manifest.get("metadata") or {})
+    seg_meta.update({"segment": name, "start_window": int(start_window),
+                     "reason": reason})
+    with SymbolStoreWriter(
+        directory / name, alphabet_size, layout=layout, tables=shared,
+        metadata=seg_meta,
+    ) as writer:
+        for row, (payload, count, run_lengths) in enumerate(columns):
+            table = per_column[row] if per_column is not None else None
+            if layout == DENSE:
+                writer.append_packed(ids[row], payload, count, table=table)
+            else:
+                writer.append_runs(
+                    ids[row], payload, run_lengths, count, table=table
+                )
+    seg_path = directory / name
+    record = SegmentRecord(
+        name=name,
+        file_nbytes=seg_path.stat().st_size,
+        crc32c=crc32c_hex(_file_crc32c(seg_path)),
+        n_columns=matrix.shape[0],
+        windows=matrix.shape[1],
+        start_window=start_window,
+        n_symbols=int(matrix.size),
+        reason=reason,
+    )
+    faults.checkpoint("segments.before_manifest")
+    manifest = dict(manifest)
+    manifest["generation"] = int(manifest["generation"]) + 1
+    manifest["ids"] = list(ids)
+    manifest["segments"] = list(manifest.get("segments", [])) + [record.to_dict()]
+    _write_manifest(directory, manifest)
+    return record
+
+
+def write_segmented_fleet(
+    directory: Union[str, Path],
+    values: np.ndarray,
+    alphabet_size: int = 8,
+    method: str = "median",
+    window: int = 1,
+    aggregator: str = "average",
+    reconstruction: str = "center",
+    layout: str = DENSE,
+    meter_ids: Optional[Sequence] = None,
+    segment_windows: Optional[int] = None,
+    workers: int = 1,
+    sampling_interval: Optional[float] = None,
+    metadata: Optional[Dict] = None,
+) -> SegmentedStore:
+    """Fit, encode and persist a fleet as a segmented store.
+
+    The single shared table is fitted over the *whole* array (identical
+    separators to :func:`~repro.store.fleet.write_fleet_store`), then the
+    window axis is cut into spans of ``segment_windows`` and each span is
+    committed as one segment — the batch analogue of day-by-day ingestion.
+    """
+    from ..core.timeseries import SECONDS_PER_DAY
+    from ..pipeline.fleet import _FleetSpec
+
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise StoreError(f"expected a 2-D (meters, samples) array, got {values.shape}")
+    if values.shape[0] == 0:
+        raise StoreError("cannot write a store for an empty fleet")
+    ids = list(meter_ids) if meter_ids is not None else list(range(values.shape[0]))
+    if len(ids) != values.shape[0]:
+        raise StoreError(f"{len(ids)} meter ids for {values.shape[0]} meters")
+    spec = _FleetSpec(
+        alphabet_size=int(alphabet_size), method=method, window=int(window),
+        aggregator=aggregator, reconstruction=reconstruction,
+    )
+    encoder = spec.encoder(shared_table=True).fit(values)
+    indices = encoder.encode(values)
+    meta = {
+        "kind": "fleet",
+        "window": int(window),
+        "method": method if isinstance(method, str) else type(method).__name__,
+        "aggregator": aggregator if isinstance(aggregator, str) else "custom",
+        "shared_table": True,
+        "n_samples": int(values.shape[1]),
+    }
+    if sampling_interval is not None:
+        aggregation_seconds = float(sampling_interval) * int(window)
+        meta["sampling_interval"] = float(sampling_interval)
+        meta["aggregation_seconds"] = aggregation_seconds
+        per_day = SECONDS_PER_DAY / aggregation_seconds
+        if abs(per_day - round(per_day)) < 1e-9:
+            meta["windows_per_day"] = int(round(per_day))
+    meta.update(metadata or {})
+    create_segmented_store(
+        directory, alphabet_size=int(alphabet_size), layout=layout,
+        metadata=meta, ids=ids,
+    )
+    width = indices.shape[1]
+    span = int(segment_windows) if segment_windows else width
+    span = max(1, span)
+    for start in range(0, width, span):
+        append_segment(
+            directory, indices[:, start: start + span],
+            tables=encoder.shared, workers=workers,
+        )
+    if width == 0:
+        append_segment(directory, indices, tables=encoder.shared, workers=workers)
+    return SegmentedStore.open(directory)
+
+
+# -- the dispatcher --------------------------------------------------------------
+
+
+def open_store(
+    path: Union[str, Path],
+    mmap: bool = True,
+    prefetch: bool = True,
+    verify: str = "lazy",
+) -> Union[SymbolStore, SegmentedStore]:
+    """Open either store kind by path: directory → segmented, file → single."""
+    path = Path(path)
+    if path.is_dir():
+        return SegmentedStore.open(path, mmap=mmap, prefetch=prefetch, verify=verify)
+    return SymbolStore.open(path, mmap=mmap, prefetch=prefetch, verify=verify)
+
+
+# -- scrub: verify + garbage-collect + repair ------------------------------------
+
+
+@dataclass
+class ScrubReport:
+    """What a scrub pass found (and, with ``repair``, did)."""
+
+    path: str
+    generation: Optional[int] = None
+    repair: bool = False
+    segments_checked: int = 0
+    bytes_checked: int = 0
+    corrupt_segments: List[Tuple[str, str]] = field(default_factory=list)
+    quarantined: List[str] = field(default_factory=list)
+    invalid_manifests: List[str] = field(default_factory=list)
+    pruned_manifests: List[str] = field(default_factory=list)
+    orphan_segments: List[str] = field(default_factory=list)
+    stale_temps: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+    new_generation: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        """No damage and nothing left to garbage-collect."""
+        return not (
+            self.corrupt_segments or self.invalid_manifests
+            or self.orphan_segments or self.stale_temps
+        )
+
+    def lines(self) -> List[str]:
+        """Human-readable summary (what the CLI prints)."""
+        out = [
+            f"scrub {self.path}: "
+            f"{self.segments_checked} segment(s), "
+            f"{self.bytes_checked} bytes checksummed"
+        ]
+        if self.generation is not None:
+            out[0] += f", generation {self.generation}"
+        for name, error in self.corrupt_segments:
+            out.append(f"  corrupt: {name}: {error}")
+        for name in self.invalid_manifests:
+            out.append(f"  invalid manifest: {name}")
+        for name in self.orphan_segments:
+            out.append(f"  orphan segment: {name}")
+        for name in self.stale_temps:
+            out.append(f"  stale temp: {name}")
+        if self.repair:
+            for name in self.quarantined:
+                out.append(f"  quarantined -> {_QUARANTINE_DIR}/{name}")
+            for name in self.removed:
+                out.append(f"  removed: {name}")
+            if self.new_generation is not None:
+                out.append(f"  committed generation {self.new_generation}")
+        out.append("  status: " + ("clean" if self.ok else "damage found"))
+        return out
+
+
+def _scrub_file(path: Path, repair: bool) -> ScrubReport:
+    """Scrub a single ``.rsym`` file (verify + sibling-temp GC)."""
+    report = ScrubReport(path=str(path), repair=repair)
+    try:
+        with SymbolStore.open(path, verify="off") as store:
+            result = store.verify(strict=False)
+            report.segments_checked = 1
+            report.bytes_checked = store.payload_nbytes
+            for error in result["errors"]:
+                report.corrupt_segments.append((path.name, str(error)))
+    except StoreError as exc:
+        report.corrupt_segments.append((path.name, str(exc)))
+    temp = path.with_name(path.name + ".tmp")
+    if temp.exists():
+        report.stale_temps.append(temp.name)
+        if repair:
+            try:
+                temp.unlink()
+                report.removed.append(temp.name)
+            except OSError:
+                pass
+    return report
+
+
+def scrub_store(
+    path: Union[str, Path],
+    repair: bool = False,
+    keep_generations: Optional[int] = None,
+) -> ScrubReport:
+    """Verify every checksum and garbage-collect the wreckage of crashes.
+
+    Read-only by default: reports corrupt segments, invalid manifests,
+    orphan segments (committed but never referenced — the crash-between-
+    segment-and-manifest residue) and stale ``*.tmp`` files.  With
+    ``repair=True`` it removes temps, orphans and invalid manifests, moves
+    corrupt segments into ``quarantine/`` and — when segments were
+    quarantined — commits a new manifest generation without them, so
+    subsequent opens are warning-free.  ``keep_generations`` additionally
+    prunes old valid manifests beyond the newest N.
+
+    Accepts a single ``.rsym`` file too (verify + sibling-temp cleanup), so
+    ``repro store scrub`` works on either store kind.
+    """
+    path = Path(path)
+    if path.is_file():
+        return _scrub_file(path, repair)
+    if not path.is_dir():
+        raise StoreError(f"no such store: {path}")
+    report = ScrubReport(path=str(path), repair=repair)
+
+    manifests = _manifest_paths(path)
+    if not manifests:
+        raise StoreError(f"{path} holds no manifest: not a segmented store")
+    valid: List[Tuple[int, Path, Dict]] = []
+    for generation, manifest_path in manifests:
+        try:
+            valid.append((generation, manifest_path, _load_manifest(manifest_path)))
+        except CorruptStoreError:
+            report.invalid_manifests.append(manifest_path.name)
+            if repair:
+                try:
+                    manifest_path.unlink()
+                    report.removed.append(manifest_path.name)
+                except OSError:
+                    pass
+    if not valid:
+        raise CorruptStoreError(
+            f"{path}: every manifest is damaged; nothing to serve",
+            path=path, check="manifest_crc", hint="bit-rot",
+        )
+    generation, _, manifest = valid[0]
+    report.generation = generation
+    # Never reuse a generation number, even one an *invalid* manifest burned.
+    next_generation = manifests[0][0] + 1
+
+    # Names any surviving manifest still references must not be GC'd: an old
+    # generation may legitimately be rolled back to.
+    live_names = {
+        rec["name"] for _, _, m in valid for rec in m.get("segments", [])
+    }
+
+    healthy: List[Dict] = []
+    for rec in manifest.get("segments", []):
+        record = SegmentRecord.from_dict(rec)
+        seg_path = path / record.name
+        error: Optional[str] = None
+        try:
+            actual_nbytes = seg_path.stat().st_size
+            if actual_nbytes != record.file_nbytes:
+                error = (
+                    f"{actual_nbytes} bytes on disk, manifest records "
+                    f"{record.file_nbytes}"
+                )
+            else:
+                actual_crc = crc32c_hex(_file_crc32c(seg_path))
+                if actual_crc != record.crc32c:
+                    error = (
+                        f"whole-file crc32c {actual_crc} != recorded "
+                        f"{record.crc32c}"
+                    )
+                else:
+                    with SymbolStore.open(seg_path, verify="off") as store:
+                        result = store.verify(strict=False)
+                    if result["errors"]:
+                        error = "; ".join(str(e) for e in result["errors"])
+            report.segments_checked += 1
+            report.bytes_checked += record.file_nbytes
+        except (StoreError, OSError) as exc:
+            error = str(exc)
+            report.segments_checked += 1
+        if error is None:
+            healthy.append(rec)
+            continue
+        report.corrupt_segments.append((record.name, error))
+        if repair:
+            quarantine = path / _QUARANTINE_DIR
+            quarantine.mkdir(exist_ok=True)
+            try:
+                seg_path.replace(quarantine / record.name)
+                report.quarantined.append(record.name)
+            except OSError:
+                pass  # already gone (e.g. quarantined by an earlier pass)
+            live_names.discard(record.name)
+
+    # Orphans: committed segment files no surviving manifest references.
+    for entry in sorted(path.iterdir()):
+        if _SEGMENT_RE.match(entry.name) and entry.name not in live_names:
+            if any(entry.name == name for name, _ in report.corrupt_segments):
+                continue
+            report.orphan_segments.append(entry.name)
+            if repair:
+                try:
+                    entry.unlink()
+                    report.removed.append(entry.name)
+                except OSError:
+                    pass
+        elif entry.name.endswith(".tmp"):
+            report.stale_temps.append(entry.name)
+            if repair:
+                try:
+                    entry.unlink()
+                    report.removed.append(entry.name)
+                except OSError:
+                    pass
+
+    if repair and report.corrupt_segments:
+        new_manifest = dict(manifest)
+        new_manifest["generation"] = next_generation
+        new_manifest["segments"] = healthy
+        _write_manifest(path, new_manifest)
+        report.new_generation = next_generation
+
+    if repair and keep_generations is not None and keep_generations >= 1:
+        survivors = _manifest_paths(path)
+        for _, manifest_path in survivors[int(keep_generations):]:
+            try:
+                manifest_path.unlink()
+                report.pruned_manifests.append(manifest_path.name)
+                report.removed.append(manifest_path.name)
+            except OSError:
+                pass
+    return report

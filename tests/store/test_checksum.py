@@ -1,0 +1,97 @@
+"""CRC32C correctness: check vector, lane parity, combine, row batches."""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.store.checksum import (
+    _LANE_THRESHOLD,
+    crc32c,
+    crc32c_combine,
+    crc32c_hex,
+    crc32c_rows,
+)
+
+
+class TestCheckVector:
+    def test_standard_check_vector(self):
+        # The canonical CRC32C test vector (RFC 3720 / every implementation).
+        assert crc32c(b"123456789") == 0xE3069283
+
+    def test_empty_input_is_identity(self):
+        assert crc32c(b"") == 0
+        assert crc32c(b"", 0xDEADBEEF) == 0xDEADBEEF
+
+    def test_hex_rendering(self):
+        assert crc32c_hex(0xE3069283) == "e3069283"
+        assert crc32c_hex(0x1) == "00000001"
+
+    def test_differs_from_crc32(self):
+        # Castagnoli, not the zlib/IEEE polynomial.
+        assert crc32c(b"123456789") != zlib.crc32(b"123456789")
+
+
+class TestIncremental:
+    def test_zlib_call_shape(self):
+        a, b = b"smart meter", b" symbols"
+        assert crc32c(b, crc32c(a)) == crc32c(a + b)
+
+    def test_combine_matches_concatenation(self):
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 256, size=313, dtype=np.uint8).tobytes()
+        b = rng.integers(0, 256, size=4097, dtype=np.uint8).tobytes()
+        assert crc32c_combine(crc32c(a), crc32c(b), len(b)) == crc32c(a + b)
+
+    def test_combine_with_empty_suffix(self):
+        assert crc32c_combine(0x12345678, 0, 0) == 0x12345678
+
+
+class TestLaneParity:
+    @pytest.mark.parametrize("size", [
+        _LANE_THRESHOLD - 1,       # scalar path
+        _LANE_THRESHOLD,           # smallest lane split
+        _LANE_THRESHOLD * 3 + 17,  # uneven tail
+        100_003,                   # prime, many lanes
+    ])
+    def test_lane_path_equals_byte_loop(self, size):
+        rng = np.random.default_rng(size)
+        data = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+        # Split forces the scalar continuation path over the same bytes.
+        cut = min(1024, size // 2)
+        scalar = crc32c(data[cut:], crc32c(data[:cut]))
+        assert crc32c(data) == scalar
+
+    def test_numpy_input_matches_bytes(self):
+        rng = np.random.default_rng(9)
+        arr = rng.integers(0, 256, size=5000, dtype=np.uint8)
+        assert crc32c(arr) == crc32c(arr.tobytes())
+
+
+class TestRows:
+    def test_rows_match_per_row_scalar(self):
+        rng = np.random.default_rng(21)
+        matrix = rng.integers(0, 256, size=(37, 53), dtype=np.uint8)
+        rows = crc32c_rows(matrix)
+        assert rows.dtype == np.uint32
+        for i in range(matrix.shape[0]):
+            assert int(rows[i]) == crc32c(matrix[i].tobytes())
+
+    def test_few_rows_take_scalar_path(self):
+        rng = np.random.default_rng(22)
+        matrix = rng.integers(0, 256, size=(3, 64), dtype=np.uint8)
+        rows = crc32c_rows(matrix)
+        for i in range(3):
+            assert int(rows[i]) == crc32c(matrix[i].tobytes())
+
+    def test_empty_and_bad_inputs(self):
+        assert crc32c_rows(np.zeros((0, 8), dtype=np.uint8)).size == 0
+        assert np.array_equal(
+            crc32c_rows(np.zeros((4, 0), dtype=np.uint8)), np.zeros(4)
+        )
+        with pytest.raises(TypeError):
+            crc32c_rows(np.zeros((4, 4), dtype=np.int64))
+        with pytest.raises(TypeError):
+            crc32c_rows(np.zeros(16, dtype=np.uint8))

@@ -1,0 +1,89 @@
+"""Crash-recovery smoke: SIGKILL a real writer process mid-append.
+
+The fault harness simulates crashes in-process; this suite delivers the
+real thing — ``SIGKILL`` to a subprocess that is busy appending segments —
+and asserts the surviving directory always reopens at a committed
+generation with internally consistent data, and that one ``scrub --repair``
+restores a clean bill of health.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.store import append_segment, open_store, scrub_store
+
+WRITER = r"""
+import sys
+import numpy as np
+from repro.store import append_segment, create_segmented_store
+
+directory = sys.argv[1]
+create_segmented_store(directory, alphabet_size=8, ids=list(range(8))).close()
+print("ready", flush=True)
+for k in range(10_000):
+    # Large all-one-value segments: content is predictable from the record
+    # order, so any torn or half-applied append is detectable after the kill.
+    append_segment(directory, np.full((8, 512), k % 8, dtype=np.int64))
+    print(f"committed {k}", flush=True)
+"""
+
+
+@pytest.mark.parametrize("grace", [0.0, 0.05, 0.15])
+def test_sigkill_mid_append_reopens_at_committed_generation(tmp_path, grace):
+    directory = tmp_path / "victim.rsyms"
+    proc = subprocess.Popen(
+        [sys.executable, "-c", WRITER, str(directory)],
+        stdout=subprocess.PIPE, text=True,
+        env={**os.environ,
+             "PYTHONPATH": str(Path(__file__).resolve().parents[2] / "src")},
+    )
+    try:
+        assert proc.stdout.readline().strip() == "ready"
+        proc.stdout.readline()  # at least one commit has landed
+        time.sleep(grace)       # then die at an arbitrary point in a later one
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    assert proc.returncode == -signal.SIGKILL
+
+    # The store must reopen without error at whatever generation committed.
+    with open_store(directory) as store:
+        n = store.n_segments
+        assert n >= 1
+        matrix = store.matrix()
+        assert matrix.shape == (8, n * 512)
+        expected = np.hstack(
+            [np.full((8, 512), k % 8, dtype=np.int64) for k in range(n)]
+        )
+        assert np.array_equal(matrix, expected)
+        generation = store.generation
+
+    # Scrub finds at most debris (orphan segment / stale temp), never damage
+    # to committed data; repair leaves the store clean at a new-or-same view.
+    report = scrub_store(directory)
+    assert report.corrupt_segments == []
+    scrub_store(directory, repair=True)
+    clean = scrub_store(directory)
+    assert clean.ok
+
+    # And the store is fully writable again after recovery.
+    append_segment(directory, np.full((8, 512), 7, dtype=np.int64))
+    with open_store(directory) as store:
+        assert store.n_segments == n + 1
+        assert store.generation > generation
+        assert np.array_equal(
+            store.matrix(window_range=(n * 512, (n + 1) * 512)),
+            np.full((8, 512), 7),
+        )
