@@ -1,0 +1,102 @@
+"""Scan-operator throughput benchmarks (``BENCH_ops.json``).
+
+The PR 8 plan layer's proof of keep: the monitoring operators must be fast
+*because* they are store-native.  Three numbers are tracked —
+
+* anomaly meters/sec — per-meter transition scoring off RLE runs;
+* drift report latency — fleet drift straight off ``.rsymx`` histograms
+  (the entry asserts **zero** columns decoded, the whole point);
+* aggregate queries/sec, cold vs cached — the engine's shared
+  ``ColumnSource`` makes every aggregate after the first free of payload
+  reads, and the cached rate must show it.
+
+CI runs this file with ``--benchmark-json=BENCH_ops.json`` and gates on
+the floors in ``perf_floors.json``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.query import ColumnSource, QueryEngine, aggregate_store
+from repro.store import write_fleet_store
+
+N_METERS = 192
+WINDOWS = 672
+ALPHABET = 16
+
+
+@pytest.fixture(scope="module")
+def ops_store(tmp_path_factory):
+    rng = np.random.default_rng(31)
+    levels = np.exp(rng.normal(5.5, 1.2, size=N_METERS))[:, None]
+    day = 1.0 + 0.6 * np.sin(np.linspace(0, 7 * 2 * np.pi, WINDOWS))[None, :]
+    noise = rng.normal(0, 0.08, size=(N_METERS, WINDOWS))
+    values = np.abs(levels * day + noise * levels)
+    path = tmp_path_factory.mktemp("bench_ops") / "fleet.rsym"
+    return write_fleet_store(
+        path, values, alphabet_size=ALPHABET, method="median", window=1,
+        shared_table=True, sampling_interval=900.0, query_index=True,
+    )
+
+
+def test_anomaly_throughput(benchmark, ops_store):
+    """Fleet transition scoring: runs in, scores out, no window expansion."""
+    engine = QueryEngine.open(ops_store.path)
+    report = benchmark(engine.anomaly)
+    assert len(report.ids) == N_METERS
+    assert report.transitions.sum() > 0
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["meters_per_s"] = N_METERS / mean
+    benchmark.extra_info["transitions"] = int(report.transitions.sum())
+
+
+def test_drift_report_latency(benchmark, ops_store):
+    """Whole-fleet drift report off the sidecar histograms alone."""
+    engine = QueryEngine.open(ops_store.path)
+    report = benchmark(engine.drift)
+    # The acceptance gate: a drift report never decodes a column.
+    assert report.columns_decoded == 0
+    assert len(report.ids) == N_METERS
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["reports_per_s"] = 1.0 / mean
+    benchmark.extra_info["meters_per_s"] = N_METERS / mean
+    benchmark.extra_info["columns_decoded"] = report.columns_decoded
+
+
+def test_aggregate_cold_throughput(benchmark, ops_store):
+    """Aggregation that pays the payload scan every call (fresh source)."""
+
+    def cold():
+        return aggregate_store(ops_store, level=8,
+                               source=ColumnSource(ops_store))
+
+    report = benchmark(cold)
+    assert len(report.ids) == N_METERS
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["aggregates_per_s"] = 1.0 / mean
+
+
+def test_aggregate_cached_throughput(benchmark, ops_store):
+    """Repeated aggregates on an open engine reuse the cached source."""
+    engine = QueryEngine(ops_store)
+    engine.aggregate(level=8)  # warm the source cache once
+    decoded_before = engine.source.stats.columns_decoded
+    report = benchmark(engine.aggregate, level=8)
+    # Every benchmarked round was served from the cache: no new decodes.
+    assert engine.source.stats.columns_decoded == decoded_before
+    assert len(report.ids) == N_METERS
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["aggregates_per_s"] = 1.0 / mean
+
+
+def test_private_aggregate_throughput(benchmark, ops_store):
+    """k-anonymous noised release, index-backed (zero payload reads)."""
+    engine = QueryEngine.open(ops_store.path)
+    report = benchmark(
+        engine.private_aggregate, k_anon=5, epsilon=1.0, seed=0
+    )
+    assert report.n_meters == N_METERS
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["releases_per_s"] = 1.0 / mean

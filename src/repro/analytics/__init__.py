@@ -19,6 +19,8 @@ from .forecasting import (
 from .privacy import (
     ObfuscationReport,
     bucket_sizes,
+    k_anonymize_counts,
+    noisy_counts,
     reidentification_risk,
     value_obfuscation,
 )
@@ -48,6 +50,8 @@ __all__ = [
     "forecast_dataset",
     "forecast_house",
     "hourly_consumption",
+    "k_anonymize_counts",
+    "noisy_counts",
     "raw_forecast",
     "reidentification_risk",
     "segment_customers",

@@ -31,6 +31,8 @@ __all__ = [
     "ObfuscationReport",
     "value_obfuscation",
     "bucket_sizes",
+    "k_anonymize_counts",
+    "noisy_counts",
     "reidentification_risk",
 ]
 
@@ -85,6 +87,42 @@ def value_obfuscation(table: LookupTable, values: Sequence[float]) -> Obfuscatio
         min_bucket_size=int(min(non_empty)) if non_empty else 0,
         median_bucket_size=float(np.median(non_empty)) if non_empty else 0.0,
     )
+
+
+def k_anonymize_counts(
+    counts: Sequence[int], k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Suppress histogram cells supported by fewer than ``k`` readings.
+
+    Returns ``(released, suppressed)``: the counts with every non-zero cell
+    below ``k`` zeroed, and the boolean mask of suppressed cells.  The
+    store-native private-aggregate operator and the in-memory
+    :func:`bucket_sizes` path apply this identical transform, so their
+    released aggregates agree exactly.
+    """
+    if int(k) < 1:
+        raise ExperimentError(f"k must be >= 1, got {k}")
+    arr = np.asarray(counts, dtype=np.int64).copy()
+    suppressed = (arr > 0) & (arr < int(k))
+    arr[suppressed] = 0
+    return arr, suppressed
+
+
+def noisy_counts(
+    counts: Sequence[float], epsilon: float, seed: int = 0
+) -> np.ndarray:
+    """Laplace noise at scale ``1/epsilon`` on count cells, clipped at zero.
+
+    The classic Laplace mechanism for a count query of sensitivity 1;
+    seeded, so a released aggregate is deterministic per ``(data, seed)``
+    and bit-identical however the computation was sharded.
+    """
+    if not epsilon > 0:
+        raise ExperimentError(f"epsilon must be > 0, got {epsilon}")
+    arr = np.asarray(counts, dtype=np.float64)
+    rng = np.random.default_rng(int(seed))
+    noised = arr + rng.laplace(0.0, 1.0 / float(epsilon), size=arr.shape)
+    return np.maximum(noised, 0.0)
 
 
 def reidentification_risk(

@@ -495,8 +495,62 @@ def _cmd_query_agg(args: argparse.Namespace) -> int:
     from .query import QueryEngine
 
     with QueryEngine.open(args.path) as engine:
-        report = engine.aggregate(level=args.level, per_day=args.per_day)
-        print(render_table(report.rows(), float_digits=2))
+        if args.k_anon is not None or args.noise is not None:
+            report = engine.private_aggregate(
+                level=args.level,
+                k_anon=args.k_anon if args.k_anon is not None else 5,
+                epsilon=args.noise,
+                seed=args.seed,
+                workers=args.workers,
+            )
+            noise = (
+                f"Laplace(1/{report.epsilon:g})" if report.epsilon else "none"
+            )
+            print(f"group of {report.n_meters} meters "
+                  f"(k-anon >= {report.k_anon}, noise: {noise})")
+            print(render_table(report.rows(), float_digits=2))
+            print(f"suppressed symbols: {int(report.suppressed.sum())}  "
+                  f"duty>={report.level}: {report.duty_cycle:.2f}")
+            profile = ", ".join(f"{v:.1f}" for v in report.band_profile)
+            print(f"band profile: [{profile}]")
+        else:
+            report = engine.aggregate(
+                level=args.level, per_day=args.per_day, workers=args.workers
+            )
+            print(render_table(report.rows(), float_digits=2))
+    return 0
+
+
+def _cmd_query_anomaly(args: argparse.Namespace) -> int:
+    from .query import QueryEngine
+
+    with QueryEngine.open(args.path) as engine:
+        report = engine.anomaly(workers=args.workers)
+        rows = [
+            {"meter": meter, "score": score}
+            for meter, score in report.top(args.top)
+        ]
+        print(render_table(rows, float_digits=4))
+        print(f"scored {len(report.ids)} meters against the fleet "
+              f"transition model ({int(report.transitions.sum())} transitions "
+              f"read off runs)")
+    return 0
+
+
+def _cmd_query_drift(args: argparse.Namespace) -> int:
+    from .query import QueryEngine
+
+    with QueryEngine.open(args.path) as engine:
+        report = engine.drift(baseline=args.baseline or None)
+        rows = [
+            {"meter": meter, "tv_distance": distance}
+            for meter, distance in report.top(args.top)
+        ]
+        print(render_table(rows, float_digits=4))
+        shifted = report.shifted(args.threshold)
+        print(f"{len(shifted)} of {len(report.ids)} meters shifted more than "
+              f"{args.threshold:g} TV vs {report.reference} "
+              f"({report.columns_decoded} columns decoded)")
     return 0
 
 
@@ -663,7 +717,42 @@ def build_parser() -> argparse.ArgumentParser:
                      help="duty-cycle threshold symbol (default: k/2)")
     agg.add_argument("--per-day", action="store_true",
                      help="add per-day peak levels (needs windows_per_day)")
+    agg.add_argument("--k-anon", type=int, default=None, metavar="K",
+                     help="release a pooled k-anonymous group aggregate "
+                          "instead of per-meter rows (cells under K windows "
+                          "suppressed; refuses groups under K meters)")
+    agg.add_argument("--noise", type=float, default=None, metavar="EPS",
+                     help="with --k-anon (or alone): add Laplace(1/EPS) "
+                          "noise to the released counts")
+    agg.add_argument("--seed", type=int, default=0,
+                     help="noise seed (released aggregates are deterministic "
+                          "per seed)")
+    _add_workers_argument(agg)
     agg.set_defaults(handler=_cmd_query_agg)
+
+    anomaly = query_commands.add_parser(
+        "anomaly", help="per-meter anomaly scores from symbol transitions"
+    )
+    anomaly.add_argument("path", type=str,
+                         help="path to the .rsym file or segment directory")
+    anomaly.add_argument("--top", type=int, default=10,
+                         help="rows printed (highest scores first)")
+    _add_workers_argument(anomaly)
+    anomaly.set_defaults(handler=_cmd_query_anomaly)
+
+    drift = query_commands.add_parser(
+        "drift", help="fleet drift report straight off .rsymx histograms"
+    )
+    drift.add_argument("path", type=str,
+                       help="path to the .rsym file or segment directory")
+    drift.add_argument("--baseline", type=str, default="",
+                       help="previous .rsymx snapshot (or its store path) to "
+                            "diff against; default: current fleet mean")
+    drift.add_argument("--top", type=int, default=10,
+                       help="rows printed (largest shifts first)")
+    drift.add_argument("--threshold", type=float, default=0.1,
+                       help="TV distance above which a meter counts as shifted")
+    drift.set_defaults(handler=_cmd_query_drift)
 
     export = subparsers.add_parser("export-arff", help="export day vectors as ARFF (Weka)")
     _add_dataset_arguments(export)

@@ -34,12 +34,8 @@ __all__ = [
     "pack_store_shard",
     "SegmentShardTask",
     "pack_segment_shard",
-    "IndexShardTask",
-    "build_index_shard",
-    "KNNShardTask",
-    "run_knn_shard",
-    "MatchShardTask",
-    "run_match_shard",
+    "PlanShardTask",
+    "run_plan_shard",
 ]
 
 #: Worker-local cache of grid runners, keyed by (descriptor, n_folds, seed).
@@ -207,79 +203,27 @@ def pack_segment_shard(task: SegmentShardTask) -> List[tuple]:
     return columns
 
 
-class IndexShardTask(NamedTuple):
-    """One contiguous column range whose ``.rsymx`` statistics a worker builds.
+class PlanShardTask(NamedTuple):
+    """One shard of a :class:`~repro.query.plan.ScanPlan` work list.
 
-    Workers reopen the store by path (memory-mapped, read-only) so only the
-    small histogram blocks cross the process boundary; entries are exact
-    integers merged in task order, hence byte-identical sidecar files for
-    every worker count.
+    The single worker-side grain of the unified query driver: ``operator``
+    is a picklable :class:`~repro.query.ops.Operator` carrying everything
+    the shard needs (pruning index, query rows, pattern tokens), ``items``
+    its contiguous slice of the (pruned) work list.  Workers reopen the
+    store by path (memory-mapped, read-only) and run the exact function the
+    serial path runs, so merged plan results are bit-identical for every
+    worker count.
     """
 
     store_path: str
-    start: int
-    stop: int
-    n_bands: int
+    operator: "object"       # Operator (ops.py dataclass)
+    items: "object"          # the shard's slice of the plan's work list
 
 
-def build_index_shard(task: IndexShardTask) -> tuple:
-    """Histogram/first/min/max arrays for one column shard (worker side)."""
-    from ..query.index import _shard_stats
+def run_plan_shard(task: PlanShardTask):
+    """Run one plan shard worker-side; returns the operator's shard result."""
+    from ..query.ops import ColumnSource
     from ..store.segments import open_store
 
     with open_store(task.store_path) as store:
-        return _shard_stats(store, task.start, task.stop, task.n_bands)
-
-
-class KNNShardTask(NamedTuple):
-    """One block of kNN queries against a store (query-axis sharding).
-
-    ``index`` is the parent's resolved pruning :class:`QueryIndex` (or
-    ``None`` for an unpruned scan) so workers never rebuild it; per-query
-    work is independent, making the merged result bit-identical to serial.
-    """
-
-    store_path: str
-    queries: "object"        # (q, windows) float array
-    k: int
-    refine_chunk: int
-    index: "object"          # QueryIndex or None
-    exclude: "object"        # (m,) int array of excluded column positions
-
-
-def run_knn_shard(task: KNNShardTask) -> tuple:
-    """Run one query block worker-side; returns (positions, distances, refined)."""
-    from ..query.engine import _knn_block, resolve_shared_table
-    from ..store.segments import open_store
-
-    with open_store(task.store_path) as store:
-        table = resolve_shared_table(store)
-        return _knn_block(
-            store, table, task.index, task.queries,
-            task.k, task.refine_chunk, task.exclude,
-        )
-
-
-class MatchShardTask(NamedTuple):
-    """One block of columns to pattern-match at run granularity.
-
-    The parsed token tuple ships (not the pattern text): programmatically
-    built :class:`SymbolPattern` objects carry no text, and re-parsing
-    worker-side would make the result depend on the worker count.
-    """
-
-    store_path: str
-    tokens: "object"         # tuple of PatternToken
-    columns: Tuple[int, ...]
-
-
-def run_match_shard(task: MatchShardTask) -> tuple:
-    """Match one column block worker-side; returns (spans, runs_scanned, n)."""
-    from ..query.engine import _match_columns
-    from ..query.patterns import SymbolPattern
-    from ..store.segments import open_store
-
-    with open_store(task.store_path) as store:
-        return _match_columns(
-            store, SymbolPattern(task.tokens), list(task.columns)
-        )
+        return task.operator.run_shard(ColumnSource(store), task.items)

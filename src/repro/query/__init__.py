@@ -28,6 +28,15 @@ store without decoding it wholesale.
 :mod:`repro.query.aggregate`
     Per-meter / per-day aggregation pushdown (symbol counts, peak levels,
     duty cycles) from packed or run-encoded columns.
+
+:mod:`repro.query.plan` / :mod:`repro.query.ops`
+    The composable scan layer every query above executes through: a
+    :class:`ScanPlan` wires a :class:`ColumnSource` (one read abstraction
+    over ``.rsym`` files and ``.rsyms`` segment directories), optional
+    pruning stages, and a terminal :class:`Operator` into the single
+    sharding/merge driver.  The fleet-monitoring workloads — per-meter
+    anomaly scores, drift reports straight off ``.rsymx`` histograms, and
+    k-anonymous private aggregates — are operators on the same layer.
 """
 
 from .aggregate import AggregateReport, aggregate_store
@@ -58,18 +67,50 @@ from .index import (
     query_index_path,
     write_query_index,
 )
+from .ops import (
+    AggregateOperator,
+    AnomalyOperator,
+    AnomalyReport,
+    ColumnSource,
+    DriftOperator,
+    DriftReport,
+    GroupAggregateOperator,
+    IndexBuildOperator,
+    KNNOperator,
+    MatchOperator,
+    Operator,
+    PrivateAggregateReport,
+    SourceStats,
+    SymbolCountPrune,
+)
 from .patterns import PatternMatches, PatternToken, SymbolPattern, match_runs
+from .plan import ScanPlan
 
 __all__ = [
+    "AggregateOperator",
     "AggregateReport",
+    "AnomalyOperator",
+    "AnomalyReport",
+    "ColumnSource",
+    "DriftOperator",
+    "DriftReport",
+    "GroupAggregateOperator",
+    "IndexBuildOperator",
+    "KNNOperator",
     "KNNResult",
     "KNNStats",
+    "MatchOperator",
+    "Operator",
     "PatternMatches",
     "PatternToken",
+    "PrivateAggregateReport",
     "QueryConfig",
     "QueryEngine",
     "QueryIndex",
     "QueryStats",
+    "ScanPlan",
+    "SourceStats",
+    "SymbolCountPrune",
     "SymbolPattern",
     "aggregate_store",
     "banded_min_cells",

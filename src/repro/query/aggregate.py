@@ -6,6 +6,12 @@ RLE columns — straight from run values weighted by run lengths, the same
 arrays the store keeps on disk.  Per-day variants reshape by the store's
 ``windows_per_day`` metadata, answering "which meters ran >= 6 hours at the
 top level on day 3?" without rebuilding a :class:`FleetEncoder`.
+
+Execution is a :class:`~repro.query.plan.ScanPlan` over an
+:class:`~repro.query.ops.AggregateOperator`: ``workers > 1`` shards the
+column axis through the unified plan driver, and because shards return
+exact integers merged in task order the report is bit-identical for every
+worker count.
 """
 
 from __future__ import annotations
@@ -17,7 +23,7 @@ import numpy as np
 
 from ..errors import QueryError
 from ..store.format import SymbolStore
-from .index import QueryIndex, _shard_stats
+from .index import QueryIndex
 
 __all__ = ["AggregateReport", "aggregate_store"]
 
@@ -65,6 +71,8 @@ def aggregate_store(
     level: Optional[int] = None,
     per_day: bool = False,
     index: Optional[QueryIndex] = None,
+    workers: int = 1,
+    source=None,
 ) -> AggregateReport:
     """Compute the pushdown aggregates for ``meters`` (default: all).
 
@@ -72,46 +80,31 @@ def aggregate_store(
     payload pass; otherwise one shard scan computes them (runs-weighted for
     RLE columns, vectorized unpack for dense).  ``per_day`` requires the
     store's ``windows_per_day`` metadata and equal column lengths.
+
+    ``source`` (a :class:`~repro.query.ops.ColumnSource`) lets a caller —
+    the :class:`QueryEngine` — reuse one source across calls so fleet
+    statistics are decoded at most once per open store.
     """
+    from .ops import AggregateOperator, ColumnSource
+    from .plan import ScanPlan
+
     k = store.alphabet_size
     level = k // 2 if level is None else int(level)
     if not 0 <= level < k:
         raise QueryError(f"level must be in [0, {k}), got {level}")
     ids = list(store.ids) if meters is None else list(meters)
     columns = store._resolve_meters(meters)
+    if source is None:
+        source = ColumnSource(store, index=index)
+    if index is None:
+        index = source.index
     if index is not None:
         index.check_store(store)
-        hist = index.histograms[columns]
-        peaks = index.max_symbols[columns]
-    elif meters is None:
-        banded, _, _, peaks = _shard_stats(store, 0, store.n_meters, 1)
-        hist = banded[:, 0, :]
-    else:
-        parts = [_shard_stats(store, c, c + 1, 1) for c in columns]
-        hist = np.vstack([p[0][:, 0, :] for p in parts])
-        peaks = np.concatenate([p[3] for p in parts])
-    windows = hist.sum(axis=1)
-    with np.errstate(invalid="ignore"):
-        duty = np.where(windows > 0, hist[:, level:].sum(axis=1) / np.maximum(windows, 1), 0.0)
-    if meters is None:
-        run_count = store.run_count_per_column()
-    elif store.layout == "rle":
-        run_count = store.run_counts[columns]
-    else:
-        run_count = np.asarray(
-            [store.runs(store.ids[c])[0].size for c in columns],
-            dtype=np.int64,
-        )
-    mean_run = np.where(run_count > 0, windows / np.maximum(run_count, 1), 0.0)
-    report = AggregateReport(
-        ids=ids,
-        level=level,
-        symbol_counts=hist,
-        peak_level=peaks,
-        duty_cycle=duty,
-        run_count=np.asarray(run_count, dtype=np.int64),
-        mean_run_length=mean_run,
+    plan = ScanPlan(
+        source, AggregateOperator(level=level, index=index), items=columns
     )
+    report = plan.run(workers=workers)
+    report.ids = ids
     if per_day:
         per = store.metadata.get("windows_per_day")
         if not per:
@@ -120,7 +113,7 @@ def aggregate_store(
                 "per-day aggregation needs it (write the store with "
                 "sampling_interval set)"
             )
-        matrix = store.matrix(meters=None if meters is None else ids)
+        matrix = source.matrix(meters=None if meters is None else ids)
         width = matrix.shape[1]
         days = width // int(per)
         if days == 0:

@@ -28,26 +28,42 @@ per-column/by-label tables are all *equal* (e.g. day-vector stores written
 with ``global_table=True``) are transparently re-normalised to that one
 shared table.
 
-``workers > 1`` shards the query axis through
-:class:`~repro.parallel.ParallelExecutor` (task-ordered merge); per-query
-work is independent, so results are bit-identical for every worker count.
+Every query kind — kNN, pattern match, aggregation, and the monitoring
+workloads (:meth:`QueryEngine.anomaly`, :meth:`QueryEngine.drift`,
+:meth:`QueryEngine.private_aggregate`) — executes as a
+:class:`~repro.query.plan.ScanPlan` over the engine's cached
+:class:`~repro.query.ops.ColumnSource`; ``workers > 1`` shards through the
+plan driver's :class:`~repro.parallel.ParallelExecutor` loop (task-ordered
+merge), and results are bit-identical for every worker count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, NamedTuple, Optional, Sequence, Union
+from typing import List, NamedTuple, Optional, Sequence, Set, Union
 
 import numpy as np
 
-from ..core.lookup import LookupTable
 from ..errors import QueryError
 from ..store.format import SymbolStore
 from .aggregate import AggregateReport, aggregate_store
-from .distance import banded_min_cells, histogram_bound
 from .index import QueryIndex, build_query_index, query_index_path
-from .patterns import PatternMatches, SymbolPattern, match_runs
+from .ops import (
+    AnomalyOperator,
+    AnomalyReport,
+    ColumnSource,
+    DriftOperator,
+    DriftReport,
+    GroupAggregateOperator,
+    KNNOperator,
+    MatchOperator,
+    PrivateAggregateReport,
+    SymbolCountPrune,
+    resolve_shared_table,
+)
+from .patterns import PatternMatches, SymbolPattern
+from .plan import ScanPlan
 
 __all__ = [
     "QueryConfig",
@@ -57,20 +73,11 @@ __all__ = [
     "resolve_shared_table",
 ]
 
-#: One-sided slack on the pruning bound: float rounding in the histogram
-#: matrix product may lift a lower bound a few ulps above the true distance
-#: on exact ties; the margin turns that into (at most) extra refinement.
-_PRUNE_SLACK = 1e-9
-
-#: Queries bounded per matmul: cells are ``(block, T, k)`` float64, so 64
-#: queries of a week-long 16-symbol column stay ~5 MB while one
-#: :func:`histogram_bound` product covers the whole block.
-_QUERY_BLOCK = 64
-
-#: Cap on elements per refinement gather (~8 MB of intp indices): one
-#: refine round scores ``active * chunk * T`` cells, which brute force
-#: (chunk = all candidates) would otherwise let grow with the fleet.
-_GATHER_ELEMENTS = 1 << 20
+#: Sidecar paths whose stale-index degrade warning already fired: the
+#: warning is actionable once per store (rebuild the index), not once per
+#: ``QueryEngine.open`` — a monitoring loop reopening a growing store every
+#: few minutes should not drown the log.
+_STALE_INDEX_WARNED: Set[str] = set()
 
 
 @dataclass(frozen=True)
@@ -139,177 +146,6 @@ class KNNResult(NamedTuple):
     stats: KNNStats
 
 
-def resolve_shared_table(store: SymbolStore) -> LookupTable:
-    """The one table all of ``store``'s columns share, or a loud refusal.
-
-    Per-column and by-label table sets collapse to a single table when all
-    entries are equal (the re-normalisation path); genuinely distinct tables
-    raise :class:`QueryError` because cross-column symbol distances would be
-    meaningless.
-    """
-    tables = store.tables
-    if tables is None:
-        raise QueryError(
-            f"{store.path.name} carries no lookup tables; distance queries "
-            "need the serialized table to derive breakpoints"
-        )
-    if isinstance(tables, LookupTable):
-        return tables
-    pool = list(tables.values()) if isinstance(tables, dict) else list(tables)
-    if not pool:
-        raise QueryError(f"{store.path.name} has an empty table payload")
-    head = pool[0]
-    if all(table == head for table in pool[1:]):
-        return head
-    raise QueryError(
-        f"{store.path.name} carries {len(pool)} distinct per-meter lookup "
-        "tables: the same symbol index maps to different watt ranges on "
-        "different columns, so cross-column distances would be nonsense. "
-        "Re-encode the fleet with a shared table "
-        "(write_fleet_store(..., shared_table=True) or encode --all "
-        "--global-table) to make it searchable."
-    )
-
-
-def _knn_block(
-    store: SymbolStore,
-    table: LookupTable,
-    index: "Optional[QueryIndex]",
-    queries: np.ndarray,
-    k: int,
-    refine_chunk: int,
-    exclude: np.ndarray,
-) -> tuple:
-    """Serial kNN for one block of queries; the unit workers execute.
-
-    Returns ``(positions, distances, refined)`` with ``positions`` of shape
-    ``(len(queries), kk)`` where ``kk = min(k, candidates)``.
-
-    Queries are processed ``_QUERY_BLOCK`` at a time: the squared cells of
-    the whole sub-block are built with one broadcast, their lower bounds
-    with one :func:`banded_min_cells` + :func:`histogram_bound` matmul, and
-    each refine round decodes its chunk's missing columns with a single
-    ``store.matrix`` call.  Neighbours and distances are bit-identical for
-    every block split — the bound's last-ulp rounding can only move work
-    between the pruned and refined sets, never change an exact distance.
-    """
-    counts = store.counts
-    if counts.size == 0:
-        raise QueryError(f"{store.path.name} is empty")
-    if np.any(counts != counts[0]):
-        raise QueryError(
-            "kNN needs equal-length columns; this store's columns hold "
-            "different symbol counts"
-        )
-    T = int(counts[0])
-    if T == 0:
-        raise QueryError("cannot search zero-length columns")
-    recon = table.reconstruction_array
-    candidates = np.setdiff1d(
-        np.arange(store.n_meters, dtype=np.int64), exclude
-    )
-    if candidates.size == 0:
-        raise QueryError("every column was excluded; nothing to search")
-    kk = min(int(k), candidates.size)
-    refine_chunk = max(1, int(refine_chunk))
-    positions = np.empty((queries.shape[0], kk), dtype=np.int64)
-    distances = np.empty((queries.shape[0], kk), dtype=np.float64)
-    refined_total = 0
-    C = candidates.size
-    # Decoded candidate rows, by candidate rank, shared by every query of
-    # the batch.  ``np.empty`` commits pages lazily, so untouched (pruned)
-    # rows cost no physical memory; ``intp`` rows gather without a per-round
-    # cast of the store's narrowed decode dtype.
-    decoded = np.empty((C, T), dtype=np.intp)
-    have = np.zeros(C, dtype=bool)
-    t_base = np.arange(T, dtype=np.intp) * recon.size
-
-    def decoded_rows(ranks: np.ndarray) -> np.ndarray:
-        """``(len(ranks), T)`` symbol rows; missing columns in one read."""
-        missing = np.unique(ranks[~have[ranks]])
-        if missing.size:
-            decoded[missing] = store.matrix(
-                meters=[store.ids[int(candidates[m])] for m in missing]
-            )
-            have[missing] = True
-        return decoded[ranks]
-
-    if index is not None:
-        bands = index.bands_for(T)
-        banded = (
-            index.float_histograms if candidates.size == index.n_meters
-            else index.band_histograms[candidates]
-        )
-    for b0 in range(0, queries.shape[0], _QUERY_BLOCK):
-        block = queries[b0: b0 + _QUERY_BLOCK]
-        n_block = block.shape[0]
-        # Shared query-reconstruction precompute: every query's (T, k)
-        # squared cells in one broadcast, bounds for the whole sub-block
-        # against every candidate in one matmul.
-        block_cells = (block[:, :, None] - recon[None, None, :]) ** 2
-        if index is not None:
-            lb_block = histogram_bound(
-                banded_min_cells(block_cells, bands, index.n_bands), banded
-            )
-        else:
-            lb_block = np.zeros((n_block, C))
-        order = np.argsort(lb_block, axis=1, kind="stable")
-        lb_sorted = np.take_along_axis(lb_block, order, axis=1)
-        # Refine rounds run for all still-active queries at once.  Every
-        # active query has refined exactly ``at`` candidates (its first
-        # ``at`` in lower-bound order), so one decode + one flat gather +
-        # one batched partition advance the whole sub-block a round.
-        d2_sorted = np.empty((n_block, C), dtype=np.float64)
-        kth2 = np.full(n_block, np.inf)
-        n_refined = np.zeros(n_block, dtype=np.int64)
-        active = np.arange(n_block)
-        at = 0
-        while active.size and at < C:
-            if at >= kk:
-                still = lb_sorted[active, at] <= kth2[active] * (1.0 + _PRUNE_SLACK)
-                active = active[still]
-                if not active.size:
-                    break
-            hi = min(at + refine_chunk, C)
-            ranks = order[active, at:hi]                      # (A, chunk)
-            # One flat gather scores every (query, candidate) of the round:
-            # cells[q, t, s] lives at offset q*T*k + t*k + s, and the
-            # per-(candidate, T) pairwise sum matches the serial form bit
-            # for bit.  Large rounds (brute force refines every candidate
-            # at once) run in query segments so the gather temporaries stay
-            # a few MB instead of scaling with queries * candidates.
-            d2 = np.empty(ranks.shape, dtype=np.float64)
-            segment = max(1, _GATHER_ELEMENTS // max(1, ranks.shape[1] * T))
-            for s0 in range(0, active.size, segment):
-                sub = active[s0: s0 + segment]
-                sub_ranks = ranks[s0: s0 + segment]
-                matrix = decoded_rows(sub_ranks.ravel())
-                flat = (
-                    sub[:, None, None] * (T * recon.size)
-                    + t_base[None, None, :]
-                    + matrix.reshape(sub_ranks.shape + (T,))
-                )
-                d2[s0: s0 + segment] = block_cells.take(
-                    flat.ravel()
-                ).reshape(flat.shape).sum(axis=2)
-            d2_sorted[active, at:hi] = d2
-            n_refined[active] = hi
-            if hi >= kk:
-                kth2[active] = np.partition(
-                    d2_sorted[active, :hi], kk - 1, axis=1
-                )[:, kk - 1]
-            at = hi
-        refined_total += int(n_refined.sum())
-        for bi in range(n_block):
-            n = int(n_refined[bi])
-            refined_cols = candidates[order[bi, :n]]
-            refined_d2 = d2_sorted[bi, :n]
-            best = np.lexsort((refined_cols, refined_d2))[:kk]
-            positions[b0 + bi] = refined_cols[best]
-            distances[b0 + bi] = np.sqrt(refined_d2[best])
-    return positions, distances, refined_total
-
-
 class QueryEngine:
     """Similarity search, pattern matching and aggregation over one store."""
 
@@ -322,7 +158,7 @@ class QueryEngine:
         if index is not None:
             index.check_store(store)
         self._index = index
-        self._table: Optional[LookupTable] = None
+        self._source: Optional[ColumnSource] = None
 
     @classmethod
     def open(
@@ -334,8 +170,9 @@ class QueryEngine:
         directory (:func:`~repro.store.segments.open_store` dispatches); a
         segmented store keeps its sidecar inside the directory.  A sidecar
         whose fingerprint no longer matches — a segment was appended or
-        quarantined since it was built — is dropped with a warning instead
-        of failing the open, and queries rebuild in memory.
+        quarantined since it was built — is dropped with a warning (emitted
+        once per sidecar path per process) instead of failing the open, and
+        queries rebuild in memory.
         """
         from ..store.segments import SegmentedStore, open_store
 
@@ -348,26 +185,41 @@ class QueryEngine:
             except QueryError as exc:
                 if not isinstance(store, SegmentedStore):
                     raise
-                import warnings
+                key = str(sidecar.resolve())
+                if key not in _STALE_INDEX_WARNED:
+                    import warnings
 
-                from ..errors import StoreIntegrityWarning
+                    from ..errors import StoreIntegrityWarning
 
-                warnings.warn(
-                    StoreIntegrityWarning(
-                        f"ignoring stale query index {sidecar.name}: {exc} — "
-                        f"rebuild it with write_query_index after appending",
-                        path=sidecar, kind="segment", reason="stale-index",
+                    _STALE_INDEX_WARNED.add(key)
+                    warnings.warn(
+                        StoreIntegrityWarning(
+                            f"ignoring stale query index {sidecar.name}: {exc} — "
+                            f"rebuild it with write_query_index after appending",
+                            path=sidecar, kind="segment", reason="stale-index",
+                        )
                     )
-                )
                 index = None
         return cls(store, index=index)
 
     @property
-    def table(self) -> LookupTable:
+    def table(self):
         """The shared lookup table (resolved once, refusal cached)."""
-        if self._table is None:
-            self._table = resolve_shared_table(self.store)
-        return self._table
+        return self.source.table
+
+    @property
+    def source(self) -> ColumnSource:
+        """The engine's cached :class:`ColumnSource` (one per open store).
+
+        Fleet-level statistics computed through it — histograms, peaks, run
+        counts — are cached on the source, so repeated aggregates on an open
+        engine never re-decode columns.
+        """
+        if self._source is None:
+            self._source = ColumnSource(self.store, index=self._index)
+        elif self._source.index is None and self._index is not None:
+            self._source.index = self._index
+        return self._source
 
     def index(self, build: bool = True) -> Optional[QueryIndex]:
         """The query index: the sidecar's, or one built in memory."""
@@ -391,7 +243,8 @@ class QueryEngine:
         the result is identical to :meth:`brute_force_knn` for every
         ``workers``/pruning configuration.
         """
-        table = self.table
+        source = self.source
+        source.table  # resolve (and cache) the shared-table refusal early
         queries = self._check_queries(queries)
         exclude = self._exclude_positions(exclude_ids)
         index = None
@@ -399,15 +252,14 @@ class QueryEngine:
             index = self.index(build=True)
             index.check_store(self.store)
         n_candidates = self.store.n_meters - exclude.size
-        if config.workers == 1 or queries.shape[0] <= 1:
-            positions, distances, refined = _knn_block(
-                self.store, table, index, queries,
-                config.k, config.refine_chunk, exclude,
-            )
-        else:
-            positions, distances, refined = self._knn_sharded(
-                queries, config, index, exclude
-            )
+        plan = ScanPlan(source, KNNOperator(
+            queries=queries,
+            k=config.k,
+            refine_chunk=config.refine_chunk,
+            index=index,
+            exclude=exclude,
+        ))
+        positions, distances, refined = plan.run(workers=config.workers)
         ids = [[self.store.ids[p] for p in row] for row in positions]
         stats = KNNStats(
             n_queries=queries.shape[0],
@@ -433,32 +285,6 @@ class QueryEngine:
             exclude_ids=exclude_ids,
         )
         return result
-
-    def _knn_sharded(self, queries, config: QueryConfig, index, exclude):
-        from ..parallel.executor import ParallelExecutor, resolve_workers
-        from ..parallel.worker import KNNShardTask, run_knn_shard
-
-        workers = resolve_workers(config.workers)
-        bounds = np.array_split(
-            np.arange(queries.shape[0]), min(workers, queries.shape[0])
-        )
-        tasks = [
-            KNNShardTask(
-                store_path=str(self.store.path),
-                queries=queries[idx[0]: idx[-1] + 1],
-                k=config.k,
-                refine_chunk=config.refine_chunk,
-                index=index,
-                exclude=exclude,
-            )
-            for idx in bounds if idx.size
-        ]
-        with ParallelExecutor(workers) as executor:
-            outcomes = executor.map(run_knn_shard, tasks)
-        positions = np.vstack([o[0] for o in outcomes])
-        distances = np.vstack([o[1] for o in outcomes])
-        refined = sum(o[2] for o in outcomes)
-        return positions, distances, refined
 
     def _check_queries(self, queries) -> np.ndarray:
         arr = np.asarray(queries, dtype=np.float64)
@@ -512,54 +338,28 @@ class QueryEngine:
     ) -> PatternMatches:
         """Match a symbol pattern against columns at run granularity.
 
-        The histogram prefilter (when an index is available) skips columns
-        that lack the pattern's symbols before touching payload bytes;
-        matching itself runs on RLE run arrays without expansion.
+        The histogram pruning stage (when an index is available) skips
+        columns that lack the pattern's symbols before touching payload
+        bytes; matching itself runs on RLE run arrays without expansion.
         """
         if isinstance(pattern, str):
             pattern = SymbolPattern.parse(pattern, self.store.alphabet_size)
         needed = pattern.min_symbol_counts(self.store.alphabet_size)
         columns = self.store._resolve_meters(meters)
-        skip = np.zeros(len(columns), dtype=bool)
+        stages = []
         if use_index and self._index is not None:
             self._index.check_store(self.store)
-            hist = self._index.histograms[columns]
-            skip = np.any(hist < needed[None, :], axis=1)
-        result = PatternMatches(pattern=pattern.text or repr(pattern))
-        result.windows_total = int(self.store.counts[columns].sum())
-        result.columns_skipped = int(skip.sum())
-        survivors = [c for c, skipped in zip(columns, skip) if not skipped]
-        if workers == 1 or len(survivors) <= 1:
-            blocks = [self._match_block(pattern, survivors)]
-        else:
-            blocks = self._match_sharded(pattern, survivors, workers)
-        for spans, runs_scanned, scanned in blocks:
-            result.spans.update(spans)
-            result.runs_scanned += runs_scanned
-            result.columns_scanned += scanned
-        return result
-
-    def _match_block(self, pattern: SymbolPattern, columns: List[int]) -> tuple:
-        return _match_columns(self.store, pattern, columns)
-
-    def _match_sharded(self, pattern: SymbolPattern, columns: List[int], workers: int):
-        from ..parallel.executor import ParallelExecutor, resolve_workers
-        from ..parallel.worker import MatchShardTask, run_match_shard
-
-        workers = resolve_workers(workers)
-        bounds = np.array_split(
-            np.arange(len(columns)), min(workers, len(columns))
-        )
-        tasks = [
-            MatchShardTask(
-                store_path=str(self.store.path),
+            stages.append(SymbolCountPrune(needed=needed, index=self._index))
+        plan = ScanPlan(
+            self.source,
+            MatchOperator(
                 tokens=pattern.tokens,
-                columns=tuple(columns[int(idx[0]): int(idx[-1]) + 1]),
-            )
-            for idx in bounds if idx.size
-        ]
-        with ParallelExecutor(workers) as executor:
-            return executor.map(run_match_shard, tasks)
+                label=pattern.text or repr(pattern),
+            ),
+            items=columns,
+            stages=stages,
+        )
+        return plan.run(workers=workers)
 
     # -- aggregation --------------------------------------------------------------
 
@@ -568,12 +368,97 @@ class QueryEngine:
         meters: Optional[Sequence] = None,
         level: Optional[int] = None,
         per_day: bool = False,
+        workers: int = 1,
     ) -> AggregateReport:
-        """Aggregation pushdown (see :func:`repro.query.aggregate_store`)."""
+        """Aggregation pushdown (see :func:`repro.query.aggregate_store`).
+
+        Routed through the engine's cached :attr:`source`, so repeated
+        aggregates on an open engine skip re-decoding.
+        """
         return aggregate_store(
             self.store, meters=meters, level=level, per_day=per_day,
-            index=self._index,
+            index=self._index, workers=workers, source=self.source,
         )
+
+    # -- monitoring ---------------------------------------------------------------
+
+    def anomaly(
+        self,
+        meters: Optional[Sequence] = None,
+        workers: int = 1,
+    ) -> AnomalyReport:
+        """Per-meter anomaly scores from symbol-transition likelihoods.
+
+        Transition counts are read off the RLE runs (no window expansion);
+        each meter is scored against the pooled fleet transition model.
+        """
+        columns = self.store._resolve_meters(meters)
+        plan = ScanPlan(self.source, AnomalyOperator(), items=columns)
+        return plan.run(workers=workers)
+
+    def drift(
+        self,
+        baseline: Optional[Union[str, Path, QueryIndex]] = None,
+        meters: Optional[Sequence] = None,
+    ) -> DriftReport:
+        """Fleet drift report off ``.rsymx`` histograms — no column decode.
+
+        ``baseline`` is a previous snapshot to diff against: a
+        :class:`QueryIndex`, or a path to a ``.rsymx`` sidecar (or to the
+        store it sits next to).  Without one, each meter is compared to the
+        current fleet-mean distribution.
+        """
+        baseline_hist = None
+        if baseline is not None:
+            if not isinstance(baseline, QueryIndex):
+                base_path = Path(baseline)
+                if base_path.suffix != ".rsymx" or base_path.is_dir():
+                    base_path = query_index_path(base_path)
+                baseline = QueryIndex.open(base_path)
+            baseline_hist = baseline.histograms
+        index = self.index(build=True)
+        columns = self.store._resolve_meters(meters)
+        plan = ScanPlan(
+            self.source,
+            DriftOperator(index=index, baseline_histograms=baseline_hist),
+            items=columns,
+        )
+        return plan.run(workers=1)
+
+    def private_aggregate(
+        self,
+        meters: Optional[Sequence] = None,
+        level: Optional[int] = None,
+        k_anon: int = 5,
+        epsilon: Optional[float] = None,
+        seed: int = 0,
+        workers: int = 1,
+    ) -> PrivateAggregateReport:
+        """k-anonymous (optionally Laplace-noised) pooled group aggregate.
+
+        Refuses groups smaller than ``k_anon`` meters; released symbol
+        counts have cells below ``k_anon`` suppressed, then noise at scale
+        ``1/epsilon`` added when ``epsilon`` is set (seeded, deterministic).
+        """
+        k = self.store.alphabet_size
+        level = k // 2 if level is None else int(level)
+        if not 0 <= level < k:
+            raise QueryError(f"level must be in [0, {k}), got {level}")
+        if int(k_anon) < 1:
+            raise QueryError(f"k_anon must be >= 1, got {k_anon}")
+        columns = self.store._resolve_meters(meters)
+        index = self._index
+        n_bands = index.n_bands if index is not None else None
+        plan = ScanPlan(
+            self.source,
+            GroupAggregateOperator(
+                level=level, k_anon=int(k_anon), epsilon=epsilon,
+                seed=int(seed), index=index,
+                **({"n_bands": n_bands} if n_bands else {}),
+            ),
+            items=columns,
+        )
+        return plan.run(workers=workers)
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -592,19 +477,3 @@ class QueryEngine:
             f"QueryEngine({self.store.path.name!r}, "
             f"columns={self.store.n_meters}, {indexed})"
         )
-
-
-def _match_columns(
-    store: SymbolStore, pattern: SymbolPattern, columns: Sequence[int]
-) -> tuple:
-    """Match one block of columns; shared by the serial and worker paths."""
-    spans: Dict = {}
-    runs_scanned = 0
-    for column in columns:
-        column_id = store.ids[column]
-        values, lengths = store.runs(column_id)
-        runs_scanned += int(values.size)
-        found = match_runs(values, lengths, pattern)
-        if found:
-            spans[column_id] = found
-    return spans, runs_scanned, len(columns)

@@ -127,7 +127,7 @@ def _shard_stats(store: SymbolStore, start: int, stop: int, n_bands: int) -> tup
     hi_sym = np.zeros(n, dtype=np.int64)
     counts = store.counts[start:stop]
     if n and np.all(counts == counts[0]) and counts[0] > 0:
-        matrix = store.matrix(meters=[store.ids[c] for c in range(start, stop)])
+        matrix = store.matrix_block(start, stop)
         band = band_of_windows(matrix.shape[1], n_bands, per_day)
         flat = (np.arange(n)[:, None] * n_bands + band[None, :]) * k + matrix
         hist[:] = np.bincount(
@@ -318,36 +318,12 @@ def build_query_index(
     result (and any file written from it) is identical for every worker
     count — the same guarantee as :func:`~repro.store.write_fleet_store`.
     """
-    n_bands = max(1, int(n_bands))
-    if workers == 1 or store.n_meters <= 1:
-        parts = [_shard_stats(store, 0, store.n_meters, n_bands)]
-    else:
-        from ..parallel.executor import ParallelExecutor, resolve_workers
-        from ..parallel.worker import IndexShardTask, build_index_shard
+    from .ops import ColumnSource, IndexBuildOperator
+    from .plan import ScanPlan
 
-        workers = resolve_workers(workers)
-        bounds = np.array_split(
-            np.arange(store.n_meters), min(workers, store.n_meters)
-        )
-        tasks = [
-            IndexShardTask(
-                store_path=str(store.path),
-                start=int(idx[0]),
-                stop=int(idx[-1]) + 1,
-                n_bands=n_bands,
-            )
-            for idx in bounds if idx.size
-        ]
-        with ParallelExecutor(workers) as executor:
-            parts = executor.map(build_index_shard, tasks)
-    return QueryIndex(
-        np.vstack([p[0] for p in parts]),
-        np.concatenate([p[1] for p in parts]),
-        np.concatenate([p[2] for p in parts]),
-        np.concatenate([p[3] for p in parts]),
-        _store_fingerprint(store),
-        windows_per_day=_store_bands(store, n_bands),
-    )
+    n_bands = max(1, int(n_bands))
+    plan = ScanPlan(ColumnSource(store), IndexBuildOperator(n_bands=n_bands))
+    return plan.run(workers=workers)
 
 
 def write_query_index(

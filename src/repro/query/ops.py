@@ -1,0 +1,962 @@
+"""Store-native scan operators: the units a :class:`~repro.query.plan.ScanPlan` composes.
+
+Every query kind in ``repro.query`` — kNN, pattern match, aggregation, index
+build, and the fleet-monitoring workloads (anomaly, drift, private
+aggregates) — is expressed as one *operator* over one *source*:
+
+:class:`ColumnSource`
+    One read abstraction over ``.rsym`` files and ``.rsyms`` segment
+    directories (dense and RLE, per-segment table epochs): block-granular
+    ``matrix``/``runs`` reads, index-backed column statistics with a
+    fleet-level cache, and a :class:`SourceStats` decode counter that makes
+    "this operator never touched payload bytes" a testable claim.
+
+:class:`Operator` subclasses
+    Declare the axis they shard over (``items``), do their work on one shard
+    (``run_shard`` — also the unit worker processes execute), and fold shard
+    results back together (``merge``, task-ordered).  Operators are plain
+    picklable dataclasses; anything a worker needs (a pruning
+    :class:`~repro.query.index.QueryIndex`, query vectors, pattern tokens)
+    rides on the operator itself, never on ambient state.
+
+:class:`SymbolCountPrune`
+    The ``.rsymx`` histogram pruning stage: drops columns whose symbol
+    counts cannot satisfy a pattern before any payload bytes are read.
+    (kNN's per-query histogram *bound* lives inside its refine kernel — it
+    prunes per query, not per column, so it is not a plan stage.)
+
+The sharding/merge loop itself lives in :mod:`repro.query.plan`; it is the
+only one in ``repro.query``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.lookup import LookupTable
+from ..errors import QueryError
+from .distance import banded_min_cells, histogram_bound
+from .index import DEFAULT_BANDS, QueryIndex, _shard_stats
+from .patterns import PatternMatches, SymbolPattern, match_runs
+
+__all__ = [
+    "ColumnSource",
+    "SourceStats",
+    "Operator",
+    "SymbolCountPrune",
+    "KNNOperator",
+    "MatchOperator",
+    "AggregateOperator",
+    "IndexBuildOperator",
+    "AnomalyOperator",
+    "AnomalyReport",
+    "DriftOperator",
+    "DriftReport",
+    "GroupAggregateOperator",
+    "PrivateAggregateReport",
+    "resolve_shared_table",
+]
+
+#: One-sided slack on the kNN pruning bound: float rounding in the histogram
+#: matrix product may lift a lower bound a few ulps above the true distance
+#: on exact ties; the margin turns that into (at most) extra refinement.
+_PRUNE_SLACK = 1e-9
+
+#: Queries bounded per matmul: cells are ``(block, T, k)`` float64, so 64
+#: queries of a week-long 16-symbol column stay ~5 MB while one
+#: :func:`histogram_bound` product covers the whole block.
+_QUERY_BLOCK = 64
+
+#: Cap on elements per refinement gather (~8 MB of intp indices): one
+#: refine round scores ``active * chunk * T`` cells, which brute force
+#: (chunk = all candidates) would otherwise let grow with the fleet.
+_GATHER_ELEMENTS = 1 << 20
+
+
+def resolve_shared_table(store) -> LookupTable:
+    """The one table all of ``store``'s columns share, or a loud refusal.
+
+    Per-column and by-label table sets collapse to a single table when all
+    entries are equal (the re-normalisation path); genuinely distinct tables
+    raise :class:`QueryError` because cross-column symbol distances would be
+    meaningless.
+    """
+    tables = store.tables
+    if tables is None:
+        raise QueryError(
+            f"{store.path.name} carries no lookup tables; distance queries "
+            "need the serialized table to derive breakpoints"
+        )
+    if isinstance(tables, LookupTable):
+        return tables
+    pool = list(tables.values()) if isinstance(tables, dict) else list(tables)
+    if not pool:
+        raise QueryError(f"{store.path.name} has an empty table payload")
+    head = pool[0]
+    if all(table == head for table in pool[1:]):
+        return head
+    raise QueryError(
+        f"{store.path.name} carries {len(pool)} distinct per-meter lookup "
+        "tables: the same symbol index maps to different watt ranges on "
+        "different columns, so cross-column distances would be nonsense. "
+        "Re-encode the fleet with a shared table "
+        "(write_fleet_store(..., shared_table=True) or encode --all "
+        "--global-table) to make it searchable."
+    )
+
+
+@dataclass
+class SourceStats:
+    """Read accounting for one :class:`ColumnSource`.
+
+    ``columns_decoded`` counts column payload reads (matrix decodes and
+    histogram scans); ``runs_read`` counts run-array reads.  The drift
+    operator's "no column decode" guarantee is asserted against these.
+    """
+
+    columns_decoded: int = 0
+    runs_read: int = 0
+
+
+class ColumnSource:
+    """One store (file or segment directory) as a readable column set.
+
+    All operator reads go through here so they are *counted* (``stats``) and
+    so fleet-level statistics — per-column histograms, peaks, run counts —
+    are computed at most once per source (the :class:`QueryEngine` keeps one
+    source per open store, which is what makes repeated aggregates skip
+    re-decoding).  When a matching :class:`QueryIndex` is attached, those
+    statistics come off the index without touching payload bytes at all.
+    """
+
+    def __init__(self, store, index: Optional[QueryIndex] = None) -> None:
+        self.store = store
+        self.index = index
+        self.stats = SourceStats()
+        self._table: Optional[LookupTable] = None
+        self._column_stats: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._run_counts: Optional[np.ndarray] = None
+
+    # -- delegated shape ---------------------------------------------------------
+
+    @property
+    def n_columns(self) -> int:
+        return self.store.n_meters
+
+    @property
+    def ids(self) -> List:
+        return self.store.ids
+
+    @property
+    def counts(self) -> np.ndarray:
+        return self.store.counts
+
+    @property
+    def alphabet_size(self) -> int:
+        return self.store.alphabet_size
+
+    @property
+    def table(self) -> LookupTable:
+        """The shared lookup table (resolved once, refusal cached)."""
+        if self._table is None:
+            self._table = resolve_shared_table(self.store)
+        return self._table
+
+    def resolve(self, meters) -> List[int]:
+        return self.store._resolve_meters(meters)
+
+    # -- counted reads -----------------------------------------------------------
+
+    def matrix(self, meters=None, window_range=None) -> np.ndarray:
+        """Block-granular index matrix read (counted)."""
+        n = self.store.n_meters if meters is None else len(meters)
+        self.stats.columns_decoded += n
+        return self.store.matrix(meters=meters, window_range=window_range)
+
+    def matrix_block(self, start: int, stop: int, window_range=None) -> np.ndarray:
+        """Decode the contiguous column block ``[start, stop)`` (counted)."""
+        self.stats.columns_decoded += max(0, int(stop) - int(start))
+        return self.store.matrix_block(start, stop, window_range=window_range)
+
+    def runs(self, meter) -> tuple:
+        """``(run_values, run_lengths)`` of one column (counted)."""
+        self.stats.runs_read += 1
+        return self.store.runs(meter)
+
+    def _scan_stats(self, start: int, stop: int, n_bands: int) -> tuple:
+        """Banded histogram scan of ``[start, stop)`` — a payload read."""
+        self.stats.columns_decoded += max(0, int(stop) - int(start))
+        return _shard_stats(self.store, int(start), int(stop), n_bands)
+
+    # -- cached column statistics ------------------------------------------------
+
+    def column_stats(
+        self,
+        columns: Optional[Sequence[int]] = None,
+        index: Optional[QueryIndex] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(histograms, peaks)`` for ``columns`` (default: whole fleet).
+
+        Served from the attached (or passed) index when one matches —
+        zero payload reads — otherwise from one scan.  The whole-fleet scan
+        is cached on the source; column subsets scan only the subset (one
+        block read when contiguous), matching what a worker shard needs.
+        """
+        index = self.index if index is None else index
+        if index is not None:
+            if columns is None:
+                return index.histograms, index.max_symbols
+            cols = np.asarray(list(columns), dtype=np.int64)
+            return index.histograms[cols], index.max_symbols[cols]
+        if columns is None:
+            if self._column_stats is None:
+                banded, _, _, peaks = self._scan_stats(0, self.n_columns, 1)
+                self._column_stats = (banded[:, 0, :], peaks)
+            return self._column_stats
+        cols = [int(c) for c in columns]
+        if self._column_stats is not None:
+            idx = np.asarray(cols, dtype=np.int64)
+            return self._column_stats[0][idx], self._column_stats[1][idx]
+        if cols and cols == list(range(cols[0], cols[-1] + 1)):
+            banded, _, _, peaks = self._scan_stats(cols[0], cols[-1] + 1, 1)
+            return banded[:, 0, :], peaks
+        parts = [self._scan_stats(c, c + 1, 1) for c in cols]
+        k = self.alphabet_size
+        if not parts:
+            return (np.zeros((0, k), dtype=np.int64), np.zeros(0, dtype=np.int64))
+        hist = np.vstack([p[0][:, 0, :] for p in parts])
+        peaks = np.concatenate([p[3] for p in parts])
+        return hist, peaks
+
+    def run_counts(self, columns: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Run counts for ``columns`` (default: whole fleet, cached).
+
+        RLE columns read counts off the header; dense columns pay one
+        run-length scan (block-decoded for the whole fleet, per column for
+        subsets) — the same work the pre-plan aggregate paths did.
+        """
+        store = self.store
+        if columns is None:
+            if self._run_counts is None:
+                if store.layout != "rle":
+                    self.stats.columns_decoded += store.n_meters
+                self._run_counts = np.asarray(
+                    store.run_count_per_column(), dtype=np.int64
+                )
+            return self._run_counts
+        cols = [int(c) for c in columns]
+        if self._run_counts is not None:
+            return self._run_counts[np.asarray(cols, dtype=np.int64)]
+        if store.layout == "rle":
+            return np.asarray(store.run_counts, dtype=np.int64)[
+                np.asarray(cols, dtype=np.int64)
+            ]
+        return np.asarray(
+            [self.runs(store.ids[c])[0].size for c in cols], dtype=np.int64
+        )
+
+    def __repr__(self) -> str:
+        indexed = "indexed" if self.index is not None else "no index"
+        return (
+            f"ColumnSource({self.store.path.name!r}, "
+            f"columns={self.n_columns}, {indexed})"
+        )
+
+
+# -- operator protocol ---------------------------------------------------------
+
+
+class Operator:
+    """Base scan operator: shard axis, per-shard work, task-ordered merge.
+
+    Subclasses are picklable dataclasses.  ``run_shard`` must be a pure
+    function of ``(source, items)`` — it runs either in-process (serial
+    path) or in a worker that reopened the store by path — and ``merge``
+    must fold shard results in task order, so plan results are bit-identical
+    for every worker count.
+    """
+
+    def items(self, source: ColumnSource) -> Sequence:
+        """The full work list this operator shards over (default: columns)."""
+        return list(range(source.n_columns))
+
+    def shard(self, items: Sequence) -> Tuple["Operator", Sequence]:
+        """The ``(operator, items)`` actually shipped to one worker.
+
+        Overridden when the operator can slim its payload per shard (kNN
+        ships only the shard's query rows instead of the whole batch).
+        """
+        return self, items
+
+    def run_shard(self, source: ColumnSource, items: Sequence):
+        raise NotImplementedError
+
+    def merge(self, parts: List, source: ColumnSource, items: Sequence,
+              kept: Sequence):
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SymbolCountPrune:
+    """Pruning stage: drop columns whose histograms cannot satisfy ``needed``.
+
+    ``needed[s]`` is the minimum number of windows at symbol ``s`` any match
+    requires (:meth:`SymbolPattern.min_symbol_counts`); the ``.rsymx``
+    histograms reject columns below it without reading payload bytes.
+    """
+
+    needed: np.ndarray
+    index: QueryIndex
+
+    def apply(self, source: ColumnSource, items: Sequence[int]) -> List[int]:
+        cols = list(items)
+        if not cols:
+            return cols
+        hist = self.index.histograms[np.asarray(cols, dtype=np.int64)]
+        skip = np.any(hist < self.needed[None, :], axis=1)
+        return [c for c, skipped in zip(cols, skip) if not skipped]
+
+
+# -- kNN -----------------------------------------------------------------------
+
+
+def _knn_block(
+    source: ColumnSource,
+    index: Optional[QueryIndex],
+    queries: np.ndarray,
+    k: int,
+    refine_chunk: int,
+    exclude: np.ndarray,
+) -> tuple:
+    """Serial kNN for one block of queries; the unit workers execute.
+
+    Returns ``(positions, distances, refined)`` with ``positions`` of shape
+    ``(len(queries), kk)`` where ``kk = min(k, candidates)``.
+
+    Queries are processed ``_QUERY_BLOCK`` at a time: the squared cells of
+    the whole sub-block are built with one broadcast, their lower bounds
+    with one :func:`banded_min_cells` + :func:`histogram_bound` matmul, and
+    each refine round decodes its chunk's missing columns with a single
+    ``source.matrix`` call.  Neighbours and distances are bit-identical for
+    every block split — the bound's last-ulp rounding can only move work
+    between the pruned and refined sets, never change an exact distance.
+    """
+    store = source.store
+    table = source.table
+    counts = store.counts
+    if counts.size == 0:
+        raise QueryError(f"{store.path.name} is empty")
+    if np.any(counts != counts[0]):
+        raise QueryError(
+            "kNN needs equal-length columns; this store's columns hold "
+            "different symbol counts"
+        )
+    T = int(counts[0])
+    if T == 0:
+        raise QueryError("cannot search zero-length columns")
+    recon = table.reconstruction_array
+    candidates = np.setdiff1d(
+        np.arange(store.n_meters, dtype=np.int64), exclude
+    )
+    if candidates.size == 0:
+        raise QueryError("every column was excluded; nothing to search")
+    kk = min(int(k), candidates.size)
+    refine_chunk = max(1, int(refine_chunk))
+    positions = np.empty((queries.shape[0], kk), dtype=np.int64)
+    distances = np.empty((queries.shape[0], kk), dtype=np.float64)
+    refined_total = 0
+    C = candidates.size
+    # Decoded candidate rows, by candidate rank, shared by every query of
+    # the batch.  ``np.empty`` commits pages lazily, so untouched (pruned)
+    # rows cost no physical memory; ``intp`` rows gather without a per-round
+    # cast of the store's narrowed decode dtype.
+    decoded = np.empty((C, T), dtype=np.intp)
+    have = np.zeros(C, dtype=bool)
+    t_base = np.arange(T, dtype=np.intp) * recon.size
+
+    def decoded_rows(ranks: np.ndarray) -> np.ndarray:
+        """``(len(ranks), T)`` symbol rows; missing columns in one read."""
+        missing = np.unique(ranks[~have[ranks]])
+        if missing.size:
+            decoded[missing] = source.matrix(
+                meters=[store.ids[int(candidates[m])] for m in missing]
+            )
+            have[missing] = True
+        return decoded[ranks]
+
+    if index is not None:
+        bands = index.bands_for(T)
+        banded = (
+            index.float_histograms if candidates.size == index.n_meters
+            else index.band_histograms[candidates]
+        )
+    for b0 in range(0, queries.shape[0], _QUERY_BLOCK):
+        block = queries[b0: b0 + _QUERY_BLOCK]
+        n_block = block.shape[0]
+        # Shared query-reconstruction precompute: every query's (T, k)
+        # squared cells in one broadcast, bounds for the whole sub-block
+        # against every candidate in one matmul.
+        block_cells = (block[:, :, None] - recon[None, None, :]) ** 2
+        if index is not None:
+            lb_block = histogram_bound(
+                banded_min_cells(block_cells, bands, index.n_bands), banded
+            )
+        else:
+            lb_block = np.zeros((n_block, C))
+        order = np.argsort(lb_block, axis=1, kind="stable")
+        lb_sorted = np.take_along_axis(lb_block, order, axis=1)
+        # Refine rounds run for all still-active queries at once.  Every
+        # active query has refined exactly ``at`` candidates (its first
+        # ``at`` in lower-bound order), so one decode + one flat gather +
+        # one batched partition advance the whole sub-block a round.
+        d2_sorted = np.empty((n_block, C), dtype=np.float64)
+        kth2 = np.full(n_block, np.inf)
+        n_refined = np.zeros(n_block, dtype=np.int64)
+        active = np.arange(n_block)
+        at = 0
+        while active.size and at < C:
+            if at >= kk:
+                still = lb_sorted[active, at] <= kth2[active] * (1.0 + _PRUNE_SLACK)
+                active = active[still]
+                if not active.size:
+                    break
+            hi = min(at + refine_chunk, C)
+            ranks = order[active, at:hi]                      # (A, chunk)
+            # One flat gather scores every (query, candidate) of the round:
+            # cells[q, t, s] lives at offset q*T*k + t*k + s, and the
+            # per-(candidate, T) pairwise sum matches the serial form bit
+            # for bit.  Large rounds (brute force refines every candidate
+            # at once) run in query segments so the gather temporaries stay
+            # a few MB instead of scaling with queries * candidates.
+            d2 = np.empty(ranks.shape, dtype=np.float64)
+            segment = max(1, _GATHER_ELEMENTS // max(1, ranks.shape[1] * T))
+            for s0 in range(0, active.size, segment):
+                sub = active[s0: s0 + segment]
+                sub_ranks = ranks[s0: s0 + segment]
+                matrix = decoded_rows(sub_ranks.ravel())
+                flat = (
+                    sub[:, None, None] * (T * recon.size)
+                    + t_base[None, None, :]
+                    + matrix.reshape(sub_ranks.shape + (T,))
+                )
+                d2[s0: s0 + segment] = block_cells.take(
+                    flat.ravel()
+                ).reshape(flat.shape).sum(axis=2)
+            d2_sorted[active, at:hi] = d2
+            n_refined[active] = hi
+            if hi >= kk:
+                kth2[active] = np.partition(
+                    d2_sorted[active, :hi], kk - 1, axis=1
+                )[:, kk - 1]
+            at = hi
+        refined_total += int(n_refined.sum())
+        for bi in range(n_block):
+            n = int(n_refined[bi])
+            refined_cols = candidates[order[bi, :n]]
+            refined_d2 = d2_sorted[bi, :n]
+            best = np.lexsort((refined_cols, refined_d2))[:kk]
+            positions[b0 + bi] = refined_cols[best]
+            distances[b0 + bi] = np.sqrt(refined_d2[best])
+    return positions, distances, refined_total
+
+
+@dataclass(frozen=True)
+class KNNOperator(Operator):
+    """Exact kNN refine over the query axis.
+
+    Its per-query pruning (the banded-histogram lower bound + refine cutoff)
+    lives inside :func:`_knn_block` — it depends on each query's running
+    k-th distance, so it cannot run as a column-level plan stage.
+    """
+
+    queries: np.ndarray            # (Q, T) float64
+    k: int
+    refine_chunk: int
+    index: Optional[QueryIndex]
+    exclude: np.ndarray            # excluded column positions
+
+    def items(self, source: ColumnSource) -> Sequence:
+        return list(range(self.queries.shape[0]))
+
+    def shard(self, items: Sequence) -> Tuple["KNNOperator", Sequence]:
+        idx = np.asarray(list(items), dtype=np.int64)
+        return (
+            replace(self, queries=self.queries[idx]),
+            list(range(idx.size)),
+        )
+
+    def run_shard(self, source: ColumnSource, items: Sequence) -> tuple:
+        idx = np.asarray(list(items), dtype=np.int64)
+        block = (
+            self.queries if idx.size == self.queries.shape[0]
+            else self.queries[idx]
+        )
+        return _knn_block(
+            source, self.index, block, self.k, self.refine_chunk,
+            np.asarray(self.exclude, dtype=np.int64),
+        )
+
+    def merge(self, parts, source, items, kept) -> tuple:
+        positions = np.vstack([p[0] for p in parts])
+        distances = np.vstack([p[1] for p in parts])
+        refined = sum(p[2] for p in parts)
+        return positions, distances, refined
+
+
+# -- pattern match -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MatchOperator(Operator):
+    """Run-level pattern matching over the column axis.
+
+    Carries the parsed token tuple (not the pattern text): programmatically
+    built :class:`SymbolPattern` objects carry no text, and re-parsing
+    worker-side would make the result depend on the worker count.
+    """
+
+    tokens: tuple                  # tuple of PatternToken
+    label: str                     # pattern text for the result record
+
+    def run_shard(self, source: ColumnSource, items: Sequence) -> tuple:
+        pattern = SymbolPattern(self.tokens)
+        spans: Dict = {}
+        runs_scanned = 0
+        cols = [int(c) for c in items]
+        for column in cols:
+            column_id = source.ids[column]
+            values, lengths = source.runs(column_id)
+            runs_scanned += int(values.size)
+            found = match_runs(values, lengths, pattern)
+            if found:
+                spans[column_id] = found
+        return spans, runs_scanned, len(cols)
+
+    def merge(self, parts, source, items, kept) -> PatternMatches:
+        result = PatternMatches(pattern=self.label)
+        cols = np.asarray([int(c) for c in items], dtype=np.int64)
+        result.windows_total = int(source.counts[cols].sum()) if cols.size else 0
+        result.columns_skipped = len(items) - len(kept)
+        for spans, runs_scanned, scanned in parts:
+            result.spans.update(spans)
+            result.runs_scanned += runs_scanned
+            result.columns_scanned += scanned
+        return result
+
+
+# -- aggregation ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AggregateOperator(Operator):
+    """Per-column symbol statistics over the column axis.
+
+    ``run_shard`` returns exact-integer ``(histograms, peaks, run_counts)``
+    blocks; the float statistics (duty cycle, mean run length) are computed
+    once in ``merge`` from the concatenated integers, so results are
+    bit-identical for every worker count.
+    """
+
+    level: int
+    index: Optional[QueryIndex] = None
+
+    def run_shard(self, source: ColumnSource, items: Sequence) -> tuple:
+        cols = [int(c) for c in items]
+        whole_fleet = len(cols) == source.n_columns
+        subset = None if whole_fleet else cols
+        hist, peaks = source.column_stats(subset, index=self.index)
+        run_count = source.run_counts(subset)
+        return hist, peaks, run_count
+
+    def merge(self, parts, source, items, kept):
+        from .aggregate import AggregateReport
+
+        k = source.alphabet_size
+        if parts:
+            hist = np.vstack([p[0] for p in parts])
+            peaks = np.concatenate([p[1] for p in parts])
+            run_count = np.concatenate([p[2] for p in parts])
+        else:
+            hist = np.zeros((0, k), dtype=np.int64)
+            peaks = np.zeros(0, dtype=np.int64)
+            run_count = np.zeros(0, dtype=np.int64)
+        windows = hist.sum(axis=1)
+        with np.errstate(invalid="ignore"):
+            duty = np.where(
+                windows > 0,
+                hist[:, self.level:].sum(axis=1) / np.maximum(windows, 1),
+                0.0,
+            )
+        mean_run = np.where(
+            run_count > 0, windows / np.maximum(run_count, 1), 0.0
+        )
+        return AggregateReport(
+            ids=[source.ids[int(c)] for c in kept],
+            level=self.level,
+            symbol_counts=hist,
+            peak_level=peaks,
+            duty_cycle=duty,
+            run_count=np.asarray(run_count, dtype=np.int64),
+            mean_run_length=mean_run,
+        )
+
+
+# -- index build ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IndexBuildOperator(Operator):
+    """Banded ``.rsymx`` statistics over the column axis.
+
+    Shards merge in task order and every entry is an exact integer, so the
+    built :class:`QueryIndex` (and any file written from it) is identical
+    for every worker count.
+    """
+
+    n_bands: int
+
+    def run_shard(self, source: ColumnSource, items: Sequence) -> tuple:
+        cols = [int(c) for c in items]
+        if not cols:
+            k = source.alphabet_size
+            return (
+                np.zeros((0, self.n_bands, k), dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+            )
+        if cols != list(range(cols[0], cols[-1] + 1)):
+            raise QueryError("index build shards must be contiguous")
+        return source._scan_stats(cols[0], cols[-1] + 1, self.n_bands)
+
+    def merge(self, parts, source, items, kept) -> QueryIndex:
+        from .index import _store_bands, _store_fingerprint
+
+        return QueryIndex(
+            np.vstack([p[0] for p in parts]),
+            np.concatenate([p[1] for p in parts]),
+            np.concatenate([p[2] for p in parts]),
+            np.concatenate([p[3] for p in parts]),
+            _store_fingerprint(source.store),
+            windows_per_day=_store_bands(source.store, self.n_bands),
+        )
+
+
+# -- monitoring: anomaly scores ------------------------------------------------
+
+
+@dataclass
+class AnomalyReport:
+    """Per-meter anomaly scores from symbol-transition likelihoods.
+
+    ``scores[i]`` is meter ``i``'s mean negative log-likelihood per symbol
+    transition under the *fleet* transition model (add-one smoothed row
+    normalisation of the pooled transition counts): meters whose day shapes
+    move between levels the fleet rarely connects score high.
+    """
+
+    ids: List
+    scores: np.ndarray             # (N,) mean -log P per transition
+    transitions: np.ndarray        # (N,) transitions observed per meter
+    model: np.ndarray              # (k, k) fleet transition probabilities
+
+    def top(self, n: int = 10) -> List[tuple]:
+        """The ``n`` highest-scoring ``(id, score)`` pairs."""
+        order = np.argsort(-self.scores, kind="stable")[: int(n)]
+        return [(self.ids[int(i)], float(self.scores[int(i)])) for i in order]
+
+    def rows(self) -> List[Dict]:
+        return [
+            {
+                "meter": self.ids[i],
+                "score": float(self.scores[i]),
+                "transitions": int(self.transitions[i]),
+            }
+            for i in range(len(self.ids))
+        ]
+
+
+def _transition_counts(values: np.ndarray, lengths: np.ndarray, k: int) -> np.ndarray:
+    """``(k*k,)`` transition counts of one column, straight off its runs.
+
+    A run of length ``L`` contributes ``L - 1`` self-transitions; each run
+    boundary contributes one cross-transition — so the counts are exactly
+    those of the expanded symbol sequence, at run-level cost.
+    """
+    counts = np.zeros(k * k, dtype=np.int64)
+    if values.size == 0:
+        return counts
+    values = np.asarray(values, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    self_loops = np.bincount(
+        values * k + values, weights=(lengths - 1).astype(np.float64),
+        minlength=k * k,
+    ).astype(np.int64)
+    counts += self_loops
+    if values.size > 1:
+        counts += np.bincount(
+            values[:-1] * k + values[1:], minlength=k * k
+        )
+    return counts
+
+
+@dataclass(frozen=True)
+class AnomalyOperator(Operator):
+    """Fleet-relative anomaly scores over the column axis.
+
+    Shards return exact per-meter transition-count matrices read off the RLE
+    runs (no window expansion); ``merge`` pools them into the fleet model
+    and scores every meter against it — integer counts merged in task order,
+    so scores are bit-identical for every worker count.
+    """
+
+    def run_shard(self, source: ColumnSource, items: Sequence) -> np.ndarray:
+        k = source.alphabet_size
+        cols = [int(c) for c in items]
+        counts = np.zeros((len(cols), k * k), dtype=np.int64)
+        for row, column in enumerate(cols):
+            values, lengths = source.runs(source.ids[column])
+            counts[row] = _transition_counts(values, lengths, k)
+        return counts
+
+    def merge(self, parts, source, items, kept) -> AnomalyReport:
+        k = source.alphabet_size
+        if parts:
+            counts = np.vstack(parts)
+        else:
+            counts = np.zeros((0, k * k), dtype=np.int64)
+        pooled = counts.sum(axis=0).reshape(k, k).astype(np.float64)
+        smoothed = pooled + 1.0
+        model = smoothed / smoothed.sum(axis=1, keepdims=True)
+        log_model = np.log(model).reshape(k * k)
+        transitions = counts.sum(axis=1)
+        with np.errstate(invalid="ignore"):
+            scores = np.where(
+                transitions > 0,
+                -(counts @ log_model) / np.maximum(transitions, 1),
+                0.0,
+            )
+        return AnomalyReport(
+            ids=[source.ids[int(c)] for c in kept],
+            scores=scores,
+            transitions=transitions,
+            model=model,
+        )
+
+
+# -- monitoring: drift reports -------------------------------------------------
+
+
+@dataclass
+class DriftReport:
+    """Which meters' symbol distributions shifted, straight off histograms.
+
+    ``distances[i]`` is the total-variation distance between meter ``i``'s
+    normalised symbol histogram and the reference distribution — a baseline
+    index's histogram for the same meter when one is given, else the current
+    fleet mean.  Computed from ``.rsymx`` statistics alone: zero columns
+    decoded (asserted via :class:`SourceStats`).
+    """
+
+    ids: List
+    distances: np.ndarray          # (N,) total-variation distances in [0, 1]
+    reference: str                 # "baseline" or "fleet-mean"
+    columns_decoded: int
+
+    def top(self, n: int = 10) -> List[tuple]:
+        order = np.argsort(-self.distances, kind="stable")[: int(n)]
+        return [
+            (self.ids[int(i)], float(self.distances[int(i)])) for i in order
+        ]
+
+    def shifted(self, threshold: float = 0.1) -> List:
+        """Ids whose distribution moved more than ``threshold`` TV distance."""
+        return [
+            self.ids[int(i)]
+            for i in np.nonzero(self.distances > float(threshold))[0]
+        ]
+
+    def rows(self) -> List[Dict]:
+        return [
+            {"meter": self.ids[i], "tv_distance": float(self.distances[i])}
+            for i in range(len(self.ids))
+        ]
+
+
+@dataclass(frozen=True)
+class DriftOperator(Operator):
+    """Fleet drift report over the column axis, reading only histograms.
+
+    ``baseline_histograms`` (aligned to the *full* fleet's column order) is
+    a previous snapshot's histogram block; ``None`` compares every meter to
+    the current fleet-mean distribution instead.
+    """
+
+    index: Optional[QueryIndex] = None
+    baseline_histograms: Optional[np.ndarray] = None
+
+    def run_shard(self, source: ColumnSource, items: Sequence) -> np.ndarray:
+        cols = [int(c) for c in items]
+        subset = None if len(cols) == source.n_columns else cols
+        hist, _ = source.column_stats(subset, index=self.index)
+        return np.asarray(hist, dtype=np.int64)
+
+    def merge(self, parts, source, items, kept) -> DriftReport:
+        k = source.alphabet_size
+        hist = (
+            np.vstack(parts) if parts else np.zeros((0, k), dtype=np.int64)
+        ).astype(np.float64)
+        windows = hist.sum(axis=1, keepdims=True)
+        with np.errstate(invalid="ignore"):
+            current = np.where(windows > 0, hist / np.maximum(windows, 1.0), 0.0)
+        if self.baseline_histograms is not None:
+            base = np.asarray(self.baseline_histograms, dtype=np.float64)
+            if base.shape[1] != k:
+                raise QueryError(
+                    f"baseline histograms have alphabet {base.shape[1]}, "
+                    f"store has {k}"
+                )
+            cols = np.asarray([int(c) for c in kept], dtype=np.int64)
+            if cols.size and int(cols.max()) >= base.shape[0]:
+                raise QueryError(
+                    f"baseline covers {base.shape[0]} columns, store has "
+                    f"column {int(cols.max())}"
+                )
+            base = base[cols]
+            totals = base.sum(axis=1, keepdims=True)
+            with np.errstate(invalid="ignore"):
+                reference = np.where(
+                    totals > 0, base / np.maximum(totals, 1.0), 0.0
+                )
+            kind = "baseline"
+        else:
+            fleet = hist.sum(axis=0)
+            total = fleet.sum()
+            reference = (
+                fleet / total if total > 0 else np.zeros(k)
+            )[None, :]
+            kind = "fleet-mean"
+        distances = 0.5 * np.abs(current - reference).sum(axis=1)
+        return DriftReport(
+            ids=[source.ids[int(c)] for c in kept],
+            distances=distances,
+            reference=kind,
+            columns_decoded=source.stats.columns_decoded,
+        )
+
+
+# -- monitoring: private aggregates --------------------------------------------
+
+
+@dataclass
+class PrivateAggregateReport:
+    """A publishable group aggregate: k-anonymous, optionally noised.
+
+    ``symbol_counts`` are the *released* pooled counts — cells supported by
+    fewer than ``k_anon`` windows suppressed to zero
+    (:func:`~repro.analytics.privacy.k_anonymize_counts`), then Laplace
+    noise at scale ``1/epsilon`` added when ``epsilon`` is set
+    (:func:`~repro.analytics.privacy.noisy_counts`, seeded, clipped at 0).
+    ``band_profile`` is the group's mean reconstruction level per time band,
+    computed from the released banded counts — a neighbourhood load profile
+    that never cites an individual meter.
+    """
+
+    n_meters: int
+    level: int
+    k_anon: int
+    epsilon: Optional[float]
+    symbol_counts: np.ndarray      # (k,) released pooled counts
+    suppressed: np.ndarray         # (k,) bool — cells removed by k-anonymity
+    duty_cycle: float              # released windows at/above level
+    band_profile: np.ndarray       # (n_bands,) mean reconstruction per band
+
+    def rows(self) -> List[Dict]:
+        return [
+            {
+                "symbol": s,
+                "count": float(self.symbol_counts[s]),
+                "suppressed": bool(self.suppressed[s]),
+            }
+            for s in range(self.symbol_counts.shape[0])
+        ]
+
+
+@dataclass(frozen=True)
+class GroupAggregateOperator(Operator):
+    """Pooled k-anonymous group aggregate over the column axis.
+
+    Shards return exact pooled banded counts; ``merge`` sums them (order
+    independent), enforces the group-size floor, and applies suppression
+    and noise once — so the released aggregate is deterministic for every
+    worker count and seed.
+    """
+
+    level: int
+    k_anon: int
+    epsilon: Optional[float] = None
+    seed: int = 0
+    n_bands: int = DEFAULT_BANDS
+    index: Optional[QueryIndex] = None
+
+    def run_shard(self, source: ColumnSource, items: Sequence) -> np.ndarray:
+        k = source.alphabet_size
+        cols = [int(c) for c in items]
+        index = self.index if self.index is not None else source.index
+        if not cols:
+            return np.zeros((self.n_bands, k), dtype=np.int64)
+        if index is not None and index.n_bands == self.n_bands:
+            idx = np.asarray(cols, dtype=np.int64)
+            return index.band_histograms[idx].sum(axis=0)
+        if cols == list(range(cols[0], cols[-1] + 1)):
+            banded, _, _, _ = source._scan_stats(
+                cols[0], cols[-1] + 1, self.n_bands
+            )
+            return banded.sum(axis=0)
+        parts = [
+            source._scan_stats(c, c + 1, self.n_bands)[0][0] for c in cols
+        ]
+        return np.sum(parts, axis=0, dtype=np.int64)
+
+    def merge(self, parts, source, items, kept) -> PrivateAggregateReport:
+        from ..analytics.privacy import k_anonymize_counts, noisy_counts
+
+        k = source.alphabet_size
+        if len(kept) < max(1, int(self.k_anon)):
+            raise QueryError(
+                f"group of {len(kept)} meters is smaller than k_anon="
+                f"{self.k_anon}; refusing to release an identifying aggregate"
+            )
+        banded = np.sum(parts, axis=0, dtype=np.int64) if parts else np.zeros(
+            (self.n_bands, k), dtype=np.int64
+        )
+        pooled = banded.sum(axis=0)
+        released, suppressed = k_anonymize_counts(pooled, self.k_anon)
+        banded = np.where(suppressed[None, :], 0, banded).astype(np.float64)
+        released = released.astype(np.float64)
+        if self.epsilon is not None:
+            released = noisy_counts(released, self.epsilon, seed=self.seed)
+            banded = noisy_counts(banded, self.epsilon, seed=self.seed + 1)
+        recon = source.table.reconstruction_array
+        band_totals = banded.sum(axis=1)
+        with np.errstate(invalid="ignore"):
+            profile = np.where(
+                band_totals > 0,
+                banded @ recon / np.maximum(band_totals, 1.0),
+                0.0,
+            )
+        total = released.sum()
+        duty = float(released[self.level:].sum() / total) if total > 0 else 0.0
+        return PrivateAggregateReport(
+            n_meters=len(kept),
+            level=self.level,
+            k_anon=int(self.k_anon),
+            epsilon=self.epsilon,
+            symbol_counts=released,
+            suppressed=suppressed,
+            duty_cycle=duty,
+            band_profile=profile,
+        )

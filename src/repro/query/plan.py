@@ -1,0 +1,98 @@
+"""``ScanPlan``: one sharding/merge driver for every query operator.
+
+A plan is ``source -> pruning stages -> operator``:
+
+* the :class:`~repro.query.ops.ColumnSource` names the store (file or
+  segment directory) the plan reads;
+* each stage narrows the operator's work list without touching payload
+  bytes (today: :class:`~repro.query.ops.SymbolCountPrune` off the
+  ``.rsymx`` histograms);
+* the terminal :class:`~repro.query.ops.Operator` does the real work per
+  shard and folds shard results in task order.
+
+``run(workers=N)`` is the **only** sharding loop in ``repro.query`` — kNN,
+pattern matching, aggregation, index builds and the monitoring operators
+all execute through it.  The driver preserves the determinism contract the
+bespoke loops had: ``workers=1`` (or a single-item work list) runs the
+operator in-process against the already-open source — literally the serial
+path — while ``workers != 1`` splits the work list contiguously with
+``np.array_split``, ships each shard as a
+:class:`~repro.parallel.worker.PlanShardTask` (workers reopen the store by
+path), and merges in task order.  Because every operator's shard results
+are exact (integers, or per-item-independent floats), plan results are
+bit-identical for every worker count.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .ops import ColumnSource, Operator
+
+__all__ = ["ScanPlan"]
+
+
+class ScanPlan:
+    """One composed query: source, pruning stages, terminal operator."""
+
+    def __init__(
+        self,
+        source: ColumnSource,
+        operator: Operator,
+        items: Optional[Sequence] = None,
+        stages: Sequence = (),
+    ) -> None:
+        self.source = source
+        self.operator = operator
+        self.items = items
+        self.stages = tuple(stages)
+
+    def explain(self) -> str:
+        """One-line description of the composed pipeline."""
+        parts = [type(self.source).__name__]
+        parts += [type(stage).__name__ for stage in self.stages]
+        parts.append(type(self.operator).__name__)
+        return " -> ".join(parts)
+
+    def run(self, workers: int = 1):
+        """Execute the plan; the one sharding/merge loop in ``repro.query``."""
+        items = (
+            self.operator.items(self.source)
+            if self.items is None else list(self.items)
+        )
+        kept: List = list(items)
+        for stage in self.stages:
+            kept = list(stage.apply(self.source, kept))
+        if workers == 1 or len(kept) <= 1:
+            parts = [self.operator.run_shard(self.source, kept)]
+        else:
+            parts = self._run_sharded(kept, workers)
+        return self.operator.merge(parts, self.source, items, kept)
+
+    def _run_sharded(self, kept: List, workers: int) -> List:
+        from ..parallel.executor import ParallelExecutor, resolve_workers
+        from ..parallel.worker import PlanShardTask, run_plan_shard
+
+        workers = resolve_workers(workers)
+        bounds = np.array_split(
+            np.arange(len(kept)), min(workers, len(kept))
+        )
+        tasks = []
+        for idx in bounds:
+            if not idx.size:
+                continue
+            operator, shard_items = self.operator.shard(
+                [kept[int(i)] for i in idx]
+            )
+            tasks.append(PlanShardTask(
+                store_path=str(self.source.store.path),
+                operator=operator,
+                items=shard_items,
+            ))
+        with ParallelExecutor(workers) as executor:
+            return executor.map(run_plan_shard, tasks)
+
+    def __repr__(self) -> str:
+        return f"ScanPlan({self.explain()})"

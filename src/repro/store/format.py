@@ -962,6 +962,32 @@ class SymbolStore:
         ]
         return np.vstack(rows) if rows else np.empty((0, 0), dtype=np.int64)
 
+    def matrix_block(
+        self,
+        start: int,
+        stop: int,
+        window_range: Optional[tuple] = None,
+    ) -> np.ndarray:
+        """Index matrix of the contiguous column block ``[start, stop)``.
+
+        The block-granular read unit of the query layer's
+        :class:`~repro.query.ops.ColumnSource`: dense blocks decode with one
+        gather (the whole-store reshape fast path when the block covers
+        every column), RLE blocks expand run by run.  Segmented stores
+        implement the same method, so operators read either store kind
+        through one call.
+        """
+        start = max(0, int(start))
+        stop = min(int(stop), self.n_meters)
+        if stop <= start:
+            return np.empty((0, 0), dtype=np.int64)
+        if start == 0 and stop == self.n_meters:
+            return self.matrix(window_range=window_range)
+        return self.matrix(
+            meters=[self.ids[c] for c in range(start, stop)],
+            window_range=window_range,
+        )
+
     def decode(
         self,
         meters: Optional[Sequence] = None,

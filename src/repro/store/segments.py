@@ -534,6 +534,30 @@ class SegmentedStore:
             return np.empty((len(columns), max(0, stop - start)), dtype=np.int64)
         return parts[0] if len(parts) == 1 else np.hstack(parts)
 
+    def matrix_block(
+        self,
+        start: int,
+        stop: int,
+        window_range: Optional[tuple] = None,
+    ) -> np.ndarray:
+        """Index matrix of the contiguous column block ``[start, stop)``.
+
+        The same block-granular read unit :meth:`SymbolStore.matrix_block`
+        provides — one ``hstack`` of per-segment block reads, each segment
+        decoding under its own table epoch's packing — so the query layer's
+        ``ColumnSource`` reads files and segment directories identically.
+        """
+        start = max(0, int(start))
+        stop = min(int(stop), self.n_meters)
+        if stop <= start:
+            return np.empty((0, 0), dtype=np.int64)
+        if start == 0 and stop == self.n_meters:
+            return self.matrix(window_range=window_range)
+        return self.matrix(
+            meters=[self.ids[c] for c in range(start, stop)],
+            window_range=window_range,
+        )
+
     def runs(self, meter) -> tuple:
         """``(run_values, run_lengths)`` with boundary runs merged.
 

@@ -1,0 +1,148 @@
+"""Releasable privacy primitives: suppression, noise, and the pinned measures.
+
+``k_anonymize_counts`` / ``noisy_counts`` are the exact transforms the
+store-native :class:`~repro.query.ops.GroupAggregateOperator` applies, so
+the parity test here is the contract that an in-memory release path
+(:func:`bucket_sizes` over decoded values) and the store-native path publish
+identical aggregates.  ``value_obfuscation`` / ``reidentification_risk``
+get pinned hand-checkable cases on top of the dataset-level suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    bucket_sizes,
+    k_anonymize_counts,
+    noisy_counts,
+    reidentification_risk,
+    value_obfuscation,
+)
+from repro.core import LookupTable
+from repro.errors import ExperimentError
+
+
+class TestKAnonymizeCounts:
+    def test_suppresses_only_small_nonzero_cells(self):
+        released, suppressed = k_anonymize_counts([0, 1, 4, 5, 120], k=5)
+        np.testing.assert_array_equal(released, [0, 0, 0, 5, 120])
+        np.testing.assert_array_equal(
+            suppressed, [False, True, True, False, False]
+        )
+
+    def test_k_one_releases_everything(self):
+        released, suppressed = k_anonymize_counts([0, 1, 2, 3], k=1)
+        np.testing.assert_array_equal(released, [0, 1, 2, 3])
+        assert not suppressed.any()
+
+    def test_input_left_untouched(self):
+        counts = np.array([1, 2, 3], dtype=np.int64)
+        k_anonymize_counts(counts, k=10)
+        np.testing.assert_array_equal(counts, [1, 2, 3])
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ExperimentError, match="k must be"):
+            k_anonymize_counts([1, 2], k=0)
+
+
+class TestNoisyCounts:
+    def test_deterministic_per_seed(self):
+        counts = [10.0, 20.0, 0.0, 5.0]
+        a = noisy_counts(counts, epsilon=1.0, seed=4)
+        b = noisy_counts(counts, epsilon=1.0, seed=4)
+        c = noisy_counts(counts, epsilon=1.0, seed=5)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_clipped_at_zero(self):
+        noised = noisy_counts(np.zeros(64), epsilon=0.5, seed=0)
+        assert np.all(noised >= 0.0)
+
+    def test_scale_shrinks_with_epsilon(self):
+        counts = np.full(4096, 100.0)
+        loose = noisy_counts(counts, epsilon=0.1, seed=1)
+        tight = noisy_counts(counts, epsilon=10.0, seed=1)
+        assert np.abs(tight - counts).mean() < np.abs(loose - counts).mean()
+
+    def test_invalid_epsilon_rejected(self):
+        for epsilon in (0.0, -1.0):
+            with pytest.raises(ExperimentError, match="epsilon"):
+                noisy_counts([1.0], epsilon=epsilon)
+
+
+class TestPinnedObfuscation:
+    def test_hand_checkable_two_symbol_table(self):
+        # Separator at 1.0: values <= 1.0 map to symbol 0, above to 1.
+        table = LookupTable.fit([1.0, 1.0, 3.0, 3.0], 2, method="median")
+        report = value_obfuscation(table, [0.5, 1.0, 2.0, 3.0, 3.0])
+        assert report.n_raw_distinct == 4
+        assert report.n_symbolic_distinct == 2
+        assert report.distinct_reduction == 2.0
+        assert report.min_bucket_size == 2
+        assert report.median_bucket_size == 2.5
+
+    def test_bucket_sizes_pin(self):
+        table = LookupTable.fit([1.0, 1.0, 3.0, 3.0], 2, method="median")
+        counts = bucket_sizes(table, [0.5, 1.0, 2.0, 3.0, 3.0])
+        words = table.alphabet.words
+        assert counts[words[0]] == 2
+        assert counts[words[1]] == 3
+
+    def test_nan_values_ignored(self):
+        table = LookupTable.fit([1.0, 2.0, 3.0, 4.0], 2, method="median")
+        counts = bucket_sizes(table, [1.0, float("nan"), 4.0])
+        assert sum(counts.values()) == 2
+
+
+class TestPinnedReidentification:
+    def test_attack_rate_is_deterministic(self, small_redd):
+        # Risk is a probability and the attack is deterministic per seed.
+        risk_a = reidentification_risk(small_redd)
+        risk_b = reidentification_risk(small_redd)
+        assert risk_a == risk_b
+        assert 0.0 <= risk_a <= 1.0
+
+
+class TestStoreNativeParity:
+    """In-memory release path == store-native GroupAggregateOperator."""
+
+    @pytest.fixture()
+    def fleet(self, tmp_path, rng):
+        from repro.store import write_fleet_store
+
+        values = np.abs(rng.lognormal(4.2, 1.0, size=(8, 160)))
+        store = write_fleet_store(
+            tmp_path / "parity.rsym", values, alphabet_size=8,
+            method="median", window=1, shared_table=True,
+            sampling_interval=900.0,
+        )
+        return store
+
+    def test_released_counts_agree_before_and_after_suppression(self, fleet):
+        from repro.query import QueryEngine
+
+        engine = QueryEngine(fleet)
+        table = engine.table
+        # In-memory path: decode the fleet, pool per-symbol bucket counts.
+        decoded = fleet.decode()
+        pooled = np.zeros(fleet.alphabet_size, dtype=np.int64)
+        for row in decoded:
+            counts = bucket_sizes(table, row)
+            pooled += np.asarray(
+                [counts[word] for word in table.alphabet.words],
+                dtype=np.int64,
+            )
+        for k in (1, 3, 8):
+            released, mask = k_anonymize_counts(pooled, k)
+            report = engine.private_aggregate(k_anon=k)
+            np.testing.assert_array_equal(report.symbol_counts, released)
+            np.testing.assert_array_equal(report.suppressed, mask)
+        # Noised release applies the identical transform chain.
+        noised = engine.private_aggregate(k_anon=3, epsilon=1.0, seed=7)
+        released, _ = k_anonymize_counts(pooled, 3)
+        np.testing.assert_array_equal(
+            noised.symbol_counts,
+            noisy_counts(released.astype(np.float64), 1.0, seed=7),
+        )

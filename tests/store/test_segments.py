@@ -326,6 +326,16 @@ class TestQueryEngineOnSegments:
         query = engine.store.decode(meters=[0])[0]
         assert len(engine.knn(query, QueryConfig(k=3)).ids[0]) == 3
         engine.close()
+        # Satellite: the degrade warning is deduplicated — a monitoring loop
+        # reopening the same store does not warn again for the same sidecar.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            reopened = QueryEngine.open(directory)
+        assert reopened._index is None
+        assert not [
+            w for w in caught if issubclass(w.category, StoreIntegrityWarning)
+        ]
+        reopened.close()
 
 
 class TestFleetIngestor:

@@ -266,3 +266,69 @@ class TestQueryCommands:
             line.rsplit(None, 2)[0] for line in text.strip().splitlines()
         ]
         assert strip(serial_out) == strip(parallel_out)
+
+
+class TestMonitoringCommands:
+    """Fleet monitoring verbs run end-to-end on a segmented store."""
+
+    @pytest.fixture()
+    def seg_dir(self, tmp_path):
+        from repro.query import write_query_index
+        from repro.store import write_segmented_fleet
+
+        rng = np.random.default_rng(19)
+        values = np.abs(rng.normal(2.0, 0.7, size=(10, 96 * 2)))
+        values[9, 96:] = 9.0  # drifted meter
+        directory = tmp_path / "fleet.rsyms"
+        store = write_segmented_fleet(
+            directory, values, alphabet_size=8, window=2,
+            sampling_interval=900.0, segment_windows=24,
+        )
+        write_query_index(store)
+        store.close()
+        return directory
+
+    def test_query_anomaly(self, seg_dir, capsys):
+        assert main(["query", "anomaly", str(seg_dir), "--top", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "score" in out
+        assert "transition model" in out
+
+    def test_query_anomaly_workers_match_serial(self, seg_dir, capsys):
+        assert main(["query", "anomaly", str(seg_dir)]) == 0
+        serial = capsys.readouterr().out
+        assert main(["query", "anomaly", str(seg_dir), "--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_query_drift(self, seg_dir, capsys):
+        assert main(["query", "drift", str(seg_dir), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "tv_distance" in out
+        assert "0 columns decoded" in out
+        assert "fleet-mean" in out
+
+    def test_query_drift_self_baseline(self, seg_dir, capsys):
+        assert main(["query", "drift", str(seg_dir),
+                     "--baseline", str(seg_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "vs baseline" in out
+        assert "0 of 10 meters shifted" in out
+
+    def test_query_agg_k_anon(self, seg_dir, capsys):
+        assert main(["query", "agg", str(seg_dir), "--k-anon", "5",
+                     "--noise", "2.0", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "k-anon >= 5" in out
+        assert "Laplace(1/2)" in out
+        assert "band profile:" in out
+
+    def test_query_agg_k_anon_refuses_small_group(self, seg_dir, capsys):
+        assert main(["query", "agg", str(seg_dir), "--k-anon", "50"]) == 1
+        assert "refusing" in capsys.readouterr().err
+
+    def test_query_agg_workers_match_serial(self, seg_dir, capsys):
+        assert main(["query", "agg", str(seg_dir), "--level", "4"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["query", "agg", str(seg_dir), "--level", "4",
+                     "--workers", "3"]) == 0
+        assert capsys.readouterr().out == serial
