@@ -57,6 +57,14 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_remote_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--remote", type=str, default="", metavar="URL",
+        help="query a running 'repro serve' instance instead of a local "
+             "file; PATH is then the server-side store name",
+    )
+
+
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--data", type=str, default="",
                         help="directory written by 'repro generate' (default: regenerate)")
@@ -414,6 +422,18 @@ def _cmd_query_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _remote_client(args: argparse.Namespace):
+    from .serve import ServeClient
+
+    return ServeClient(args.remote)
+
+
+def _print_degraded(response) -> None:
+    if response.get("degraded"):
+        print("note: served DEGRADED (damaged segments quarantined; "
+              "results cover the healthy subset)", file=sys.stderr)
+
+
 def _cmd_query_knn(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -423,6 +443,38 @@ def _cmd_query_knn(args: argparse.Namespace) -> int:
 
     if args.query_id is None and not args.query_csv:
         raise QueryError("pass --query-id or --query-csv to choose the query")
+    if getattr(args, "remote", ""):
+        if not args.query_csv:
+            raise QueryError(
+                "--remote needs --query-csv (the store lives on the server, "
+                "so --query-id cannot be decoded locally)"
+            )
+        query = np.loadtxt(args.query_csv, delimiter=",", dtype=np.float64)
+        if query.ndim == 1:
+            query = query[None, :]
+        response = _remote_client(args).knn(
+            args.path, query, k=args.k, use_index=not args.no_index,
+            refine_chunk=args.refine_chunk,
+        )
+        _print_degraded(response)
+        many = len(response["ids"]) > 1
+        rows = []
+        for query_row, (neighbour_ids, row_distances) in enumerate(
+            zip(response["ids"], response["distances"])
+        ):
+            for rank, (neighbour_id, distance) in enumerate(
+                zip(neighbour_ids, row_distances)
+            ):
+                row = {"query": query_row} if many else {}
+                row.update({"rank": rank + 1, "meter": neighbour_id,
+                            "distance": distance})
+                rows.append(row)
+        print(render_table(rows, float_digits=3))
+        stats = response["stats"]
+        print(f"remote knn k={args.k}: refined "
+              f"{stats['refined'] / max(1, stats['n_queries']):.1f} of "
+              f"{stats['n_candidates']} candidates/query")
+        return 0
     with QueryEngine.open(args.path) as engine:
         store = engine.store
         exclude = []
@@ -471,6 +523,23 @@ def _cmd_query_knn(args: argparse.Namespace) -> int:
 def _cmd_query_match(args: argparse.Namespace) -> int:
     from .query import QueryEngine
 
+    if getattr(args, "remote", ""):
+        response = _remote_client(args).match(args.path, args.pattern)
+        _print_degraded(response)
+        rows = []
+        for meter_id, spans in response["spans"].items():
+            first = ", ".join(f"[{a}, {b})" for a, b in spans[:3])
+            if len(spans) > 3:
+                first += ", ..."
+            rows.append({"meter": meter_id, "matches": len(spans),
+                         "windows": first})
+        if rows:
+            print(render_table(rows))
+        print(f"pattern {args.pattern!r}: {response['total_matches']} matches "
+              f"in {len(response['spans'])} of "
+              f"{response['columns_scanned']} scanned columns "
+              f"({response['columns_skipped']} skipped by index)")
+        return 0
     with QueryEngine.open(args.path) as engine:
         result = engine.match(args.pattern, workers=args.workers)
         rows = []
@@ -494,6 +563,39 @@ def _cmd_query_match(args: argparse.Namespace) -> int:
 def _cmd_query_agg(args: argparse.Namespace) -> int:
     from .query import QueryEngine
 
+    if getattr(args, "remote", ""):
+        client = _remote_client(args)
+        if args.k_anon is not None or args.noise is not None:
+            response = client.private_agg(
+                args.path, level=args.level,
+                k_anon=args.k_anon if args.k_anon is not None else 5,
+                epsilon=args.noise, seed=args.seed,
+            )
+            _print_degraded(response)
+            noise = (
+                f"Laplace(1/{response['epsilon']:g})"
+                if response["epsilon"] else "none"
+            )
+            print(f"group of {response['n_meters']} meters "
+                  f"(k-anon >= {response['k_anon']}, noise: {noise})")
+            print(f"released counts: {response['symbol_counts']}")
+            print(f"duty>={response['level']}: {response['duty_cycle']:.2f}")
+        else:
+            response = client.agg(
+                args.path, level=args.level, per_day=args.per_day
+            )
+            _print_degraded(response)
+            rows = [
+                {
+                    "meter": meter,
+                    "peak": response["peak_level"][i],
+                    f"duty>={response['level']}": response["duty_cycle"][i],
+                    "runs": response["run_count"][i],
+                }
+                for i, meter in enumerate(response["ids"])
+            ]
+            print(render_table(rows, float_digits=2))
+        return 0
     with QueryEngine.open(args.path) as engine:
         if args.k_anon is not None or args.noise is not None:
             report = engine.private_aggregate(
@@ -524,6 +626,18 @@ def _cmd_query_agg(args: argparse.Namespace) -> int:
 def _cmd_query_anomaly(args: argparse.Namespace) -> int:
     from .query import QueryEngine
 
+    if getattr(args, "remote", ""):
+        response = _remote_client(args).anomaly(args.path)
+        _print_degraded(response)
+        scored = sorted(
+            zip(response["ids"], response["scores"]),
+            key=lambda pair: -pair[1],
+        )[: args.top]
+        rows = [{"meter": m, "score": s} for m, s in scored]
+        print(render_table(rows, float_digits=4))
+        print(f"scored {len(response['ids'])} meters against the fleet "
+              f"transition model (remote)")
+        return 0
     with QueryEngine.open(args.path) as engine:
         report = engine.anomaly(workers=args.workers)
         rows = [
@@ -540,6 +654,26 @@ def _cmd_query_anomaly(args: argparse.Namespace) -> int:
 def _cmd_query_drift(args: argparse.Namespace) -> int:
     from .query import QueryEngine
 
+    if getattr(args, "remote", ""):
+        from .errors import QueryError
+
+        if args.baseline:
+            raise QueryError(
+                "--baseline is not supported with --remote (the baseline "
+                "sidecar lives on the client)"
+            )
+        response = _remote_client(args).drift(args.path)
+        _print_degraded(response)
+        scored = sorted(
+            zip(response["ids"], response["distances"]),
+            key=lambda pair: -pair[1],
+        )[: args.top]
+        rows = [{"meter": m, "tv_distance": d} for m, d in scored]
+        print(render_table(rows, float_digits=4))
+        shifted = [d for d in response["distances"] if d > args.threshold]
+        print(f"{len(shifted)} of {len(response['ids'])} meters shifted "
+              f"more than {args.threshold:g} TV vs {response['reference']}")
+        return 0
     with QueryEngine.open(args.path) as engine:
         report = engine.drift(baseline=args.baseline or None)
         rows = [
@@ -551,6 +685,43 @@ def _cmd_query_drift(args: argparse.Namespace) -> int:
         print(f"{len(shifted)} of {len(report.ids)} meters shifted more than "
               f"{args.threshold:g} TV vs {report.reference} "
               f"({report.columns_decoded} columns decoded)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .errors import StoreError
+    from .serve import QueryServer, ServerConfig
+
+    stores = {}
+    for spec in args.stores:
+        if "=" in spec:
+            name, path = spec.split("=", 1)
+        else:
+            name, path = Path(spec).stem, spec
+        if name in stores:
+            raise StoreError(f"duplicate store name {name!r}; use name=path")
+        stores[name] = path
+    config = ServerConfig(
+        rate=args.rate,
+        burst=args.burst,
+        max_concurrent=args.max_concurrent,
+        max_queue=args.max_queue,
+        default_deadline_ms=args.deadline_ms,
+        workers=args.workers,
+    )
+    server = QueryServer(stores, config, host=args.host, port=args.port)
+    names = ", ".join(sorted(stores))
+    print(f"serving {names} on {server.url} "
+          f"(max {config.max_concurrent} concurrent, "
+          f"queue {config.max_queue})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
     return 0
 
 
@@ -665,6 +836,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "beyond the newest N")
     scrub.set_defaults(handler=_cmd_store_scrub)
 
+    serve = subparsers.add_parser(
+        "serve", help="run the HTTP query server over one or more stores"
+    )
+    serve.add_argument("stores", type=str, nargs="+", metavar="NAME=PATH",
+                       help="stores to export (bare PATH uses the file stem "
+                            "as the name)")
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7913)
+    serve.add_argument("--rate", type=float, default=None, metavar="QPS",
+                       help="token-bucket request rate (default: unlimited)")
+    serve.add_argument("--burst", type=int, default=None,
+                       help="token-bucket burst capacity (default: ~rate)")
+    serve.add_argument("--max-concurrent", type=int, default=8,
+                       help="requests executing at once")
+    serve.add_argument("--max-queue", type=int, default=16,
+                       help="requests allowed to wait for a slot; beyond "
+                            "this the server sheds with 503")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="default per-request deadline (504 on expiry)")
+    _add_workers_argument(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
     query = subparsers.add_parser(
         "query", help="similarity / pattern / aggregation queries over a store"
     )
@@ -697,6 +890,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the QueryStats work accounting (candidates, "
                           "refined/query, decoded fraction)")
     _add_workers_argument(knn)
+    _add_remote_argument(knn)
     knn.set_defaults(handler=_cmd_query_knn)
 
     match = query_commands.add_parser(
@@ -707,6 +901,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="pattern tokens: letter/index with optional "
                             "{min}/{min,}/{min,max} run bounds, '*' for gaps")
     _add_workers_argument(match)
+    _add_remote_argument(match)
     match.set_defaults(handler=_cmd_query_match)
 
     agg = query_commands.add_parser(
@@ -728,6 +923,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="noise seed (released aggregates are deterministic "
                           "per seed)")
     _add_workers_argument(agg)
+    _add_remote_argument(agg)
     agg.set_defaults(handler=_cmd_query_agg)
 
     anomaly = query_commands.add_parser(
@@ -738,6 +934,7 @@ def build_parser() -> argparse.ArgumentParser:
     anomaly.add_argument("--top", type=int, default=10,
                          help="rows printed (highest scores first)")
     _add_workers_argument(anomaly)
+    _add_remote_argument(anomaly)
     anomaly.set_defaults(handler=_cmd_query_anomaly)
 
     drift = query_commands.add_parser(
@@ -752,6 +949,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rows printed (largest shifts first)")
     drift.add_argument("--threshold", type=float, default=0.1,
                        help="TV distance above which a meter counts as shifted")
+    _add_remote_argument(drift)
     drift.set_defaults(handler=_cmd_query_drift)
 
     export = subparsers.add_parser("export-arff", help="export day vectors as ARFF (Weka)")
@@ -774,7 +972,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return args.handler(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        # Pre-taxonomy errors keep exit code 1; serve/deadline errors carry
+        # distinct codes clients script against (see repro.errors).
+        return error.exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -3,45 +3,84 @@
 All exceptions raised by the library derive from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while
 still letting programming errors (``TypeError`` etc.) propagate normally.
+
+Every :class:`ReproError` carries two stable, machine-readable attributes
+that the serving layer and the CLI share:
+
+``code``
+    A dotted identifier such as ``"store.corrupt"`` or
+    ``"serve.rate-limited"``.  HTTP error bodies embed it verbatim
+    (``{"error": {"code": ...}}``) so clients can branch on the *kind* of
+    failure without parsing prose, and the codes are part of the wire
+    contract — renaming one is a breaking change.
+
+``exit_code``
+    The process exit status ``repro``'s CLI returns for the error.  The
+    pre-taxonomy exceptions all keep the historical ``1``; only the serving
+    errors (which clients script against: "retry on 75, give up on 69")
+    claim distinct codes, loosely following BSD ``sysexits``.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 
 class ReproError(Exception):
     """Base class for every error raised by the ``repro`` library."""
 
+    #: Stable machine-readable identifier (the HTTP error-body ``code``).
+    code: str = "repro.error"
+    #: CLI process exit status for this error kind.
+    exit_code: int = 1
+
 
 class TimeSeriesError(ReproError):
     """Raised when a time series is malformed (unsorted, mismatched lengths...)."""
+
+    code = "timeseries.invalid"
 
 
 class AlphabetError(ReproError):
     """Raised when an alphabet is invalid (non power of two, empty, ...)."""
 
+    code = "alphabet.invalid"
+
 
 class SegmentationError(ReproError):
     """Raised when a vertical or horizontal segmentation cannot be performed."""
+
+    code = "segmentation.invalid"
 
 
 class LookupTableError(ReproError):
     """Raised when a lookup table is inconsistent with its alphabet."""
 
+    code = "lookup-table.invalid"
+
 
 class NotFittedError(ReproError):
     """Raised when an estimator is used before ``fit`` has been called."""
+
+    code = "model.not-fitted"
 
 
 class DatasetError(ReproError):
     """Raised when a synthetic dataset cannot be generated or parsed."""
 
+    code = "dataset.invalid"
+
 
 class ExperimentError(ReproError):
     """Raised when an experiment configuration is invalid."""
 
+    code = "experiment.invalid"
+
 
 class StoreError(ReproError):
     """Raised when a symbol store file is malformed or used inconsistently."""
+
+    code = "store.invalid"
 
 
 class CorruptStoreError(StoreError):
@@ -69,6 +108,8 @@ class CorruptStoreError(StoreError):
         Free-form dict with the remaining specifics (file sizes, offsets,
         column ids).
     """
+
+    code = "store.corrupt"
 
     def __init__(
         self,
@@ -110,3 +151,125 @@ class StoreIntegrityWarning(UserWarning):
 
 class QueryError(ReproError):
     """Raised when a store query is invalid (mismatched tables, bad pattern...)."""
+
+    code = "query.invalid"
+
+
+class DeadlineExceeded(ReproError):
+    """A deadline-bounded query ran out of budget before finishing.
+
+    Raised cooperatively by :meth:`~repro.query.plan.ScanPlan.run` (between
+    item chunks) and the kNN refine loop (between rounds), so a slow scan
+    stops doing work the caller will never see.  The serving layer maps it
+    to HTTP 504 and the partial-work accounting rides along:
+
+    ``budget_ms`` / ``elapsed_ms``
+        The deadline the request carried and how long it actually ran.
+    ``completed`` / ``total``
+        How many work items (query rows, columns) finished before expiry —
+        the "how close did it get" figure the 504 body reports.
+    """
+
+    code = "query.deadline-exceeded"
+    exit_code = 62  # loosely after sysexits: "time expired"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        budget_ms: Optional[float] = None,
+        elapsed_ms: Optional[float] = None,
+        completed: Optional[int] = None,
+        total: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.budget_ms = budget_ms
+        self.elapsed_ms = elapsed_ms
+        self.completed = completed
+        self.total = total
+
+
+# -- serving-layer errors ----------------------------------------------------------
+
+
+class ServeError(ReproError):
+    """Base class for query-service failures (`repro.serve`).
+
+    ``status`` is the HTTP status the server answers with; ``retry_after``
+    (seconds, optional) becomes both the ``Retry-After`` header and the
+    error body's hint.  Subclasses are the *structured shed* responses: the
+    service's contract is that overload and damage turn into one of these,
+    never into a hang or a crash.
+    """
+
+    code = "serve.error"
+    status: int = 500
+    exit_code = 70  # sysexits EX_SOFTWARE
+
+    def __init__(self, message: str, *, retry_after: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class RateLimited(ServeError):
+    """Token bucket empty: the caller exceeded the request rate (HTTP 429)."""
+
+    code = "serve.rate-limited"
+    status = 429
+    exit_code = 75  # sysexits EX_TEMPFAIL: retry later
+
+
+class Overloaded(ServeError):
+    """Admission queue full: load shed instead of queued unboundedly (503)."""
+
+    code = "serve.overloaded"
+    status = 503
+    exit_code = 75
+
+
+class Degraded(ServeError):
+    """A store cannot be served even in degraded mode (503).
+
+    Raised when the circuit breaker is open and the quarantine-aware
+    fallback snapshot could not be opened either (e.g. a corrupt single-file
+    store, which has no segments to quarantine).
+    """
+
+    code = "serve.degraded-unavailable"
+    status = 503
+    exit_code = 69  # sysexits EX_UNAVAILABLE
+
+
+class UnknownStore(ServeError):
+    """The request named a store the server does not export (HTTP 404)."""
+
+    code = "serve.unknown-store"
+    status = 404
+    exit_code = 66  # sysexits EX_NOINPUT
+
+
+class BadRequest(ServeError):
+    """The request body or parameters were malformed (HTTP 400)."""
+
+    code = "serve.bad-request"
+    status = 400
+    exit_code = 64  # sysexits EX_USAGE
+
+
+class RetryBudgetExceeded(ServeError):
+    """Client-side: the retry budget ran dry before a request succeeded.
+
+    Raised by :class:`~repro.serve.client.ServeClient` when retries are
+    being consumed faster than successes replenish them — the client-side
+    half of the overload contract (a fleet of retrying clients must not
+    amplify an outage).
+    """
+
+    code = "serve.retry-budget-exceeded"
+    exit_code = 75
+
+    def __init__(self, message: str, *, attempts: int = 0,
+                 last_error: Optional[BaseException] = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error

@@ -84,7 +84,7 @@ from .ops import (
     SymbolCountPrune,
 )
 from .patterns import PatternMatches, PatternToken, SymbolPattern, match_runs
-from .plan import ScanPlan
+from .plan import Deadline, ScanPlan, active_deadline, check_deadline
 
 __all__ = [
     "AggregateOperator",
@@ -92,6 +92,7 @@ __all__ = [
     "AnomalyOperator",
     "AnomalyReport",
     "ColumnSource",
+    "Deadline",
     "DriftOperator",
     "DriftReport",
     "GroupAggregateOperator",
@@ -112,11 +113,13 @@ __all__ = [
     "SourceStats",
     "SymbolCountPrune",
     "SymbolPattern",
+    "active_deadline",
     "aggregate_store",
     "banded_min_cells",
     "breakpoints_of",
     "build_query_index",
     "cell_bounds",
+    "check_deadline",
     "gathered_squared_distances",
     "histogram_bound",
     "match_runs",

@@ -73,6 +73,7 @@ def aggregate_store(
     index: Optional[QueryIndex] = None,
     workers: int = 1,
     source=None,
+    deadline=None,
 ) -> AggregateReport:
     """Compute the pushdown aggregates for ``meters`` (default: all).
 
@@ -103,7 +104,7 @@ def aggregate_store(
     plan = ScanPlan(
         source, AggregateOperator(level=level, index=index), items=columns
     )
-    report = plan.run(workers=workers)
+    report = plan.run(workers=workers, deadline=deadline)
     report.ids = ids
     if per_day:
         per = store.metadata.get("windows_per_day")

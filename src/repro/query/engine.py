@@ -39,6 +39,7 @@ merge), and results are bit-identical for every worker count.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, NamedTuple, Optional, Sequence, Set, Union
@@ -63,7 +64,7 @@ from .ops import (
     resolve_shared_table,
 )
 from .patterns import PatternMatches, SymbolPattern
-from .plan import ScanPlan
+from .plan import Deadline, ScanPlan
 
 __all__ = [
     "QueryConfig",
@@ -78,6 +79,11 @@ __all__ = [
 #: ``QueryEngine.open`` — a monitoring loop reopening a growing store every
 #: few minutes should not drown the log.
 _STALE_INDEX_WARNED: Set[str] = set()
+
+#: Serialises mutation of :data:`_STALE_INDEX_WARNED`: a threaded server
+#: reopens stores concurrently, and an unsynchronized check-then-add could
+#: emit the warning twice (harmless) or corrupt the set (not).
+_STALE_INDEX_LOCK = threading.Lock()
 
 
 @dataclass(frozen=True)
@@ -159,6 +165,10 @@ class QueryEngine:
             index.check_store(store)
         self._index = index
         self._source: Optional[ColumnSource] = None
+        # Guards the lazy _source/_index fills: server threads share one
+        # engine, and two first-queries racing the in-memory index build
+        # would each pay it (and publish half-initialised state).
+        self._lock = threading.RLock()
 
     @classmethod
     def open(
@@ -186,12 +196,14 @@ class QueryEngine:
                 if not isinstance(store, SegmentedStore):
                     raise
                 key = str(sidecar.resolve())
-                if key not in _STALE_INDEX_WARNED:
+                with _STALE_INDEX_LOCK:
+                    first = key not in _STALE_INDEX_WARNED
+                    _STALE_INDEX_WARNED.add(key)
+                if first:
                     import warnings
 
                     from ..errors import StoreIntegrityWarning
 
-                    _STALE_INDEX_WARNED.add(key)
                     warnings.warn(
                         StoreIntegrityWarning(
                             f"ignoring stale query index {sidecar.name}: {exc} — "
@@ -215,17 +227,19 @@ class QueryEngine:
         counts — are cached on the source, so repeated aggregates on an open
         engine never re-decode columns.
         """
-        if self._source is None:
-            self._source = ColumnSource(self.store, index=self._index)
-        elif self._source.index is None and self._index is not None:
-            self._source.index = self._index
-        return self._source
+        with self._lock:
+            if self._source is None:
+                self._source = ColumnSource(self.store, index=self._index)
+            elif self._source.index is None and self._index is not None:
+                self._source.index = self._index
+            return self._source
 
     def index(self, build: bool = True) -> Optional[QueryIndex]:
         """The query index: the sidecar's, or one built in memory."""
-        if self._index is None and build:
-            self._index = build_query_index(self.store)
-        return self._index
+        with self._lock:
+            if self._index is None and build:
+                self._index = build_query_index(self.store)
+            return self._index
 
     # -- kNN ---------------------------------------------------------------------
 
@@ -234,6 +248,7 @@ class QueryEngine:
         queries: np.ndarray,
         config: QueryConfig = QueryConfig(),
         exclude_ids: Sequence = (),
+        deadline: Optional[Deadline] = None,
     ) -> KNNResult:
         """Exact k-nearest-columns for a batch of raw-valued query vectors.
 
@@ -241,7 +256,10 @@ class QueryEngine:
         the store's window resolution.  Neighbours are ordered by
         ``(distance, column position)``, so ties break deterministically and
         the result is identical to :meth:`brute_force_knn` for every
-        ``workers``/pruning configuration.
+        ``workers``/pruning configuration.  ``deadline`` (if given) bounds
+        the search cooperatively — expiry raises
+        :class:`~repro.errors.DeadlineExceeded` with partial-work accounting
+        instead of running to completion.
         """
         source = self.source
         source.table  # resolve (and cache) the shared-table refusal early
@@ -259,7 +277,9 @@ class QueryEngine:
             index=index,
             exclude=exclude,
         ))
-        positions, distances, refined = plan.run(workers=config.workers)
+        positions, distances, refined = plan.run(
+            workers=config.workers, deadline=deadline
+        )
         ids = [[self.store.ids[p] for p in row] for row in positions]
         stats = KNNStats(
             n_queries=queries.shape[0],
@@ -335,6 +355,7 @@ class QueryEngine:
         meters: Optional[Sequence] = None,
         workers: int = 1,
         use_index: bool = True,
+        deadline: Optional[Deadline] = None,
     ) -> PatternMatches:
         """Match a symbol pattern against columns at run granularity.
 
@@ -359,7 +380,7 @@ class QueryEngine:
             items=columns,
             stages=stages,
         )
-        return plan.run(workers=workers)
+        return plan.run(workers=workers, deadline=deadline)
 
     # -- aggregation --------------------------------------------------------------
 
@@ -369,6 +390,7 @@ class QueryEngine:
         level: Optional[int] = None,
         per_day: bool = False,
         workers: int = 1,
+        deadline: Optional[Deadline] = None,
     ) -> AggregateReport:
         """Aggregation pushdown (see :func:`repro.query.aggregate_store`).
 
@@ -378,6 +400,7 @@ class QueryEngine:
         return aggregate_store(
             self.store, meters=meters, level=level, per_day=per_day,
             index=self._index, workers=workers, source=self.source,
+            deadline=deadline,
         )
 
     # -- monitoring ---------------------------------------------------------------
@@ -386,6 +409,7 @@ class QueryEngine:
         self,
         meters: Optional[Sequence] = None,
         workers: int = 1,
+        deadline: Optional[Deadline] = None,
     ) -> AnomalyReport:
         """Per-meter anomaly scores from symbol-transition likelihoods.
 
@@ -394,12 +418,13 @@ class QueryEngine:
         """
         columns = self.store._resolve_meters(meters)
         plan = ScanPlan(self.source, AnomalyOperator(), items=columns)
-        return plan.run(workers=workers)
+        return plan.run(workers=workers, deadline=deadline)
 
     def drift(
         self,
         baseline: Optional[Union[str, Path, QueryIndex]] = None,
         meters: Optional[Sequence] = None,
+        deadline: Optional[Deadline] = None,
     ) -> DriftReport:
         """Fleet drift report off ``.rsymx`` histograms — no column decode.
 
@@ -423,7 +448,7 @@ class QueryEngine:
             DriftOperator(index=index, baseline_histograms=baseline_hist),
             items=columns,
         )
-        return plan.run(workers=1)
+        return plan.run(workers=1, deadline=deadline)
 
     def private_aggregate(
         self,
@@ -433,6 +458,7 @@ class QueryEngine:
         epsilon: Optional[float] = None,
         seed: int = 0,
         workers: int = 1,
+        deadline: Optional[Deadline] = None,
     ) -> PrivateAggregateReport:
         """k-anonymous (optionally Laplace-noised) pooled group aggregate.
 
@@ -458,7 +484,7 @@ class QueryEngine:
             ),
             items=columns,
         )
-        return plan.run(workers=workers)
+        return plan.run(workers=workers, deadline=deadline)
 
     # -- lifecycle ----------------------------------------------------------------
 

@@ -31,6 +31,7 @@ only one in ``repro.query``.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -136,6 +137,12 @@ class ColumnSource:
         self.store = store
         self.index = index
         self.stats = SourceStats()
+        #: One reentrant lock guards every lazy cache and stats counter:
+        #: a threaded server shares one source across handler threads, and
+        #: unsynchronized "check-then-fill" caching would double-decode (or
+        #: tear the counters).  Reentrant because cached getters call the
+        #: counted readers, which take the same lock.
+        self._lock = threading.RLock()
         self._table: Optional[LookupTable] = None
         self._column_stats: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._run_counts: Optional[np.ndarray] = None
@@ -161,9 +168,10 @@ class ColumnSource:
     @property
     def table(self) -> LookupTable:
         """The shared lookup table (resolved once, refusal cached)."""
-        if self._table is None:
-            self._table = resolve_shared_table(self.store)
-        return self._table
+        with self._lock:
+            if self._table is None:
+                self._table = resolve_shared_table(self.store)
+            return self._table
 
     def resolve(self, meters) -> List[int]:
         return self.store._resolve_meters(meters)
@@ -173,22 +181,26 @@ class ColumnSource:
     def matrix(self, meters=None, window_range=None) -> np.ndarray:
         """Block-granular index matrix read (counted)."""
         n = self.store.n_meters if meters is None else len(meters)
-        self.stats.columns_decoded += n
+        with self._lock:
+            self.stats.columns_decoded += n
         return self.store.matrix(meters=meters, window_range=window_range)
 
     def matrix_block(self, start: int, stop: int, window_range=None) -> np.ndarray:
         """Decode the contiguous column block ``[start, stop)`` (counted)."""
-        self.stats.columns_decoded += max(0, int(stop) - int(start))
+        with self._lock:
+            self.stats.columns_decoded += max(0, int(stop) - int(start))
         return self.store.matrix_block(start, stop, window_range=window_range)
 
     def runs(self, meter) -> tuple:
         """``(run_values, run_lengths)`` of one column (counted)."""
-        self.stats.runs_read += 1
+        with self._lock:
+            self.stats.runs_read += 1
         return self.store.runs(meter)
 
     def _scan_stats(self, start: int, stop: int, n_bands: int) -> tuple:
         """Banded histogram scan of ``[start, stop)`` — a payload read."""
-        self.stats.columns_decoded += max(0, int(stop) - int(start))
+        with self._lock:
+            self.stats.columns_decoded += max(0, int(stop) - int(start))
         return _shard_stats(self.store, int(start), int(stop), n_bands)
 
     # -- cached column statistics ------------------------------------------------
@@ -211,19 +223,20 @@ class ColumnSource:
                 return index.histograms, index.max_symbols
             cols = np.asarray(list(columns), dtype=np.int64)
             return index.histograms[cols], index.max_symbols[cols]
-        if columns is None:
-            if self._column_stats is None:
-                banded, _, _, peaks = self._scan_stats(0, self.n_columns, 1)
-                self._column_stats = (banded[:, 0, :], peaks)
-            return self._column_stats
-        cols = [int(c) for c in columns]
-        if self._column_stats is not None:
-            idx = np.asarray(cols, dtype=np.int64)
-            return self._column_stats[0][idx], self._column_stats[1][idx]
-        if cols and cols == list(range(cols[0], cols[-1] + 1)):
-            banded, _, _, peaks = self._scan_stats(cols[0], cols[-1] + 1, 1)
-            return banded[:, 0, :], peaks
-        parts = [self._scan_stats(c, c + 1, 1) for c in cols]
+        with self._lock:
+            if columns is None:
+                if self._column_stats is None:
+                    banded, _, _, peaks = self._scan_stats(0, self.n_columns, 1)
+                    self._column_stats = (banded[:, 0, :], peaks)
+                return self._column_stats
+            cols = [int(c) for c in columns]
+            if self._column_stats is not None:
+                idx = np.asarray(cols, dtype=np.int64)
+                return self._column_stats[0][idx], self._column_stats[1][idx]
+            if cols and cols == list(range(cols[0], cols[-1] + 1)):
+                banded, _, _, peaks = self._scan_stats(cols[0], cols[-1] + 1, 1)
+                return banded[:, 0, :], peaks
+            parts = [self._scan_stats(c, c + 1, 1) for c in cols]
         k = self.alphabet_size
         if not parts:
             return (np.zeros((0, k), dtype=np.int64), np.zeros(0, dtype=np.int64))
@@ -240,13 +253,14 @@ class ColumnSource:
         """
         store = self.store
         if columns is None:
-            if self._run_counts is None:
-                if store.layout != "rle":
-                    self.stats.columns_decoded += store.n_meters
-                self._run_counts = np.asarray(
-                    store.run_count_per_column(), dtype=np.int64
-                )
-            return self._run_counts
+            with self._lock:
+                if self._run_counts is None:
+                    if store.layout != "rle":
+                        self.stats.columns_decoded += store.n_meters
+                    self._run_counts = np.asarray(
+                        store.run_count_per_column(), dtype=np.int64
+                    )
+                return self._run_counts
         cols = [int(c) for c in columns]
         if self._run_counts is not None:
             return self._run_counts[np.asarray(cols, dtype=np.int64)]
@@ -344,6 +358,10 @@ def _knn_block(
     every block split — the bound's last-ulp rounding can only move work
     between the pruned and refined sets, never change an exact distance.
     """
+    # Local import: plan.py imports operators from this module, so the
+    # deadline hook cannot live at module scope without a cycle.
+    from .plan import check_deadline
+
     store = source.store
     table = source.table
     counts = store.counts
@@ -394,6 +412,7 @@ def _knn_block(
             else index.band_histograms[candidates]
         )
     for b0 in range(0, queries.shape[0], _QUERY_BLOCK):
+        check_deadline(b0, queries.shape[0])
         block = queries[b0: b0 + _QUERY_BLOCK]
         n_block = block.shape[0]
         # Shared query-reconstruction precompute: every query's (T, k)
@@ -418,6 +437,9 @@ def _knn_block(
         active = np.arange(n_block)
         at = 0
         while active.size and at < C:
+            # Refine rounds are the expensive inner loop: even a one-query
+            # plan notices expiry between rounds, not only between blocks.
+            check_deadline(b0, queries.shape[0])
             if at >= kk:
                 still = lb_sorted[active, at] <= kth2[active] * (1.0 + _PRUNE_SLACK)
                 active = active[still]

@@ -25,13 +25,97 @@ bit-identical for every worker count.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import contextvars
+import time
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from ..errors import DeadlineExceeded
 from .ops import ColumnSource, Operator
 
-__all__ = ["ScanPlan"]
+__all__ = ["Deadline", "ScanPlan", "active_deadline", "check_deadline"]
+
+#: Items executed per serial chunk when a deadline is active: small enough
+#: that a stalled scan notices expiry within a chunk's work, large enough
+#: that chunk bookkeeping stays invisible next to the per-item work.
+_DEADLINE_CHUNK = 32
+
+#: The deadline governing the current in-process plan execution, if any.
+#: A context variable (not a plain global) so concurrent server threads
+#: each see only their own request's deadline.
+_ACTIVE_DEADLINE: contextvars.ContextVar[Optional["Deadline"]] = (
+    contextvars.ContextVar("repro_active_deadline", default=None)
+)
+
+
+class Deadline:
+    """A monotonic expiry an in-flight query checks cooperatively.
+
+    Created once per request (``Deadline(seconds)``); the plan driver and
+    the kNN refine loop call :meth:`check` at their natural yield points —
+    between item chunks and refine rounds — so expiry surfaces as a
+    :class:`~repro.errors.DeadlineExceeded` carrying partial-work
+    accounting instead of a request that silently overstays.  ``clock`` is
+    injectable for deterministic tests.
+    """
+
+    __slots__ = ("budget", "_clock", "started_at", "expires_at")
+
+    def __init__(self, seconds: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.budget = float(seconds)
+        self._clock = clock
+        self.started_at = clock()
+        self.expires_at = self.started_at + self.budget
+
+    @classmethod
+    def from_ms(cls, milliseconds: float,
+                clock: Callable[[], float] = time.monotonic) -> "Deadline":
+        return cls(float(milliseconds) / 1000.0, clock=clock)
+
+    def elapsed(self) -> float:
+        return self._clock() - self.started_at
+
+    def remaining(self) -> float:
+        return self.expires_at - self._clock()
+
+    def expired(self) -> bool:
+        return self._clock() >= self.expires_at
+
+    def check(self, completed: Optional[int] = None,
+              total: Optional[int] = None) -> None:
+        """Raise :class:`DeadlineExceeded` (with accounting) once expired."""
+        if not self.expired():
+            return
+        done = "" if completed is None or total is None else (
+            f" after {completed} of {total} items"
+        )
+        raise DeadlineExceeded(
+            f"deadline of {self.budget * 1000.0:.0f} ms exceeded{done} "
+            f"({self.elapsed() * 1000.0:.0f} ms elapsed)",
+            budget_ms=self.budget * 1000.0,
+            elapsed_ms=self.elapsed() * 1000.0,
+            completed=completed,
+            total=total,
+        )
+
+
+def active_deadline() -> Optional[Deadline]:
+    """The deadline of the plan currently executing in this context."""
+    return _ACTIVE_DEADLINE.get()
+
+
+def check_deadline(completed: Optional[int] = None,
+                   total: Optional[int] = None) -> None:
+    """Cooperative cancellation point for operator inner loops.
+
+    Free when no deadline is active; inner loops (the kNN refine rounds)
+    call this so even a single-item plan notices expiry mid-item.
+    """
+    deadline = _ACTIVE_DEADLINE.get()
+    if deadline is not None:
+        deadline.check(completed, total)
 
 
 class ScanPlan:
@@ -56,8 +140,20 @@ class ScanPlan:
         parts.append(type(self.operator).__name__)
         return " -> ".join(parts)
 
-    def run(self, workers: int = 1):
-        """Execute the plan; the one sharding/merge loop in ``repro.query``."""
+    def run(self, workers: int = 1, deadline: Optional[Deadline] = None):
+        """Execute the plan; the one sharding/merge loop in ``repro.query``.
+
+        ``deadline`` bounds the execution cooperatively: the serial path
+        runs the work list in chunks and checks expiry between them (and
+        operators with inner loops — kNN refinement — check between
+        rounds via :func:`check_deadline`), raising
+        :class:`~repro.errors.DeadlineExceeded` with partial-work
+        accounting.  Without a deadline the execution path is literally
+        unchanged, and results are bit-identical either way: chunked shard
+        results merge exactly like worker shards do.  Multi-process runs
+        check the deadline before sharding and after the merge-join —
+        worker shards themselves run to completion.
+        """
         items = (
             self.operator.items(self.source)
             if self.items is None else list(self.items)
@@ -65,11 +161,41 @@ class ScanPlan:
         kept: List = list(items)
         for stage in self.stages:
             kept = list(stage.apply(self.source, kept))
-        if workers == 1 or len(kept) <= 1:
-            parts = [self.operator.run_shard(self.source, kept)]
-        else:
-            parts = self._run_sharded(kept, workers)
-        return self.operator.merge(parts, self.source, items, kept)
+        if deadline is None:
+            if workers == 1 or len(kept) <= 1:
+                parts = [self.operator.run_shard(self.source, kept)]
+            else:
+                parts = self._run_sharded(kept, workers)
+            return self.operator.merge(parts, self.source, items, kept)
+        token = _ACTIVE_DEADLINE.set(deadline)
+        try:
+            deadline.check(0, len(kept))
+            if workers == 1 or len(kept) <= 1:
+                parts = self._run_serial_chunked(kept, deadline)
+            else:
+                parts = self._run_sharded(kept, workers)
+                deadline.check(len(kept), len(kept))
+            return self.operator.merge(parts, self.source, items, kept)
+        finally:
+            _ACTIVE_DEADLINE.reset(token)
+
+    def _run_serial_chunked(self, kept: List, deadline: Deadline) -> List:
+        """Serial execution in chunks with a deadline check between them.
+
+        Every operator's ``merge`` already folds arbitrary contiguous
+        shards in task order (the worker path depends on it), so chunked
+        results are bit-identical to the one-shot call.
+        """
+        if len(kept) <= 1:
+            return [self.operator.run_shard(self.source, kept)]
+        parts: List = []
+        for start in range(0, len(kept), _DEADLINE_CHUNK):
+            deadline.check(start, len(kept))
+            operator, shard_items = self.operator.shard(
+                kept[start: start + _DEADLINE_CHUNK]
+            )
+            parts.append(operator.run_shard(self.source, shard_items))
+        return parts
 
     def _run_sharded(self, kept: List, workers: int) -> List:
         from ..parallel.executor import ParallelExecutor, resolve_workers

@@ -1,0 +1,117 @@
+"""Bounded admission: at most N requests executing, at most M waiting.
+
+The availability argument: an unbounded queue converts overload into
+unbounded latency — every queued request eventually gets an answer nobody
+is still waiting for.  A *bounded* queue converts overload into fast,
+structured :class:`~repro.errors.Overloaded` (503) responses the client's
+backoff absorbs, and the server's concurrency never exceeds
+``max_concurrent`` so admitted requests keep their latency.
+
+``AdmissionGate`` is a condition-variable turnstile, not an actual queue of
+work items: a request thread either starts executing, waits (bounded in
+count and time) for a slot, or is shed immediately.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Optional
+
+from ..errors import Overloaded
+
+__all__ = ["AdmissionGate"]
+
+
+class AdmissionGate:
+    """Two-bound turnstile: ``max_concurrent`` running, ``max_queue`` waiting.
+
+    ``queue_timeout`` bounds how long a waiter holds on before it is shed
+    anyway — a slot that never frees (wedged handler) must not grow a
+    silent convoy.  Use as ``with gate.admit(): handle()``.
+    """
+
+    def __init__(
+        self,
+        max_concurrent: int,
+        max_queue: int = 0,
+        queue_timeout: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if int(max_concurrent) < 1:
+            raise ValueError(
+                f"max_concurrent must be >= 1, got {max_concurrent}"
+            )
+        self.max_concurrent = int(max_concurrent)
+        self.max_queue = max(0, int(max_queue))
+        self.queue_timeout = float(queue_timeout)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._slot_freed = threading.Condition(self._lock)
+        self.active = 0
+        self.waiting = 0
+        #: Lifetime counters for ``/metrics``.
+        self.admitted_total = 0
+        self.shed_total = 0
+
+    @contextmanager
+    def admit(self):
+        """Hold one execution slot; raise :class:`Overloaded` when shed."""
+        self._acquire()
+        try:
+            yield self
+        finally:
+            self._release()
+
+    def _acquire(self) -> None:
+        with self._lock:
+            if self.active < self.max_concurrent:
+                self.active += 1
+                self.admitted_total += 1
+                return
+            if self.waiting >= self.max_queue:
+                self.shed_total += 1
+                raise Overloaded(
+                    f"server at capacity ({self.active} running, "
+                    f"{self.waiting} queued); retry later",
+                    retry_after=self._retry_after(),
+                )
+            self.waiting += 1
+            deadline = self._clock() + self.queue_timeout
+            try:
+                while self.active >= self.max_concurrent:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0 or not self._slot_freed.wait(remaining):
+                        # Timed out in the queue: shed rather than convoy.
+                        self.shed_total += 1
+                        raise Overloaded(
+                            f"queued {self.queue_timeout:.1f}s without a "
+                            f"free slot; retry later",
+                            retry_after=self._retry_after(),
+                        )
+                self.active += 1
+                self.admitted_total += 1
+            finally:
+                self.waiting -= 1
+
+    def _release(self) -> None:
+        with self._lock:
+            self.active -= 1
+            self._slot_freed.notify()
+
+    def _retry_after(self) -> float:
+        """An honest hint: roughly one queue-drain's worth of seconds."""
+        depth = self.active + self.waiting
+        return max(0.05, min(self.queue_timeout, 0.1 * depth))
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "active": self.active,
+                "waiting": self.waiting,
+                "max_concurrent": self.max_concurrent,
+                "max_queue": self.max_queue,
+                "admitted_total": self.admitted_total,
+                "shed_total": self.shed_total,
+            }

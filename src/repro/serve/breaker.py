@@ -1,0 +1,112 @@
+"""Per-store circuit breaker: repeated integrity failures trip to degraded.
+
+The serving failure this guards against: a segment starts failing checksum
+verification mid-serve (bit-rot, torn append).  Without a breaker every
+request pays the doomed read and surfaces an error; with one, after
+``failure_threshold`` integrity failures the store flips to **degraded**
+serving — the quarantine-aware snapshot (damaged segments skipped) answers
+with ``"degraded": true`` while a background scrub repairs the directory.
+After ``reset_timeout`` seconds a half-open trial re-opens the store
+strictly; success closes the breaker and clears the flag.
+
+States follow the classic machine:
+
+``closed``      healthy; failures increment a consecutive counter.
+``open``        tripped; serve degraded, no strict opens until the timeout.
+``half-open``   one trial strict open allowed; success → closed,
+                failure → open again (timer restarts).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with timed half-open recovery."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if int(failure_threshold) < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._state = "closed"
+        self._opened_at = 0.0
+        #: Lifetime counters for ``/metrics``.
+        self.trips_total = 0
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half-open"`` (time-advanced)."""
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._state == "open" and (
+            self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = "half-open"
+        return self._state
+
+    def allow_trial(self) -> bool:
+        """May this request attempt the strict (non-degraded) path?
+
+        ``closed`` → yes.  ``open`` → no.  ``half-open`` → yes, once: the
+        state moves back to ``open`` immediately so concurrent requests do
+        not stampede the trial; :meth:`record_success` closes it.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == "closed":
+                return True
+            if state == "half-open":
+                self._state = "open"
+                self._opened_at = self._clock()
+                return True
+            return False
+
+    def record_failure(self) -> bool:
+        """Count one integrity failure; returns True when this trips it."""
+        with self._lock:
+            self._failures += 1
+            if self._state == "closed" and (
+                self._failures >= self.failure_threshold
+            ):
+                self._state = "open"
+                self._opened_at = self._clock()
+                self.trips_total += 1
+                return True
+            if self._state != "closed":
+                # A failed half-open trial lands here: re-arm the timer.
+                self._state = "open"
+                self._opened_at = self._clock()
+            return False
+
+    def record_success(self) -> None:
+        """A strict-path success: close the breaker, forget the streak."""
+        with self._lock:
+            self._failures = 0
+            self._state = "closed"
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state_locked(),
+                "consecutive_failures": self._failures,
+                "failure_threshold": self.failure_threshold,
+                "trips_total": self.trips_total,
+            }

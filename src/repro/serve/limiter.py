@@ -1,0 +1,74 @@
+"""Token-bucket rate limiting for the query service.
+
+The classic shape (SNIPPETS.md snippet 1 sketches the same pattern): a
+bucket refills at ``rate`` tokens/second up to ``burst``; each admitted
+request withdraws one token.  An empty bucket answers *how long until the
+next token* so the 429 can carry an honest ``Retry-After`` instead of a
+guess.  Refill is computed lazily from elapsed time — no background thread
+— and the clock is injectable so tests control time exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional, Tuple
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """Thread-safe token bucket: ``rate`` tokens/s, capacity ``burst``.
+
+    ``rate=None`` disables limiting (every ``acquire`` succeeds) so the
+    server can run unlimited without a second code path.
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be > 0 tokens/s, got {rate}")
+        self.rate = None if rate is None else float(rate)
+        self.burst = (
+            max(1, int(burst if burst is not None else (rate or 1)))
+        )
+        self._clock = clock
+        self._tokens = float(self.burst)
+        self._refilled_at = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._refilled_at)
+        self._refilled_at = now
+        if self.rate is not None:
+            self._tokens = min(
+                float(self.burst), self._tokens + elapsed * self.rate
+            )
+
+    def acquire(self) -> Tuple[bool, float]:
+        """Try to withdraw one token.
+
+        Returns ``(True, 0.0)`` on success, else ``(False, retry_after)``
+        where ``retry_after`` is the seconds until a token will exist.
+        """
+        if self.rate is None:
+            return True, 0.0
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True, 0.0
+            return False, (1.0 - self._tokens) / self.rate
+
+    def available(self) -> float:
+        """Current token count (refilled to now); for tests and metrics."""
+        if self.rate is None:
+            return float("inf")
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens

@@ -1,0 +1,762 @@
+"""The query server: threaded HTTP+JSON over mmap'd stores, built to shed.
+
+``QueryServer`` wires the robustness pieces around the
+:class:`~repro.query.QueryEngine`:
+
+* **admission before work** — a :class:`~repro.serve.limiter.TokenBucket`
+  and a bounded :class:`~repro.serve.admission.AdmissionGate` answer 429 /
+  503 with ``Retry-After`` *before* a single store byte is touched;
+* **deadlines into the scan** — ``deadline_ms`` (body or
+  ``X-Deadline-Ms`` header) becomes a :class:`~repro.query.plan.Deadline`
+  the plan driver checks between chunks and refine rounds, so expiry is a
+  504 with partial-work accounting, not an overstayed request;
+* **snapshot leases + hot reload** — every request leases an immutable
+  engine snapshot; when a concurrent :class:`~repro.store.FleetIngestor`
+  commits a new manifest generation, the *next* request sees it (reopened
+  under the manager lock) while in-flight requests keep theirs, and
+  retired snapshots close only when their last lease drops;
+* **circuit breaker + degraded serving** — repeated
+  :class:`~repro.errors.CorruptStoreError` trips the store's
+  :class:`~repro.serve.breaker.CircuitBreaker`: the quarantine-aware
+  snapshot keeps answering (``"degraded": true``) while a background
+  ``scrub_store(repair=True)`` heals, and a timed half-open trial
+  re-verifies before the flag clears;
+* **idempotent appends** — ``POST /stores/<name>/append`` with an
+  ``idempotency_key`` stores the key in the committed segment's manifest
+  ``reason``, so a client retry after a crash (even SIGKILL) finds the
+  key and returns the original result instead of appending twice.
+
+Fault seams: handlers pass ``serve.handle`` (checkpoint) after admission
+and write response bodies through ``faults.write(..., "serve.response")``,
+so the fault matrix can inject slow handlers and mid-response disconnects.
+An :class:`~repro.store.faults.InjectedCrash` there kills only that
+connection — the server keeps serving, which is the point.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..errors import (
+    BadRequest,
+    CorruptStoreError,
+    DeadlineExceeded,
+    Degraded,
+    Overloaded,
+    RateLimited,
+    ReproError,
+    StoreError,
+    UnknownStore,
+)
+from ..query import Deadline, QueryConfig, QueryEngine
+from ..store import faults
+from ..store.faults import InjectedCrash
+from . import protocol
+from .admission import AdmissionGate
+from .breaker import CircuitBreaker
+from .limiter import TokenBucket
+
+__all__ = ["QueryServer", "ServerConfig", "StoreManager", "serve"]
+
+
+class ServerConfig:
+    """Tunables of one server instance (all have serve-sane defaults)."""
+
+    def __init__(
+        self,
+        rate: Optional[float] = None,
+        burst: Optional[int] = None,
+        max_concurrent: int = 8,
+        max_queue: int = 16,
+        queue_timeout: float = 5.0,
+        default_deadline_ms: Optional[float] = None,
+        failure_threshold: int = 3,
+        breaker_reset_s: float = 2.0,
+        workers: int = 1,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.max_concurrent = int(max_concurrent)
+        self.max_queue = int(max_queue)
+        self.queue_timeout = float(queue_timeout)
+        self.default_deadline_ms = default_deadline_ms
+        self.failure_threshold = int(failure_threshold)
+        self.breaker_reset_s = float(breaker_reset_s)
+        self.workers = int(workers)
+
+
+class _Snapshot:
+    """One immutable open of a store: leased by requests, closed when idle.
+
+    ``generation`` is the manifest generation (segmented) or an
+    ``(mtime_ns, size)`` stamp (single file) the open observed; the manager
+    compares it against the directory to decide when to reload.
+    """
+
+    def __init__(self, engine: QueryEngine, generation, degraded: bool) -> None:
+        self.engine = engine
+        self.generation = generation
+        self.degraded = degraded
+        self._leases = 0
+        self._retired = False
+        self._lock = threading.Lock()
+
+    def lease(self) -> "_Snapshot":
+        with self._lock:
+            self._leases += 1
+        return self
+
+    def release(self) -> None:
+        with self._lock:
+            self._leases -= 1
+            close_now = self._retired and self._leases == 0
+        if close_now:
+            self._close()
+
+    def retire(self) -> None:
+        with self._lock:
+            self._retired = True
+            close_now = self._leases == 0
+        if close_now:
+            self._close()
+
+    def _close(self) -> None:
+        try:
+            self.engine.close()
+        except Exception:
+            pass
+
+
+#: ``warnings.catch_warnings`` mutates process-global state; snapshot opens
+#: (the only place the server records warnings) serialize on this.
+_OPEN_LOCK = threading.Lock()
+
+
+class _StoreHandle:
+    """Per-exported-store state: snapshot, breaker, scrub, append lock."""
+
+    def __init__(self, name: str, path: Path, config: ServerConfig) -> None:
+        self.name = name
+        self.path = path
+        self.config = config
+        self.breaker = CircuitBreaker(
+            failure_threshold=config.failure_threshold,
+            reset_timeout=config.breaker_reset_s,
+        )
+        self.lock = threading.Lock()
+        self.append_lock = threading.Lock()
+        self.snapshot: Optional[_Snapshot] = None
+        self.reloads_total = 0
+        self._scrub_lock = threading.Lock()
+        self._scrubbing = False
+
+    # -- generation watch --------------------------------------------------------
+
+    def _disk_generation(self):
+        """What is committed on disk right now (cheap: a dir listing/stat)."""
+        if self.path.is_dir():
+            from ..store.segments import _manifest_paths
+
+            manifests = _manifest_paths(self.path)
+            return max(gen for gen, _ in manifests) if manifests else -1
+        stat = self.path.stat()
+        return (stat.st_mtime_ns, stat.st_size)
+
+    # -- snapshot lifecycle ------------------------------------------------------
+
+    def lease(self) -> _Snapshot:
+        """The current snapshot, reloaded first if the store moved on disk.
+
+        In-flight requests keep the snapshot they leased; the retired one
+        closes when its last lease drops.
+        """
+        with self.lock:
+            try:
+                disk = self._disk_generation()
+            except OSError as exc:
+                raise StoreError(f"cannot stat {self.path}: {exc}")
+            snapshot = self.snapshot
+            if snapshot is not None and snapshot.generation == disk:
+                if snapshot.degraded and self.breaker.allow_trial():
+                    # The trial is granted *once* (half-open hands out a
+                    # single probe); pass it through instead of asking the
+                    # breaker a second time in ``_reopen``.
+                    snapshot = self._reopen(retiring=snapshot, trial=True)
+                return snapshot.lease()
+            snapshot = self._reopen(retiring=snapshot)
+            return snapshot.lease()
+
+    def _reopen(self, retiring: Optional[_Snapshot],
+                trial: Optional[bool] = None) -> _Snapshot:
+        """Open a fresh snapshot (strict when the breaker allows a trial)."""
+        import warnings as warnings_mod
+
+        strict_ok = self.breaker.allow_trial() if trial is None else trial
+        degraded = False
+        with _OPEN_LOCK:
+            with warnings_mod.catch_warnings(record=True) as caught:
+                warnings_mod.simplefilter("always")
+                if strict_ok:
+                    try:
+                        engine = self._open_engine(strict=True)
+                        self.breaker.record_success()
+                    except (CorruptStoreError, OSError):
+                        # OSError covers the scrub race: a segment already
+                        # moved to quarantine/ but the healed manifest not
+                        # yet committed — the non-strict open skips it.
+                        self.breaker.record_failure()
+                        engine = self._open_engine(strict=False)
+                        degraded = True
+                else:
+                    engine = self._open_engine(strict=False)
+                    degraded = True
+            # Quarantines/rollbacks during a non-strict open are integrity
+            # signals too — and mark the snapshot degraded even before the
+            # breaker trips.
+            from ..errors import StoreIntegrityWarning
+
+            integrity = [
+                w for w in caught
+                if isinstance(w.message, StoreIntegrityWarning)
+                and getattr(w.message, "reason", "") != "stale-index"
+            ]
+        if integrity:
+            degraded = True
+            for _ in integrity:
+                self.breaker.record_failure()
+        if degraded:
+            self.start_scrub()
+        snapshot = _Snapshot(
+            engine, self._disk_generation(), degraded=degraded
+        )
+        if retiring is not None:
+            retiring.retire()
+            self.reloads_total += 1
+        self.snapshot = snapshot
+        return snapshot
+
+    def _open_engine(self, strict: bool) -> QueryEngine:
+        if self.path.is_dir():
+            from ..store.segments import SegmentedStore
+
+            if strict:
+                # Probe strictly (raises on any quarantine/rollback), then
+                # route through QueryEngine.open for the sidecar handling.
+                probe = SegmentedStore.open(self.path, strict=True)
+                probe.close()
+            engine = QueryEngine.open(self.path)
+            if strict and getattr(engine.store, "quarantined", None):
+                engine.close()
+                raise CorruptStoreError(
+                    f"{self.path.name} still quarantines segments",
+                    path=self.path, check="column_crc", hint="bit-rot",
+                )
+            return engine
+        return QueryEngine.open(self.path)
+
+    def drop_snapshot(self) -> None:
+        """Force the next lease to reopen (after a mid-query failure)."""
+        with self.lock:
+            if self.snapshot is not None:
+                self.snapshot.retire()
+                self.snapshot = None
+
+    # -- healing -----------------------------------------------------------------
+
+    def start_scrub(self) -> None:
+        """Kick one background ``scrub_store(repair=True)``; idempotent."""
+        if not self.path.is_dir():
+            return
+        with self._scrub_lock:
+            if self._scrubbing:
+                return
+            self._scrubbing = True
+
+        def _scrub() -> None:
+            from ..store.segments import scrub_store
+
+            try:
+                scrub_store(self.path, repair=True)
+            except Exception:
+                pass
+            finally:
+                self._scrubbing = False
+
+        thread = threading.Thread(
+            target=_scrub, name=f"scrub-{self.name}", daemon=True
+        )
+        thread.start()
+
+    def on_query_corruption(self) -> None:
+        """A query hit corrupt bytes: count it, drop the snapshot, heal."""
+        self.breaker.record_failure()
+        self.drop_snapshot()
+        self.start_scrub()
+
+
+class StoreManager:
+    """Name → :class:`_StoreHandle` registry the handler threads share."""
+
+    def __init__(
+        self,
+        stores: Dict[str, Union[str, Path]],
+        config: Optional[ServerConfig] = None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        self.handles: Dict[str, _StoreHandle] = {}
+        for name, path in stores.items():
+            path = Path(path)
+            if not path.exists():
+                raise StoreError(f"no such store: {path}")
+            self.handles[name] = _StoreHandle(name, path, self.config)
+
+    def handle(self, name: str) -> _StoreHandle:
+        try:
+            return self.handles[name]
+        except KeyError:
+            known = ", ".join(sorted(self.handles)) or "(none)"
+            raise UnknownStore(
+                f"no store named {name!r} (serving: {known})"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self.handles)
+
+
+class _Metrics:
+    """Lifetime counters ``GET /metrics`` reports (all under one lock)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests_total = 0
+        self.errors_total = 0
+        self.rate_limited_total = 0
+        self.shed_total = 0
+        self.deadline_expired_total = 0
+        self.degraded_responses_total = 0
+        self.appends_total = 0
+        self.append_duplicates_total = 0
+
+    def bump(self, counter: str, by: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + by)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                key: value
+                for key, value in self.__dict__.items()
+                if not key.startswith("_")
+            }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; all state lives on ``self.server`` (the QueryServer)."""
+
+    protocol_version = "HTTP/1.1"
+    #: Set by QueryServer subclassing machinery.
+    manager: StoreManager
+    gate: AdmissionGate
+    bucket: TokenBucket
+    metrics: _Metrics
+    server_config: ServerConfig
+
+    # Silence the default stderr access log; tests capture stderr.
+    def log_message(self, format: str, *args) -> None:
+        pass
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _send(self, status: int, body: Dict,
+              retry_after: Optional[float] = None) -> None:
+        payload = protocol.dumps(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            if retry_after is not None:
+                self.send_header("Retry-After", f"{retry_after:.3f}")
+            self.end_headers()
+            faults.write(self.wfile, payload, "serve.response")
+        except InjectedCrash:
+            # Simulated mid-response disconnect: drop this connection hard
+            # (the client sees a truncated body) but keep the server alive.
+            self.close_connection = True
+            try:
+                self.wfile.flush()
+            except Exception:
+                pass
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+
+    def _send_error(self, error: BaseException) -> None:
+        status = protocol.status_of(error)
+        retry_after = getattr(error, "retry_after", None)
+        if status >= 500 or status == 429:
+            self.metrics.bump("errors_total")
+        self._send(status, protocol.error_body(error), retry_after)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > protocol.MAX_BODY_BYTES:
+            raise BadRequest(
+                f"request body of {length} bytes exceeds the "
+                f"{protocol.MAX_BODY_BYTES}-byte limit"
+            )
+        return self.rfile.read(length) if length else b""
+
+    def _deadline(self, body: Dict) -> Optional[Deadline]:
+        ms = body.get("deadline_ms")
+        if ms is None:
+            header = self.headers.get("X-Deadline-Ms")
+            ms = float(header) if header else None
+        if ms is None:
+            ms = self.server_config.default_deadline_ms
+        if ms is None:
+            return None
+        try:
+            ms = float(ms)
+        except (TypeError, ValueError):
+            raise BadRequest(f"deadline_ms must be a number, got {ms!r}")
+        if ms <= 0:
+            raise BadRequest(f"deadline_ms must be > 0, got {ms}")
+        return Deadline.from_ms(ms)
+
+    # -- routing -----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        try:
+            path = self.path.split("?", 1)[0].rstrip("/")
+            if path == "/healthz":
+                self._send(200, {"ok": True})
+                return
+            self.metrics.bump("requests_total")
+            if path == "/metrics":
+                self._send(200, self._metrics_body())
+                return
+            if path == "/stores":
+                self._send(200, {"stores": self.manager.names()})
+                return
+            if path.startswith("/stores/"):
+                name = path[len("/stores/"):]
+                if "/" not in name:
+                    self._store_info(name)
+                    return
+            raise UnknownStore(f"no such endpoint: {self.path}")
+        except ReproError as error:
+            self._send_error(error)
+        except Exception as error:  # noqa: BLE001 — the never-crash contract
+            self._send_error(error)
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            self.metrics.bump("requests_total")
+            path = self.path.split("?", 1)[0].rstrip("/")
+            if not path.startswith("/stores/"):
+                raise UnknownStore(f"no such endpoint: {self.path}")
+            rest = path[len("/stores/"):]
+            if "/" not in rest:
+                raise UnknownStore(f"no such endpoint: {self.path}")
+            name, op = rest.split("/", 1)
+            ok, retry_after = self.bucket.acquire()
+            if not ok:
+                self.metrics.bump("rate_limited_total")
+                raise RateLimited(
+                    "request rate exceeded; retry later",
+                    retry_after=retry_after,
+                )
+            raw = self._read_body()
+            try:
+                with self.gate.admit():
+                    body = protocol.parse_body(raw)
+                    # The deadline clock starts before the handler seam, so
+                    # an injected slow handler spends real request budget.
+                    deadline = self._deadline(body)
+                    faults.checkpoint("serve.handle")
+                    self._dispatch(name, op, body, deadline)
+            except Overloaded:
+                self.metrics.bump("shed_total")
+                raise
+        except DeadlineExceeded as error:
+            self.metrics.bump("deadline_expired_total")
+            self._send_error(error)
+        except ReproError as error:
+            self._send_error(error)
+        except InjectedCrash:
+            self.close_connection = True
+        except Exception as error:  # noqa: BLE001 — the never-crash contract
+            self._send_error(error)
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def _store_info(self, name: str) -> None:
+        handle = self.manager.handle(name)
+        snapshot = handle.lease()
+        try:
+            generation = (
+                snapshot.engine.store.generation
+                if hasattr(snapshot.engine.store, "generation") else None
+            )
+            body = protocol.store_info_body(
+                snapshot.engine.store, name, generation
+            )
+            body["degraded"] = snapshot.degraded
+            body["breaker"] = handle.breaker.snapshot()
+            self._send(200, body)
+        finally:
+            snapshot.release()
+
+    def _metrics_body(self) -> Dict:
+        body = {
+            "metrics": self.metrics.snapshot(),
+            "admission": self.gate.snapshot(),
+            "stores": {},
+        }
+        for name, handle in self.manager.handles.items():
+            body["stores"][name] = {
+                "breaker": handle.breaker.snapshot(),
+                "reloads_total": handle.reloads_total,
+            }
+        return body
+
+    def _dispatch(self, name: str, op: str, body: Dict,
+                  deadline: Optional[Deadline]) -> None:
+        handle = self.manager.handle(name)
+        if op == "append":
+            self._append(handle, body)
+            return
+        snapshot = handle.lease()
+        try:
+            try:
+                result = self._run_query(snapshot.engine, op, body, deadline)
+            except CorruptStoreError as error:
+                # Mid-query integrity failure: heal in the background,
+                # retry once against the reopened (quarantine-aware)
+                # snapshot so the caller gets a degraded answer instead of
+                # an error.
+                snapshot.release()
+                snapshot = None
+                handle.on_query_corruption()
+                snapshot = handle.lease()
+                try:
+                    result = self._run_query(
+                        snapshot.engine, op, body, deadline
+                    )
+                except CorruptStoreError:
+                    handle.breaker.record_failure()
+                    raise Degraded(
+                        f"store {handle.name!r} cannot be served even "
+                        f"degraded: {error}",
+                        retry_after=handle.config.breaker_reset_s,
+                    )
+            result["degraded"] = snapshot.degraded
+            if snapshot.degraded:
+                self.metrics.bump("degraded_responses_total")
+            self._send(200, result)
+        finally:
+            if snapshot is not None:
+                snapshot.release()
+
+    def _run_query(self, engine: QueryEngine, op: str, body: Dict,
+                   deadline: Optional[Deadline]) -> Dict:
+        workers = self.server_config.workers
+        if op == "knn":
+            queries = protocol.parse_queries(body)
+            config = QueryConfig(
+                k=int(body.get("k", 5)),
+                use_index=bool(body.get("use_index", True)),
+                refine_chunk=int(body.get("refine_chunk", 16)),
+                workers=workers,
+            )
+            result = engine.knn(
+                queries, config,
+                exclude_ids=body.get("exclude_ids", ()) or (),
+                deadline=deadline,
+            )
+            return protocol.knn_body(result)
+        if op == "match":
+            pattern = body.get("pattern")
+            if not isinstance(pattern, str) or not pattern:
+                raise BadRequest("request body needs a 'pattern' string")
+            matches = engine.match(
+                pattern, meters=protocol.parse_meters(body),
+                workers=workers, deadline=deadline,
+            )
+            return protocol.match_body(matches)
+        if op == "agg":
+            report = engine.aggregate(
+                meters=protocol.parse_meters(body),
+                level=body.get("level"),
+                per_day=bool(body.get("per_day", False)),
+                workers=workers, deadline=deadline,
+            )
+            return protocol.agg_body(report)
+        if op == "anomaly":
+            report = engine.anomaly(
+                meters=protocol.parse_meters(body),
+                workers=workers, deadline=deadline,
+            )
+            return protocol.anomaly_body(report)
+        if op == "drift":
+            report = engine.drift(
+                meters=protocol.parse_meters(body), deadline=deadline,
+            )
+            return protocol.drift_body(report)
+        if op == "private_agg":
+            report = engine.private_aggregate(
+                meters=protocol.parse_meters(body),
+                level=body.get("level"),
+                k_anon=int(body.get("k_anon", 5)),
+                epsilon=body.get("epsilon"),
+                seed=int(body.get("seed", 0)),
+                workers=workers, deadline=deadline,
+            )
+            return protocol.private_agg_body(report)
+        raise UnknownStore(f"no such operation: {op!r}")
+
+    def _append(self, handle: _StoreHandle, body: Dict) -> None:
+        if not handle.path.is_dir():
+            raise BadRequest(
+                f"store {handle.name!r} is a single file; only segmented "
+                f"stores accept appends"
+            )
+        indices = body.get("indices")
+        if indices is None:
+            raise BadRequest("append body needs an 'indices' matrix")
+        try:
+            matrix = np.asarray(indices, dtype=np.int64)
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(f"'indices' is not an integer matrix: {exc}")
+        reason = str(body.get("reason", "append"))
+        key = body.get("idempotency_key")
+        if key is not None:
+            reason = f"{reason}:key={key}"
+        from ..store.segments import SegmentedStore, append_segment
+
+        with handle.append_lock:
+            if key is not None:
+                prior = self._find_append(handle.path, reason)
+                if prior is not None:
+                    self.metrics.bump("append_duplicates_total")
+                    self._send(200, dict(prior, duplicate=True))
+                    return
+            record = append_segment(handle.path, matrix, reason=reason)
+            self.metrics.bump("appends_total")
+            with SegmentedStore.open(handle.path) as store:
+                generation = store.generation
+        self._send(200, {
+            "segment": record.name,
+            "windows": int(record.windows),
+            "n_symbols": int(record.n_symbols),
+            "generation": int(generation),
+            "duplicate": False,
+        })
+
+    @staticmethod
+    def _find_append(path: Path, reason: str) -> Optional[Dict]:
+        """Locate a committed segment by its idempotency-bearing reason.
+
+        The key rides in the manifest (durable, fsynced), so this survives
+        a server SIGKILL between commit and response: the retry finds the
+        segment and answers without appending again.
+        """
+        from ..store.segments import SegmentedStore
+
+        with SegmentedStore.open(path) as store:
+            for record in store.records:
+                if record.reason == reason:
+                    return {
+                        "segment": record.name,
+                        "windows": int(record.windows),
+                        "n_symbols": int(record.n_symbols),
+                        "generation": int(store.generation),
+                    }
+        return None
+
+
+class QueryServer:
+    """A running (or startable) threaded query server.
+
+    ``QueryServer(stores, config).start()`` binds and serves on a daemon
+    thread; ``shutdown()`` stops accepting and joins.  ``port`` is the
+    bound port (useful with ``port=0`` in tests).
+    """
+
+    def __init__(
+        self,
+        stores: Dict[str, Union[str, Path]],
+        config: Optional[ServerConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.config = config or ServerConfig()
+        self.manager = StoreManager(stores, self.config)
+        self.metrics = _Metrics()
+        self.gate = AdmissionGate(
+            max_concurrent=self.config.max_concurrent,
+            max_queue=self.config.max_queue,
+            queue_timeout=self.config.queue_timeout,
+        )
+        self.bucket = TokenBucket(self.config.rate, self.config.burst)
+
+        handler = type("BoundHandler", (_Handler,), {
+            "manager": self.manager,
+            "gate": self.gate,
+            "bucket": self.bucket,
+            "metrics": self.metrics,
+            "server_config": self.config,
+        })
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "QueryServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve", daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever(poll_interval=0.2)
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def serve(
+    stores: Dict[str, Union[str, Path]],
+    host: str = "127.0.0.1",
+    port: int = 0,
+    config: Optional[ServerConfig] = None,
+) -> QueryServer:
+    """Build and start a :class:`QueryServer` (returned running)."""
+    return QueryServer(stores, config=config, host=host, port=port).start()

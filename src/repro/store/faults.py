@@ -20,7 +20,14 @@ matches against):
 ``manifest.write``                      manifest body ``write()`` call
 ``manifest.before_rename``              manifest temp durable, pointer not moved
 ``manifest.after_rename``               new generation visible
+``serve.handle``                        request admitted, handler about to run
+``serve.response``                      response body ``write()`` to the socket
 ======================================  =========================================
+
+The ``serve.*`` checkpoints are the query service's seams: a ``"delay"``
+plan at ``serve.handle`` simulates a slow handler (deadline expiry under
+load), and a ``torn_write`` at ``serve.response`` drops the connection
+mid-body — the client sees a truncated response and must retry.
 
 Two failure species:
 
@@ -42,6 +49,8 @@ from __future__ import annotations
 
 import errno
 import os
+import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -94,16 +103,23 @@ class FaultPlan:
     ``"disk_full"``
         Write ``after_bytes``, then raise ``ENOSPC`` (recoverable: the
         writer's cleanup runs).
+    ``"delay"``
+        Sleep ``delay_s`` seconds at the checkpoint, then continue — a slow
+        handler / stalled disk, not a failure.  The serve tests use it to
+        force deadline expiry deterministically.
 
     ``skip`` checkpoints pass through before the fault arms (e.g. ``skip=2``
     on ``store.write`` lets two columns land intact first).  Each plan fires
-    at most once.
+    at most once, except ``"delay"`` with ``repeat=True`` which fires at
+    every matching checkpoint (sustained slowness, not a one-off stall).
     """
 
     step: str
     action: str = "crash"
     after_bytes: int = 0
     skip: int = 0
+    delay_s: float = 0.0
+    repeat: bool = False
     fired: bool = field(default=False, init=False)
 
     def matches(self, step: str) -> bool:
@@ -114,21 +130,29 @@ class _Injector:
     def __init__(self, plans: List[FaultPlan]) -> None:
         self.plans = plans
         self.fired: List[FaultPlan] = []
+        # Serve checkpoints fire from concurrent handler threads; arming
+        # (the check-then-mark on skip/fired) must be atomic.
+        self._lock = threading.Lock()
 
     def _arm(self, step: str) -> Optional[FaultPlan]:
-        for plan in self.plans:
-            if plan.matches(step):
-                if plan.skip > 0:
-                    plan.skip -= 1
-                    return None
-                plan.fired = True
-                self.fired.append(plan)
-                return plan
-        return None
+        with self._lock:
+            for plan in self.plans:
+                if plan.matches(step):
+                    if plan.skip > 0:
+                        plan.skip -= 1
+                        return None
+                    if not plan.repeat:
+                        plan.fired = True
+                    self.fired.append(plan)
+                    return plan
+            return None
 
     def checkpoint(self, step: str) -> None:
         plan = self._arm(step)
         if plan is None:
+            return
+        if plan.action == "delay":
+            time.sleep(plan.delay_s)
             return
         if plan.action == "crash":
             raise InjectedCrash(step)
@@ -137,6 +161,10 @@ class _Injector:
     def write(self, handle: IO[bytes], data: bytes, step: str) -> None:
         plan = self._arm(step)
         if plan is None:
+            handle.write(data)
+            return
+        if plan.action == "delay":
+            time.sleep(plan.delay_s)
             handle.write(data)
             return
         cut = max(0, min(int(plan.after_bytes), len(data)))

@@ -1,0 +1,51 @@
+"""Serve-test fixtures: a small segmented fleet and a running server."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import QueryServer, ServeClient, ServerConfig
+from repro.store import write_fleet_store, write_segmented_fleet
+
+N_METERS = 10
+N_SAMPLES = 192
+SEGMENT_WINDOWS = 64
+
+
+def fleet_values(seed: int = 3) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(N_METERS, N_SAMPLES)).cumsum(axis=1)
+
+
+@pytest.fixture()
+def fleet_dir(tmp_path):
+    """A three-segment ``.rsyms`` store of 10 meters."""
+    path = tmp_path / "fleet.rsyms"
+    store = write_segmented_fleet(
+        path, fleet_values(), alphabet_size=8,
+        segment_windows=SEGMENT_WINDOWS,
+    )
+    store.close()
+    return path
+
+
+@pytest.fixture()
+def fleet_file(tmp_path):
+    """The same fleet as one ``.rsym`` file."""
+    path = tmp_path / "fleet.rsym"
+    store = write_fleet_store(path, fleet_values(), alphabet_size=8)
+    store.close()
+    return path
+
+
+@pytest.fixture()
+def server(fleet_dir):
+    srv = QueryServer({"fleet": fleet_dir}, ServerConfig()).start()
+    yield srv
+    srv.shutdown()
+
+
+@pytest.fixture()
+def client(server):
+    return ServeClient(server.url, timeout=10.0)

@@ -1,0 +1,97 @@
+"""Admission gate: bounded concurrency, bounded queue, fast shed."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import Overloaded
+from repro.serve import AdmissionGate
+
+
+class TestAdmissionGate:
+    def test_admits_up_to_max_concurrent(self):
+        gate = AdmissionGate(max_concurrent=2, max_queue=0)
+        with gate.admit():
+            with gate.admit():
+                assert gate.active == 2
+
+    def test_sheds_beyond_queue(self):
+        gate = AdmissionGate(max_concurrent=1, max_queue=0)
+        with gate.admit():
+            with pytest.raises(Overloaded) as info:
+                with gate.admit():
+                    pass
+            assert info.value.code == "serve.overloaded"
+            assert info.value.retry_after is not None
+        assert gate.shed_total == 1
+
+    def test_queued_request_gets_freed_slot(self):
+        gate = AdmissionGate(max_concurrent=1, max_queue=1, queue_timeout=5.0)
+        entered = threading.Event()
+        release = threading.Event()
+        results = []
+
+        def holder():
+            with gate.admit():
+                entered.set()
+                release.wait(timeout=5.0)
+
+        def waiter():
+            entered.wait(timeout=5.0)
+            with gate.admit():
+                results.append("ran")
+
+        t1 = threading.Thread(target=holder)
+        t2 = threading.Thread(target=waiter)
+        t1.start(), t2.start()
+        entered.wait(timeout=5.0)
+        time.sleep(0.05)              # let the waiter actually queue
+        assert gate.waiting == 1
+        release.set()
+        t1.join(timeout=5.0), t2.join(timeout=5.0)
+        assert results == ["ran"]
+        assert gate.active == 0 and gate.waiting == 0
+
+    def test_queue_timeout_sheds_instead_of_convoy(self):
+        gate = AdmissionGate(max_concurrent=1, max_queue=1, queue_timeout=0.05)
+        release = threading.Event()
+        outcome = []
+
+        def holder():
+            with gate.admit():
+                release.wait(timeout=5.0)
+
+        t1 = threading.Thread(target=holder)
+        t1.start()
+        time.sleep(0.02)
+        with pytest.raises(Overloaded):
+            with gate.admit():
+                outcome.append("should not run")
+        release.set()
+        t1.join(timeout=5.0)
+        assert not outcome
+        assert gate.waiting == 0
+
+    def test_slot_released_on_handler_exception(self):
+        gate = AdmissionGate(max_concurrent=1, max_queue=0)
+        with pytest.raises(RuntimeError):
+            with gate.admit():
+                raise RuntimeError("handler blew up")
+        with gate.admit():           # slot must be free again
+            assert gate.active == 1
+
+    def test_snapshot_counters(self):
+        gate = AdmissionGate(max_concurrent=2, max_queue=1)
+        with gate.admit():
+            pass
+        snap = gate.snapshot()
+        assert snap["admitted_total"] == 1
+        assert snap["shed_total"] == 0
+        assert snap["max_concurrent"] == 2
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            AdmissionGate(max_concurrent=0)

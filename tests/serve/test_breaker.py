@@ -1,0 +1,82 @@
+"""Circuit breaker: the closed → open → half-open → closed machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        assert not breaker.record_failure()
+        assert not breaker.record_failure()
+        assert breaker.record_failure()          # third one trips
+        assert breaker.state == "open"
+        assert breaker.trips_total == 1
+
+    def test_closed_allows_open_denies(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0,
+                                 clock=clock)
+        assert breaker.allow_trial()
+        breaker.record_failure()
+        assert not breaker.allow_trial()
+
+    def test_half_open_after_timeout_single_trial(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state == "half-open"
+        assert breaker.allow_trial()             # exactly one trial
+        assert not breaker.allow_trial()         # concurrent caller denied
+
+    def test_successful_trial_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow_trial()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow_trial()
+
+    def test_failed_trial_rearms_timer(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow_trial()
+        breaker.record_failure()                 # trial failed
+        assert breaker.state == "open"
+        clock.advance(0.5)
+        assert not breaker.allow_trial()         # timer restarted
+        clock.advance(0.5)
+        assert breaker.allow_trial()
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"         # streak broken, no trip
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)

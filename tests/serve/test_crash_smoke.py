@@ -1,0 +1,131 @@
+"""Serve crash smoke: SIGKILL a real server process, restart, retry.
+
+The serving story must survive the real thing, not just injected faults:
+a ``repro serve`` subprocess killed with ``SIGKILL`` mid-conversation.
+The client's retry loop (connection-refused is retryable) must ride over
+the restart, and an append retried across the crash must not duplicate —
+its idempotency key is durable in the manifest, so the restarted process
+recognises and replays it.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.serve import RetryBudget, RetryPolicy, ServeClient
+from repro.store import write_segmented_fleet
+from repro.store.segments import SegmentedStore
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _spawn_server(store: Path, port: int) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", f"fleet={store}",
+         "--port", str(port)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env={**os.environ, "PYTHONPATH": str(SRC)},
+    )
+
+
+def _await_up(client: ServeClient, timeout: float = 15.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            if client.healthz()["ok"]:
+                return
+        except Exception:
+            time.sleep(0.05)
+    raise AssertionError("server did not come up in time")
+
+
+@pytest.fixture()
+def fleet(tmp_path):
+    path = tmp_path / "fleet.rsyms"
+    values = np.random.default_rng(11).normal(size=(6, 128)).cumsum(axis=1)
+    write_segmented_fleet(
+        path, values, alphabet_size=8, segment_windows=64
+    ).close()
+    return path
+
+
+def test_sigkill_restart_same_port_no_duplicate_append(fleet):
+    port = _free_port()
+    url = f"http://127.0.0.1:{port}"
+    probe = ServeClient(url, timeout=5.0,
+                        policy=RetryPolicy(max_attempts=1))
+
+    proc = _spawn_server(fleet, port)
+    try:
+        _await_up(probe)
+        with SegmentedStore.open(fleet) as store:
+            matrix = np.vstack([store.indices(i)[-8:] for i in store.ids])
+            segments_before = store.n_segments
+
+        # One append lands before the crash; its key is now durable.
+        first = probe.append("fleet", matrix, idempotency_key="crash-key")
+        assert first["duplicate"] is False
+        expected_ids = probe.agg("fleet")["ids"]
+
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+
+        # A patient client starts retrying against the dead port while the
+        # operator restarts the server.  Connection-refused is retryable;
+        # the same idempotency key rides every attempt.
+        patient = ServeClient(
+            url, timeout=5.0,
+            policy=RetryPolicy(max_attempts=60, backoff_base=0.05,
+                               backoff_cap=0.2),
+            # An outage this long would normally drain the retry budget —
+            # that is the point of the budget.  This client is explicitly
+            # provisioned to wait out a restart.
+            budget=RetryBudget(reserve=100.0),
+        )
+        outcome = {}
+
+        def retry_append():
+            try:
+                outcome["append"] = patient.append(
+                    "fleet", matrix, idempotency_key="crash-key"
+                )
+                outcome["agg"] = patient.agg("fleet")
+            except BaseException as exc:  # noqa: BLE001
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=retry_append)
+        thread.start()
+        time.sleep(0.3)                  # let a few retries hit the void
+
+        proc = _spawn_server(fleet, port)
+        thread.join(timeout=30.0)
+        assert not thread.is_alive(), "client never got through"
+        assert "error" not in outcome, f"retry failed: {outcome.get('error')}"
+
+        # The restarted process recognised the durable key: no new segment.
+        assert outcome["append"]["duplicate"] is True
+        assert outcome["append"]["segment"] == first["segment"]
+        assert outcome["agg"]["ids"] == expected_ids
+        with SegmentedStore.open(fleet) as store:
+            assert store.n_segments == segments_before + 1
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)

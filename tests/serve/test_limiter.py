@@ -1,0 +1,81 @@
+"""Token bucket: refill math, burst bounds, honest retry hints."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3, clock=clock)
+        assert [bucket.acquire()[0] for _ in range(3)] == [True] * 3
+        ok, retry_after = bucket.acquire()
+        assert not ok
+        assert retry_after == pytest.approx(0.1)
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        bucket.acquire(), bucket.acquire()
+        assert not bucket.acquire()[0]
+        clock.advance(0.1)        # exactly one token back
+        assert bucket.acquire()[0]
+        assert not bucket.acquire()[0]
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.advance(60.0)
+        assert bucket.available() == 2.0
+
+    def test_retry_after_is_time_to_next_token(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        bucket.acquire()
+        _, retry_after = bucket.acquire()
+        assert retry_after == pytest.approx(0.5)
+
+    def test_unlimited_when_rate_none(self):
+        bucket = TokenBucket(rate=None)
+        assert all(bucket.acquire()[0] for _ in range(1000))
+        assert bucket.available() == float("inf")
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+
+    def test_thread_safety_no_overdraw(self):
+        """N threads racing a bucket of B tokens admit exactly B."""
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=50, clock=clock)
+        admitted = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            for _ in range(25):
+                if bucket.acquire()[0]:
+                    admitted.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(admitted) == 50

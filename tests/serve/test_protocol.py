@@ -1,0 +1,91 @@
+"""Wire contract: error envelopes, request validation, float round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    BadRequest,
+    DeadlineExceeded,
+    Overloaded,
+    QueryError,
+    RateLimited,
+    UnknownStore,
+)
+from repro.serve import protocol
+
+
+class TestErrorBody:
+    def test_code_and_message(self):
+        body = protocol.error_body(RateLimited("too fast", retry_after=0.25))
+        assert body["error"]["code"] == "serve.rate-limited"
+        assert body["error"]["message"] == "too fast"
+        assert body["error"]["retry_after"] == 0.25
+
+    def test_deadline_carries_accounting(self):
+        error = DeadlineExceeded(
+            "out of time", budget_ms=50.0, elapsed_ms=61.0,
+            completed=3, total=10,
+        )
+        info = protocol.error_body(error)["error"]
+        assert info["code"] == "query.deadline-exceeded"
+        assert info["budget_ms"] == 50.0
+        assert info["completed"] == 3
+        assert info["total"] == 10
+
+    def test_status_mapping(self):
+        assert protocol.status_of(RateLimited("x")) == 429
+        assert protocol.status_of(Overloaded("x")) == 503
+        assert protocol.status_of(UnknownStore("x")) == 404
+        assert protocol.status_of(BadRequest("x")) == 400
+        assert protocol.status_of(DeadlineExceeded("x")) == 504
+        assert protocol.status_of(QueryError("x")) == 400
+        assert protocol.status_of(RuntimeError("x")) == 500
+
+    def test_envelope_is_json_encodable(self):
+        raw = protocol.dumps(protocol.error_body(Overloaded("full")))
+        decoded = json.loads(raw)
+        assert decoded["error"]["code"] == "serve.overloaded"
+
+
+class TestParsing:
+    def test_rejects_non_json(self):
+        with pytest.raises(BadRequest):
+            protocol.parse_body(b"not json{")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(BadRequest):
+            protocol.parse_body(b"[1, 2]")
+
+    def test_empty_body_is_empty_dict(self):
+        assert protocol.parse_body(b"") == {}
+
+    def test_queries_required(self):
+        with pytest.raises(BadRequest):
+            protocol.parse_queries({})
+
+    def test_queries_must_be_numeric(self):
+        with pytest.raises(BadRequest):
+            protocol.parse_queries({"queries": ["a", "b"]})
+
+    def test_queries_shape(self):
+        arr = protocol.parse_queries({"queries": [[1.0, 2.0], [3.0, 4.0]]})
+        assert arr.shape == (2, 2)
+        with pytest.raises(BadRequest):
+            protocol.parse_queries({"queries": []})
+
+    def test_meters_must_be_list(self):
+        with pytest.raises(BadRequest):
+            protocol.parse_meters({"meters": "zero"})
+        assert protocol.parse_meters({}) is None
+
+
+class TestFloatRoundTrip:
+    def test_json_floats_are_bit_identical(self):
+        """The parity claim rests on repr round-tripping; pin it."""
+        values = np.random.default_rng(5).normal(size=1000)
+        decoded = json.loads(json.dumps(values.tolist()))
+        assert np.asarray(decoded).tobytes() == values.tobytes()

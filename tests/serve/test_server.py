@@ -1,0 +1,337 @@
+"""End-to-end server behaviour: parity, shedding, deadlines, degradation.
+
+The central claims pinned here:
+
+* remote results are **bit-identical** to the library path (floats survive
+  JSON via repr round-trip);
+* overload and damage always surface as *structured* responses — 429, 503,
+  504, ``"degraded": true`` — never a hang, a crash, or silently wrong
+  data;
+* a concurrent append becomes visible without restart (hot manifest-
+  generation reload) while in-flight snapshots stay consistent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    BadRequest,
+    DeadlineExceeded,
+    Overloaded,
+    RateLimited,
+    UnknownStore,
+)
+from repro.query import QueryConfig, QueryEngine
+from repro.serve import (
+    QueryServer,
+    RetryPolicy,
+    ServeClient,
+    ServerConfig,
+)
+from repro.store import append_segment, faults
+from repro.store.faults import FaultPlan
+from repro.store.segments import SegmentedStore
+
+from .conftest import SEGMENT_WINDOWS, fleet_values
+
+
+def no_retry(url: str) -> ServeClient:
+    return ServeClient(
+        url, timeout=10.0, policy=RetryPolicy(max_attempts=1)
+    )
+
+
+class TestParity:
+    """Remote results must be bit-identical to the library path."""
+
+    def test_knn(self, server, client, fleet_dir):
+        with QueryEngine.open(fleet_dir) as engine:
+            T = int(engine.store.counts[0])
+            queries = fleet_values()[:3, :T]
+            local = engine.knn(queries, QueryConfig(k=4))
+        remote = client.knn("fleet", queries, k=4)
+        assert remote["positions"] == local.positions.tolist()
+        assert remote["ids"] == local.ids
+        assert (
+            np.asarray(remote["distances"]).tobytes()
+            == local.distances.tobytes()
+        )
+        assert remote["stats"]["refined"] == local.stats.refined
+        assert remote["degraded"] is False
+
+    def test_match(self, server, client, fleet_dir):
+        with QueryEngine.open(fleet_dir) as engine:
+            local = engine.match("a{2,} *")
+        remote = client.match("fleet", "a{2,} *")
+        assert remote["total_matches"] == local.total_matches
+        spans = {
+            str(k): [[int(a), int(b)] for a, b in v]
+            for k, v in local.spans.items()
+        }
+        assert remote["spans"] == spans
+
+    def test_agg(self, server, client, fleet_dir):
+        with QueryEngine.open(fleet_dir) as engine:
+            local = engine.aggregate()
+        remote = client.agg("fleet")
+        assert remote["ids"] == list(local.ids)
+        assert remote["symbol_counts"] == local.symbol_counts.tolist()
+        assert (
+            np.asarray(remote["duty_cycle"]).tobytes()
+            == local.duty_cycle.tobytes()
+        )
+
+    def test_anomaly_and_drift(self, server, client, fleet_dir):
+        with QueryEngine.open(fleet_dir) as engine:
+            anomaly = engine.anomaly()
+            drift = engine.drift()
+        remote_anomaly = client.anomaly("fleet")
+        remote_drift = client.drift("fleet")
+        assert (
+            np.asarray(remote_anomaly["scores"]).tobytes()
+            == anomaly.scores.tobytes()
+        )
+        assert (
+            np.asarray(remote_drift["distances"]).tobytes()
+            == drift.distances.tobytes()
+        )
+        assert remote_drift["reference"] == drift.reference
+
+    def test_private_agg(self, server, client, fleet_dir):
+        with QueryEngine.open(fleet_dir) as engine:
+            local = engine.private_aggregate(k_anon=3, epsilon=2.0, seed=9)
+        remote = client.private_agg("fleet", k_anon=3, epsilon=2.0, seed=9)
+        assert (
+            np.asarray(remote["symbol_counts"]).tobytes()
+            == local.symbol_counts.tobytes()
+        )
+
+    def test_store_info(self, server, client, fleet_dir):
+        info = client.store_info("fleet")
+        with SegmentedStore.open(fleet_dir) as store:
+            assert info["n_meters"] == store.n_meters
+            assert info["generation"] == store.generation
+            assert info["n_segments"] == store.n_segments
+        assert info["degraded"] is False
+        assert info["breaker"]["state"] == "closed"
+
+
+class TestStructuredErrors:
+    def test_unknown_store_404(self, server):
+        with pytest.raises(UnknownStore):
+            no_retry(server.url).agg("nope")
+
+    def test_unknown_op_404(self, server):
+        client = no_retry(server.url)
+        with pytest.raises(UnknownStore):
+            client._call("POST", "/stores/fleet/frobnicate", {})
+
+    def test_bad_body_400(self, server):
+        client = no_retry(server.url)
+        with pytest.raises(BadRequest):
+            client.knn("fleet", [["not", "numbers"]])
+
+    def test_missing_pattern_400(self, server):
+        with pytest.raises(BadRequest):
+            no_retry(server.url)._call("POST", "/stores/fleet/match", {})
+
+    def test_bad_deadline_400(self, server):
+        with pytest.raises(BadRequest):
+            no_retry(server.url)._call(
+                "POST", "/stores/fleet/agg", {"deadline_ms": -5}
+            )
+
+    def test_server_survives_errors(self, server, client):
+        """After a pile of failures the server still answers healthily."""
+        bad = no_retry(server.url)
+        for _ in range(5):
+            with pytest.raises((UnknownStore, BadRequest)):
+                bad.agg("nope")
+        assert client.healthz()["ok"] is True
+
+
+class TestRateLimiting:
+    def test_429_with_retry_after(self, fleet_dir):
+        config = ServerConfig(rate=1.0, burst=2)
+        with QueryServer({"fleet": fleet_dir}, config) as server:
+            client = no_retry(server.url)
+            client.agg("fleet")
+            client.agg("fleet")
+            with pytest.raises(RateLimited) as info:
+                client.agg("fleet")
+            assert info.value.retry_after is not None
+            assert info.value.retry_after > 0
+
+    def test_healthz_is_never_limited(self, fleet_dir):
+        config = ServerConfig(rate=1.0, burst=1)
+        with QueryServer({"fleet": fleet_dir}, config) as server:
+            client = no_retry(server.url)
+            client.agg("fleet")
+            for _ in range(5):
+                assert client.healthz()["ok"] is True
+
+
+class TestOverload:
+    def test_sheds_at_2x_capacity(self, fleet_dir):
+        """With 1 slot, 0 queue and a slow handler, extra load sheds 503."""
+        config = ServerConfig(max_concurrent=1, max_queue=0)
+        with QueryServer({"fleet": fleet_dir}, config) as server:
+            outcomes = []
+            lock = threading.Lock()
+
+            def hit():
+                try:
+                    no_retry(server.url).agg("fleet")
+                    with lock:
+                        outcomes.append("ok")
+                except Overloaded:
+                    with lock:
+                        outcomes.append("shed")
+
+            with faults.inject(FaultPlan(
+                "serve.handle", action="delay", delay_s=0.3, repeat=True,
+            )):
+                threads = [threading.Thread(target=hit) for _ in range(3)]
+                for t in threads:
+                    t.start()
+                    time.sleep(0.02)   # establish arrival order
+                for t in threads:
+                    t.join(timeout=10.0)
+            assert "ok" in outcomes
+            assert "shed" in outcomes
+            # And afterwards the server is healthy again.
+            assert no_retry(server.url).agg("fleet")["ids"]
+
+
+class TestDeadlines:
+    def test_slow_handler_times_out_504(self, fleet_dir):
+        with QueryServer({"fleet": fleet_dir}, ServerConfig()) as server:
+            client = no_retry(server.url)
+            with faults.inject(FaultPlan(
+                "serve.handle", action="delay", delay_s=0.15,
+            )):
+                with pytest.raises(DeadlineExceeded) as info:
+                    client.agg("fleet", deadline_ms=50.0)
+            assert info.value.budget_ms == 50.0
+            assert info.value.elapsed_ms >= 50.0
+            # Partial-work accounting rides the 504.
+            assert info.value.completed == 0
+            # The next, un-delayed request is fine.
+            assert client.agg("fleet", deadline_ms=5000.0)["ids"]
+
+    def test_expired_deadline_is_not_retried(self, server):
+        client = ServeClient(server.url, timeout=10.0)
+        before = client.retries_total
+        with faults.inject(FaultPlan(
+            "serve.handle", action="delay", delay_s=0.15,
+        )):
+            with pytest.raises(DeadlineExceeded):
+                client.agg("fleet", deadline_ms=50.0)
+        assert client.retries_total == before
+
+    def test_default_deadline_from_config(self, fleet_dir):
+        config = ServerConfig(default_deadline_ms=50.0)
+        with QueryServer({"fleet": fleet_dir}, config) as server:
+            with faults.inject(FaultPlan(
+                "serve.handle", action="delay", delay_s=0.15,
+            )):
+                with pytest.raises(DeadlineExceeded):
+                    no_retry(server.url).agg("fleet")
+
+
+class TestHotReload:
+    def test_append_becomes_visible_without_restart(
+        self, server, client, fleet_dir
+    ):
+        info_before = client.store_info("fleet")
+        with SegmentedStore.open(fleet_dir) as store:
+            matrix = np.vstack([
+                store.indices(i)[-8:] for i in store.ids
+            ])
+        append_segment(fleet_dir, matrix, reason="concurrent-writer")
+        info_after = client.store_info("fleet")
+        assert info_after["generation"] == info_before["generation"] + 1
+        agg = client.agg("fleet")
+        with QueryEngine.open(fleet_dir) as engine:
+            local = engine.aggregate()
+        assert agg["symbol_counts"] == local.symbol_counts.tolist()
+
+    def test_inflight_snapshot_survives_reload(self, server, fleet_dir):
+        handle = server.manager.handle("fleet")
+        old = handle.lease()
+        old_generation = old.engine.store.generation
+        with SegmentedStore.open(fleet_dir) as store:
+            matrix = np.vstack([store.indices(i)[-8:] for i in store.ids])
+        append_segment(fleet_dir, matrix)
+        new = handle.lease()
+        assert new is not old
+        assert new.engine.store.generation == old_generation + 1
+        # The old snapshot still answers (its mmap is alive) until released.
+        assert old.engine.store.n_symbols > 0
+        old.release()
+        new.release()
+        assert handle.reloads_total >= 1
+
+
+class TestIdempotentAppend:
+    def test_same_key_appends_once(self, server, client, fleet_dir):
+        with SegmentedStore.open(fleet_dir) as store:
+            matrix = np.vstack([store.indices(i)[-8:] for i in store.ids])
+            segments_before = store.n_segments
+        first = client.append("fleet", matrix, idempotency_key="abc")
+        second = client.append("fleet", matrix, idempotency_key="abc")
+        assert first["duplicate"] is False
+        assert second["duplicate"] is True
+        assert second["segment"] == first["segment"]
+        with SegmentedStore.open(fleet_dir) as store:
+            assert store.n_segments == segments_before + 1
+
+    def test_different_keys_append_twice(self, server, client, fleet_dir):
+        with SegmentedStore.open(fleet_dir) as store:
+            matrix = np.vstack([store.indices(i)[-8:] for i in store.ids])
+            segments_before = store.n_segments
+        client.append("fleet", matrix, idempotency_key="k1")
+        client.append("fleet", matrix, idempotency_key="k2")
+        with SegmentedStore.open(fleet_dir) as store:
+            assert store.n_segments == segments_before + 2
+
+    def test_append_to_file_store_is_400(self, fleet_file):
+        with QueryServer({"fleet": fleet_file}) as server:
+            with pytest.raises(BadRequest):
+                no_retry(server.url).append("fleet", [[0, 1]])
+
+
+class TestFileStore:
+    """Single-file ``.rsym`` stores serve through the same surface."""
+
+    def test_knn_parity(self, fleet_file):
+        with QueryServer({"fleet": fleet_file}) as server:
+            with QueryEngine.open(fleet_file) as engine:
+                T = int(engine.store.counts[0])
+                queries = fleet_values()[:2, :T]
+                local = engine.knn(queries, QueryConfig(k=3))
+            remote = no_retry(server.url).knn("fleet", queries, k=3)
+            assert (
+                np.asarray(remote["distances"]).tobytes()
+                == local.distances.tobytes()
+            )
+
+    def test_file_rewrite_reloads(self, tmp_path):
+        from repro.store import write_fleet_store
+
+        path = tmp_path / "fleet.rsym"
+        write_fleet_store(path, fleet_values(), alphabet_size=8).close()
+        with QueryServer({"fleet": path}) as server:
+            client = no_retry(server.url)
+            before = client.store_info("fleet")["n_symbols"]
+            time.sleep(0.01)    # ensure a distinct mtime stamp
+            write_fleet_store(
+                path, fleet_values()[:, :96], alphabet_size=8
+            ).close()
+            after = client.store_info("fleet")["n_symbols"]
+            assert after != before
