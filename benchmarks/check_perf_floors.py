@@ -7,7 +7,9 @@ Usage::
 Each argument is a pytest-benchmark ``--benchmark-json`` output file whose
 basename has an entry in ``benchmarks/perf_floors.json``.  For every rule
 under that entry, each benchmark whose test name starts with the rule's
-``prefix`` must report ``extra_info[key] >= floor``.  The floors are
+``prefix`` must report ``extra_info[key] >= floor`` — or, for ceiling
+rules, ``extra_info[key] <= ceil`` (used for the telemetry overhead gate:
+the traced-vs-untraced fraction must stay under 3 %).  The floors are
 deliberately generous (see the ``_comment`` in the floors file): this is a
 smoke check against order-of-magnitude regressions, not a precision gate.
 
@@ -40,6 +42,17 @@ def check_file(report_path: Path, rules: list) -> list:
                     f"{report_path.name}::{name}: extra_info has no "
                     f"'{rule['key']}' (keys: {sorted(extra)})"
                 )
+            elif "ceil" in rule:
+                if value > rule["ceil"]:
+                    failures.append(
+                        f"{report_path.name}::{name}: {rule['key']} = "
+                        f"{value:.4f} > ceiling {rule['ceil']:.4f}"
+                    )
+                else:
+                    print(
+                        f"ok  {report_path.name}::{name}: {rule['key']} = "
+                        f"{value:.4f} (ceiling {rule['ceil']:.4f})"
+                    )
             elif value < rule["floor"]:
                 failures.append(
                     f"{report_path.name}::{name}: {rule['key']} = "

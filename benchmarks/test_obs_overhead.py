@@ -1,0 +1,172 @@
+"""Telemetry overhead benchmarks (``BENCH_obs.json``).
+
+The tentpole's contract is that observability is effectively free: span
+lifecycle and histogram recording are sub-microsecond, registry snapshots
+are cheap enough to take per worker shard, and a fully traced kNN batch
+runs within a few percent of the untraced one.  CI runs this file with
+``--benchmark-json=BENCH_obs.json``; ``check_perf_floors.py`` gates the
+micro-op floors AND the traced-vs-untraced ceiling (≤ 3 %).
+
+The A/B measurement interleaves traced and untraced batches and compares
+medians, so a noisy neighbour slows both arms instead of biasing one.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    disable_tracing,
+    enable_tracing,
+    registry,
+    set_metrics_enabled,
+    span,
+    tracer,
+)
+from repro.query import QueryConfig, QueryEngine
+from repro.store import write_fleet_store
+
+N_METERS = 128
+WINDOWS = 384
+N_QUERIES = 32
+
+
+@pytest.fixture(autouse=True)
+def _restore_telemetry():
+    yield
+    set_metrics_enabled(True)
+    disable_tracing()
+    tracer().clear()
+
+
+@pytest.fixture(scope="module")
+def obs_store(tmp_path_factory):
+    rng = np.random.default_rng(31)
+    levels = np.exp(rng.normal(5.0, 1.0, size=N_METERS))[:, None]
+    values = np.abs(levels * (1.0 + rng.normal(0, 0.1, size=(N_METERS, WINDOWS))))
+    path = tmp_path_factory.mktemp("bench_obs") / "fleet.rsym"
+    store = write_fleet_store(
+        path, values, alphabet_size=8, shared_table=True, query_index=True,
+    )
+    store.close()
+    return path
+
+
+def test_span_lifecycle_overhead(benchmark):
+    """Start/stop cost of a nested span pair, tracing enabled."""
+    enable_tracing()
+    n = 1000
+
+    def run():
+        for _ in range(n):
+            with span("bench.outer", k=5):
+                with span("bench.inner"):
+                    pass
+        tracer().clear()  # keep the ring from holding 2n trees
+
+    benchmark(run)
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["spans_per_s"] = 2 * n / mean
+    benchmark.extra_info["span_ns"] = 1e9 * mean / (2 * n)
+
+
+def test_histogram_record_overhead(benchmark):
+    """One ``observe`` on a live latency histogram."""
+    reg = MetricsRegistry()
+    hist = reg.histogram("bench.seconds", buckets=LATENCY_BUCKETS)
+    n = 10000
+
+    def run():
+        for index in range(n):
+            hist.observe(0.0001 * (index % 50))
+
+    benchmark(run)
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["records_per_s"] = n / mean
+    benchmark.extra_info["record_ns"] = 1e9 * mean / n
+
+
+def test_counter_inc_overhead(benchmark):
+    """One labelled-counter increment through a cached instrument."""
+    reg = MetricsRegistry()
+    counter = reg.counter("bench.events_total", op="knn")
+    n = 10000
+
+    def run():
+        for _ in range(n):
+            counter.inc()
+
+    benchmark(run)
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["incs_per_s"] = n / mean
+    benchmark.extra_info["inc_ns"] = 1e9 * mean / n
+
+
+def test_registry_snapshot_latency(benchmark):
+    """Snapshot of a registry sized like a busy server's."""
+    reg = MetricsRegistry()
+    for index in range(60):
+        reg.counter("bench.series_total", shard=str(index)).inc(index)
+    for index in range(30):
+        reg.histogram(
+            "bench.latency_seconds", buckets=LATENCY_BUCKETS, op=str(index)
+        ).observe(0.01)
+    snap = benchmark(reg.snapshot)
+    assert len(snap["counters"]) == 60
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["snapshots_per_s"] = 1.0 / mean
+    benchmark.extra_info["snapshot_ms"] = 1e3 * mean
+    benchmark.extra_info["n_series"] = 90
+
+
+def test_traced_vs_untraced_knn(benchmark, obs_store):
+    """Full kNN batches with telemetry fully on vs fully off, interleaved."""
+    engine = QueryEngine.open(obs_store)
+    queries = engine.store.decode(
+        meters=[engine.store.ids[i] for i in range(N_QUERIES)]
+    )
+    config = QueryConfig(k=5)
+
+    def run_batch():
+        return engine.knn(queries, config)
+
+    def timed() -> float:
+        start = time.perf_counter()
+        run_batch()
+        return time.perf_counter() - start
+
+    # Warm both paths (index build, decode caches) before measuring.
+    baseline = run_batch()
+    off_times, on_times = [], []
+    for _ in range(7):
+        set_metrics_enabled(False)
+        disable_tracing()
+        off_times.append(timed())
+        set_metrics_enabled(True)
+        enable_tracing()
+        on_times.append(timed())
+        tracer().clear()
+    off_median = statistics.median(off_times)
+    on_median = statistics.median(on_times)
+    overhead = max(0.0, on_median / off_median - 1.0)
+
+    # Results are bit-identical either way (telemetry never changes work).
+    set_metrics_enabled(True)
+    enable_tracing()
+    traced = run_batch()
+    np.testing.assert_array_equal(baseline.positions, traced.positions)
+    np.testing.assert_array_equal(baseline.distances, traced.distances)
+
+    benchmark.pedantic(run_batch, rounds=3, iterations=1)
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["n_queries"] = N_QUERIES
+    benchmark.extra_info["traced_queries_per_s"] = N_QUERIES / mean
+    benchmark.extra_info["untraced_queries_per_s"] = N_QUERIES / off_median
+    benchmark.extra_info["overhead_fraction"] = overhead
+    engine.close()

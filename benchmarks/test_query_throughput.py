@@ -16,11 +16,45 @@ must scan fewer elements than the expanded windows.
 
 from __future__ import annotations
 
+import statistics
+import time
+
 import numpy as np
 import pytest
 
+from repro.obs import disable_tracing, enable_tracing, set_metrics_enabled, tracer
 from repro.query import QueryConfig, QueryEngine, build_query_index
 from repro.store import write_fleet_store
+
+
+def measure_obs_overhead(run_batch, pairs: int = 7) -> float:
+    """Median overhead fraction of telemetry-on vs telemetry-off batches.
+
+    Interleaves the arms so ambient machine noise slows both instead of
+    biasing one; restores telemetry to its defaults (metrics on, tracing
+    off) before returning.
+    """
+    def timed() -> float:
+        start = time.perf_counter()
+        run_batch()
+        return time.perf_counter() - start
+
+    off_times, on_times = [], []
+    try:
+        for _ in range(pairs):
+            set_metrics_enabled(False)
+            disable_tracing()
+            off_times.append(timed())
+            set_metrics_enabled(True)
+            enable_tracing()
+            on_times.append(timed())
+            tracer().clear()
+    finally:
+        set_metrics_enabled(True)
+        disable_tracing()
+    return max(
+        0.0, statistics.median(on_times) / statistics.median(off_times) - 1.0
+    )
 
 #: Benchmark fleet: a week of 15-minute windows for 192 meters whose
 #: consumption levels span ~3 orders of magnitude (the paper's Figure 3
@@ -78,6 +112,10 @@ def test_knn_pruned_throughput(benchmark, query_store, query_batch):
     benchmark.extra_info["candidates_decoded_per_query"] = stats.refined_per_query
     benchmark.extra_info["decoded_fraction"] = stats.decoded_fraction
     benchmark.extra_info["pruning_ratio"] = stats.pruned_fraction
+    # Tentpole gate: full tracing + metrics must cost <= 3 % on this path.
+    benchmark.extra_info["obs_overhead_fraction"] = measure_obs_overhead(
+        lambda: engine.knn(query_batch, config)
+    )
 
 
 def test_knn_brute_force_throughput(benchmark, query_store, query_batch):

@@ -107,6 +107,14 @@ def test_concurrent_query_throughput(benchmark, fleet_dir):
         benchmark.extra_info["p99_ms"] = 1e3 * ordered[
             min(len(ordered) - 1, int(len(ordered) * 0.99))
         ]
+        # Tentpole gate: the server shares this process, so toggling the
+        # global registry/tracer toggles its telemetry too.  Full request
+        # tracing must cost <= 3 % end-to-end.
+        from benchmarks.test_query_throughput import measure_obs_overhead
+
+        benchmark.extra_info["obs_overhead_fraction"] = measure_obs_overhead(
+            lambda: _drive(server.url, 4, 6), pairs=5,
+        )
 
 
 def test_shed_rate_at_2x_capacity(benchmark, fleet_dir):

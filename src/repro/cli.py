@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -62,6 +63,15 @@ def _add_remote_argument(parser: argparse.ArgumentParser) -> None:
         "--remote", type=str, default="", metavar="URL",
         help="query a running 'repro serve' instance instead of a local "
              "file; PATH is then the server-side store name",
+    )
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="print the structured trace (span tree + work accounting) for "
+             "this query on stderr; with --remote the trace is fetched from "
+             "the server's /traces/recent by the propagated trace id",
     )
 
 
@@ -425,7 +435,101 @@ def _cmd_query_index(args: argparse.Namespace) -> int:
 def _remote_client(args: argparse.Namespace):
     from .serve import ServeClient
 
-    return ServeClient(args.remote)
+    return ServeClient(args.remote, trace_id=getattr(args, "_trace_id", None))
+
+
+def _span_accounting(root: dict) -> dict:
+    """Sum the numeric work-accounting attributes across a span tree.
+
+    A key is only counted at its *deepest* carriers: parent spans roll up
+    their children's numbers (plan.run repeats the shard totals), so summing
+    every level would double-count the same work.
+    """
+    keys = ("columns_decoded", "runs_read", "refined",
+            "refine_rounds", "items", "kept")
+    totals: dict = {}
+
+    def walk(node: dict) -> set:
+        carried = set()
+        for child in node.get("children", ()):
+            carried |= walk(child)
+        attrs = node.get("attributes", {})
+        for key in keys:
+            value = attrs.get(key)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                if key not in carried:
+                    totals[key] = totals.get(key, 0) + value
+                carried.add(key)
+        return carried
+
+    walk(root)
+    return totals
+
+
+def _print_trace(root: dict) -> None:
+    from .obs import format_span_tree
+
+    print(format_span_tree(root), file=sys.stderr)
+    totals = _span_accounting(root)
+    if totals:
+        parts = ", ".join(f"{k}={totals[k]}" for k in sorted(totals))
+        print(f"work accounting: {parts}", file=sys.stderr)
+
+
+@contextmanager
+def _trace_session(args: argparse.Namespace):
+    """Run a query command with tracing on; print the trace on exit.
+
+    Local queries record into the in-process ring buffer; remote queries
+    propagate a fresh trace id via ``X-Repro-Trace-Id`` and fetch the
+    matching server-side trace from ``/traces/recent`` afterwards.
+    """
+    if not getattr(args, "trace", False):
+        yield
+        return
+    from .obs import new_trace_id, registry, tracer
+
+    if getattr(args, "remote", ""):
+        args._trace_id = new_trace_id()
+        yield
+        from .serve import ServeClient
+
+        traces = ServeClient(args.remote).traces_recent(64)
+        matched = [t for t in traces if t.get("trace_id") == args._trace_id]
+        if not matched:
+            print("trace: server returned no matching trace (is the server "
+                  "running with tracing enabled?)", file=sys.stderr)
+        for root in matched:
+            _print_trace(root)
+        return
+    from .obs import diff_snapshots, recent_traces
+
+    trace = tracer()
+    was_enabled = trace.enabled
+    trace.enabled = True
+    trace.clear()  # one-shot CLI process: only this command's roots matter
+    before = registry().snapshot()
+    try:
+        yield
+    finally:
+        trace.enabled = was_enabled
+        for root in reversed(recent_traces(16)):  # oldest first
+            _print_trace(root)
+
+        delta = diff_snapshots(registry().snapshot(), before)
+        counters = delta.get("counters", {})
+        if counters:
+            print("metrics delta:", file=sys.stderr)
+            for key in sorted(counters):
+                print(f"  {key} = {counters[key]}", file=sys.stderr)
+
+
+def _traced(handler):
+    """Wrap a query handler so ``--trace`` surrounds the whole command."""
+    def run(args: argparse.Namespace) -> int:
+        with _trace_session(args):
+            return handler(args)
+    return run
 
 
 def _print_degraded(response) -> None:
@@ -688,6 +792,49 @@ def _cmd_query_drift(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_tail(args: argparse.Namespace) -> int:
+    """Pretty-print span trees from a JSONL trace sink (last N, -f follows)."""
+    import json
+    import time
+
+    from .errors import ReproError
+    from .obs import format_span_tree
+
+    path = Path(args.path)
+    if not path.exists():
+        raise ReproError(f"no trace sink at {path}")
+
+    def emit(line: str) -> None:
+        line = line.strip()
+        if not line:
+            return
+        try:
+            root = json.loads(line)
+        except ValueError:
+            print("obs tail: skipped an unparseable line", file=sys.stderr)
+            return
+        print(format_span_tree(root))
+
+    with path.open("r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+        for line in lines[-args.n:]:
+            emit(line)
+        if not args.follow:
+            return 0
+        try:
+            while True:
+                position = handle.tell()
+                line = handle.readline()
+                if not line or not line.endswith("\n"):
+                    handle.seek(position)  # re-read half-written tails whole
+                    time.sleep(args.interval)
+                    continue
+                emit(line)
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -710,6 +857,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue=args.max_queue,
         default_deadline_ms=args.deadline_ms,
         workers=args.workers,
+        tracing=not args.no_tracing,
+        trace_sink=args.trace_sink or None,
     )
     server = QueryServer(stores, config, host=args.host, port=args.port)
     names = ", ".join(sorted(stores))
@@ -836,6 +985,25 @@ def build_parser() -> argparse.ArgumentParser:
                             "beyond the newest N")
     scrub.set_defaults(handler=_cmd_store_scrub)
 
+    obs = subparsers.add_parser(
+        "obs", help="observability utilities (trace sink tailing)"
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    obs_tail = obs_commands.add_parser(
+        "tail", help="pretty-print span trees from a JSONL trace sink"
+    )
+    obs_tail.add_argument("path", type=str,
+                          help="trace sink file written by the tracer "
+                               "(one JSON span tree per line)")
+    obs_tail.add_argument("--n", type=int, default=8,
+                          help="finished traces printed from the tail")
+    obs_tail.add_argument("-f", "--follow", action="store_true",
+                          help="keep the file open and print new traces as "
+                               "they are appended")
+    obs_tail.add_argument("--interval", type=float, default=0.25,
+                          help="poll interval in seconds with --follow")
+    obs_tail.set_defaults(handler=_cmd_obs_tail)
+
     serve = subparsers.add_parser(
         "serve", help="run the HTTP query server over one or more stores"
     )
@@ -855,6 +1023,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "this the server sheds with 503")
     serve.add_argument("--deadline-ms", type=float, default=None,
                        help="default per-request deadline (504 on expiry)")
+    serve.add_argument("--no-tracing", action="store_true",
+                       help="disable request tracing (/traces/recent will "
+                            "be empty; removes even the tiny span overhead)")
+    serve.add_argument("--trace-sink", type=str, default="", metavar="FILE",
+                       help="append every finished request trace to FILE as "
+                            "JSON lines (tail with 'repro obs tail FILE')")
     _add_workers_argument(serve)
     serve.set_defaults(handler=_cmd_serve)
 
@@ -891,7 +1065,8 @@ def build_parser() -> argparse.ArgumentParser:
                           "refined/query, decoded fraction)")
     _add_workers_argument(knn)
     _add_remote_argument(knn)
-    knn.set_defaults(handler=_cmd_query_knn)
+    _add_trace_argument(knn)
+    knn.set_defaults(handler=_traced(_cmd_query_knn))
 
     match = query_commands.add_parser(
         "match", help="run-level symbol pattern matching (e.g. \"h{4,} * a\")"
@@ -902,7 +1077,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "{min}/{min,}/{min,max} run bounds, '*' for gaps")
     _add_workers_argument(match)
     _add_remote_argument(match)
-    match.set_defaults(handler=_cmd_query_match)
+    _add_trace_argument(match)
+    match.set_defaults(handler=_traced(_cmd_query_match))
 
     agg = query_commands.add_parser(
         "agg", help="per-meter symbol statistics pushed down to the store"
@@ -924,7 +1100,8 @@ def build_parser() -> argparse.ArgumentParser:
                           "per seed)")
     _add_workers_argument(agg)
     _add_remote_argument(agg)
-    agg.set_defaults(handler=_cmd_query_agg)
+    _add_trace_argument(agg)
+    agg.set_defaults(handler=_traced(_cmd_query_agg))
 
     anomaly = query_commands.add_parser(
         "anomaly", help="per-meter anomaly scores from symbol transitions"
@@ -935,7 +1112,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="rows printed (highest scores first)")
     _add_workers_argument(anomaly)
     _add_remote_argument(anomaly)
-    anomaly.set_defaults(handler=_cmd_query_anomaly)
+    _add_trace_argument(anomaly)
+    anomaly.set_defaults(handler=_traced(_cmd_query_anomaly))
 
     drift = query_commands.add_parser(
         "drift", help="fleet drift report straight off .rsymx histograms"
@@ -950,7 +1128,8 @@ def build_parser() -> argparse.ArgumentParser:
     drift.add_argument("--threshold", type=float, default=0.1,
                        help="TV distance above which a meter counts as shifted")
     _add_remote_argument(drift)
-    drift.set_defaults(handler=_cmd_query_drift)
+    _add_trace_argument(drift)
+    drift.set_defaults(handler=_traced(_cmd_query_drift))
 
     export = subparsers.add_parser("export-arff", help="export day vectors as ARFF (Weka)")
     _add_dataset_arguments(export)

@@ -1,0 +1,136 @@
+"""The ``ProcessTelemetry`` snapshot protocol for worker shards.
+
+A parallel plan runs its shards in other processes, where spans and metric
+increments would otherwise vanish.  The protocol:
+
+1. The plan layer builds a picklable :class:`TraceContext` from the ambient
+   trace (:func:`shard_trace_context`) and ships it inside each shard task.
+2. The worker wraps its shard in :func:`capture_telemetry`: a registry
+   snapshot before/after isolates the metric *delta* the shard caused (a
+   forked child inherits the parent's totals — the diff cancels them), and
+   a span collector catches the shard's finished root span tree.
+3. The parent calls :func:`merge_telemetry` on the ``(result, telemetry)``
+   pairs, task-ordered: metric deltas add into the live registry, span
+   trees graft as children of the currently open plan span — one coherent
+   per-request trace, bit-identical results untouched.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, NamedTuple, Optional
+
+from .metrics import diff_snapshots, registry
+from .trace import Span, tracer
+
+__all__ = [
+    "ProcessTelemetry",
+    "TraceContext",
+    "capture_telemetry",
+    "merge_telemetry",
+    "shard_trace_context",
+]
+
+
+class TraceContext(NamedTuple):
+    """Everything a worker needs to continue the caller's trace."""
+
+    trace_id: Optional[str]
+    parent_span_id: Optional[str]
+    trace_enabled: bool
+    metrics_enabled: bool
+
+
+@dataclass
+class ProcessTelemetry:
+    """What one worker shard observed: span dicts plus a metrics delta."""
+
+    spans: List[Dict] = field(default_factory=list)
+    metrics: Optional[Dict] = None
+
+
+def shard_trace_context() -> Optional[TraceContext]:
+    """Snapshot the ambient telemetry state for shipping to a worker.
+
+    Returns ``None`` when both tracing and metrics are off, so the worker
+    skips capture entirely and the task pickle stays minimal.
+    """
+    trace = tracer()
+    metrics_on = registry().enabled
+    if not trace.enabled and not metrics_on:
+        return None
+    current = trace.current_span()
+    return TraceContext(
+        trace_id=current.trace_id if current else trace.current_trace_id(),
+        parent_span_id=current.span_id if current else None,
+        trace_enabled=trace.enabled,
+        metrics_enabled=metrics_on,
+    )
+
+
+@contextmanager
+def capture_telemetry(context: Optional[TraceContext], span_name: str,
+                      **attributes):
+    """Worker-side capture around one shard of work.
+
+    Yields a :class:`ProcessTelemetry` that is filled in on exit.  The
+    shard's work runs inside a span named ``span_name`` whose parent is the
+    caller's plan span (by id, across the process boundary).
+    """
+    telemetry = ProcessTelemetry()
+    if context is None:
+        yield telemetry
+        return
+    reg = registry()
+    trace = tracer()
+    capture_metrics = context.metrics_enabled
+    previous_enabled = reg.enabled
+    if capture_metrics:
+        reg.enabled = True
+        before = reg.snapshot()
+    try:
+        if context.trace_enabled:
+            previously_tracing = trace.enabled
+            trace.enabled = True
+            try:
+                # detached(): a forked worker inherits the caller's open
+                # plan span via ContextVar — the shard span must parent to
+                # it by *id* (graftable), not by attaching to the dead copy.
+                with trace.detached(), trace.collect() as roots:
+                    with trace.span(
+                        span_name,
+                        _trace_id=context.trace_id,
+                        _parent_id=context.parent_span_id,
+                        **attributes,
+                    ):
+                        yield telemetry
+                telemetry.spans = [root.to_dict() for root in roots]
+            finally:
+                trace.enabled = previously_tracing
+        else:
+            yield telemetry
+    finally:
+        if capture_metrics:
+            telemetry.metrics = diff_snapshots(reg.snapshot(), before)
+            reg.enabled = previous_enabled
+
+
+def merge_telemetry(parts: List[Optional[ProcessTelemetry]]) -> None:
+    """Merge worker telemetry home, in task order.
+
+    Metric deltas add into the live registry; span trees graft as children
+    of the currently open span (the plan span), preserving shard order so
+    the merged trace reads top-to-bottom like the execution did.
+    """
+    reg = registry()
+    trace = tracer()
+    parent = trace.current_span() if trace.enabled else None
+    for part in parts:
+        if part is None:
+            continue
+        if part.metrics:
+            reg.merge_snapshot(part.metrics)
+        if parent is not None:
+            for span_dict in part.spans:
+                parent.children.append(Span.from_dict(span_dict))

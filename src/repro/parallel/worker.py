@@ -218,12 +218,34 @@ class PlanShardTask(NamedTuple):
     store_path: str
     operator: "object"       # Operator (ops.py dataclass)
     items: "object"          # the shard's slice of the plan's work list
+    trace: "object" = None   # obs.TraceContext, or None when telemetry is off
+    shard: int = 0           # shard index, for span labelling
 
 
 def run_plan_shard(task: PlanShardTask):
-    """Run one plan shard worker-side; returns the operator's shard result."""
+    """Run one plan shard worker-side.
+
+    Returns ``(shard_result, ProcessTelemetry | None)``: when the caller
+    shipped a :class:`~repro.obs.TraceContext`, the shard's work runs under
+    a ``plan.shard`` span continuing the caller's trace, and its metric
+    deltas plus span tree ride home alongside the result for task-ordered
+    merge.  With telemetry off the capture is skipped entirely.
+    """
+    from ..obs import capture_telemetry, tracer
     from ..query.ops import ColumnSource
     from ..store.segments import open_store
 
-    with open_store(task.store_path) as store:
-        return task.operator.run_shard(ColumnSource(store), task.items)
+    with capture_telemetry(
+        task.trace, "plan.shard",
+        shard=task.shard, items=len(task.items),
+    ) as telemetry:
+        with open_store(task.store_path) as store:
+            source = ColumnSource(store)
+            result = task.operator.run_shard(source, task.items)
+            shard_span = tracer().current_span()
+            if shard_span is not None:
+                shard_span.set_attributes(
+                    columns_decoded=int(source.stats.columns_decoded),
+                    runs_read=int(source.stats.runs_read),
+                )
+    return result, telemetry if task.trace is not None else None

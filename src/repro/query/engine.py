@@ -47,6 +47,7 @@ from typing import List, NamedTuple, Optional, Sequence, Set, Union
 import numpy as np
 
 from ..errors import QueryError
+from ..obs import registry as _obs_registry, tracer as _obs_tracer
 from ..store.format import SymbolStore
 from .aggregate import AggregateReport, aggregate_store
 from .index import QueryIndex, build_query_index, query_index_path
@@ -196,6 +197,12 @@ class QueryEngine:
                 if not isinstance(store, SegmentedStore):
                     raise
                 key = str(sidecar.resolve())
+                # The warning dedups; the counter never does — a degraded
+                # store stays visible on /metrics long after the first open.
+                _obs_registry().counter(
+                    "store.stale_index_total",
+                    "Opens that dropped a stale .rsymx sidecar",
+                ).inc()
                 with _STALE_INDEX_LOCK:
                     first = key not in _STALE_INDEX_WARNED
                     _STALE_INDEX_WARNED.add(key)
@@ -277,16 +284,45 @@ class QueryEngine:
             index=index,
             exclude=exclude,
         ))
-        positions, distances, refined = plan.run(
-            workers=config.workers, deadline=deadline
-        )
-        ids = [[self.store.ids[p] for p in row] for row in positions]
-        stats = KNNStats(
-            n_queries=queries.shape[0],
-            n_candidates=n_candidates,
-            refined=refined,
+        with _obs_tracer().span(
+            "engine.knn", k=config.k, queries=queries.shape[0],
             index_used=index is not None,
-        )
+        ) as knn_span:
+            positions, distances, refined = plan.run(
+                workers=config.workers, deadline=deadline
+            )
+            ids = [[self.store.ids[p] for p in row] for row in positions]
+            stats = KNNStats(
+                n_queries=queries.shape[0],
+                n_candidates=n_candidates,
+                refined=refined,
+                index_used=index is not None,
+            )
+            # One source of truth: CLI --stats, span attributes and the
+            # /metrics counters all carry these exact KNNStats numbers.
+            knn_span.set_attributes(
+                candidates=stats.n_candidates,
+                refined=stats.refined,
+                pruned_fraction=round(stats.pruned_fraction, 6),
+            )
+        metrics = _obs_registry()
+        if metrics.enabled:
+            bounded = stats.n_queries * stats.n_candidates
+            metrics.counter(
+                "query.knn_queries_total", "kNN query vectors answered",
+            ).inc(stats.n_queries)
+            metrics.counter(
+                "query.candidates_bounded_total",
+                "Candidate columns lower-bounded across kNN queries",
+            ).inc(bounded)
+            metrics.counter(
+                "query.candidates_refined_total",
+                "Candidate columns exact-refined (decoded) across kNN queries",
+            ).inc(stats.refined)
+            metrics.counter(
+                "query.candidates_pruned_total",
+                "Candidate columns pruned by the lower bound",
+            ).inc(bounded - stats.refined)
         return KNNResult(positions, ids, distances, stats)
 
     def brute_force_knn(

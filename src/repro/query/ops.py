@@ -39,6 +39,7 @@ import numpy as np
 
 from ..core.lookup import LookupTable
 from ..errors import QueryError
+from ..obs import registry as _obs_registry, tracer as _obs_tracer
 from .distance import banded_min_cells, histogram_bound
 from .index import DEFAULT_BANDS, QueryIndex, _shard_stats
 from .patterns import PatternMatches, SymbolPattern, match_runs
@@ -146,6 +147,21 @@ class ColumnSource:
         self._table: Optional[LookupTable] = None
         self._column_stats: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._run_counts: Optional[np.ndarray] = None
+        # Registry instruments, resolved once per source so counted reads
+        # pay one cached-attribute increment (no-op when metrics are off).
+        metrics = _obs_registry()
+        self._m_columns = metrics.counter(
+            "store.columns_decoded_total",
+            "Column payload reads through ColumnSource")
+        self._m_runs = metrics.counter(
+            "store.runs_read_total", "Run-array reads through ColumnSource")
+        self._m_blocks = metrics.counter(
+            "store.blocks_read_total", "Block-granular read calls")
+        self._m_bytes = metrics.counter(
+            "store.bytes_decoded_total", "Decoded bytes returned to readers")
+        self._m_cache_hits = metrics.counter(
+            "store.cache_hits_total",
+            "Reads served from the source's caches or the .rsymx index")
 
     # -- delegated shape ---------------------------------------------------------
 
@@ -183,24 +199,37 @@ class ColumnSource:
         n = self.store.n_meters if meters is None else len(meters)
         with self._lock:
             self.stats.columns_decoded += n
-        return self.store.matrix(meters=meters, window_range=window_range)
+        self._m_columns.inc(n)
+        self._m_blocks.inc()
+        result = self.store.matrix(meters=meters, window_range=window_range)
+        self._m_bytes.inc(int(result.nbytes))
+        return result
 
     def matrix_block(self, start: int, stop: int, window_range=None) -> np.ndarray:
         """Decode the contiguous column block ``[start, stop)`` (counted)."""
+        n = max(0, int(stop) - int(start))
         with self._lock:
-            self.stats.columns_decoded += max(0, int(stop) - int(start))
-        return self.store.matrix_block(start, stop, window_range=window_range)
+            self.stats.columns_decoded += n
+        self._m_columns.inc(n)
+        self._m_blocks.inc()
+        result = self.store.matrix_block(start, stop, window_range=window_range)
+        self._m_bytes.inc(int(result.nbytes))
+        return result
 
     def runs(self, meter) -> tuple:
         """``(run_values, run_lengths)`` of one column (counted)."""
         with self._lock:
             self.stats.runs_read += 1
+        self._m_runs.inc()
         return self.store.runs(meter)
 
     def _scan_stats(self, start: int, stop: int, n_bands: int) -> tuple:
         """Banded histogram scan of ``[start, stop)`` — a payload read."""
+        n = max(0, int(stop) - int(start))
         with self._lock:
-            self.stats.columns_decoded += max(0, int(stop) - int(start))
+            self.stats.columns_decoded += n
+        self._m_columns.inc(n)
+        self._m_blocks.inc()
         return _shard_stats(self.store, int(start), int(stop), n_bands)
 
     # -- cached column statistics ------------------------------------------------
@@ -219,6 +248,7 @@ class ColumnSource:
         """
         index = self.index if index is None else index
         if index is not None:
+            self._m_cache_hits.inc()
             if columns is None:
                 return index.histograms, index.max_symbols
             cols = np.asarray(list(columns), dtype=np.int64)
@@ -228,9 +258,12 @@ class ColumnSource:
                 if self._column_stats is None:
                     banded, _, _, peaks = self._scan_stats(0, self.n_columns, 1)
                     self._column_stats = (banded[:, 0, :], peaks)
+                else:
+                    self._m_cache_hits.inc()
                 return self._column_stats
             cols = [int(c) for c in columns]
             if self._column_stats is not None:
+                self._m_cache_hits.inc()
                 idx = np.asarray(cols, dtype=np.int64)
                 return self._column_stats[0][idx], self._column_stats[1][idx]
             if cols and cols == list(range(cols[0], cols[-1] + 1)):
@@ -386,6 +419,7 @@ def _knn_block(
     positions = np.empty((queries.shape[0], kk), dtype=np.int64)
     distances = np.empty((queries.shape[0], kk), dtype=np.float64)
     refined_total = 0
+    rounds_total = 0
     C = candidates.size
     # Decoded candidate rows, by candidate rank, shared by every query of
     # the batch.  ``np.empty`` commits pages lazily, so untouched (pruned)
@@ -446,6 +480,7 @@ def _knn_block(
                 if not active.size:
                     break
             hi = min(at + refine_chunk, C)
+            rounds_total += 1
             ranks = order[active, at:hi]                      # (A, chunk)
             # One flat gather scores every (query, candidate) of the round:
             # cells[q, t, s] lives at offset q*T*k + t*k + s, and the
@@ -482,6 +517,22 @@ def _knn_block(
             best = np.lexsort((refined_cols, refined_d2))[:kk]
             positions[b0 + bi] = refined_cols[best]
             distances[b0 + bi] = np.sqrt(refined_d2[best])
+    metrics = _obs_registry()
+    if metrics.enabled:
+        metrics.counter(
+            "query.refine_rounds_total",
+            "kNN refine rounds run (bounded-decode-prune iterations)",
+        ).inc(rounds_total)
+    current = _obs_tracer().current_span()
+    if current is not None:
+        current.set_attribute(
+            "refine_rounds",
+            int(current.attributes.get("refine_rounds", 0)) + rounds_total,
+        )
+        current.set_attribute(
+            "refined",
+            int(current.attributes.get("refined", 0)) + refined_total,
+        )
     return positions, distances, refined_total
 
 

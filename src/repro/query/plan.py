@@ -32,6 +32,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from ..errors import DeadlineExceeded
+from ..obs import merge_telemetry, registry, shard_trace_context, tracer
 from .ops import ColumnSource, Operator
 
 __all__ = ["Deadline", "ScanPlan", "active_deadline", "check_deadline"]
@@ -154,6 +155,51 @@ class ScanPlan:
         check the deadline before sharding and after the merge-join —
         worker shards themselves run to completion.
         """
+        trace = tracer()
+        metrics = registry()
+        if not trace.enabled and not metrics.enabled:
+            return self._execute(workers, deadline)
+        op_name = type(self.operator).__name__
+        stats = self.source.stats
+        decoded_before = stats.columns_decoded
+        runs_before = stats.runs_read
+        started = time.perf_counter()
+        try:
+            with trace.span(
+                "plan.run", operator=op_name, workers=workers,
+                store=str(self.source.store.path),
+            ) as plan_span:
+                if deadline is not None:
+                    plan_span.set_attribute(
+                        "deadline_budget_ms", round(deadline.budget * 1e3, 3))
+                result = self._execute(workers, deadline, plan_span)
+                if deadline is not None:
+                    plan_span.set_attribute(
+                        "deadline_remaining_ms",
+                        round(deadline.remaining() * 1e3, 3))
+                plan_span.set_attributes(
+                    columns_decoded=int(stats.columns_decoded - decoded_before),
+                    runs_read=int(stats.runs_read - runs_before),
+                )
+        except DeadlineExceeded:
+            metrics.counter(
+                "plan.deadline_expired_total",
+                "Plan executions cancelled by their deadline",
+                op=op_name,
+            ).inc()
+            raise
+        finally:
+            metrics.histogram(
+                "plan.run_seconds", "ScanPlan.run wall time", op=op_name,
+            ).observe(time.perf_counter() - started)
+        metrics.counter(
+            "plan.runs_total", "Completed ScanPlan executions", op=op_name,
+        ).inc()
+        return result
+
+    def _execute(self, workers: int, deadline: Optional[Deadline],
+                 plan_span=None):
+        """The original (pre-telemetry) execution path, bit-for-bit."""
         items = (
             self.operator.items(self.source)
             if self.items is None else list(self.items)
@@ -161,6 +207,8 @@ class ScanPlan:
         kept: List = list(items)
         for stage in self.stages:
             kept = list(stage.apply(self.source, kept))
+        if plan_span is not None:
+            plan_span.set_attributes(items=len(items), kept=len(kept))
         if deadline is None:
             if workers == 1 or len(kept) <= 1:
                 parts = [self.operator.run_shard(self.source, kept)]
@@ -205,6 +253,7 @@ class ScanPlan:
         bounds = np.array_split(
             np.arange(len(kept)), min(workers, len(kept))
         )
+        context = shard_trace_context()
         tasks = []
         for idx in bounds:
             if not idx.size:
@@ -216,9 +265,14 @@ class ScanPlan:
                 store_path=str(self.source.store.path),
                 operator=operator,
                 items=shard_items,
+                trace=context,
+                shard=len(tasks),
             ))
         with ParallelExecutor(workers) as executor:
-            return executor.map(run_plan_shard, tasks)
+            mapped = executor.map(run_plan_shard, tasks)
+        if context is not None:
+            merge_telemetry([telemetry for _, telemetry in mapped])
+        return [result for result, _ in mapped]
 
     def __repr__(self) -> str:
         return f"ScanPlan({self.explain()})"

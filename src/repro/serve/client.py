@@ -47,6 +47,7 @@ from ..errors import (
     ServeError,
     UnknownStore,
 )
+from ..obs import current_trace_id
 
 __all__ = ["RetryBudget", "RetryPolicy", "ServeClient", "ServeResponse"]
 
@@ -159,12 +160,19 @@ class ServeClient:
         policy: Optional[RetryPolicy] = None,
         budget: Optional[RetryBudget] = None,
         sleep: Callable[[float], None] = time.sleep,
+        trace_id: Optional[str] = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
         self.policy = policy if policy is not None else RetryPolicy()
         self.budget = budget if budget is not None else RetryBudget()
         self._sleep = sleep
+        #: Pinned trace id sent with every request; when ``None``, the
+        #: ambient trace id (an open span on this thread) is used instead,
+        #: so a traced caller's id propagates through the HTTP hop.
+        self.trace_id = trace_id
+        #: The trace id the server echoed (or minted) on the last response.
+        self.last_trace_id: Optional[str] = None
         #: Lifetime counters, mostly for the tests and the quickstart.
         self.retries_total = 0
         self.requests_total = 0
@@ -176,6 +184,9 @@ class ServeClient:
         url = f"{self.base_url}{path}"
         payload = None
         headers = {"Content-Type": "application/json"}
+        trace_id = self.trace_id or current_trace_id()
+        if trace_id:
+            headers["X-Repro-Trace-Id"] = trace_id
         if body is not None:
             payload = json.dumps(body).encode("utf-8")
         request = urllib.request.Request(
@@ -183,6 +194,9 @@ class ServeClient:
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as rsp:
+                echoed = rsp.headers.get("X-Repro-Trace-Id")
+                if echoed:
+                    self.last_trace_id = echoed
                 return ServeResponse(json.loads(rsp.read().decode("utf-8")))
         except urllib.error.HTTPError as exc:
             raise self._decode_error(exc) from None
@@ -265,6 +279,22 @@ class ServeClient:
 
     def metrics(self) -> ServeResponse:
         return self._call("GET", "/metrics")
+
+    def metrics_prometheus(self) -> str:
+        """The server's Prometheus text exposition (``/metrics``)."""
+        import urllib.request as _request
+
+        request = _request.Request(
+            f"{self.base_url}/metrics?format=prometheus", method="GET"
+        )
+        with _request.urlopen(request, timeout=self.timeout) as rsp:
+            return rsp.read().decode("utf-8")
+
+    def traces_recent(self, n: int = 16) -> List[Dict]:
+        """Recent finished trace trees from the server's ring buffer."""
+        return list(
+            self._call("GET", f"/traces/recent?n={int(n)}").get("traces", [])
+        )
 
     def knn(
         self,

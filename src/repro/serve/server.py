@@ -36,6 +36,7 @@ connection — the server keeps serving, which is the point.
 from __future__ import annotations
 
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -52,6 +53,13 @@ from ..errors import (
     ReproError,
     StoreError,
     UnknownStore,
+)
+from ..obs import (
+    enable_tracing,
+    new_trace_id,
+    recent_traces,
+    registry as obs_registry,
+    tracer as obs_tracer,
 )
 from ..query import Deadline, QueryConfig, QueryEngine
 from ..store import faults
@@ -78,6 +86,8 @@ class ServerConfig:
         failure_threshold: int = 3,
         breaker_reset_s: float = 2.0,
         workers: int = 1,
+        tracing: bool = True,
+        trace_sink: Optional[str] = None,
     ) -> None:
         self.rate = rate
         self.burst = burst
@@ -88,6 +98,8 @@ class ServerConfig:
         self.failure_threshold = int(failure_threshold)
         self.breaker_reset_s = float(breaker_reset_s)
         self.workers = int(workers)
+        self.tracing = bool(tracing)
+        self.trace_sink = trace_sink
 
 
 class _Snapshot:
@@ -329,30 +341,37 @@ class StoreManager:
 
 
 class _Metrics:
-    """Lifetime counters ``GET /metrics`` reports (all under one lock)."""
+    """Serve-layer counters, backed by the process :mod:`repro.obs` registry.
+
+    The short names ``GET /metrics`` has always reported are kept; each one
+    is an alias for a ``serve.*`` counter in the registry, so the JSON view,
+    the Prometheus exposition and every other registry consumer read the
+    same numbers.
+    """
+
+    _COUNTERS = (
+        ("requests_total", "HTTP requests received"),
+        ("errors_total", "Requests answered with 5xx or 429"),
+        ("rate_limited_total", "Requests rejected by the token bucket"),
+        ("shed_total", "Requests shed by admission control"),
+        ("deadline_expired_total", "Requests that outran their deadline"),
+        ("degraded_responses_total", "Answers served from degraded snapshots"),
+        ("appends_total", "Segments appended via POST .../append"),
+        ("append_duplicates_total", "Idempotent append retries deduplicated"),
+    )
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.requests_total = 0
-        self.errors_total = 0
-        self.rate_limited_total = 0
-        self.shed_total = 0
-        self.deadline_expired_total = 0
-        self.degraded_responses_total = 0
-        self.appends_total = 0
-        self.append_duplicates_total = 0
+        reg = obs_registry()
+        self._by_name = {
+            name: reg.counter(f"serve.{name}", help_text)
+            for name, help_text in self._COUNTERS
+        }
 
     def bump(self, counter: str, by: int = 1) -> None:
-        with self._lock:
-            setattr(self, counter, getattr(self, counter) + by)
+        self._by_name[counter].inc(by)
 
     def snapshot(self) -> Dict[str, int]:
-        with self._lock:
-            return {
-                key: value
-                for key, value in self.__dict__.items()
-                if not key.startswith("_")
-            }
+        return {name: c.value for name, c in self._by_name.items()}
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -374,13 +393,30 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send(self, status: int, body: Dict,
               retry_after: Optional[float] = None) -> None:
+        if getattr(self, "_defer_send", False):
+            # The request span is still open: park the response so it goes
+            # out only after the span finishes, closing the window where a
+            # client could see its reply but not its trace.
+            self._deferred = (status, body, retry_after)
+            return
         payload = protocol.dumps(body)
+        self._write_response(status, payload, "application/json", retry_after)
+
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; version=0.0.4") -> None:
+        self._write_response(status, text.encode("utf-8"), content_type, None)
+
+    def _write_response(self, status: int, payload: bytes, content_type: str,
+                        retry_after: Optional[float]) -> None:
         try:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(payload)))
             if retry_after is not None:
                 self.send_header("Retry-After", f"{retry_after:.3f}")
+            trace_id = getattr(self, "_trace_id", None)
+            if trace_id:
+                self.send_header("X-Repro-Trace-Id", trace_id)
             self.end_headers()
             faults.write(self.wfile, payload, "serve.response")
         except InjectedCrash:
@@ -431,13 +467,28 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
         try:
-            path = self.path.split("?", 1)[0].rstrip("/")
+            path, _, query = self.path.partition("?")
+            path = path.rstrip("/")
             if path == "/healthz":
                 self._send(200, {"ok": True})
                 return
             self.metrics.bump("requests_total")
             if path == "/metrics":
-                self._send(200, self._metrics_body())
+                accept = self.headers.get("Accept") or ""
+                if "format=prometheus" in query or "text/plain" in accept:
+                    self._send_text(200, obs_registry().to_prometheus())
+                else:
+                    self._send(200, self._metrics_body())
+                return
+            if path == "/traces/recent":
+                n = 16
+                for part in query.split("&"):
+                    if part.startswith("n="):
+                        try:
+                            n = max(1, min(int(part[2:]), 256))
+                        except ValueError:
+                            pass
+                self._send(200, {"traces": recent_traces(n)})
                 return
             if path == "/stores":
                 self._send(200, {"stores": self.manager.names()})
@@ -454,6 +505,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error(error)
 
     def do_POST(self) -> None:  # noqa: N802
+        started = time.perf_counter()
+        op = "unknown"
         try:
             self.metrics.bump("requests_total")
             path = self.path.split("?", 1)[0].rstrip("/")
@@ -463,6 +516,13 @@ class _Handler(BaseHTTPRequestHandler):
             if "/" not in rest:
                 raise UnknownStore(f"no such endpoint: {self.path}")
             name, op = rest.split("/", 1)
+            # Trace continuity: a client-sent X-Repro-Trace-Id becomes this
+            # request's trace id (and is echoed back); with tracing on and
+            # no header, the server mints one so /traces/recent correlates.
+            trace = obs_tracer()
+            self._trace_id = self.headers.get("X-Repro-Trace-Id") or (
+                new_trace_id() if trace.enabled else None
+            )
             ok, retry_after = self.bucket.acquire()
             if not ok:
                 self.metrics.bump("rate_limited_total")
@@ -478,7 +538,18 @@ class _Handler(BaseHTTPRequestHandler):
                     # an injected slow handler spends real request budget.
                     deadline = self._deadline(body)
                     faults.checkpoint("serve.handle")
-                    self._dispatch(name, op, body, deadline)
+                    self._deferred = None
+                    self._defer_send = True
+                    try:
+                        with trace.span(
+                            f"serve.{op}", _trace_id=self._trace_id,
+                            store=name, op=op,
+                        ):
+                            self._dispatch(name, op, body, deadline)
+                    finally:
+                        self._defer_send = False
+                    if self._deferred is not None:
+                        self._send(*self._deferred)
             except Overloaded:
                 self.metrics.bump("shed_total")
                 raise
@@ -491,6 +562,11 @@ class _Handler(BaseHTTPRequestHandler):
             self.close_connection = True
         except Exception as error:  # noqa: BLE001 — the never-crash contract
             self._send_error(error)
+        finally:
+            obs_registry().histogram(
+                "serve.request_seconds", "Request latency per endpoint",
+                op=op,
+            ).observe(time.perf_counter() - started)
 
     # -- endpoints ---------------------------------------------------------------
 
@@ -516,6 +592,9 @@ class _Handler(BaseHTTPRequestHandler):
             "metrics": self.metrics.snapshot(),
             "admission": self.gate.snapshot(),
             "stores": {},
+            # The full registry view: every counter/gauge/histogram in the
+            # process, dotted names, p50/p95/p99 derived from the buckets.
+            "registry": obs_registry().to_json(),
         }
         for name, handle in self.manager.handles.items():
             body["stores"][name] = {
@@ -696,6 +775,8 @@ class QueryServer:
     ) -> None:
         self.config = config or ServerConfig()
         self.manager = StoreManager(stores, self.config)
+        if self.config.tracing:
+            enable_tracing(sink=self.config.trace_sink)
         self.metrics = _Metrics()
         self.gate = AdmissionGate(
             max_concurrent=self.config.max_concurrent,

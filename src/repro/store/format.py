@@ -731,6 +731,11 @@ class SymbolStore:
         pending = [c for c in columns if not self._verified[c]]
         if not pending:
             return
+        from ..obs import registry as _obs_registry
+        _obs_registry().counter(
+            "store.checksum_verifies_total",
+            "Column payload CRC32C verifications",
+        ).inc(len(pending))
         idx = np.asarray(pending, dtype=np.int64)
         widths = self._column_widths(idx)
         if idx.size > 1 and np.all(widths == widths[0]) and int(widths[0]) > 0:

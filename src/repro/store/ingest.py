@@ -24,6 +24,7 @@ windows and commits what remains.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -236,10 +237,21 @@ class FleetIngestor:
         shared: Union[LookupTable, List[LookupTable]] = (
             head if all(table == head for table in tables[1:]) else tables
         )
+        started = time.perf_counter()
         append_segment(
             self.directory, matrix, tables=shared, workers=self.workers,
             reason=reason,
         )
+        from ..obs import registry as _obs_registry
+        metrics = _obs_registry()
+        metrics.counter(
+            "ingest.commits_total", "FleetIngestor segment commits",
+            reason=reason,
+        ).inc()
+        metrics.histogram(
+            "ingest.commit_seconds",
+            "Durable segment commit latency (pack + fsync + manifest)",
+        ).observe(time.perf_counter() - started)
         return n
 
     def flush(self) -> None:

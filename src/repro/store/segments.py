@@ -57,6 +57,7 @@ import numpy as np
 
 from ..core.lookup import LookupTable
 from ..errors import CorruptStoreError, StoreError, StoreIntegrityWarning
+from ..obs import registry as _obs_registry
 from . import faults
 from .checksum import crc32c, crc32c_hex
 from .format import DENSE, RLE, SymbolStore, SymbolStoreWriter
@@ -245,6 +246,10 @@ def _select_manifest(
             if strict:
                 raise
             skipped.append((path, exc))
+            _obs_registry().counter(
+                "store.manifest_rollbacks_total",
+                "Damaged manifest generations skipped at open",
+            ).inc()
             warnings.warn(
                 StoreIntegrityWarning(
                     f"skipping damaged manifest generation {generation} "
@@ -333,6 +338,10 @@ class SegmentedStore:
             if strict:
                 raise exc
             quarantined.append((record.name, str(exc)))
+            _obs_registry().counter(
+                "store.quarantined_segments_total",
+                "Segments quarantined at open or by scrub",
+            ).inc()
             warnings.warn(
                 StoreIntegrityWarning(
                     f"quarantining segment {record.name}: {exc} — its "
@@ -521,6 +530,7 @@ class SegmentedStore:
         start = max(0, int(start))
         stop = width if stop is None else min(int(stop), width)
         ids = [self.ids[c] for c in columns] if meters is not None else None
+        metrics = _obs_registry()
         parts = []
         offset = 0
         for segment in self._segments:
@@ -529,6 +539,11 @@ class SegmentedStore:
             hi = min(stop - offset, seg_width)
             if hi > lo:
                 parts.append(segment.matrix(meters=ids, window_range=(lo, hi)))
+                metrics.counter(
+                    "store.segment_reads_total",
+                    "Per-segment payload reads",
+                    segment=segment.path.name,
+                ).inc()
             offset += seg_width
         if not parts:
             return np.empty((len(columns), max(0, stop - start)), dtype=np.int64)
@@ -843,6 +858,14 @@ def append_segment(
     manifest["ids"] = list(ids)
     manifest["segments"] = list(manifest.get("segments", [])) + [record.to_dict()]
     _write_manifest(directory, manifest)
+    metrics = _obs_registry()
+    metrics.counter(
+        "store.segment_commits_total",
+        "Segments durably committed (segment file + manifest generation)",
+    ).inc()
+    metrics.counter(
+        "store.windows_committed_total", "Windows committed across segments",
+    ).inc(int(matrix.shape[1]))
     return record
 
 
@@ -1152,4 +1175,16 @@ def scrub_store(
                 report.removed.append(manifest_path.name)
             except OSError:
                 pass
+    metrics = _obs_registry()
+    metrics.counter(
+        "store.scrub_runs_total", "scrub_store invocations on directories",
+    ).inc()
+    metrics.counter(
+        "store.scrub_bytes_checked_total", "Bytes checksum-verified by scrub",
+    ).inc(int(report.bytes_checked))
+    if report.quarantined:
+        metrics.counter(
+            "store.quarantined_segments_total",
+            "Segments quarantined at open or by scrub",
+        ).inc(len(report.quarantined))
     return report

@@ -1,0 +1,28 @@
+"""Obs-test fixtures: isolate the process-global registry and tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import registry, tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Reset telemetry state around every test in this package.
+
+    The registry and tracer are process-wide singletons; tests here mutate
+    them freely, so each one starts from an empty, enabled registry and a
+    disabled tracer with an empty ring.
+    """
+    reg = registry()
+    trace = tracer()
+    reg.reset()
+    reg.enabled = True
+    trace.disable()
+    trace.clear()
+    yield
+    reg.reset()
+    reg.enabled = True
+    trace.disable()
+    trace.clear()

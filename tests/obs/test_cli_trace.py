@@ -1,0 +1,114 @@
+"""CLI surface: ``repro query ... --trace`` and ``repro obs tail``."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.obs import enable_tracing, span
+from repro.query import write_query_index
+from repro.store import write_fleet_store
+
+
+@pytest.fixture()
+def store_path(tmp_path):
+    path = tmp_path / "fleet.rsym"
+    rng = np.random.default_rng(9)
+    store = write_fleet_store(
+        path, rng.normal(size=(6, 96)).cumsum(axis=1), alphabet_size=8,
+    )
+    write_query_index(store)
+    store.close()
+    return path
+
+
+class TestQueryTrace:
+    def test_knn_trace_prints_tree_and_accounting(self, store_path, capsys):
+        assert main([
+            "query", "knn", str(store_path), "--query-id", "0", "--k", "3",
+            "--stats", "--trace",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "rank" in captured.out  # the normal result table is untouched
+        assert "engine.knn" in captured.err
+        assert "plan.run" in captured.err
+        assert "work accounting:" in captured.err
+        assert "columns_decoded=" in captured.err
+        assert "metrics delta:" in captured.err
+        assert "query.knn_queries_total = 1" in captured.err
+
+    def test_trace_and_stats_report_identical_numbers(self, store_path, capsys):
+        assert main([
+            "query", "knn", str(store_path), "--query-id", "0", "--k", "3",
+            "--stats", "--trace",
+        ]) == 0
+        captured = capsys.readouterr()
+        stats = {}
+        for line in captured.out.splitlines():
+            if ":" in line and line.startswith("  "):
+                key, _, value = line.strip().partition(":")
+                stats[key.strip()] = value.strip()
+        refined = int(stats["refined (total)"])
+        assert f"query.candidates_refined_total = {refined}" in captured.err
+        queries = int(stats["queries"])
+        assert f"query.knn_queries_total = {queries}" in captured.err
+
+    def test_match_and_agg_accept_trace(self, store_path, capsys):
+        assert main([
+            "query", "match", str(store_path), "--pattern", "a *", "--trace",
+        ]) == 0
+        assert "plan.run" in capsys.readouterr().err
+        assert main([
+            "query", "agg", str(store_path), "--level", "4", "--trace",
+        ]) == 0
+        assert "plan.run" in capsys.readouterr().err
+
+    def test_without_flag_stderr_stays_clean(self, store_path, capsys):
+        assert main([
+            "query", "knn", str(store_path), "--query-id", "0", "--k", "3",
+        ]) == 0
+        assert capsys.readouterr().err == ""
+
+
+class TestObsTail:
+    def _sink(self, tmp_path):
+        sink = tmp_path / "trace.jsonl"
+        enable_tracing(sink=str(sink))
+        for index in range(3):
+            with span(f"root-{index}", op="knn"):
+                with span("child"):
+                    pass
+        return sink
+
+    def test_tail_prints_last_n(self, tmp_path, capsys):
+        sink = self._sink(tmp_path)
+        assert main(["obs", "tail", str(sink), "--n", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "root-0" not in output
+        assert "root-1" in output and "root-2" in output
+        assert "  child" in output
+
+    def test_tail_skips_garbage_lines(self, tmp_path, capsys):
+        sink = self._sink(tmp_path)
+        with sink.open("a") as handle:
+            handle.write("not json\n")
+        assert main(["obs", "tail", str(sink), "--n", "10"]) == 0
+        captured = capsys.readouterr()
+        assert "root-2" in captured.out
+        assert "unparseable" in captured.err
+
+    def test_tail_missing_file_errors(self, tmp_path, capsys):
+        assert main(["obs", "tail", str(tmp_path / "nope.jsonl")]) != 0
+        assert "no trace sink" in capsys.readouterr().err
+
+    def test_sink_lines_are_valid_json_trees(self, tmp_path):
+        sink = self._sink(tmp_path)
+        lines = sink.read_text().strip().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            tree = json.loads(line)
+            assert tree["name"].startswith("root-")
+            assert tree["children"][0]["name"] == "child"

@@ -1,0 +1,227 @@
+"""End-to-end instrumentation: plans, workers, stores, engines.
+
+The two invariants the tentpole promises:
+
+1. Telemetry never changes results — kNN output is bit-identical with
+   tracing+metrics on vs off, for workers 1, 2 and 4.
+2. The registry is the single source of truth — the ``store.*`` counters a
+   query increments equal the ``KNNStats`` work accounting exactly.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreIntegrityWarning
+from repro.obs import (
+    enable_tracing,
+    recent_traces,
+    registry,
+    set_metrics_enabled,
+    span,
+    tracer,
+)
+from repro.query import QueryConfig, QueryEngine, write_query_index
+from repro.store import append_segment, faults, open_store, scrub_store, write_segmented_fleet
+
+N_METERS = 10
+N_SAMPLES = 256
+
+
+@pytest.fixture(scope="module")
+def fleet_values():
+    rng = np.random.default_rng(17)
+    return rng.normal(size=(N_METERS, N_SAMPLES)).cumsum(axis=1)
+
+
+@pytest.fixture()
+def seg_dir(tmp_path, fleet_values):
+    path = tmp_path / "fleet.rsyms"
+    store = write_segmented_fleet(
+        path, fleet_values, alphabet_size=8, window=4, segment_windows=24,
+    )
+    write_query_index(store)
+    store.close()
+    return path
+
+
+def _knn(seg_dir, workers, k=3, rows=4, fresh_registry=False):
+    """Run one kNN batch; optionally isolate its registry delta.
+
+    ``fresh_registry`` resets the registry right before the query, after the
+    open and the query-decode — the fixture's index build and the store open
+    decode columns too, and the accounting tests want this query's work only.
+    Returns ``(result, source_stats)``.
+    """
+    with QueryEngine.open(seg_dir) as engine:
+        queries = engine.store.decode(meters=list(range(rows)))
+        if fresh_registry:
+            registry().reset()
+        config = QueryConfig(k=k, workers=workers)
+        result = engine.knn(queries, config)
+        return result, engine.source.stats
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_results_identical_with_telemetry_on_and_off(
+        self, seg_dir, workers
+    ):
+        previous = set_metrics_enabled(False)
+        try:
+            baseline, _ = _knn(seg_dir, workers)
+        finally:
+            set_metrics_enabled(previous)
+        enable_tracing()
+        with span("test.root"):
+            traced, _ = _knn(seg_dir, workers)
+        assert np.array_equal(baseline.positions, traced.positions)
+        assert np.array_equal(baseline.distances, traced.distances)
+        assert baseline.ids == traced.ids
+
+    def test_results_identical_across_worker_counts_while_traced(self, seg_dir):
+        enable_tracing()
+        results = [_knn(seg_dir, workers)[0] for workers in (1, 2, 4)]
+        for other in results[1:]:
+            assert np.array_equal(results[0].positions, other.positions)
+            assert np.array_equal(results[0].distances, other.distances)
+
+
+class TestWorkAccounting:
+    def test_counters_equal_stats_serial(self, seg_dir):
+        result, source_stats = _knn(seg_dir, workers=1, fresh_registry=True)
+        reg = registry()
+        stats = result.stats
+        # query.* counters carry the exact KNNStats numbers --stats prints.
+        assert reg.counter_value("query.knn_queries_total") == stats.n_queries
+        assert reg.counter_value("query.candidates_refined_total") == stats.refined
+        bounded = stats.n_queries * stats.n_candidates
+        assert reg.counter_value("query.candidates_bounded_total") == bounded
+        pruned = bounded - stats.refined
+        assert reg.counter_value("query.candidates_pruned_total") == pruned
+        # store.* counters carry the exact SourceStats read accounting.
+        assert reg.counter_value("store.columns_decoded_total") \
+            == source_stats.columns_decoded
+        assert reg.counter_value("store.runs_read_total") == source_stats.runs_read
+        assert source_stats.columns_decoded > 0
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_worker_deltas_merge_home(self, seg_dir, workers):
+        """Decodes happen in forked shards; the merged counter must equal
+        the sum of what each shard reports in its own span — the metric
+        delta and the span attributes travel home independently."""
+        enable_tracing()
+        with span("test.root"):
+            result, _ = _knn(seg_dir, workers=workers, fresh_registry=True)
+        (trace,) = recent_traces(1)
+        shards = _find_spans(trace, "plan.shard")
+        assert len(shards) == min(workers, 4)
+        per_shard = [s["attributes"]["columns_decoded"] for s in shards]
+        assert all(n > 0 for n in per_shard)
+        reg = registry()
+        assert reg.counter_value("store.columns_decoded_total") == sum(per_shard)
+        assert reg.counter_value("query.knn_queries_total") == result.stats.n_queries
+
+    def test_plan_histogram_and_run_counter(self, seg_dir):
+        _knn(seg_dir, workers=1, fresh_registry=True)
+        reg = registry()
+        assert reg.counter_value("plan.runs_total", op="KNNOperator") == 1
+        snap = reg.snapshot()["histograms"]
+        key = "plan.run_seconds|op=KNNOperator"
+        assert snap[key]["count"] == 1
+        assert snap[key]["sum"] > 0.0
+
+
+def _find_spans(node, name):
+    found = [node] if node["name"] == name else []
+    for child in node["children"]:
+        found.extend(_find_spans(child, name))
+    return found
+
+
+class TestTraceTree:
+    def test_sharded_plan_grafts_shard_spans(self, seg_dir):
+        enable_tracing()
+        with span("test.root"):
+            _knn(seg_dir, workers=2, rows=4, fresh_registry=True)
+        (trace,) = recent_traces(1)
+        engine_span = trace["children"][0]
+        assert engine_span["name"] == "engine.knn"
+        (plan_span,) = [
+            c for c in engine_span["children"] if c["name"] == "plan.run"
+        ]
+        shards = [c for c in plan_span["children"] if c["name"] == "plan.shard"]
+        assert len(shards) == 2
+        # Shards continue the same trace and point at the plan span, across
+        # the process boundary.
+        for shard_span in shards:
+            assert shard_span["trace_id"] == trace["trace_id"]
+            assert shard_span["parent_id"] == plan_span["span_id"]
+        assert [s["attributes"]["shard"] for s in shards] == [0, 1]
+        # The shards carry the decode accounting (the parent process only
+        # merges); their sum equals the registry total.
+        decoded = sum(s["attributes"]["columns_decoded"] for s in shards)
+        assert decoded == registry().counter_value("store.columns_decoded_total")
+
+    def test_span_durations_nest_sanely(self, seg_dir):
+        enable_tracing()
+        with span("test.root"):
+            _knn(seg_dir, workers=1)
+        (trace,) = recent_traces(1)
+        assert _find_spans(trace, "engine.knn") and _find_spans(trace, "plan.run")
+
+        def check(node):
+            child_total = sum(c["duration_ns"] for c in node["children"])
+            assert node["duration_ns"] >= 0
+            assert child_total <= node["duration_ns"] * 1.02 + 1_000_000
+            for child in node["children"]:
+                check(child)
+
+        check(trace)
+
+
+class TestStoreCounters:
+    def test_stale_index_counter_never_dedups(self, seg_dir):
+        store = open_store(seg_dir)
+        append_segment(
+            seg_dir, store.matrix(window_range=(0, 8)),
+            tables=store.shared_table,
+        )
+        store.close()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", StoreIntegrityWarning)
+            for _ in range(2):  # the warning dedups; the counter must not
+                QueryEngine.open(seg_dir).close()
+        assert registry().counter_value("store.stale_index_total") == 2
+
+    def test_quarantine_counter_on_corrupt_read(self, seg_dir):
+        victim = sorted(seg_dir.glob("seg-*.rsym"))[0]
+        faults.corrupt_tail(victim, 24)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", StoreIntegrityWarning)
+            with open_store(seg_dir) as store:
+                store.matrix()
+        assert registry().counter_value("store.quarantined_segments_total") >= 1
+
+    def test_scrub_counters(self, seg_dir):
+        report = scrub_store(seg_dir)
+        reg = registry()
+        assert reg.counter_value("store.scrub_runs_total") == 1
+        flat = reg.snapshot()["counters"]
+        assert flat.get("store.scrub_bytes_checked_total", 0) == report.bytes_checked
+        assert report.bytes_checked > 0
+
+    def test_segment_commit_counters(self, tmp_path, fleet_values):
+        path = tmp_path / "commits.rsyms"
+        store = write_segmented_fleet(
+            path, fleet_values, alphabet_size=8, window=4, segment_windows=24,
+        )
+        store.close()
+        reg = registry()
+        commits = reg.counter_value("store.segment_commits_total")
+        assert commits >= 2  # 256 samples / window 4 / 24-window segments
+        windows = reg.counter_value("store.windows_committed_total")
+        assert windows == (N_SAMPLES // 4 // 24) * 24 or windows == N_SAMPLES // 4

@@ -1,0 +1,98 @@
+"""ProcessTelemetry protocol: context shipping, worker capture, merge."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.obs import (
+    TraceContext,
+    capture_telemetry,
+    enable_tracing,
+    merge_telemetry,
+    recent_traces,
+    registry,
+    set_metrics_enabled,
+    shard_trace_context,
+    span,
+    tracer,
+)
+
+
+def test_context_is_none_when_everything_is_off():
+    previous = set_metrics_enabled(False)
+    try:
+        assert shard_trace_context() is None
+    finally:
+        set_metrics_enabled(previous)
+
+
+def test_context_snapshots_the_open_span():
+    enable_tracing()
+    with span("plan.run") as plan_span:
+        context = shard_trace_context()
+    assert context.trace_id == plan_span.trace_id
+    assert context.parent_span_id == plan_span.span_id
+    assert context.trace_enabled and context.metrics_enabled
+    pickle.dumps(context)  # must ship inside a worker task
+
+
+def test_context_without_tracing_still_requests_metrics():
+    context = shard_trace_context()
+    assert context is not None
+    assert not context.trace_enabled
+    assert context.metrics_enabled
+    assert context.trace_id is None
+
+
+def test_capture_with_none_context_is_passthrough():
+    with capture_telemetry(None, "plan.shard") as telemetry:
+        registry().counter("ignored_total").inc()
+    assert telemetry.spans == [] and telemetry.metrics is None
+
+
+def test_capture_isolates_the_worker_delta():
+    # The "inherited" totals a forked child starts with must cancel out.
+    registry().counter("store.columns_decoded_total").inc(100)
+    context = TraceContext(
+        trace_id="t" * 8, parent_span_id="p" * 8,
+        trace_enabled=True, metrics_enabled=True,
+    )
+    with capture_telemetry(context, "plan.shard", shard=1) as telemetry:
+        registry().counter("store.columns_decoded_total").inc(5)
+        with span("store.read"):
+            pass
+    assert telemetry.metrics["counters"] == {"store.columns_decoded_total": 5}
+    (root,) = telemetry.spans
+    assert root["name"] == "plan.shard"
+    assert root["trace_id"] == "t" * 8
+    assert root["parent_id"] == "p" * 8
+    assert root["attributes"] == {"shard": 1}
+    assert [c["name"] for c in root["children"]] == ["store.read"]
+    # Worker-side capture never pollutes the worker's own ring buffer.
+    assert recent_traces() == []
+
+
+def test_capture_restores_disabled_tracer():
+    assert not tracer().enabled
+    context = TraceContext(None, None, trace_enabled=True, metrics_enabled=True)
+    with capture_telemetry(context, "plan.shard"):
+        assert tracer().enabled
+    assert not tracer().enabled
+
+
+def test_merge_grafts_spans_in_task_order_and_adds_deltas():
+    enable_tracing()
+    parts = []
+    for shard in range(3):
+        context = TraceContext(None, None, True, True)
+        with capture_telemetry(context, "plan.shard", shard=shard) as telemetry:
+            registry().counter("store.columns_decoded_total").inc(shard + 1)
+        parts.append(telemetry)
+    before = registry().counter_value("store.columns_decoded_total")
+
+    with span("plan.run"):
+        merge_telemetry([parts[0], None, parts[1], parts[2]])
+    (trace,) = recent_traces(1)
+    assert [c["name"] for c in trace["children"]] == ["plan.shard"] * 3
+    assert [c["attributes"]["shard"] for c in trace["children"]] == [0, 1, 2]
+    assert registry().counter_value("store.columns_decoded_total") == before + 6

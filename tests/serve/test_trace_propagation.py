@@ -1,0 +1,138 @@
+"""Satellite: one coherent trace per remote query, across every boundary.
+
+A kNN through ServeClient → HTTP → handler → engine → plan → forked worker
+shards must come back as ONE trace tree: the client's trace id rides the
+``X-Repro-Trace-Id`` header into the handler span, down through the plan,
+and across the process boundary into each ``plan.shard`` span — and the
+work the shards report equals what the registry counted.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import new_trace_id, registry, tracer
+from repro.serve import QueryServer, ServeClient, ServerConfig
+from repro.store import write_segmented_fleet
+
+N_METERS = 32
+N_SAMPLES = 384
+
+
+@pytest.fixture(scope="module")
+def traced_server(tmp_path_factory):
+    path = tmp_path_factory.mktemp("traced") / "fleet.rsyms"
+    rng = np.random.default_rng(23)
+    values = rng.normal(size=(N_METERS, N_SAMPLES)).cumsum(axis=1)
+    write_segmented_fleet(
+        path, values, alphabet_size=8, segment_windows=64,
+    ).close()
+    srv = QueryServer(
+        {"fleet": path}, ServerConfig(workers=2, tracing=True)
+    ).start()
+    yield srv
+    srv.shutdown()
+
+
+def _find_spans(node, name):
+    found = [node] if node["name"] == name else []
+    for child in node["children"]:
+        found.extend(_find_spans(child, name))
+    return found
+
+
+def _trace_for(server, trace_id):
+    traces = ServeClient(server.url).traces_recent(64)
+    matched = [t for t in traces if t["trace_id"] == trace_id]
+    assert len(matched) == 1, (
+        f"expected one trace for {trace_id}, ring holds "
+        f"{[(t['name'], t['trace_id'][:8]) for t in traces]}"
+    )
+    return matched[0]
+
+
+class TestTracePropagation:
+    def test_remote_knn_yields_one_merged_trace(self, traced_server):
+        trace_id = new_trace_id()
+        client = ServeClient(traced_server.url, timeout=30.0, trace_id=trace_id)
+        queries = np.cumsum(
+            np.random.default_rng(5).normal(size=(4, N_SAMPLES)), axis=1
+        )
+        reg = registry()
+        decoded_before = reg.counter_value("store.columns_decoded_total")
+        queries_before = reg.counter_value("query.knn_queries_total")
+        started = time.perf_counter()
+        response = client.knn("fleet", queries, k=3)
+        wall = time.perf_counter() - started
+
+        # The server echoes the propagated id back to the client.
+        assert client.last_trace_id == trace_id
+
+        trace = _trace_for(traced_server, trace_id)
+        assert trace["name"] == "serve.knn"
+        (engine_span,) = _find_spans(trace, "engine.knn")
+        # The first query may also run an index-build plan; pick the kNN one.
+        (plan_span,) = [
+            s for s in _find_spans(trace, "plan.run")
+            if s["attributes"]["operator"] == "KNNOperator"
+        ]
+        shards = [
+            s for s in _find_spans(plan_span, "plan.shard")
+        ]
+        assert len(shards) == 2
+
+        # Every span of the tree carries the client's trace id — including
+        # the shard spans minted inside forked worker processes.
+        def all_spans(node):
+            yield node
+            for child in node["children"]:
+                yield from all_spans(child)
+
+        assert all(s["trace_id"] == trace_id for s in all_spans(trace))
+        assert all(s["parent_id"] == plan_span["span_id"] for s in shards)
+        assert [s["attributes"]["shard"] for s in shards] == [0, 1]
+
+        # The trace accounts for the handler's time: the engine span covers
+        # >=95% of the plan+refine work, and the root covers the dispatch.
+        assert engine_span["duration_ns"] >= plan_span["duration_ns"]
+        child_ns = sum(c["duration_ns"] for c in trace["children"])
+        assert child_ns >= 0.95 * engine_span["duration_ns"]
+        assert trace["duration_ns"] <= wall * 1e9
+
+        # Work accounting: what the spans report is exactly what the
+        # registry counted (the metric deltas merged home).  Each plan span
+        # carries its parent-process decodes; its shard children carry the
+        # worker-process decodes.
+        decoded = sum(
+            p["attributes"]["columns_decoded"]
+            + sum(s["attributes"]["columns_decoded"]
+                  for s in _find_spans(p, "plan.shard"))
+            for p in _find_spans(trace, "plan.run")
+        )
+        assert decoded > 0
+        assert reg.counter_value("store.columns_decoded_total") \
+            == decoded_before + decoded
+        stats = response["stats"]
+        assert reg.counter_value("query.knn_queries_total") \
+            == queries_before + stats["n_queries"]
+
+    def test_ambient_trace_id_is_picked_up_by_client(self, traced_server):
+        token = tracer().set_trace_id("ambient-cli-id")
+        try:
+            client = ServeClient(traced_server.url, timeout=30.0)
+            client.agg("fleet", level=4)
+        finally:
+            tracer().reset_trace_id(token)
+        assert client.last_trace_id == "ambient-cli-id"
+        trace = _trace_for(traced_server, "ambient-cli-id")
+        assert trace["name"] == "serve.agg"
+
+    def test_server_mints_an_id_when_client_sends_none(self, traced_server):
+        client = ServeClient(traced_server.url, timeout=30.0)
+        client.anomaly("fleet")
+        assert client.last_trace_id
+        trace = _trace_for(traced_server, client.last_trace_id)
+        assert trace["name"] == "serve.anomaly"
